@@ -1,0 +1,29 @@
+# Offline-friendly targets for the repro repository.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples report fuzz validate loc
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f > /dev/null && echo OK; done
+
+report:
+	$(PYTHON) -m repro report
+
+fuzz:
+	$(PYTHON) -m repro fuzz --programs 100
+
+validate:
+	$(PYTHON) -m repro validate
+
+loc:
+	@find src tests benchmarks examples tools -name "*.py" | xargs wc -l | tail -1

@@ -1,0 +1,73 @@
+"""E4 (extension) — bug hunting at application scale.
+
+The study's subjects are applications, not kernels; this bench drives the
+miniature application analogues end to end.  For every injectable bug in
+the catalogue: bounded exploration finds a manifesting interleaving, the
+witness shrinks to ≤2 preemptions, and the correct configuration of the
+same application survives the same bounded search.
+"""
+
+from repro.apps import bug_catalogue
+from repro.apps.cache import CacheConfig, build_cache, single_free
+from repro.apps.logger import LoggerConfig, build_logger, no_events_lost
+from repro.apps.webserver import WebServerConfig, build_webserver, served_everything
+from repro.sim import Explorer, find_schedule, minimize_preemptions
+
+
+def test_injected_bugs_all_hunted(benchmark):
+    def hunt():
+        rows = {}
+        for app, flag, kind, program, oracle in bug_catalogue():
+            failing = find_schedule(
+                program, predicate=oracle, max_schedules=60000,
+                preemption_bound=3,
+            )
+            witness = minimize_preemptions(
+                program, oracle, max_bound=4, max_schedules_per_bound=60000
+            )
+            rows[f"{app}.{flag}"] = (kind, failing, witness)
+        return rows
+
+    rows = benchmark.pedantic(hunt, rounds=1, iterations=1)
+    print()
+    print(f"  {'injected bug':32s} {'class':20s} {'steps':>6s} {'preempt':>8s}")
+    for name, (kind, failing, witness) in rows.items():
+        assert failing is not None, name
+        assert witness is not None, name
+        assert witness.preemptions <= 2, name
+        print(
+            f"  {name:32s} {kind:20s} {len(failing.schedule):>6d} "
+            f"{witness.preemptions:>8d}"
+        )
+
+
+def test_correct_configurations_survive_bounded_search(benchmark):
+    def verify():
+        verdicts = {}
+        server_cfg = WebServerConfig(workers=1, requests=1)
+        server_oracle = served_everything(server_cfg)
+        result = Explorer(
+            build_webserver(server_cfg), max_schedules=60000, preemption_bound=2
+        ).explore(predicate=lambda run: not server_oracle(run), stop_on_first=True)
+        verdicts["webserver"] = not result.found
+
+        logger_cfg = LoggerConfig(writers=1, events_per_writer=1, rotations=1)
+        logger_oracle = no_events_lost(logger_cfg)
+        result = Explorer(
+            build_logger(logger_cfg), max_schedules=60000
+        ).explore(predicate=lambda run: not logger_oracle(run), stop_on_first=True)
+        verdicts["logger"] = result.complete and not result.found
+
+        cache_cfg = CacheConfig(clients=2)
+        cache_oracle = single_free(cache_cfg)
+        result = Explorer(
+            build_cache(cache_cfg), max_schedules=60000
+        ).explore(predicate=lambda run: not cache_oracle(run), stop_on_first=True)
+        verdicts["cache"] = result.complete and not result.found
+        return verdicts
+
+    verdicts = benchmark.pedantic(verify, rounds=1, iterations=1)
+    print()
+    for app, clean in verdicts.items():
+        print(f"  {app}: correct configuration clean = {clean}")
+        assert clean, app

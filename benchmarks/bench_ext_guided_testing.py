@@ -1,0 +1,65 @@
+"""E2 (extension) — manifestation rate: random / PCT / enforced order.
+
+Quantifies the testing implication on every kernel.  Expected shape:
+
+* cooperative (non-preemptive) scheduling: 0% on every kernel except the
+  always-deadlocking self re-acquisition — the bugs need preemption;
+* random and PCT: low, kernel-dependent rates;
+* enforcing the recorded ≤4-access order: 100% on every kernel.
+
+Also measures interleaving-space coverage: a small preemption bound
+already reaches every kernel's bug (the 'few context switches suffice'
+observation behind CHESS-style tools).
+"""
+
+from repro.kernels import all_kernels
+from repro.manifest import compare_strategies
+from repro.sim import Explorer
+
+
+def collect_rates(runs=60):
+    rates = {}
+    for kernel in all_kernels():
+        estimates = compare_strategies(kernel, runs=runs)
+        rates[kernel.name] = {
+            name: est.rate for name, est in estimates.items()
+        }
+    return rates
+
+
+def test_strategy_comparison(benchmark):
+    rates = benchmark.pedantic(collect_rates, rounds=1, iterations=1)
+    print()
+    print(f"  {'kernel':26s} {'coop':>6s} {'random':>8s} {'pct':>8s} {'enforced':>9s}")
+    for name, r in rates.items():
+        print(
+            f"  {name:26s} {r['cooperative']:>6.0%} {r['random']:>8.1%} "
+            f"{r['pct']:>8.1%} {r['enforced']:>9.0%}"
+        )
+    # Kernels that need zero preemptions manifest even cooperatively: the
+    # self-deadlock (single thread) and the teardown order violation
+    # (the parent runs to completion before its child ever starts).
+    zero_preemption = {"deadlock_self", "order_teardown_use"}
+    for name, r in rates.items():
+        assert r["enforced"] == 1.0, name
+        if name not in zero_preemption:
+            assert r["cooperative"] == 0.0, name
+            assert r["random"] < 1.0, name
+
+
+def test_preemption_bound_two_reaches_every_bug(benchmark):
+    """CHESS-style observation: two preemptions expose every kernel."""
+
+    def check():
+        reached = {}
+        for kernel in all_kernels():
+            explorer = Explorer(kernel.buggy, preemption_bound=2)
+            result = explorer.explore(predicate=kernel.failure, stop_on_first=True)
+            reached[kernel.name] = result.found
+        return reached
+
+    reached = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert all(reached.values()), reached
+    print()
+    for name in reached:
+        print(f"  {name}: found within preemption bound 2")

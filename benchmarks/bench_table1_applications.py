@@ -1,0 +1,14 @@
+"""T1 — the studied application suite (paper Table 1)."""
+
+from repro.study import table1_applications
+
+
+def test_table1_applications(benchmark, db):
+    table = benchmark(table1_applications, db)
+    assert table.cell("Total", "Bugs examined") == 105
+    assert table.cell("MySQL", "Bugs examined") == 23
+    assert table.cell("Apache", "Bugs examined") == 17
+    assert table.cell("Mozilla", "Bugs examined") == 57
+    assert table.cell("OpenOffice", "Bugs examined") == 8
+    print()
+    print(table.format())

@@ -1,0 +1,19 @@
+"""T2 — non-deadlock/deadlock split per application (paper Table 2)."""
+
+from repro.study import table2_bug_sources
+
+
+def test_table2_bug_sources(benchmark, db):
+    table = benchmark(table2_bug_sources, db)
+    assert table.cell("Total", "Non-deadlock") == 74
+    assert table.cell("Total", "Deadlock") == 31
+    assert table.cell("MySQL", "Non-deadlock") == 14
+    assert table.cell("MySQL", "Deadlock") == 9
+    assert table.cell("Apache", "Non-deadlock") == 13
+    assert table.cell("Apache", "Deadlock") == 4
+    assert table.cell("Mozilla", "Non-deadlock") == 41
+    assert table.cell("Mozilla", "Deadlock") == 16
+    assert table.cell("OpenOffice", "Non-deadlock") == 6
+    assert table.cell("OpenOffice", "Deadlock") == 2
+    print()
+    print(table.format())

@@ -1,0 +1,25 @@
+"""T3 — bug pattern distribution (Findings 1-3).
+
+Paper shape: atomicity violations dominate (~69%), order violations are
+the second class (~32%), and together they cover 97% of non-deadlock
+bugs.
+"""
+
+from repro.study import table3_patterns
+
+
+def test_table3_patterns(benchmark, db):
+    table = benchmark(table3_patterns, db)
+    assert table.cell("Atomicity violation", "Bugs") == 51
+    assert table.cell("Order violation", "Bugs") == 24
+    assert table.cell("Atomicity or order", "Bugs") == 72
+    assert table.cell("Other", "Bugs") == 2
+    # Shape: atomicity > order > other; union covers 97%.
+    assert (
+        table.cell("Atomicity violation", "Bugs")
+        > table.cell("Order violation", "Bugs")
+        > table.cell("Other", "Bugs")
+    )
+    assert table.cell("Atomicity or order", "% of non-deadlock") == "97%"
+    print()
+    print(table.format())

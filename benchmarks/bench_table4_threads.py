@@ -1,0 +1,14 @@
+"""T4 — threads needed to manifest (Finding 4: 96% need at most two)."""
+
+from repro.study import table4_threads
+
+
+def test_table4_threads(benchmark, db):
+    table = benchmark(table4_threads, db)
+    two_or_fewer = table.cell(1, "Bugs") + table.cell(2, "Bugs")
+    assert two_or_fewer == 101
+    assert sum(table.column("Bugs")) == 105
+    # Shape: the two-thread bucket towers over everything else.
+    assert table.cell(2, "Bugs") > 10 * table.cell(3, "Bugs")
+    print()
+    print(table.format())

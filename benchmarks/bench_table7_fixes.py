@@ -1,0 +1,59 @@
+"""T7 — fix strategies (Findings 8-9 on fixes).
+
+Paper shape: 73% of non-deadlock fixes add no lock; COND/Switch/Design
+together dominate.  Deadlock fixes are dominated by giving up the
+resource (61%), not by reordering acquisitions.
+"""
+
+from repro.bugdb import FixStrategy
+from repro.study import table7_fixes
+
+
+def test_table7_fix_strategies(benchmark, db):
+    table = benchmark(table7_fixes, db)
+    nd = {r[1]: r[2] for r in table.rows if r[0] == "non-deadlock"}
+    dl = {r[1]: r[2] for r in table.rows if r[0] == "deadlock"}
+    assert nd == {
+        "Condition check (COND)": 19,
+        "Code switch (Switch)": 10,
+        "Design change (Design)": 24,
+        "Add/change lock (Lock)": 20,
+        "Other": 1,
+    }
+    assert dl == {
+        "Give up resource": 19,
+        "Change acquisition order": 6,
+        "Split resource": 2,
+        "Other": 4,
+    }
+    # Shape: lock-free strategies outweigh locking ~3:1; give-up dominates.
+    lockless = sum(v for k, v in nd.items() if k != "Add/change lock (Lock)")
+    assert lockless / sum(nd.values()) > 0.7
+    assert dl["Give up resource"] > sum(dl.values()) / 2
+    print()
+    print(table.format())
+
+
+def test_table7_fixes_verified_executably(benchmark):
+    """Every kernel's shipped fix (each strategy class) verifies clean."""
+    from repro.fixes import verify_all_fixes
+    from repro.kernels import all_kernels
+
+    def verify_everything():
+        results = {}
+        for kernel in all_kernels():
+            for strategy, verification in verify_all_fixes(kernel).items():
+                results[f"{kernel.name}:{strategy.value}"] = verification.clean
+        return results
+
+    results = benchmark.pedantic(verify_everything, rounds=1, iterations=1)
+    assert all(results.values()), [k for k, v in results.items() if not v]
+    strategies = {key.split(":", 1)[1] for key in results}
+    # The executable fixes span both halves of the taxonomy.
+    assert {
+        "condition-check", "code-switch", "design-change", "add-lock",
+        "give-up-resource", "acquire-order",
+    } <= strategies
+    print()
+    for key in sorted(results):
+        print(f"  verified clean: {key}")

@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact (table T1-T8, the figure
+kernels, or an extension experiment), asserts the headline cells match
+the published values, and prints the rendered artifact (visible with
+``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import pytest
+
+from repro.bugdb import BugDatabase
+
+
+@pytest.fixture(scope="session")
+def db():
+    return BugDatabase.load()

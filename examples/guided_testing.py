@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Testing implications: random stress vs PCT vs order enforcement.
+
+Reproduces the study's argument for interleaving-directed testing on all
+nine kernels (extension bench E2):
+
+* a cooperative (non-preemptive) scheduler finds almost nothing — the
+  bugs need a context switch at the wrong place;
+* random stress finds bugs with low, kernel-dependent probability;
+* PCT trades raw rate for a *guaranteed* lower bound that scales with
+  bug depth (on these tiny kernels uniform random often samples better);
+* enforcing the recorded ≤4-access partial order manifests every bug on
+  every run (Finding 8's guarantee);
+* pairwise ordered-pair coverage explains *why*: random testing leaves
+  one direction of the decisive pair unexercised for a long time.
+
+Run:  python examples/guided_testing.py
+"""
+
+from repro import all_kernels
+from repro.manifest import PairwiseCoverage, compare_strategies
+from repro.sim import RandomScheduler, run_program
+
+
+def main() -> None:
+    print(f"{'kernel':26s} {'coop':>6s} {'random':>8s} {'pct':>8s} {'enforced':>9s}")
+    print("-" * 62)
+    for kernel in all_kernels():
+        estimates = compare_strategies(kernel, runs=100)
+        print(
+            f"{kernel.name:26s} "
+            f"{estimates['cooperative'].rate:>6.0%} "
+            f"{estimates['random'].rate:>8.1%} "
+            f"{estimates['pct'].rate:>8.1%} "
+            f"{estimates['enforced'].rate:>9.0%}"
+        )
+
+    print("\n== why: ordered-pair coverage growth under random testing ==")
+    kernel = next(k for k in all_kernels() if k.name == "atomicity_single_var")
+    coverage = PairwiseCoverage()
+    milestones = []
+    for seed in range(50):
+        trace = run_program(kernel.buggy, RandomScheduler(seed=seed)).trace
+        fresh = coverage.add(trace)
+        if fresh:
+            milestones.append((seed + 1, coverage.pairs_covered))
+    for runs, covered in milestones:
+        print(f"  after {runs:3d} random runs: {covered} ordered pairs covered")
+    print(f"  final coverage ratio: {coverage.coverage_ratio():.0%}")
+
+
+if __name__ == "__main__":
+    main()

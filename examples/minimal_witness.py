@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Shrinking failures: from a noisy random repro to a minimal witness.
+
+A failing schedule found by random testing is full of irrelevant context
+switches.  The meaningful size of a concurrency failure is its number of
+*pre-emptive* switches (Finding 8's 'few ordering points decide
+everything'), so the library minimises that: search exhaustively at
+preemption bound 0, then 1, ... and return the first failure.
+
+The punchline, measured across all twelve kernels: every studied bug
+class has a witness with at most ONE preemption.
+
+Run:  python examples/minimal_witness.py
+"""
+
+from repro import all_kernels
+from repro.sim import RandomScheduler, minimize_preemptions, preemption_count, run_program
+
+
+def main() -> None:
+    kernel = next(k for k in all_kernels() if k.name == "atomicity_wwr_log")
+
+    # A noisy repro from random stress testing...
+    noisy = None
+    for seed in range(1000):
+        run = run_program(kernel.buggy, RandomScheduler(seed=seed))
+        if kernel.failure(run):
+            noisy = run
+            break
+    assert noisy is not None
+    print("== noisy random repro ==")
+    print(f"schedule ({len(noisy.schedule)} steps): {noisy.schedule}")
+    print(f"preemptions: {preemption_count(kernel.buggy, noisy.schedule)}")
+
+    # ...shrunk to the minimal witness.
+    witness = minimize_preemptions(kernel.buggy, kernel.failure)
+    print("\n== minimal witness ==")
+    print(witness.summary())
+    print(witness.run.trace.format())
+
+    print("\n== every kernel's minimal witness ==")
+    for kernel in all_kernels():
+        witness = minimize_preemptions(kernel.buggy, kernel.failure)
+        print(
+            f"  {kernel.name:26s} preemptions={witness.preemptions} "
+            f"steps={len(witness.run.schedule)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Case study: the MySQL binlog-rotation atomicity violation (MySQL#791).
+
+The scenario the paper's MySQL figure describes: binlog rotation closes
+and reopens the log in two steps; a committing session that checks
+"log is open" between the steps silently loses its event.  This script
+
+* finds the losing interleaving by exhaustive exploration,
+* shows the unserializable W-R-W interleaving the AVIO-style detector
+  reports,
+* demonstrates the study's fix taxonomy on it (the shipped add-lock fix,
+  verified over every schedule), and
+* shows the enforcement result: ordering just 3 accesses makes the bug
+  manifest on every run (Finding 8).
+
+Run:  python examples/mysql_binlog_bug.py
+"""
+
+from repro import BugDatabase, get_kernel
+from repro.detectors import AtomicityDetector
+from repro.fixes import verify_all_fixes
+from repro.manifest import compare_strategies, order_guarantees
+
+
+def main() -> None:
+    db = BugDatabase.load()
+    record = db.get("mysql-nd-binlog-rotate")
+    print("== bug record ==")
+    print(f"{record.bug_id} ({record.report_ref}) — {record.component}")
+    print(record.description)
+    print(
+        f"pattern={[p.value for p in record.patterns]} impact={record.impact.value} "
+        f"threads={record.threads_involved} variables={record.variables_involved} "
+        f"accesses={record.accesses_to_manifest} fix={record.fix_strategy.value}"
+    )
+
+    kernel = get_kernel(record.kernel)
+    failing = kernel.find_manifestation()
+    print("\n== manifesting interleaving ==")
+    print(failing.trace.format())
+    print("final state:", failing.memory)
+
+    print("\n== atomicity detector ==")
+    print(AtomicityDetector().analyse(failing.trace).format())
+
+    print("\n== fix verification ==")
+    for strategy, verification in verify_all_fixes(kernel).items():
+        print(f"  [{strategy.value}] {verification.summary()}")
+
+    print("\n== testing strategies (Finding 8) ==")
+    for estimate in compare_strategies(kernel, runs=100).values():
+        print(" ", estimate.summary())
+    assert order_guarantees(kernel.buggy, kernel.manifest_order, kernel.failure)
+    print(
+        f"enforcing the recorded order among {kernel.accesses_to_manifest} "
+        f"accesses guarantees manifestation"
+    )
+
+
+if __name__ == "__main__":
+    main()

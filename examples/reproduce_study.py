@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Regenerate the full study: tables T1-T8, findings F1-F10, kernel evidence.
+
+This is the one-command reproduction of the paper's evaluation.  With
+``--quick`` the exploration-heavy kernel-evidence section is skipped.
+
+Run:  python examples/reproduce_study.py [--quick]
+"""
+
+import sys
+
+from repro import generate_report
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv[1:]
+    report = generate_report(quick=quick)
+    print(report.format())
+    return 0 if report.all_findings_pass else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Miniature applications: realistic workloads on the simulator.
+
+The study's subjects are servers and suites; these modules are their
+miniature analogues, built on the operation DSL so every studied bug
+class can be *injected* into otherwise-correct application code and
+hunted with the library's own tools:
+
+* :mod:`repro.apps.webserver` — a worker-pool request server
+  (queue + condition variable + shared statistics + shutdown path);
+* :mod:`repro.apps.logger` — a rotating log subsystem (the MySQL shape);
+* :mod:`repro.apps.cache` — a reference-counted object cache with
+  eviction (the Apache shape) and a two-lock layout.
+
+Each module exposes a config dataclass whose flags inject one bug class,
+a ``build()`` returning the Program, and oracles.  ``bug_catalogue()``
+lists every injectable bug with its expected class — the integration
+surface for detector and exploration tests at application scale.
+"""
+
+from repro.apps.cache import CacheConfig, build_cache, cache_bugs
+from repro.apps.logger import LoggerConfig, build_logger, logger_bugs
+from repro.apps.webserver import WebServerConfig, build_webserver, webserver_bugs
+
+__all__ = [
+    "WebServerConfig",
+    "build_webserver",
+    "webserver_bugs",
+    "LoggerConfig",
+    "build_logger",
+    "logger_bugs",
+    "CacheConfig",
+    "build_cache",
+    "cache_bugs",
+    "bug_catalogue",
+]
+
+
+def bug_catalogue():
+    """Every injectable application bug: (app, flag, kind, program, oracle)."""
+    return [*webserver_bugs(), *logger_bugs(), *cache_bugs()]

@@ -1,0 +1,153 @@
+"""A miniature reference-counted object cache (the Apache shape).
+
+Clients look an object up (bumping its refcount under the cache lock),
+use it, and release it; the releaser that drops the count to zero frees
+the object.  An evictor thread concurrently unlinks the object from the
+cache and drops the cache's own reference.
+
+Injectable bugs:
+
+* ``nonatomic_refcount`` — the decrement and the zero-check run in
+  separate critical sections: two releasers both observe zero and free
+  twice (the Apache#21287 double free, race-free atomicity violation);
+* ``abba_locks`` — clients take ``cachelock`` then ``objlock`` while the
+  evictor takes ``objlock`` then ``cachelock``: the two-resource
+  deadlock of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sim import (
+    Acquire,
+    AtomicUpdate,
+    Program,
+    Read,
+    Release,
+    RunResult,
+    RunStatus,
+    Write,
+)
+
+__all__ = ["CacheConfig", "build_cache", "single_free", "cache_bugs"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Workload shape and injectable bugs."""
+
+    clients: int = 2
+    nonatomic_refcount: bool = False
+    abba_locks: bool = False
+
+    @property
+    def buggy(self) -> bool:
+        return self.nonatomic_refcount or self.abba_locks
+
+
+def build_cache(config: CacheConfig = CacheConfig()) -> Program:
+    """The cache as a Program; threads: C1..Cn (clients), Evictor."""
+
+    def releaser(tid):
+        def body():
+            if config.abba_locks:
+                # BUG: clients take cachelock -> objlock...
+                yield Acquire("cachelock", label=f"{tid}.cache_first")
+                yield Acquire("objlock", label=f"{tid}.obj_second")
+                count = yield Read("refcnt")
+                yield Write("refcnt", count - 1)
+                yield Release("objlock")
+                yield Release("cachelock")
+                return
+            if config.nonatomic_refcount:
+                # BUG: decrement and zero-check in separate sections.
+                yield Acquire("objlock")
+                count = yield Read("refcnt")
+                yield Write("refcnt", count - 1, label=f"{tid}.dec")
+                yield Release("objlock")
+                yield Acquire("objlock")
+                now = yield Read("refcnt", label=f"{tid}.check")
+                yield Release("objlock")
+            else:
+                now = yield AtomicUpdate("refcnt", lambda v: v - 1)
+            if now == 0:
+                yield Write(f"freed_by_{tid}", True)
+
+        return body
+
+    def evictor():
+        if config.abba_locks:
+            # ...while the evictor takes objlock -> cachelock.
+            yield Acquire("objlock", label="evictor.obj_first")
+            yield Acquire("cachelock", label="evictor.cache_second")
+            entries = yield Read("entries")
+            yield Write("entries", max(entries - 1, 0))
+            yield Release("cachelock")
+            yield Release("objlock")
+        else:
+            yield Acquire("cachelock")
+            entries = yield Read("entries")
+            yield Write("entries", max(entries - 1, 0))
+            yield Release("cachelock")
+
+    threads = {}
+    for index in range(config.clients):
+        threads[f"C{index + 1}"] = releaser(f"c{index + 1}")
+    threads["Evictor"] = evictor
+    initial = {"refcnt": config.clients, "entries": 1}
+    for index in range(config.clients):
+        initial[f"freed_by_c{index + 1}"] = False
+    return Program(
+        f"cache(clients={config.clients}"
+        + (",buggy" if config.buggy else "")
+        + ")",
+        threads=threads,
+        initial=initial,
+        locks=["cachelock", "objlock"],
+    )
+
+
+def single_free(config: CacheConfig):
+    """Oracle factory: the object was freed exactly once, by someone."""
+
+    def oracle(run: RunResult) -> bool:
+        if run.status is not RunStatus.OK:
+            return False
+        frees = sum(
+            1
+            for index in range(config.clients)
+            if run.memory[f"freed_by_c{index + 1}"]
+        )
+        return frees == 1
+
+    return oracle
+
+
+def cache_bugs() -> List[Tuple[str, str, str, Program, object]]:
+    """Injected-bug catalogue entries for this app."""
+    entries = []
+    double = CacheConfig(clients=2, nonatomic_refcount=True)
+    entries.append(
+        (
+            "cache",
+            "nonatomic_refcount",
+            "atomicity-violation",
+            build_cache(double),
+            lambda run: run.status is RunStatus.OK
+            and run.memory["freed_by_c1"]
+            and run.memory["freed_by_c2"],
+        )
+    )
+    abba = CacheConfig(clients=1, abba_locks=True)
+    entries.append(
+        (
+            "cache",
+            "abba_locks",
+            "deadlock",
+            build_cache(abba),
+            lambda run: run.status is RunStatus.DEADLOCK,
+        )
+    )
+    return entries

@@ -1,0 +1,173 @@
+"""A miniature rotating log subsystem (the MySQL binlog shape).
+
+Writers append events to the active log; a rotator periodically closes
+the active segment and opens a fresh one.  Correct code holds ``loglock``
+across both the rotation pair and each writer's check-and-append, so no
+writer ever observes the half-rotated state.
+
+Injectable bugs:
+
+* ``unlocked_rotation`` — the rotator's close/reopen pair runs outside
+  the lock: a writer between the two steps sees "closed" and silently
+  drops its event (atomicity violation, wrong output — MySQL#791's
+  shape, scaled to several writers and rotations);
+* ``stale_segment_cache`` — writers cache the segment id before the
+  lock: an append lands in the *previous* segment after rotation (order
+  violation flavour, wrong output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.sim import (
+    Acquire,
+    Program,
+    Read,
+    Release,
+    RunResult,
+    RunStatus,
+    Write,
+)
+
+__all__ = ["LoggerConfig", "build_logger", "no_events_lost", "logger_bugs"]
+
+
+@dataclass(frozen=True)
+class LoggerConfig:
+    """Workload shape and injectable bugs."""
+
+    writers: int = 2
+    events_per_writer: int = 2
+    rotations: int = 1
+    unlocked_rotation: bool = False
+    stale_segment_cache: bool = False
+
+    @property
+    def buggy(self) -> bool:
+        return self.unlocked_rotation or self.stale_segment_cache
+
+
+def build_logger(config: LoggerConfig = LoggerConfig()) -> Program:
+    """The logger as a Program; threads: Rotator, Writer1..n."""
+
+    def rotator():
+        for _ in range(config.rotations):
+            if config.unlocked_rotation:
+                # BUG: the two-step transition is exposed.
+                yield Write("log_open", False, label="rotator.close")
+                segment = yield Read("segment")
+                yield Write("segment", segment + 1)
+                yield Write("log_open", True, label="rotator.reopen")
+            else:
+                yield Acquire("loglock")
+                yield Write("log_open", False, label="rotator.close")
+                segment = yield Read("segment")
+                yield Write("segment", segment + 1)
+                yield Write("log_open", True, label="rotator.reopen")
+                yield Release("loglock")
+
+    def writer():
+        def body():
+            for _ in range(config.events_per_writer):
+                if config.stale_segment_cache:
+                    # BUG: segment id read before entering the lock.
+                    segment = yield Read("segment", label="writer.stale_segment")
+                    yield Acquire("loglock")
+                else:
+                    yield Acquire("loglock")
+                    segment = yield Read("segment")
+                is_open = yield Read("log_open", label="writer.check")
+                if is_open:
+                    appended = yield Read("appended")
+                    yield Write("appended", appended + [segment])
+                else:
+                    lost = yield Read("lost")
+                    yield Write("lost", lost + 1)
+                yield Release("loglock")
+
+        return body
+
+    threads = {"Rotator": rotator}
+    for index in range(config.writers):
+        threads[f"Writer{index + 1}"] = writer()
+    return Program(
+        f"logger(writers={config.writers},events={config.events_per_writer}"
+        + (",buggy" if config.buggy else "")
+        + ")",
+        threads=threads,
+        initial={"log_open": True, "segment": 0, "appended": [], "lost": 0},
+        locks=["loglock"],
+    )
+
+
+def no_events_lost(config: LoggerConfig):
+    """Oracle factory: every event reached the log it was aimed at."""
+
+    def oracle(run: RunResult) -> bool:
+        total = config.writers * config.events_per_writer
+        return (
+            run.status is RunStatus.OK
+            and run.memory["lost"] == 0
+            and len(run.memory["appended"]) == total
+        )
+
+    return oracle
+
+
+def logger_bugs() -> List[Tuple[str, str, str, Program, object]]:
+    """Injected-bug catalogue entries for this app."""
+    entries = []
+    drop = LoggerConfig(writers=1, events_per_writer=1, unlocked_rotation=True)
+    entries.append(
+        (
+            "logger",
+            "unlocked_rotation",
+            "atomicity-violation",
+            build_logger(drop),
+            lambda run: run.status is RunStatus.OK and run.memory["lost"] > 0,
+        )
+    )
+    stale = LoggerConfig(writers=1, events_per_writer=1, stale_segment_cache=True)
+    entries.append(
+        (
+            "logger",
+            "stale_segment_cache",
+            "atomicity-violation",
+            build_logger(stale),
+            stale_append,
+        )
+    )
+    return entries
+
+
+def stale_append(run: RunResult) -> bool:
+    """Trace oracle: an append landed after rotation but with the old id.
+
+    Final memory cannot distinguish 'appended to segment 0 before the
+    rotation' (correct) from 'appended a cached segment-0 id after the
+    rotation' (the bug), so the oracle checks event ordering: a write to
+    ``appended`` carrying a stale id *after* the segment counter moved.
+    """
+    from repro.sim import events as ev
+
+    if run.status is not RunStatus.OK:
+        return False
+    rotation_seq = None
+    for event in run.trace:
+        if isinstance(event, ev.WriteEvent) and event.var == "segment":
+            rotation_seq = event.seq
+    if rotation_seq is None:
+        return False
+    final_segment = run.memory["segment"]
+    for event in run.trace:
+        if (
+            isinstance(event, ev.WriteEvent)
+            and event.var == "appended"
+            and event.seq > rotation_seq
+            and event.value
+            and event.value[-1] < final_segment
+        ):
+            return True
+    return False

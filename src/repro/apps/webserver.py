@@ -1,0 +1,186 @@
+"""A miniature worker-pool request server.
+
+Structure (all correct by default):
+
+* a **producer** enqueues requests under the queue lock and notifies the
+  condition variable per enqueue, then enqueues one STOP pill per worker;
+* **workers** loop: take the queue lock, wait on the condvar while the
+  queue is empty (re-checking under the lock — the correct protocol),
+  pop one item FIFO, and process it: read the connection object and bump
+  the served counter under the stats lock;
+* a **shutdown** thread joins the producer and every worker, then tears
+  the connection object down.
+
+Three study bug classes inject into this code:
+
+* ``unlocked_stats`` — the counter bump happens outside the stats lock:
+  a lost update (atomicity violation, wrong output);
+* ``unlocked_queue_check`` — workers check the queue *before* taking the
+  lock, the lost-wakeup order violation: the producer's notify can land
+  between check and wait, hanging a worker forever;
+* ``teardown_race`` — shutdown joins only the producer, so teardown can
+  overtake a worker still holding the connection (order violation,
+  crash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SimCrash
+from repro.sim import (
+    Acquire,
+    Join,
+    Notify,
+    Program,
+    Read,
+    Release,
+    RunResult,
+    RunStatus,
+    Wait,
+    Write,
+)
+
+__all__ = ["WebServerConfig", "build_webserver", "served_everything", "webserver_bugs"]
+
+
+@dataclass(frozen=True)
+class WebServerConfig:
+    """Workload shape and injectable bugs."""
+
+    workers: int = 2
+    requests: int = 3
+    unlocked_stats: bool = False
+    unlocked_queue_check: bool = False
+    teardown_race: bool = False
+
+    @property
+    def buggy(self) -> bool:
+        return self.unlocked_stats or self.unlocked_queue_check or self.teardown_race
+
+
+def build_webserver(config: WebServerConfig = WebServerConfig()) -> Program:
+    """The server as a Program; thread names: Producer, W1..Wn, Shutdown."""
+
+    def producer():
+        for index in range(config.requests):
+            yield Acquire("qlock")
+            queue = yield Read("queue")
+            yield Write("queue", queue + [f"req-{index}"])
+            yield Notify("qcv")
+            yield Release("qlock")
+        for _ in range(config.workers):
+            yield Acquire("qlock")
+            queue = yield Read("queue")
+            yield Write("queue", queue + ["STOP"])
+            yield Notify("qcv")
+            yield Release("qlock")
+
+    def worker():
+        def body():
+            while True:
+                if config.unlocked_queue_check:
+                    # BUG: check outside the lock; the notify can be lost.
+                    queue = yield Read("queue", label="worker.unlocked_check")
+                    yield Acquire("qlock")
+                    if not queue:
+                        yield Wait("qcv")
+                else:
+                    yield Acquire("qlock")
+                    while True:
+                        queue = yield Read("queue")
+                        if queue:
+                            break
+                        yield Wait("qcv")
+                queue = yield Read("queue")
+                if not queue:
+                    # Spurious resume under the buggy check: loop again.
+                    yield Release("qlock")
+                    continue
+                item = queue[0]
+                yield Write("queue", queue[1:])
+                yield Release("qlock")
+                if item == "STOP":
+                    return
+                connection = yield Read("conn", label="worker.use_conn")
+                if connection is None:
+                    raise SimCrash("request processed on a torn-down connection")
+                if config.unlocked_stats:
+                    # BUG: read-modify-write outside the stats lock.
+                    served = yield Read("served", label="worker.stats_read")
+                    yield Write("served", served + 1, label="worker.stats_write")
+                else:
+                    yield Acquire("slock")
+                    served = yield Read("served")
+                    yield Write("served", served + 1)
+                    yield Release("slock")
+
+        return body
+
+    def shutdown():
+        yield Join("Producer")
+        if not config.teardown_race:
+            for index in range(config.workers):
+                yield Join(f"W{index + 1}")
+        # BUG (teardown_race): workers may still be processing.
+        yield Write("conn", None, label="shutdown.teardown")
+
+    threads = {"Producer": producer, "Shutdown": shutdown}
+    for index in range(config.workers):
+        threads[f"W{index + 1}"] = worker()
+    return Program(
+        f"webserver(workers={config.workers},requests={config.requests}"
+        + (",buggy" if config.buggy else "")
+        + ")",
+        threads=threads,
+        initial={"queue": [], "served": 0, "conn": "listener-socket"},
+        locks=["qlock", "slock"],
+        conditions={"qcv": "qlock"},
+    )
+
+
+def served_everything(config: WebServerConfig):
+    """Oracle factory: the run finished and every request was counted."""
+
+    def oracle(run: RunResult) -> bool:
+        return run.status is RunStatus.OK and run.memory["served"] == config.requests
+
+    return oracle
+
+
+def webserver_bugs() -> List[Tuple[str, str, str, Program, object]]:
+    """Injected-bug catalogue entries for this app."""
+    entries = []
+    lost = WebServerConfig(workers=2, requests=2, unlocked_stats=True)
+    entries.append(
+        (
+            "webserver",
+            "unlocked_stats",
+            "atomicity-violation",
+            build_webserver(lost),
+            lambda run: run.status is RunStatus.OK
+            and run.memory["served"] < lost.requests,
+        )
+    )
+    hang = WebServerConfig(workers=1, requests=1, unlocked_queue_check=True)
+    entries.append(
+        (
+            "webserver",
+            "unlocked_queue_check",
+            "order-violation",
+            build_webserver(hang),
+            lambda run: run.status is RunStatus.HANG,
+        )
+    )
+    crash = WebServerConfig(workers=1, requests=2, teardown_race=True)
+    entries.append(
+        (
+            "webserver",
+            "teardown_race",
+            "order-violation",
+            build_webserver(crash),
+            lambda run: run.status is RunStatus.CRASH,
+        )
+    )
+    return entries

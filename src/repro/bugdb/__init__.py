@@ -1,0 +1,49 @@
+"""The studied bug database: 105 real-world concurrency bug records.
+
+``BugDatabase.load()`` returns the full studied set — 74 non-deadlock and
+31 deadlock bugs across MySQL, Apache, Mozilla, and OpenOffice — encoded
+with the characteristic dimensions the ASPLOS'08 study coded from the
+applications' bug trackers.  See DESIGN.md for how this machine-readable
+encoding substitutes for the (unreleased) original coding sheet.
+"""
+
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.io import (
+    database_from_json,
+    database_to_json,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.bugdb.schema import (
+    APPLICATION_INFO,
+    Application,
+    ApplicationInfo,
+    BugCategory,
+    BugPattern,
+    BugRecord,
+    DEADLOCK_FIXES,
+    FixStrategy,
+    Impact,
+    NON_DEADLOCK_FIXES,
+)
+from repro.bugdb.validate import assert_valid, validate_database
+
+__all__ = [
+    "BugDatabase",
+    "BugRecord",
+    "Application",
+    "ApplicationInfo",
+    "APPLICATION_INFO",
+    "BugCategory",
+    "BugPattern",
+    "Impact",
+    "FixStrategy",
+    "NON_DEADLOCK_FIXES",
+    "DEADLOCK_FIXES",
+    "validate_database",
+    "assert_valid",
+    "database_to_json",
+    "database_from_json",
+    "record_to_dict",
+    "record_from_dict",
+]

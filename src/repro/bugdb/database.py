@@ -1,0 +1,158 @@
+"""The bug database: loading, filtering, and aggregating the 105 records.
+
+:class:`BugDatabase` is an immutable collection with the query surface the
+study layer needs: filter by application/category/pattern, count along any
+dimension, and compute the headline fractions.  ``BugDatabase.load()``
+assembles the full studied set from :mod:`repro.bugdb.records`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import BugDatabaseError
+from repro.bugdb.schema import (
+    Application,
+    BugCategory,
+    BugPattern,
+    BugRecord,
+    FixStrategy,
+    Impact,
+)
+
+__all__ = ["BugDatabase"]
+
+
+class BugDatabase:
+    """An immutable, queryable set of bug records."""
+
+    def __init__(self, records: Iterable[BugRecord]):
+        self._records: Tuple[BugRecord, ...] = tuple(records)
+        self._by_id: Dict[str, BugRecord] = {}
+        for record in self._records:
+            if record.bug_id in self._by_id:
+                raise BugDatabaseError(f"duplicate bug id {record.bug_id!r}")
+            self._by_id[record.bug_id] = record
+
+    @classmethod
+    def load(cls) -> "BugDatabase":
+        """The full studied set (all four applications, 105 records)."""
+        from repro.bugdb import records
+
+        return cls(records.all_records())
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[BugRecord]:
+        return iter(self._records)
+
+    def get(self, bug_id: str) -> BugRecord:
+        """Record by id; raises ``KeyError`` for unknown ids."""
+        return self._by_id[bug_id]
+
+    def __contains__(self, bug_id: str) -> bool:
+        return bug_id in self._by_id
+
+    # -- filtering ------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[BugRecord], bool]) -> "BugDatabase":
+        """A new database holding the records satisfying ``predicate``."""
+        return BugDatabase(r for r in self._records if predicate(r))
+
+    def by_application(self, application: Application) -> "BugDatabase":
+        """Records from one application."""
+        return self.filter(lambda r: r.application is application)
+
+    def non_deadlock(self) -> "BugDatabase":
+        """The non-deadlock subset."""
+        return self.filter(lambda r: not r.is_deadlock)
+
+    def deadlock(self) -> "BugDatabase":
+        """The deadlock subset."""
+        return self.filter(lambda r: r.is_deadlock)
+
+    def with_pattern(self, pattern: BugPattern) -> "BugDatabase":
+        """Non-deadlock records carrying ``pattern``."""
+        return self.filter(lambda r: r.has_pattern(pattern))
+
+    def with_kernel(self) -> "BugDatabase":
+        """Records linked to an executable kernel."""
+        return self.filter(lambda r: r.kernel is not None)
+
+    # -- counting --------------------------------------------------------------
+
+    def count(self, predicate: Optional[Callable[[BugRecord], bool]] = None) -> int:
+        """Records satisfying ``predicate`` (all records when omitted)."""
+        if predicate is None:
+            return len(self._records)
+        return sum(1 for r in self._records if predicate(r))
+
+    def count_by_application(self) -> Dict[Application, int]:
+        """Record count per application (zero-filled)."""
+        counts = Counter(r.application for r in self._records)
+        return {app: counts.get(app, 0) for app in Application}
+
+    def count_by_category(self) -> Dict[BugCategory, int]:
+        """Record count per category (zero-filled)."""
+        counts = Counter(r.category for r in self._records)
+        return {cat: counts.get(cat, 0) for cat in BugCategory}
+
+    def count_by_fix_strategy(self) -> Dict[FixStrategy, int]:
+        """Record count per fix strategy (only strategies present)."""
+        return dict(Counter(r.fix_strategy for r in self._records))
+
+    def count_by_impact(self) -> Dict[Impact, int]:
+        """Record count per impact (only impacts present)."""
+        return dict(Counter(r.impact for r in self._records))
+
+    def thread_histogram(self) -> Dict[int, int]:
+        """Distribution of minimum threads to manifest."""
+        return dict(Counter(r.threads_involved for r in self._records))
+
+    def variable_histogram(self) -> Dict[int, int]:
+        """Distribution of variables involved (non-deadlock records only)."""
+        return dict(
+            Counter(
+                r.variables_involved
+                for r in self._records
+                if r.variables_involved is not None
+            )
+        )
+
+    def resource_histogram(self) -> Dict[int, int]:
+        """Distribution of resources involved (deadlock records only)."""
+        return dict(
+            Counter(
+                r.resources_involved
+                for r in self._records
+                if r.resources_involved is not None
+            )
+        )
+
+    def access_histogram(self) -> Dict[int, int]:
+        """Distribution of the minimal ordering-relevant access-set size."""
+        return dict(Counter(r.accesses_to_manifest for r in self._records))
+
+    # -- headline fractions -------------------------------------------------------
+
+    def fraction(self, predicate: Callable[[BugRecord], bool]) -> float:
+        """Fraction of records satisfying ``predicate`` (0.0 on empty)."""
+        if not self._records:
+            return 0.0
+        return self.count(predicate) / len(self._records)
+
+    def pattern_counts(self) -> Dict[BugPattern, int]:
+        """Non-deadlock pattern counts (records with both count in both)."""
+        counts: Dict[BugPattern, int] = {p: 0 for p in BugPattern}
+        for record in self.non_deadlock():
+            for pattern in record.patterns:
+                counts[pattern] += 1
+        return counts
+
+    def ids(self) -> List[str]:
+        """All bug ids in load order."""
+        return [r.bug_id for r in self._records]

@@ -1,0 +1,108 @@
+"""JSON import/export for the bug database.
+
+The records ship as Python (reviewable, validated at import time), but
+downstream consumers — spreadsheets, R/pandas analyses, other studies'
+tooling — want plain data.  ``database_to_json`` emits a versioned,
+self-describing document; ``database_from_json`` loads one back through
+the full :class:`~repro.bugdb.schema.BugRecord` validation, so a hand
+edited file cannot smuggle in an inconsistent record.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import BugDatabaseError
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.schema import (
+    Application,
+    BugCategory,
+    BugPattern,
+    BugRecord,
+    FixStrategy,
+    Impact,
+)
+
+__all__ = ["database_to_json", "database_from_json", "record_to_dict", "record_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def record_to_dict(record: BugRecord) -> Dict[str, Any]:
+    """One record as a plain JSON-ready dict (enums become their values)."""
+    return {
+        "bug_id": record.bug_id,
+        "report_ref": record.report_ref,
+        "application": record.application.value,
+        "component": record.component,
+        "description": record.description,
+        "category": record.category.value,
+        "patterns": [p.value for p in record.patterns],
+        "impact": record.impact.value,
+        "threads_involved": record.threads_involved,
+        "variables_involved": record.variables_involved,
+        "resources_involved": record.resources_involved,
+        "accesses_to_manifest": record.accesses_to_manifest,
+        "fix_strategy": record.fix_strategy.value,
+        "first_fix_buggy": record.first_fix_buggy,
+        "kernel": record.kernel,
+    }
+
+
+def record_from_dict(payload: Dict[str, Any]) -> BugRecord:
+    """Inverse of :func:`record_to_dict`; validates through the schema."""
+    try:
+        return BugRecord(
+            bug_id=payload["bug_id"],
+            report_ref=payload["report_ref"],
+            application=Application(payload["application"]),
+            component=payload["component"],
+            description=payload["description"],
+            category=BugCategory(payload["category"]),
+            patterns=tuple(BugPattern(p) for p in payload["patterns"]),
+            impact=Impact(payload["impact"]),
+            threads_involved=payload["threads_involved"],
+            variables_involved=payload.get("variables_involved"),
+            resources_involved=payload.get("resources_involved"),
+            accesses_to_manifest=payload["accesses_to_manifest"],
+            fix_strategy=FixStrategy(payload["fix_strategy"]),
+            first_fix_buggy=payload.get("first_fix_buggy", False),
+            kernel=payload.get("kernel"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise BugDatabaseError(
+            f"malformed record payload "
+            f"({payload.get('bug_id', '<no id>')!r}): {exc}"
+        ) from exc
+
+
+def database_to_json(db: BugDatabase, indent: int = 2) -> str:
+    """The whole database as a versioned JSON document."""
+    document = {
+        "format": "repro-bugdb",
+        "version": _FORMAT_VERSION,
+        "records": [record_to_dict(record) for record in db],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def database_from_json(text: str) -> BugDatabase:
+    """Load a database from :func:`database_to_json` output.
+
+    Every record passes schema validation; duplicate ids are rejected by
+    the :class:`BugDatabase` constructor.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BugDatabaseError(f"not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("format") != "repro-bugdb":
+        raise BugDatabaseError("not a repro-bugdb document")
+    if document.get("version") != _FORMAT_VERSION:
+        raise BugDatabaseError(
+            f"unsupported format version {document.get('version')!r}"
+        )
+    return BugDatabase(
+        record_from_dict(payload) for payload in document.get("records", [])
+    )

@@ -1,0 +1,21 @@
+"""The studied bug records, one module per application."""
+
+from repro.bugdb.records.apache import RECORDS as APACHE_RECORDS
+from repro.bugdb.records.mozilla import RECORDS as MOZILLA_RECORDS
+from repro.bugdb.records.mysql import RECORDS as MYSQL_RECORDS
+from repro.bugdb.records.openoffice import RECORDS as OPENOFFICE_RECORDS
+
+__all__ = [
+    "APACHE_RECORDS",
+    "MOZILLA_RECORDS",
+    "MYSQL_RECORDS",
+    "OPENOFFICE_RECORDS",
+    "all_records",
+]
+
+
+def all_records():
+    """Every studied record, grouped by application, stable order."""
+    return (
+        MYSQL_RECORDS + APACHE_RECORDS + MOZILLA_RECORDS + OPENOFFICE_RECORDS
+    )

@@ -1,0 +1,234 @@
+"""Schema for the concurrency-bug characteristics database.
+
+Each of the study's 105 bugs is one :class:`BugRecord` carrying exactly
+the dimensions the authors coded from the four applications' bug
+databases: pattern, manifestation conditions (threads / variables or
+resources / ordering-relevant accesses), impact, and fix strategy.  The
+study's tables are pure aggregations over these records
+(:mod:`repro.study.tables`), and its findings are predicates over the
+aggregates (:mod:`repro.study.findings`).
+
+Field semantics follow the paper's definitions:
+
+* ``threads_involved`` — the *minimum* number of threads whose
+  interleaving can manifest the bug, not how many the application runs.
+* ``variables_involved`` — for non-deadlock bugs, how many shared
+  variables' accesses participate in the buggy interleaving.
+* ``resources_involved`` — for deadlock bugs, how many distinct resources
+  (almost always locks) form the circular wait; one means re-acquiring a
+  held non-recursive resource.
+* ``accesses_to_manifest`` — the size of the smallest access/acquisition
+  set such that enforcing a partial order among them *guarantees*
+  manifestation (Finding 8's "no more than four memory accesses" metric).
+* ``fix_strategy`` — what the released patch actually did, using the
+  paper's taxonomy (condition check / code switch / design change /
+  lock for non-deadlock; give-up / acquisition order / split / other for
+  deadlock).
+* ``first_fix_buggy`` — whether the first released patch was itself
+  incorrect (the "mistakes during fixing" statistic).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import BugDatabaseError
+
+__all__ = [
+    "Application",
+    "APPLICATION_INFO",
+    "ApplicationInfo",
+    "BugCategory",
+    "BugPattern",
+    "Impact",
+    "FixStrategy",
+    "NON_DEADLOCK_FIXES",
+    "DEADLOCK_FIXES",
+    "BugRecord",
+]
+
+
+class Application(enum.Enum):
+    """The four applications whose bug databases the study examined."""
+
+    MYSQL = "MySQL"
+    APACHE = "Apache"
+    MOZILLA = "Mozilla"
+    OPENOFFICE = "OpenOffice"
+
+
+@dataclass(frozen=True)
+class ApplicationInfo:
+    """Table-1 style metadata about one studied application."""
+
+    application: Application
+    software_type: str
+    approx_loc: str
+    languages: str
+
+
+#: Application metadata for Table 1.  Sizes are the era-appropriate
+#: magnitudes (approximate; see EXPERIMENTS.md).
+APPLICATION_INFO = {
+    Application.MYSQL: ApplicationInfo(
+        Application.MYSQL, "Database server", "~1.9M", "C/C++"
+    ),
+    Application.APACHE: ApplicationInfo(
+        Application.APACHE, "Web server (HTTPD)", "~0.35M", "C"
+    ),
+    Application.MOZILLA: ApplicationInfo(
+        Application.MOZILLA, "Browser suite", "~3.4M", "C/C++"
+    ),
+    Application.OPENOFFICE: ApplicationInfo(
+        Application.OPENOFFICE, "Office suite", "~6.1M", "C/C++"
+    ),
+}
+
+
+class BugCategory(enum.Enum):
+    """The study's top-level split."""
+
+    NON_DEADLOCK = "non-deadlock"
+    DEADLOCK = "deadlock"
+
+
+class BugPattern(enum.Enum):
+    """Non-deadlock bug patterns (a record may carry several)."""
+
+    ATOMICITY = "atomicity-violation"
+    ORDER = "order-violation"
+    OTHER = "other"
+
+
+class Impact(enum.Enum):
+    """Observable consequence of the bug manifesting."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    WRONG_OUTPUT = "wrong-output"
+    CORRUPTION = "data-corruption"
+
+
+class FixStrategy(enum.Enum):
+    """The paper's fix-strategy taxonomy."""
+
+    # Non-deadlock strategies.
+    COND_CHECK = "condition-check"        # add/repair a condition check (COND)
+    CODE_SWITCH = "code-switch"           # reorder/move code (Switch)
+    DESIGN_CHANGE = "design-change"       # algorithm/data-structure change (Design)
+    ADD_LOCK = "add-lock"                 # add or change locks (Lock)
+    OTHER_NON_DEADLOCK = "other-nd"
+    # Deadlock strategies.
+    GIVE_UP_RESOURCE = "give-up-resource"  # back off / try-lock / release & retry
+    ACQUIRE_ORDER = "acquire-order"        # enforce a global acquisition order
+    SPLIT_RESOURCE = "split-resource"      # split/merge the contended resource
+    OTHER_DEADLOCK = "other-dl"
+
+
+#: Strategies legal for each category.
+NON_DEADLOCK_FIXES = frozenset(
+    {
+        FixStrategy.COND_CHECK,
+        FixStrategy.CODE_SWITCH,
+        FixStrategy.DESIGN_CHANGE,
+        FixStrategy.ADD_LOCK,
+        FixStrategy.OTHER_NON_DEADLOCK,
+    }
+)
+DEADLOCK_FIXES = frozenset(
+    {
+        FixStrategy.GIVE_UP_RESOURCE,
+        FixStrategy.ACQUIRE_ORDER,
+        FixStrategy.SPLIT_RESOURCE,
+        FixStrategy.OTHER_DEADLOCK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class BugRecord:
+    """One studied concurrency bug and its coded characteristics."""
+
+    bug_id: str
+    report_ref: str
+    application: Application
+    component: str
+    description: str
+    category: BugCategory
+    patterns: Tuple[BugPattern, ...]
+    impact: Impact
+    threads_involved: int
+    accesses_to_manifest: int
+    fix_strategy: FixStrategy
+    variables_involved: Optional[int] = None
+    resources_involved: Optional[int] = None
+    first_fix_buggy: bool = False
+    kernel: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        problems = []
+        if self.category is BugCategory.NON_DEADLOCK:
+            if not self.patterns:
+                problems.append("non-deadlock record needs at least one pattern")
+            if self.variables_involved is None or self.variables_involved < 1:
+                problems.append("non-deadlock record needs variables_involved >= 1")
+            if self.resources_involved is not None:
+                problems.append("non-deadlock record must not set resources_involved")
+            if self.fix_strategy not in NON_DEADLOCK_FIXES:
+                problems.append(
+                    f"fix {self.fix_strategy.value} is not a non-deadlock strategy"
+                )
+            if (
+                BugPattern.OTHER in self.patterns
+                and len(self.patterns) > 1
+            ):
+                problems.append("'other' pattern cannot combine with others")
+        else:
+            if self.patterns:
+                problems.append("deadlock records carry no non-deadlock patterns")
+            if self.resources_involved is None or self.resources_involved < 1:
+                problems.append("deadlock record needs resources_involved >= 1")
+            if self.variables_involved is not None:
+                problems.append("deadlock record must not set variables_involved")
+            if self.fix_strategy not in DEADLOCK_FIXES:
+                problems.append(
+                    f"fix {self.fix_strategy.value} is not a deadlock strategy"
+                )
+        if self.threads_involved < 1:
+            problems.append("threads_involved must be >= 1")
+        if self.accesses_to_manifest < 1:
+            problems.append("accesses_to_manifest must be >= 1")
+        if len(set(self.patterns)) != len(self.patterns):
+            problems.append("duplicate patterns")
+        if problems:
+            raise BugDatabaseError(
+                f"invalid bug record {self.bug_id!r}: " + "; ".join(problems)
+            )
+
+    # -- convenience predicates used by the aggregation layer ------------
+
+    @property
+    def is_deadlock(self) -> bool:
+        """Whether this is a deadlock bug."""
+        return self.category is BugCategory.DEADLOCK
+
+    def has_pattern(self, pattern: BugPattern) -> bool:
+        """Whether ``pattern`` is among this record's patterns."""
+        return pattern in self.patterns
+
+    @property
+    def involves_single_variable(self) -> bool:
+        """Non-deadlock: exactly one variable participates."""
+        return self.variables_involved == 1
+
+    @property
+    def small_access_set(self) -> bool:
+        """Manifestation guaranteed by ordering at most four accesses."""
+        return self.accesses_to_manifest <= 4
+
+    @property
+    def few_threads(self) -> bool:
+        """Manifestation needs at most two threads."""
+        return self.threads_involved <= 2

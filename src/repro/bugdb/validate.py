@@ -1,0 +1,106 @@
+"""Structural invariants of the bug database.
+
+``validate_database`` checks everything that must hold for the study's
+analysis to be meaningful — well-formed records (already enforced by the
+schema), unique ids, per-application presence, category/fix consistency,
+and the coupling rules between dimensions (deadlock records carry
+resources not variables, single-resource deadlocks are the self-acquire
+shape, kernel links point at registered kernel classes).  It returns the
+list of problems so tooling can show them all at once; ``assert_valid``
+raises on the first call with a non-empty result.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import BugDatabaseError
+from repro.bugdb.database import BugDatabase
+from repro.bugdb.schema import (
+    Application,
+    BugCategory,
+    BugPattern,
+    DEADLOCK_FIXES,
+    NON_DEADLOCK_FIXES,
+)
+
+__all__ = ["validate_database", "assert_valid"]
+
+
+def validate_database(db: BugDatabase) -> List[str]:
+    """All invariant violations in ``db`` (empty list means valid)."""
+    problems: List[str] = []
+
+    per_app = db.count_by_application()
+    for app in Application:
+        if per_app[app] == 0:
+            problems.append(f"no records for application {app.value}")
+
+    for record in db:
+        rid = record.bug_id
+        if record.category is BugCategory.DEADLOCK:
+            if record.fix_strategy not in DEADLOCK_FIXES:
+                problems.append(f"{rid}: deadlock record with non-deadlock fix")
+            if record.resources_involved == 1 and record.threads_involved > 2:
+                problems.append(
+                    f"{rid}: single-resource deadlock cannot need "
+                    f"{record.threads_involved} threads"
+                )
+            if (
+                record.resources_involved is not None
+                and record.threads_involved > record.resources_involved
+                and record.resources_involved > 1
+            ):
+                problems.append(
+                    f"{rid}: a circular wait over "
+                    f"{record.resources_involved} resources involves at "
+                    f"most that many threads"
+                )
+        else:
+            if record.fix_strategy not in NON_DEADLOCK_FIXES:
+                problems.append(f"{rid}: non-deadlock record with deadlock fix")
+            if record.threads_involved < 2:
+                problems.append(
+                    f"{rid}: a non-deadlock concurrency bug needs >= 2 threads"
+                )
+            if (
+                record.has_pattern(BugPattern.ORDER)
+                and not record.has_pattern(BugPattern.ATOMICITY)
+                and record.variables_involved == 1
+                and record.accesses_to_manifest > 4
+            ):
+                problems.append(
+                    f"{rid}: single-variable pure order violation should "
+                    f"manifest within 4 ordered accesses"
+                )
+        if record.accesses_to_manifest < record.threads_involved - 1:
+            problems.append(
+                f"{rid}: {record.threads_involved} threads cannot all "
+                f"matter with only {record.accesses_to_manifest} "
+                f"ordering-relevant accesses"
+            )
+
+    kernel_links = [r.kernel for r in db if r.kernel is not None]
+    if kernel_links:
+        try:
+            from repro.kernels import registry
+        except ImportError:  # kernels package optional during bring-up
+            registry = None
+        if registry is not None:
+            known = set(registry.kernel_names())
+            for record in db:
+                if record.kernel is not None and record.kernel not in known:
+                    problems.append(
+                        f"{record.bug_id}: unknown kernel {record.kernel!r}"
+                    )
+    return problems
+
+
+def assert_valid(db: BugDatabase) -> None:
+    """Raise :class:`BugDatabaseError` listing every violation, if any."""
+    problems = validate_database(db)
+    if problems:
+        raise BugDatabaseError(
+            f"{len(problems)} database invariant violation(s):\n  "
+            + "\n  ".join(problems)
+        )

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``report [--quick]``
+    The full study report (tables, findings, kernel evidence).
+``tables [ID ...]``
+    Render all tables, or just the named ones (e.g. ``T3 T7``).
+``findings``
+    Re-derive findings F1-F10 and print pass/fail.
+``kernels``
+    List the executable bug kernels.
+``kernel NAME``
+    Drive one kernel end to end: manifest, minimal witness, fix check.
+``detect NAME``
+    Run the detector battery on a manifesting trace of kernel NAME.
+``estimate NAME [--runs N]``
+    Manifestation rates under cooperative/random/PCT/enforced testing.
+``bug BUG_ID``
+    Show one bug record (try ``mysql-nd-binlog-rotate``).
+``validate``
+    Database invariants + findings, exit non-zero on any failure.
+``fuzz [--programs N] [--deadlocks]``
+    Cross-check plain DFS against sleep-set reduction on random programs.
+``bug-report NAME [--runs N]``
+    Emit a complete markdown failure report for one kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bugdb import BugDatabase, validate_database
+from repro.study import all_tables, check_all, generate_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Learning from Mistakes' (ASPLOS 2008): "
+            "concurrency bug characteristics, executable."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="full study report")
+    report.add_argument(
+        "--quick", action="store_true", help="skip exploration-heavy kernel evidence"
+    )
+
+    tables = commands.add_parser("tables", help="render study tables")
+    tables.add_argument("ids", nargs="*", help="table ids (default: all)")
+    tables.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
+
+    commands.add_parser("findings", help="re-derive findings F1-F10")
+    commands.add_parser("kernels", help="list executable bug kernels")
+
+    kernel = commands.add_parser("kernel", help="drive one kernel end to end")
+    kernel.add_argument("name")
+
+    detect = commands.add_parser("detect", help="detectors on a manifesting trace")
+    detect.add_argument("name")
+
+    estimate = commands.add_parser("estimate", help="manifestation-rate estimates")
+    estimate.add_argument("name")
+    estimate.add_argument("--runs", type=int, default=100)
+
+    bug = commands.add_parser("bug", help="show one bug record")
+    bug.add_argument("bug_id")
+
+    commands.add_parser("validate", help="check database invariants + findings")
+
+    fuzz = commands.add_parser(
+        "fuzz", help="cross-check plain DFS vs sleep-set reduction on random programs"
+    )
+    fuzz.add_argument("--programs", type=int, default=50)
+    fuzz.add_argument("--seed-base", type=int, default=0)
+    fuzz.add_argument("--budget", type=int, default=8000,
+                      help="max schedules per exploration")
+    fuzz.add_argument("--deadlocks", action="store_true",
+                      help="allow inverted lock pairs (ABBA deadlocks)")
+
+    report_cmd = commands.add_parser(
+        "bug-report", help="markdown failure report for one kernel"
+    )
+    report_cmd.add_argument("name")
+    report_cmd.add_argument("--runs", type=int, default=100)
+    return parser
+
+
+def _cmd_report(args) -> int:
+    report = generate_report(quick=args.quick)
+    print(report.format())
+    return 0 if report.all_findings_pass else 1
+
+
+def _cmd_tables(args) -> int:
+    tables = all_tables()
+    wanted = [i.upper() for i in args.ids] or sorted(tables)
+    unknown = [i for i in wanted if i not in tables]
+    if unknown:
+        print(f"unknown table id(s): {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(tables))}", file=sys.stderr)
+        return 2
+    for table_id in wanted:
+        if args.csv:
+            print(tables[table_id].to_csv(), end="")
+        else:
+            print(tables[table_id].format())
+            print()
+    return 0
+
+
+def _cmd_findings(_args) -> int:
+    results = check_all()
+    for result in results:
+        print(result.summary())
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_kernels(_args) -> int:
+    from repro.kernels import all_kernels
+
+    for kernel in all_kernels():
+        print(kernel.summary())
+    return 0
+
+
+def _get_kernel_or_fail(name: str):
+    from repro.kernels import get_kernel, kernel_names
+
+    try:
+        return get_kernel(name)
+    except KeyError:
+        print(f"unknown kernel {name!r}; available:", file=sys.stderr)
+        for known in kernel_names():
+            print(f"  {known}", file=sys.stderr)
+        return None
+
+
+def _cmd_kernel(args) -> int:
+    from repro.sim import minimize_preemptions
+
+    kernel = _get_kernel_or_fail(args.name)
+    if kernel is None:
+        return 2
+    print(kernel.summary())
+    print(f"  {kernel.description}")
+    witness = minimize_preemptions(kernel.buggy, kernel.failure)
+    if witness is None:
+        print("  no manifesting schedule found")
+        return 1
+    print(f"  minimal witness: {witness.preemptions} preemption(s), "
+          f"schedule {witness.run.schedule}")
+    print(f"  outcome: {witness.run.summary()}")
+    clean = kernel.verify_fixed()
+    print(f"  fix '{kernel.fix_strategy.value}': "
+          f"{'verified clean over every schedule' if clean else 'STILL BUGGY'}")
+    return 0 if clean else 1
+
+
+def _cmd_detect(args) -> int:
+    from repro.detectors import DetectorSuite
+
+    kernel = _get_kernel_or_fail(args.name)
+    if kernel is None:
+        return 2
+    failing = kernel.find_manifestation()
+    if failing is None:
+        print("kernel did not manifest", file=sys.stderr)
+        return 1
+    print(failing.trace.format())
+    print()
+    result = DetectorSuite.for_program(kernel.buggy).analyse(failing.trace)
+    print(result.format())
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from repro.manifest import compare_strategies
+
+    kernel = _get_kernel_or_fail(args.name)
+    if kernel is None:
+        return 2
+    for estimate in compare_strategies(kernel, runs=args.runs).values():
+        print(estimate.summary())
+    return 0
+
+
+def _cmd_bug(args) -> int:
+    db = BugDatabase.load()
+    if args.bug_id not in db:
+        print(f"unknown bug id {args.bug_id!r} (of {len(db)} records)",
+              file=sys.stderr)
+        return 2
+    record = db.get(args.bug_id)
+    print(f"{record.bug_id} ({record.report_ref})")
+    print(f"  application: {record.application.value} — {record.component}")
+    print(f"  category:    {record.category.value}")
+    if record.patterns:
+        print(f"  patterns:    {', '.join(p.value for p in record.patterns)}")
+    print(f"  impact:      {record.impact.value}")
+    print(f"  threads:     {record.threads_involved}")
+    if record.variables_involved is not None:
+        print(f"  variables:   {record.variables_involved}")
+    if record.resources_involved is not None:
+        print(f"  resources:   {record.resources_involved}")
+    print(f"  accesses:    {record.accesses_to_manifest}")
+    print(f"  fix:         {record.fix_strategy.value}"
+          + (" (first patch was buggy)" if record.first_fix_buggy else ""))
+    if record.kernel:
+        print(f"  kernel:      {record.kernel}")
+    print(f"  {record.description}")
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    db = BugDatabase.load()
+    problems = validate_database(db)
+    for problem in problems:
+        print(f"invariant violation: {problem}", file=sys.stderr)
+    results = check_all(db)
+    for result in results:
+        print(result.summary())
+    ok = not problems and all(r.passed for r in results)
+    print("database valid, all findings reproduced" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.sim.generate import GeneratorConfig, fuzz_explorers
+
+    config = GeneratorConfig(allow_deadlock=args.deadlocks)
+    result = fuzz_explorers(
+        programs=args.programs,
+        seed_base=args.seed_base,
+        config=config,
+        max_schedules=args.budget,
+    )
+    print(result.summary())
+    if not result.clean:
+        print(f"diverging seeds: {result.mismatch_seeds}", file=sys.stderr)
+    return 0 if result.clean else 1
+
+
+def _cmd_bug_report(args) -> int:
+    from repro.reporting import build_bug_report
+
+    kernel = _get_kernel_or_fail(args.name)
+    if kernel is None:
+        return 2
+    report = build_bug_report(kernel.buggy, kernel.failure, random_runs=args.runs)
+    if report is None:
+        print("no failure reachable", file=sys.stderr)
+        return 1
+    print(report.to_markdown())
+    return 0
+
+
+_HANDLERS = {
+    "report": _cmd_report,
+    "tables": _cmd_tables,
+    "findings": _cmd_findings,
+    "kernels": _cmd_kernels,
+    "kernel": _cmd_kernel,
+    "detect": _cmd_detect,
+    "estimate": _cmd_estimate,
+    "bug": _cmd_bug,
+    "validate": _cmd_validate,
+    "fuzz": _cmd_fuzz,
+    "bug-report": _cmd_bug_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)

@@ -1,0 +1,42 @@
+"""Dynamic concurrency-bug detectors.
+
+Implements the detector classes whose strengths and blind spots the
+ASPLOS'08 study discusses: happens-before and lockset data-race detection,
+AVIO-style atomicity-violation detection, order-violation heuristics, and
+deadlock detection (observed + lock-order-graph prediction).
+"""
+
+from repro.detectors.atomicity import (
+    UNSERIALIZABLE_CASES,
+    AtomicityDetector,
+    classify_interleaving,
+)
+from repro.detectors.avio import LearningAVIODetector
+from repro.detectors.base import Detector, Finding, FindingKind, Report
+from repro.detectors.deadlock import DeadlockDetector, build_lock_order_graph
+from repro.detectors.happensbefore import HappensBeforeDetector
+from repro.detectors.lockset import LocksetDetector, VariableState
+from repro.detectors.orderviolation import OrderViolationDetector
+from repro.detectors.suite import DetectorSuite, SuiteResult, default_detectors
+from repro.detectors.vectorclock import VectorClock
+
+__all__ = [
+    "Detector",
+    "Finding",
+    "FindingKind",
+    "Report",
+    "VectorClock",
+    "HappensBeforeDetector",
+    "LocksetDetector",
+    "VariableState",
+    "AtomicityDetector",
+    "LearningAVIODetector",
+    "UNSERIALIZABLE_CASES",
+    "classify_interleaving",
+    "OrderViolationDetector",
+    "DeadlockDetector",
+    "build_lock_order_graph",
+    "DetectorSuite",
+    "SuiteResult",
+    "default_detectors",
+]

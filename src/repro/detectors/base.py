@@ -1,0 +1,139 @@
+"""Detector framework: common finding/report types and the detector ABC.
+
+Every detector consumes a :class:`~repro.sim.trace.Trace` (never live
+engine state) and produces a :class:`Report` of :class:`Finding`s.  Keeping
+detectors trace-based means one recorded interleaving can be analysed by
+every detector, and detector results are exactly reproducible.
+
+The detector taxonomy mirrors the tool landscape the ASPLOS'08 study draws
+implications for: data-race detectors (happens-before and lockset),
+atomicity-violation detectors (AVIO-style), order-violation heuristics, and
+deadlock detectors (lock-order graphs).  :mod:`repro.detectors.suite` runs
+them side by side to reproduce the study's "which tool class can catch
+which bug class" discussion.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.sim.trace import Trace
+
+__all__ = ["FindingKind", "Finding", "Report", "Detector"]
+
+
+class FindingKind(enum.Enum):
+    """What class of concurrency problem a finding reports."""
+
+    DATA_RACE = "data-race"
+    ATOMICITY_VIOLATION = "atomicity-violation"
+    ORDER_VIOLATION = "order-violation"
+    DEADLOCK = "deadlock"
+    POTENTIAL_DEADLOCK = "potential-deadlock"
+    HANG = "hang"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported problem.
+
+    :param kind: problem class.
+    :param detector: name of the reporting detector.
+    :param description: human-readable explanation.
+    :param threads: threads implicated, sorted.
+    :param variables: shared variables implicated, sorted.
+    :param resources: locks/other sync resources implicated, sorted.
+    :param events: trace sequence numbers of the witnessing events.
+    """
+
+    kind: FindingKind
+    detector: str
+    description: str
+    threads: Tuple[str, ...] = ()
+    variables: Tuple[str, ...] = ()
+    resources: Tuple[str, ...] = ()
+    events: Tuple[int, ...] = ()
+
+    def involves_variable(self, var: str) -> bool:
+        """Whether ``var`` is implicated in this finding."""
+        return var in self.variables
+
+    def summary(self) -> str:
+        """Compact one-line rendering."""
+        where = ",".join(self.variables or self.resources) or "-"
+        who = ",".join(self.threads) or "-"
+        return f"[{self.kind.value}] {self.detector}: {where} ({who}) — {self.description}"
+
+
+@dataclass
+class Report:
+    """Findings from running one detector over one trace."""
+
+    detector: str
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        """Append a finding, de-duplicating identical reports."""
+        if finding not in self.findings:
+            self.findings.append(finding)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the trace produced no findings."""
+        return not self.findings
+
+    def of_kind(self, kind: FindingKind) -> List[Finding]:
+        """Findings of one problem class."""
+        return [f for f in self.findings if f.kind is kind]
+
+    def variables(self) -> List[str]:
+        """All implicated variables across findings, sorted and unique."""
+        out = set()
+        for f in self.findings:
+            out.update(f.variables)
+        return sorted(out)
+
+    def merged(self, other: "Report") -> "Report":
+        """A new report containing both reports' findings."""
+        combined = Report(detector=f"{self.detector}+{other.detector}")
+        for f in self.findings:
+            combined.add(f)
+        for f in other.findings:
+            combined.add(f)
+        return combined
+
+    def format(self) -> str:
+        """Multi-line rendering for console output."""
+        if self.clean:
+            return f"{self.detector}: no findings"
+        lines = [f"{self.detector}: {len(self.findings)} finding(s)"]
+        lines.extend(f"  {f.summary()}" for f in self.findings)
+        return "\n".join(lines)
+
+
+class Detector(abc.ABC):
+    """A dynamic analysis over one execution trace."""
+
+    #: Short stable name used in reports and coverage tables.
+    name: str = "detector"
+
+    @abc.abstractmethod
+    def analyse(self, trace: Trace) -> Report:
+        """Analyse ``trace`` and return a report of findings."""
+
+    def analyse_many(self, traces: Iterable[Trace]) -> Report:
+        """Analyse several traces and merge the findings."""
+        merged = Report(detector=self.name)
+        for trace in traces:
+            for finding in self.analyse(trace):
+                merged.add(finding)
+        return merged

@@ -1,0 +1,250 @@
+"""Happens-before data-race detection over execution traces.
+
+The detector replays a trace, maintaining one vector clock per thread and
+one per synchronisation object, and building the happens-before relation
+from:
+
+* program order within each thread;
+* mutex release -> subsequent acquire of the same mutex (likewise
+  try-acquire success and condition-wait re-acquire);
+* reader-writer lock release -> acquire (conservatively through a single
+  clock per rwlock, which may order concurrent readers — a sound
+  over-approximation that can only *miss* races between readers, and
+  read/read pairs are never races anyway);
+* semaphore release -> acquire (conservative for counting semaphores);
+* condition notify -> the woken thread's resume;
+* spawn -> child start, child finish/crash -> join;
+* barrier trip: every party member's clock joins every other's.
+
+Two accesses to the same variable race when at least one is a write, they
+come from different threads, their clocks are concurrent, and they are not
+both atomic operations.  This is the classic sound-and-complete (for the
+observed trace) dynamic race definition; unlike lockset it reports no
+false positives, but it only sees races adjacent in the explored trace's
+ordering — the study's implication sections discuss exactly this
+trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.detectors.base import Detector, Finding, FindingKind, Report
+from repro.detectors.vectorclock import VectorClock
+from repro.sim import events as ev
+from repro.sim.trace import Trace
+
+__all__ = ["HappensBeforeDetector"]
+
+
+@dataclass(frozen=True)
+class _Access:
+    thread: str
+    seq: int
+    clock: VectorClock
+    is_write: bool
+    atomic: bool
+
+
+class HappensBeforeDetector(Detector):
+    """Vector-clock data-race detector (sound on the observed trace)."""
+
+    name = "happens-before"
+
+    def analyse(self, trace: Trace) -> Report:
+        report = Report(detector=self.name)
+        state = _HBState()
+        for event in trace:
+            state.process(event, report)
+        return report
+
+
+class _HBState:
+    """Mutable clocks and access histories during one trace replay."""
+
+    def __init__(self) -> None:
+        self.thread_clocks: Dict[str, VectorClock] = {}
+        self.sync_clocks: Dict[str, VectorClock] = {}
+        self.spawn_clocks: Dict[str, VectorClock] = {}
+        self.final_clocks: Dict[str, VectorClock] = {}
+        self.notify_clocks: Dict[Tuple[str, str], VectorClock] = {}
+        # Per-variable: last writes and reads since the last write.
+        self.last_write: Dict[str, Optional[_Access]] = {}
+        self.reads_since_write: Dict[str, List[_Access]] = {}
+        # Barrier arrival bookkeeping: clocks of parked arrivals.
+        self.barrier_clocks: Dict[str, List[VectorClock]] = {}
+
+    # -- clock helpers ------------------------------------------------------
+
+    def clock(self, thread: str) -> VectorClock:
+        if thread not in self.thread_clocks:
+            self.thread_clocks[thread] = VectorClock().tick(thread)
+        return self.thread_clocks[thread]
+
+    def advance(self, thread: str) -> None:
+        self.thread_clocks[thread] = self.clock(thread).tick(thread)
+
+    def acquire_edge(self, thread: str, obj: str) -> None:
+        if obj in self.sync_clocks:
+            self.thread_clocks[thread] = self.clock(thread).join(self.sync_clocks[obj])
+
+    def release_edge(self, thread: str, obj: str) -> None:
+        current = self.sync_clocks.get(obj, VectorClock())
+        self.sync_clocks[obj] = current.join(self.clock(thread))
+
+    # -- event dispatch ----------------------------------------------------------
+
+    def process(self, event: ev.Event, report: Report) -> None:
+        thread = event.thread
+        if isinstance(event, ev.ThreadStartEvent):
+            if thread in self.spawn_clocks:
+                self.thread_clocks[thread] = self.clock(thread).join(
+                    self.spawn_clocks.pop(thread)
+                )
+            else:
+                self.clock(thread)
+            return
+        if isinstance(event, ev.SpawnEvent):
+            self.spawn_clocks[event.target] = self.clock(thread)
+            self.advance(thread)
+            return
+        if isinstance(event, (ev.ThreadFinishEvent, ev.ThreadCrashEvent)):
+            self.final_clocks[thread] = self.clock(thread)
+            return
+        if isinstance(event, ev.JoinEvent):
+            final = self.final_clocks.get(event.target)
+            if final is not None:
+                self.thread_clocks[thread] = self.clock(thread).join(final)
+            self.advance(thread)
+            return
+        if isinstance(event, ev.AcquireEvent):
+            self.acquire_edge(thread, f"lock:{event.lock}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.TryAcquireEvent):
+            if event.success:
+                self.acquire_edge(thread, f"lock:{event.lock}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.ReleaseEvent):
+            self.release_edge(thread, f"lock:{event.lock}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.RWAcquireEvent):
+            self.acquire_edge(thread, f"rwlock:{event.rwlock}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.RWReleaseEvent):
+            self.release_edge(thread, f"rwlock:{event.rwlock}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.WaitParkEvent):
+            # Parking releases the lock.
+            self.release_edge(thread, f"lock:{event.lock}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.NotifyEvent):
+            for woken in event.woken:
+                self.notify_clocks[(event.cond, woken)] = self.clock(thread)
+            self.advance(thread)
+            return
+        if isinstance(event, ev.WaitResumeEvent):
+            self.acquire_edge(thread, f"lock:{event.lock}")
+            notify = self.notify_clocks.pop((event.cond, thread), None)
+            if notify is not None:
+                self.thread_clocks[thread] = self.clock(thread).join(notify)
+            self.advance(thread)
+            return
+        if isinstance(event, ev.SemReleaseEvent):
+            self.release_edge(thread, f"sem:{event.sem}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.SemAcquireEvent):
+            self.acquire_edge(thread, f"sem:{event.sem}")
+            self.advance(thread)
+            return
+        if isinstance(event, ev.BarrierEvent):
+            key = event.barrier
+            if event.released:
+                # Trip: every member's clock joins every other's.
+                clocks = self.barrier_clocks.pop(key, [])
+                clocks.append(self.clock(thread))
+                merged = VectorClock()
+                for c in clocks:
+                    merged = merged.join(c)
+                for member in event.released:
+                    self.thread_clocks[member] = self.clock(member).join(merged)
+                    self.advance(member)
+            else:
+                self.barrier_clocks.setdefault(key, []).append(self.clock(thread))
+                self.advance(thread)
+            return
+        if isinstance(event, (ev.ReadEvent, ev.WriteEvent, ev.AtomicUpdateEvent)):
+            self._memory_access(event, report)
+            self.advance(thread)
+            return
+        # Yield / deadlock events carry no ordering information.
+        if isinstance(event, ev.YieldEvent):
+            self.advance(thread)
+
+    # -- race checking ----------------------------------------------------------
+
+    def _memory_access(self, event: ev.Event, report: Report) -> None:
+        thread = event.thread
+        var = event.var  # type: ignore[attr-defined]
+        is_write = isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent))
+        is_read = isinstance(event, (ev.ReadEvent, ev.AtomicUpdateEvent))
+        atomic = isinstance(event, ev.AtomicUpdateEvent)
+        access = _Access(
+            thread=thread,
+            seq=event.seq,
+            clock=self.clock(thread),
+            is_write=is_write,
+            atomic=atomic,
+        )
+        previous_write = self.last_write.get(var)
+        if previous_write is not None:
+            self._check_pair(previous_write, access, var, report)
+        if is_write:
+            for read in self.reads_since_write.get(var, ()):
+                self._check_pair(read, access, var, report)
+            self.last_write[var] = access
+            self.reads_since_write[var] = []
+        if is_read and not is_write:
+            self.reads_since_write.setdefault(var, []).append(access)
+        elif atomic:
+            # Atomic read-modify-write acts as the new write; nothing to keep.
+            pass
+
+    @staticmethod
+    def _conflicting(a: _Access, b: _Access) -> bool:
+        if a.thread == b.thread:
+            return False
+        if not (a.is_write or b.is_write):
+            return False
+        if a.atomic and b.atomic:
+            return False
+        return True
+
+    def _check_pair(self, earlier: _Access, later: _Access, var: str, report: Report) -> None:
+        if not self._conflicting(earlier, later):
+            return
+        if earlier.clock.concurrent_with(later.clock):
+            kinds = (
+                ("write" if earlier.is_write else "read"),
+                ("write" if later.is_write else "read"),
+            )
+            report.add(
+                Finding(
+                    kind=FindingKind.DATA_RACE,
+                    detector=HappensBeforeDetector.name,
+                    description=(
+                        f"{kinds[0]} by {earlier.thread} and {kinds[1]} by "
+                        f"{later.thread} on {var!r} are unordered"
+                    ),
+                    threads=tuple(sorted({earlier.thread, later.thread})),
+                    variables=(var,),
+                    events=(earlier.seq, later.seq),
+                )
+            )

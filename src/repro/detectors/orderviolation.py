@@ -1,0 +1,217 @@
+"""Order-violation detection heuristics.
+
+Order violations — the second-largest non-deadlock class in the study
+(Finding 2) — occur when code assumes "A always executes before B" without
+enforcing it.  Unlike races and atomicity violations they have no crisp
+single-trace definition, so this detector implements the three signatures
+that cover the study's order-violation examples:
+
+1. **Use-before-initialisation** — a thread reads a variable and observes
+   its declared initial value although another thread is the intended
+   producer.  Two evidence levels keep this heuristic from flagging every
+   consumer that correctly *handles* the not-yet-ready case (e.g. a
+   condition-variable wait loop checking its flag under the lock):
+
+   * the reading thread later **crashed** — the consumed value is
+     presumed the cause; or
+   * the read was **unprotected** (no lock held), the first write to the
+     variable comes later from a different thread, and the reader never
+     touches the variable again — it consumed the uninitialised value
+     and moved on, the signature of the study's order-violation examples.
+
+2. **Lost notification** — a ``Notify``/``NotifyAll`` wakes nobody, and a
+   thread parks on that same condition *later* in the trace.  The waiter
+   missed a wakeup that was meant for it; if no further notify arrives the
+   trace ends in a hang.
+
+3. **Terminal hang evidence** — the trace ends with a deadlock event whose
+   blocked threads include condition-parked ones; reported as a hang
+   finding with the conditions involved (complementary to the deadlock
+   detector, which owns cyclic lock waits).
+
+Initial values are needed for signature 1, so the detector takes the
+program's ``initial`` mapping at construction; callers created from a
+:class:`~repro.sim.Program` can use :meth:`OrderViolationDetector.for_program`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.detectors.base import Detector, Finding, FindingKind, Report
+from repro.sim import events as ev
+from repro.sim.program import Program
+from repro.sim.trace import Trace
+
+__all__ = ["OrderViolationDetector"]
+
+
+class OrderViolationDetector(Detector):
+    """Use-before-init, lost-notification, and hang signatures."""
+
+    name = "order-violation"
+
+    def __init__(self, initial: Optional[Mapping[str, Any]] = None):
+        self.initial: Dict[str, Any] = dict(initial or {})
+
+    @classmethod
+    def for_program(cls, program: Program) -> "OrderViolationDetector":
+        """Detector wired with ``program``'s declared initial values."""
+        return cls(initial=program.initial)
+
+    def analyse(self, trace: Trace) -> Report:
+        report = Report(detector=self.name)
+        self._use_before_init(trace, report)
+        self._lost_notifications(trace, report)
+        self._terminal_hang(trace, report)
+        return report
+
+    # -- signature 1 ---------------------------------------------------------
+
+    def _use_before_init(self, trace: Trace, report: Report) -> None:
+        first_write: Dict[str, ev.Event] = {}
+        crash_seq: Dict[str, int] = {}
+        locks_held: Dict[str, set] = {}
+        read_protection: Dict[int, bool] = {}
+        last_touch: Dict[tuple, int] = {}
+        for event in trace:
+            held = locks_held.setdefault(event.thread, set())
+            if isinstance(event, ev.AcquireEvent):
+                held.add(event.lock)
+            elif isinstance(event, ev.TryAcquireEvent) and event.success:
+                held.add(event.lock)
+            elif isinstance(event, (ev.ReleaseEvent, ev.WaitParkEvent)):
+                held.discard(event.lock)
+            elif isinstance(event, ev.WaitResumeEvent):
+                held.add(event.lock)
+            elif isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent)):
+                first_write.setdefault(event.var, event)
+                last_touch[(event.thread, event.var)] = event.seq
+            elif isinstance(event, ev.ReadEvent):
+                read_protection[event.seq] = bool(held)
+                last_touch[(event.thread, event.var)] = event.seq
+            elif isinstance(event, ev.ThreadCrashEvent):
+                crash_seq[event.thread] = event.seq
+
+        for event in trace:
+            if not isinstance(event, ev.ReadEvent):
+                continue
+            var = event.var
+            if var not in self.initial:
+                continue
+            if not _same_value(event.value, self.initial[var]):
+                continue
+            # Only sentinel-like initial values (None/False) read as
+            # "uninitialised"; a truthy initial value is a real resource,
+            # and reading it before some *later* write (e.g. teardown) is
+            # the intended order, not a violation.
+            if self.initial[var] is not None and self.initial[var] is not False:
+                continue
+            writer = first_write.get(var)
+            if writer is not None and writer.thread == event.thread:
+                continue
+            crashed_after = crash_seq.get(event.thread, -1) > event.seq
+            write_is_later = writer is not None and event.seq < writer.seq
+            consumed_and_left = (
+                write_is_later
+                and not read_protection.get(event.seq, False)
+                and last_touch.get((event.thread, var)) == event.seq
+            )
+            if not (crashed_after or consumed_and_left):
+                continue
+            implicated = {event.thread}
+            evidence = [event.seq]
+            if writer is not None:
+                implicated.add(writer.thread)
+                evidence.append(writer.seq)
+            why = (
+                "the reading thread crashed afterwards"
+                if crashed_after
+                else f"{writer.thread}'s initialising write came later"
+            )
+            report.add(
+                Finding(
+                    kind=FindingKind.ORDER_VIOLATION,
+                    detector=self.name,
+                    description=(
+                        f"{event.thread} read {var!r} and observed its "
+                        f"uninitialised value {event.value!r}; {why}"
+                    ),
+                    threads=tuple(sorted(implicated)),
+                    variables=(var,),
+                    events=tuple(sorted(evidence)),
+                )
+            )
+
+    # -- signature 2 -----------------------------------------------------------
+
+    def _lost_notifications(self, trace: Trace, report: Report) -> None:
+        for event in trace:
+            if not isinstance(event, ev.NotifyEvent) or event.woken:
+                continue
+            later_parks = [
+                e
+                for e in trace
+                if isinstance(e, ev.WaitParkEvent)
+                and e.cond == event.cond
+                and e.seq > event.seq
+            ]
+            for park in later_parks:
+                resumed = any(
+                    isinstance(e, ev.WaitResumeEvent)
+                    and e.thread == park.thread
+                    and e.cond == park.cond
+                    and e.seq > park.seq
+                    for e in trace
+                )
+                if not resumed:
+                    report.add(
+                        Finding(
+                            kind=FindingKind.ORDER_VIOLATION,
+                            detector=self.name,
+                            description=(
+                                f"{park.thread} waited on {event.cond!r} after "
+                                f"{event.thread}'s notification was lost and "
+                                f"never resumed"
+                            ),
+                            threads=tuple(sorted({event.thread, park.thread})),
+                            resources=(event.cond,),
+                            events=(event.seq, park.seq),
+                        )
+                    )
+
+    # -- signature 3 ----------------------------------------------------------------
+
+    def _terminal_hang(self, trace: Trace, report: Report) -> None:
+        deadlock = trace.deadlock()
+        if deadlock is None:
+            return
+        cond_blocked = [
+            (thread, waiting)
+            for thread, waiting in deadlock.blocked
+            if waiting.startswith("cond:") or waiting.startswith("sem:")
+        ]
+        if not cond_blocked:
+            return
+        threads = tuple(sorted(t for t, _ in cond_blocked))
+        resources = tuple(sorted(w.split(":", 1)[1] for _, w in cond_blocked))
+        report.add(
+            Finding(
+                kind=FindingKind.HANG,
+                detector=self.name,
+                description=(
+                    "execution ended with threads parked forever: "
+                    + ", ".join(f"{t} on {w}" for t, w in cond_blocked)
+                ),
+                threads=threads,
+                resources=resources,
+                events=(deadlock.seq,),
+            )
+        )
+
+
+def _same_value(a: Any, b: Any) -> bool:
+    try:
+        return bool(a == b)
+    except Exception:
+        return a is b

@@ -1,0 +1,100 @@
+"""Run every detector class side by side, the way the study compares them.
+
+The ASPLOS'08 implications sections argue about *tool coverage*: race
+detectors cannot see all atomicity violations (a bug can be atomicity-
+broken yet race-free under lock-protected accesses), atomicity detectors
+miss order violations and multi-variable bugs, and deadlock detection is a
+separate analysis entirely.  :class:`DetectorSuite` makes those statements
+measurable on our executable kernels: give it traces, get a per-detector
+report and a coverage map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.detectors.atomicity import AtomicityDetector
+from repro.detectors.base import Detector, FindingKind, Report
+from repro.detectors.deadlock import DeadlockDetector
+from repro.detectors.happensbefore import HappensBeforeDetector
+from repro.detectors.lockset import LocksetDetector
+from repro.detectors.orderviolation import OrderViolationDetector
+from repro.sim.program import Program
+from repro.sim.trace import Trace
+
+__all__ = ["DetectorSuite", "SuiteResult", "default_detectors"]
+
+
+def default_detectors(program: Optional[Program] = None) -> List[Detector]:
+    """The standard detector battery (order-violation needs the program)."""
+    order = (
+        OrderViolationDetector.for_program(program)
+        if program is not None
+        else OrderViolationDetector()
+    )
+    return [
+        HappensBeforeDetector(),
+        LocksetDetector(),
+        AtomicityDetector(),
+        order,
+        DeadlockDetector(),
+    ]
+
+
+@dataclass
+class SuiteResult:
+    """Per-detector reports for one set of traces."""
+
+    reports: Dict[str, Report] = field(default_factory=dict)
+
+    def report(self, detector: str) -> Report:
+        """The report of one detector by name."""
+        return self.reports[detector]
+
+    def flagged_by(self) -> List[str]:
+        """Names of detectors that produced at least one finding."""
+        return sorted(name for name, report in self.reports.items() if not report.clean)
+
+    def kinds_found(self) -> List[FindingKind]:
+        """All finding kinds across detectors, unique and ordered by value."""
+        kinds = {f.kind for report in self.reports.values() for f in report}
+        return sorted(kinds, key=lambda k: k.value)
+
+    @property
+    def clean(self) -> bool:
+        """No detector found anything."""
+        return all(report.clean for report in self.reports.values())
+
+    def format(self) -> str:
+        """Console-ready rendering of every report."""
+        return "\n".join(
+            self.reports[name].format() for name in sorted(self.reports)
+        )
+
+
+class DetectorSuite:
+    """A battery of detectors applied to one or more traces."""
+
+    def __init__(self, detectors: Optional[Iterable[Detector]] = None):
+        self.detectors: List[Detector] = (
+            list(detectors) if detectors is not None else default_detectors()
+        )
+
+    @classmethod
+    def for_program(cls, program: Program) -> "DetectorSuite":
+        """Suite with program-aware detectors wired up."""
+        return cls(default_detectors(program))
+
+    def analyse(self, trace: Trace) -> SuiteResult:
+        """Run every detector on one trace."""
+        return SuiteResult(
+            reports={d.name: d.analyse(trace) for d in self.detectors}
+        )
+
+    def analyse_many(self, traces: Iterable[Trace]) -> SuiteResult:
+        """Run every detector across several traces, merging findings."""
+        trace_list = list(traces)
+        return SuiteResult(
+            reports={d.name: d.analyse_many(trace_list) for d in self.detectors}
+        )

@@ -1,0 +1,83 @@
+"""Vector clocks: the partial-order backbone of happens-before analysis.
+
+A :class:`VectorClock` maps thread names to logical timestamps.  The
+ordering is the usual pointwise one: ``a <= b`` iff every component of
+``a`` is ``<=`` the corresponding component of ``b`` (missing components
+are zero).  Two clocks are *concurrent* when neither is ``<=`` the other —
+the defining condition of a data race between the events they stamp.
+
+Clocks are immutable; all operators return new instances.  That costs a
+little allocation but makes them safe to store in access histories, which
+is exactly what the happens-before detector does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """An immutable thread-name -> counter map with pointwise ordering."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Mapping[str, int] = ()):
+        items = dict(clock)
+        # Zero entries are dropped so equal clocks have equal dicts.
+        self._clock: Dict[str, int] = {k: v for k, v in items.items() if v}
+
+    # -- accessors -----------------------------------------------------------
+
+    def get(self, thread: str) -> int:
+        """The component for ``thread`` (zero if absent)."""
+        return self._clock.get(thread, 0)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        """The non-zero components."""
+        return self._clock.items()
+
+    # -- operations ------------------------------------------------------------
+
+    def tick(self, thread: str) -> "VectorClock":
+        """A copy with ``thread``'s component incremented."""
+        updated = dict(self._clock)
+        updated[thread] = updated.get(thread, 0) + 1
+        return VectorClock(updated)
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """The pointwise maximum (least upper bound)."""
+        merged = dict(self._clock)
+        for thread, value in other._clock.items():
+            if value > merged.get(thread, 0):
+                merged[thread] = value
+        return VectorClock(merged)
+
+    # -- ordering -----------------------------------------------------------------
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return all(v <= other.get(t) for t, v in self._clock.items())
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self != other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._clock == other._clock
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._clock.items()))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock happens-before the other."""
+        return not (self <= other) and not (other <= self)
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        """Strictly before in the partial order."""
+        return self < other
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{v}" for t, v in sorted(self._clock.items()))
+        return f"VC({inner})"

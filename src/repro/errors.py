@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  The
+simulator additionally distinguishes *modelled* failures (a simulated thread
+crashing, a simulated deadlock) from *usage* errors (a program referencing an
+undeclared lock): the former are reported as data on the run result, the
+latter raise eagerly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ProgramError(ReproError):
+    """A simulated program is malformed.
+
+    Raised eagerly when a program references an undeclared variable or
+    synchronisation object, re-declares a name, or a thread body violates
+    the operation protocol (e.g. yields a non-operation).
+    """
+
+
+class SchedulerError(ReproError):
+    """A scheduler violated its contract (e.g. chose a disabled thread)."""
+
+
+class ReplayError(ReproError):
+    """A recorded schedule could not be replayed against a program.
+
+    This typically means the program is not the one the schedule was
+    recorded from, or the schedule ends before the program does.
+    """
+
+
+class ExplorationError(ReproError):
+    """Systematic exploration was asked to do something impossible.
+
+    For example, exceeding the configured schedule budget when the caller
+    demanded exhaustive coverage.
+    """
+
+
+class SimCrash(ReproError):
+    """Raised *inside a simulated thread body* to model a program crash.
+
+    The engine catches it, marks the thread as crashed, and records a
+    :class:`~repro.sim.events.ThreadCrashed` event; it never propagates to
+    the caller of the simulator.  Kernels use this to model the
+    segfault/abort consequences of a concurrency bug.
+    """
+
+    def __init__(self, reason: str = "simulated crash"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class EnforcementError(ReproError):
+    """An access-order enforcement request is unsatisfiable.
+
+    Raised by :mod:`repro.manifest.enforce` when the requested partial order
+    references labels the program never executes, or cycles.
+    """
+
+
+class BugDatabaseError(ReproError):
+    """The bug database failed a structural invariant check."""
+
+
+class FixError(ReproError):
+    """A fix strategy could not be applied to a kernel."""

@@ -1,0 +1,29 @@
+"""Fix strategies (Table 7) and exhaustive fix verification."""
+
+from repro.fixes.strategies import (
+    FIX_DESCRIPTIONS,
+    apply_strategy,
+    bad_patch_partial_lock,
+    bad_patch_sleep,
+    bad_patches,
+    fixes_for,
+)
+from repro.fixes.verify import (
+    FixVerification,
+    audit_bad_patches,
+    verify_all_fixes,
+    verify_fix,
+)
+
+__all__ = [
+    "FIX_DESCRIPTIONS",
+    "fixes_for",
+    "apply_strategy",
+    "bad_patch_sleep",
+    "bad_patch_partial_lock",
+    "bad_patches",
+    "FixVerification",
+    "verify_fix",
+    "verify_all_fixes",
+    "audit_bad_patches",
+]

@@ -1,0 +1,158 @@
+"""The study's fix-strategy taxonomy, made programmatic.
+
+Table 7 of the study classifies how developers actually fixed the bugs —
+and its headline is that 73% of non-deadlock fixes add *no* locks.  This
+module exposes the taxonomy with the paper's definitions and maps kernels
+to every patched variant they provide, so benchmarks and examples can
+apply "the COND fix" or "the give-up fix" by name.
+
+It also ships two **deliberately bad patches** modelled on the study's
+"mistakes during fixing" observation (17 of the 105 first patches were
+themselves incorrect): the infamous add-a-sleep non-fix and a
+partial-locking patch.  :mod:`repro.fixes.verify` demonstrates that
+exhaustive schedule verification rejects both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bugdb.schema import FixStrategy
+from repro.errors import FixError, SimCrash
+from repro.kernels import get_kernel
+from repro.kernels.base import BugKernel
+from repro.sim import Acquire, Program, Read, Release, Sleep, Write
+
+__all__ = [
+    "FIX_DESCRIPTIONS",
+    "fixes_for",
+    "apply_strategy",
+    "bad_patch_sleep",
+    "bad_patch_partial_lock",
+    "bad_patches",
+]
+
+#: The paper's definition of each strategy.
+FIX_DESCRIPTIONS: Dict[FixStrategy, str] = {
+    FixStrategy.COND_CHECK: (
+        "Condition check (COND): add or repair a check so the harmful case "
+        "is handled; the race itself may remain, now benign."
+    ),
+    FixStrategy.CODE_SWITCH: (
+        "Code switch (Switch): move code so the required order holds by "
+        "construction (e.g. publish before spawn)."
+    ),
+    FixStrategy.DESIGN_CHANGE: (
+        "Design change (Design): restructure the algorithm or data "
+        "structure (e.g. one atomic operation instead of two sections)."
+    ),
+    FixStrategy.ADD_LOCK: (
+        "Lock (Lock): add or adjust locks so the involved accesses form "
+        "one atomic region — only 27% of the studied non-deadlock fixes."
+    ),
+    FixStrategy.OTHER_NON_DEADLOCK: (
+        "Other: fixes outside the four recurring non-deadlock strategies."
+    ),
+    FixStrategy.GIVE_UP_RESOURCE: (
+        "Give up the resource: back off (try-lock, release-and-retry) "
+        "instead of blocking — the most common deadlock fix."
+    ),
+    FixStrategy.ACQUIRE_ORDER: (
+        "Acquisition order: impose one global order on the involved locks."
+    ),
+    FixStrategy.SPLIT_RESOURCE: (
+        "Split the resource: break the contended lock/object apart so the "
+        "circular wait cannot form."
+    ),
+    FixStrategy.OTHER_DEADLOCK: (
+        "Other: deadlock fixes outside the recurring strategies."
+    ),
+}
+
+
+def fixes_for(kernel: BugKernel) -> List[Tuple[FixStrategy, Program]]:
+    """Every patched variant a kernel provides: primary first, then others."""
+    return [(kernel.fix_strategy, kernel.fixed), *kernel.alternative_fixes]
+
+
+def apply_strategy(kernel: BugKernel, strategy: FixStrategy) -> Program:
+    """The kernel's patched program for ``strategy``.
+
+    Raises :class:`~repro.errors.FixError` when the kernel ships no patch
+    of that strategy — mirroring reality: not every strategy applies to
+    every bug (you cannot 'give up a resource' in a pure order violation).
+    """
+    for available, program in fixes_for(kernel):
+        if available is strategy:
+            return program
+    raise FixError(
+        f"kernel {kernel.name!r} has no {strategy.value} fix; available: "
+        f"{[s.value for s, _ in fixes_for(kernel)]}"
+    )
+
+
+def bad_patch_sleep() -> Tuple[BugKernel, Program, str]:
+    """The add-a-sleep non-fix for the check-then-use kernel.
+
+    Sleeping between check and use narrows the window in wall-clock terms
+    but constrains nothing; under an adversarial schedule the remote reset
+    still lands inside the window.  The most common shape of an incorrect
+    first concurrency patch.
+    """
+    kernel = get_kernel("atomicity_single_var")
+
+    def user_patched():
+        pointer = yield Read("proc_info", label="user.check")
+        if pointer is not None:
+            yield Sleep(2)  # "give the other thread time" — not a fix
+            value = yield Read("proc_info", label="user.use")
+            if value is None:
+                raise SimCrash("null dereference: checked value vanished")
+            yield Write("sink", len(value))
+
+    def resetter():
+        yield Write("proc_info", None, label="resetter.reset")
+
+    patched = Program(
+        "atomicity-single-var(bad-patch:sleep)",
+        threads={"User": user_patched, "Resetter": resetter},
+        initial={"proc_info": "query-text", "sink": 0},
+    )
+    return kernel, patched, "timing-based non-fix: sleep instead of synchronisation"
+
+
+def bad_patch_partial_lock() -> Tuple[BugKernel, Program, str]:
+    """Locking only the writer of the multi-variable kernel.
+
+    A classic incomplete patch: the clearer's two writes become atomic,
+    but the reader still loads flag and table without the lock, so the
+    stale pair remains observable.
+    """
+    kernel = get_kernel("multivar_buffer_flag")
+
+    def clearer_patched():
+        yield Acquire("L")
+        yield Write("table", None, label="clearer.clear")
+        yield Write("empty", True, label="clearer.flag")
+        yield Release("L")
+
+    def reader_unpatched():
+        empty = yield Read("empty", label="reader.checkflag")
+        if not empty:
+            entry = yield Read("table", label="reader.load")
+            if entry is None:
+                raise SimCrash("dereferenced cleared cache entry")
+            yield Write("hits", entry)
+
+    patched = Program(
+        "multivar-buffer-flag(bad-patch:partial-lock)",
+        threads={"Clearer": clearer_patched, "Reader": reader_unpatched},
+        initial={"table": "entries", "empty": False, "hits": None},
+        locks=["L"],
+    )
+    return kernel, patched, "incomplete patch: only one side of the race locked"
+
+
+def bad_patches() -> List[Tuple[BugKernel, Program, str]]:
+    """All modelled incorrect first patches."""
+    return [bad_patch_sleep(), bad_patch_partial_lock()]

@@ -1,0 +1,51 @@
+"""Executable bug kernels: the paper's figure examples, runnable.
+
+Each kernel is a (buggy, fixed) program pair on the simulator with an
+oracle and the recorded manifestation characteristics; see
+:mod:`repro.kernels.base`.  The registry keys are what
+:class:`~repro.bugdb.BugRecord.kernel` links point at.
+"""
+
+from repro.kernels.atomicity import (
+    atomicity_lock_free,
+    atomicity_single_var,
+    atomicity_wwr_log,
+)
+from repro.kernels.base import BugKernel, Oracle
+from repro.kernels.deadlock import deadlock_abba, deadlock_self, deadlock_three_way
+from repro.kernels.extra import (
+    atomicity_lost_update,
+    multivar_torn_invariant,
+    order_teardown_use,
+)
+from repro.kernels.multivar import multivar_buffer_flag
+from repro.kernels.order import order_lost_wakeup, order_use_before_init
+from repro.kernels.rwlock import deadlock_rwlock_upgrade
+from repro.kernels.registry import (
+    KERNEL_FACTORIES,
+    all_kernels,
+    get_kernel,
+    kernel_names,
+)
+
+__all__ = [
+    "BugKernel",
+    "Oracle",
+    "KERNEL_FACTORIES",
+    "kernel_names",
+    "get_kernel",
+    "all_kernels",
+    "atomicity_single_var",
+    "atomicity_wwr_log",
+    "atomicity_lock_free",
+    "atomicity_lost_update",
+    "multivar_buffer_flag",
+    "multivar_torn_invariant",
+    "order_use_before_init",
+    "order_lost_wakeup",
+    "order_teardown_use",
+    "deadlock_self",
+    "deadlock_abba",
+    "deadlock_three_way",
+    "deadlock_rwlock_upgrade",
+]

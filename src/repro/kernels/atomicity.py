@@ -1,0 +1,263 @@
+"""Single-variable atomicity-violation kernels (the paper's largest class).
+
+Three kernels model the three anchored figure examples:
+
+* :func:`atomicity_single_var` — the *check-then-use* shape (Mozilla
+  js engine): a pointer is tested for validity, a remote thread resets it,
+  the dependent use crashes.  Unserializable case R-W-R→crash; canonical
+  fix is the paper's most common non-deadlock strategy family, a
+  **condition check** handling the invalidated value.
+* :func:`atomicity_wwr_log` — the MySQL binlog-rotation shape: a two-step
+  remote state transition (close log, reopen log) exposes an intermediate
+  state to a reader; events written against the intermediate state are
+  silently lost.  Unserializable case W-R-W from the rotator's viewpoint;
+  canonical fix **adds a lock** spanning the rotation.
+* :func:`atomicity_lock_free` — the Apache reference-count shape: every
+  access is individually lock-protected (so there is *no data race*), but
+  decrement and zero-check live in different critical sections; two
+  threads both observe zero and free twice.  Canonical fix is a **design
+  change**: a single atomic read-modify-write.
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.errors import SimCrash
+from repro.kernels.base import BugKernel
+from repro.sim import (
+    Acquire,
+    AtomicUpdate,
+    Program,
+    Read,
+    Release,
+    RunStatus,
+    Write,
+)
+
+__all__ = ["atomicity_single_var", "atomicity_wwr_log", "atomicity_lock_free"]
+
+
+def atomicity_single_var() -> BugKernel:
+    """Check-then-use on one shared pointer; remote reset slips between."""
+
+    def user_buggy():
+        pointer = yield Read("proc_info", label="user.check")
+        if pointer is not None:
+            value = yield Read("proc_info", label="user.use")
+            if value is None:
+                raise SimCrash("null dereference: checked value vanished")
+            yield Write("sink", len(value))
+
+    def resetter():
+        yield Write("proc_info", None, label="resetter.reset")
+
+    def user_fixed():
+        pointer = yield Read("proc_info", label="user.check")
+        if pointer is not None:
+            value = yield Read("proc_info", label="user.use")
+            if value is None:
+                return  # the added condition check handles the race benignly
+            yield Write("sink", len(value))
+
+    declarations = dict(
+        initial={"proc_info": "query-text", "sink": 0},
+    )
+    buggy = Program(
+        "atomicity-single-var(buggy)",
+        threads={"User": user_buggy, "Resetter": resetter},
+        **declarations,
+    )
+    fixed = Program(
+        "atomicity-single-var(fixed:cond-check)",
+        threads={"User": user_fixed, "Resetter": resetter},
+        **declarations,
+    )
+
+    def also_locked() -> Program:
+        def user_locked():
+            yield Acquire("L")
+            pointer = yield Read("proc_info", label="user.check")
+            if pointer is not None:
+                value = yield Read("proc_info", label="user.use")
+                if value is None:
+                    raise SimCrash("null dereference: checked value vanished")
+                yield Write("sink", len(value))
+            yield Release("L")
+
+        def resetter_locked():
+            yield Acquire("L")
+            yield Write("proc_info", None, label="resetter.reset")
+            yield Release("L")
+
+        return Program(
+            "atomicity-single-var(fixed:add-lock)",
+            threads={"User": user_locked, "Resetter": resetter_locked},
+            locks=["L"],
+            **declarations,
+        )
+
+    return BugKernel(
+        name="atomicity_single_var",
+        title="check-then-use atomicity violation on one variable",
+        description=(
+            "a validity check and the dependent use are not in one atomic "
+            "region; a remote reset between them crashes the user (the "
+            "Mozilla js-engine figure example)"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.COND_CHECK,
+        failure=lambda run: run.status is RunStatus.CRASH,
+        threads_involved=2,
+        variables_involved=1,
+        accesses_to_manifest=3,
+        manifest_order=(
+            ("user.check", "resetter.reset"),
+            ("resetter.reset", "user.use"),
+        ),
+        alternative_fixes=((FixStrategy.ADD_LOCK, also_locked()),),
+    )
+
+
+def atomicity_wwr_log() -> BugKernel:
+    """Two-step log rotation exposes a closed log to a concurrent writer."""
+
+    def rotator_buggy():
+        yield Write("log_open", False, label="rotator.close")
+        yield Write("log_open", True, label="rotator.reopen")
+
+    def appender_buggy():
+        is_open = yield Read("log_open", label="appender.check")
+        if is_open:
+            events = yield Read("events_logged")
+            yield Write("events_logged", events + 1)
+        else:
+            lost = yield Read("events_lost")
+            yield Write("events_lost", lost + 1)
+
+    def rotator_fixed():
+        yield Acquire("LOCK_log")
+        yield Write("log_open", False, label="rotator.close")
+        yield Write("log_open", True, label="rotator.reopen")
+        yield Release("LOCK_log")
+
+    def appender_fixed():
+        yield Acquire("LOCK_log")
+        is_open = yield Read("log_open", label="appender.check")
+        if is_open:
+            events = yield Read("events_logged")
+            yield Write("events_logged", events + 1)
+        else:
+            lost = yield Read("events_lost")
+            yield Write("events_lost", lost + 1)
+        yield Release("LOCK_log")
+
+    declarations = dict(
+        initial={"log_open": True, "events_logged": 0, "events_lost": 0},
+    )
+    buggy = Program(
+        "atomicity-wwr-log(buggy)",
+        threads={"Rotator": rotator_buggy, "Appender": appender_buggy},
+        **declarations,
+    )
+    fixed = Program(
+        "atomicity-wwr-log(fixed:add-lock)",
+        threads={"Rotator": rotator_fixed, "Appender": appender_fixed},
+        locks=["LOCK_log"],
+        **declarations,
+    )
+    return BugKernel(
+        name="atomicity_wwr_log",
+        title="intermediate state of a two-step transition observed",
+        description=(
+            "log rotation closes then reopens the log in two writes; a "
+            "writer reading between them sees 'closed' and silently drops "
+            "its event (the MySQL binlog figure example)"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.ADD_LOCK,
+        failure=lambda run: run.ok and run.memory["events_lost"] > 0,
+        threads_involved=2,
+        variables_involved=1,
+        accesses_to_manifest=3,
+        manifest_order=(
+            ("rotator.close", "appender.check"),
+            ("appender.check", "rotator.reopen"),
+        ),
+    )
+
+
+def atomicity_lock_free() -> BugKernel:
+    """Race-free double free: decrement and zero-check in separate sections."""
+
+    def release_buggy(tid):
+        def body():
+            yield Acquire("L", label=f"{tid}.enter_dec")
+            count = yield Read("refcnt")
+            yield Write("refcnt", count - 1, label=f"{tid}.dec")
+            yield Release("L")
+            yield Acquire("L", label=f"{tid}.enter_check")
+            now = yield Read("refcnt", label=f"{tid}.check")
+            yield Release("L")
+            if now == 0:
+                # Each thread records its own free: two set flags = double free.
+                yield Write(f"freed_by_{tid}", True)
+
+        return body
+
+    def release_fixed(tid):
+        def body():
+            remaining = yield AtomicUpdate("refcnt", lambda v: v - 1)
+            if remaining == 0:
+                yield Write(f"freed_by_{tid}", True)
+
+        return body
+
+    declarations = dict(
+        initial={"refcnt": 2, "freed_by_t1": False, "freed_by_t2": False},
+        locks=["L"],
+    )
+    buggy = Program(
+        "atomicity-lock-free(buggy)",
+        threads={"T1": release_buggy("t1"), "T2": release_buggy("t2")},
+        **declarations,
+    )
+    fixed = Program(
+        "atomicity-lock-free(fixed:design-change)",
+        threads={"T1": release_fixed("t1"), "T2": release_fixed("t2")},
+        **declarations,
+    )
+    return BugKernel(
+        name="atomicity_lock_free",
+        title="atomicity violation with no data race (double free)",
+        description=(
+            "every access is lock-protected, yet decrement and zero-check "
+            "are separate critical sections: both threads observe zero and "
+            "free twice (the Apache refcount figure example) — the class "
+            "that race detectors structurally cannot catch"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.DESIGN_CHANGE,
+        failure=lambda run: bool(
+            run.memory["freed_by_t1"] and run.memory["freed_by_t2"]
+        ),
+        threads_involved=2,
+        variables_involved=1,
+        accesses_to_manifest=4,
+        # The four ordering-relevant sites: both decrements must precede
+        # both zero-checks.  Because the accesses live inside critical
+        # sections, the order anchors each thread's *check-section entry*
+        # (constraining the accesses directly would fight the mutex).
+        # Two pairs suffice: t1's check-entry waits for t2's decrement
+        # (t1's own decrement precedes it by program order), and t2's
+        # check-entry waits for t1's check.
+        manifest_order=(
+            ("t2.dec", "t1.enter_check"),
+            ("t1.check", "t2.enter_check"),
+        ),
+    )

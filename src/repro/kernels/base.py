@@ -1,0 +1,91 @@
+"""Bug kernels: executable reproductions of the studied bug classes.
+
+A :class:`BugKernel` packages everything needed to *demonstrate* one bug
+class from the study rather than merely tabulate it:
+
+* ``buggy`` — a small simulator program with the bug;
+* ``fixed`` — the same program patched with the class's canonical fix
+  strategy from the paper's taxonomy;
+* ``failure`` — the oracle: does a given run manifest the bug?
+* the recorded manifestation characteristics (threads / variables or
+  resources / ordering-relevant accesses), which integration tests check
+  against exhaustive exploration;
+* ``manifest_order`` — the partial order over labelled operations whose
+  enforcement *guarantees* manifestation.  This is Finding 8 made
+  executable: each pair ``(earlier_label, later_label)`` constrains two
+  operation sites, and :mod:`repro.manifest.enforce` turns the pairs into
+  a scheduling filter.
+
+Labels are plain strings attached via ``label=`` to operations; every
+kernel keeps its labels unique program-wide (e.g. ``"t1.check"``), so a
+label names exactly one operation site of one thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.sim.engine import RunResult
+from repro.sim.explorer import Explorer
+from repro.sim.program import Program
+
+__all__ = ["BugKernel", "Oracle"]
+
+Oracle = Callable[[RunResult], bool]
+
+
+@dataclass(frozen=True)
+class BugKernel:
+    """One executable bug class with its paired fix."""
+
+    name: str
+    title: str
+    description: str
+    category: BugCategory
+    buggy: Program
+    fixed: Program
+    fix_strategy: FixStrategy
+    failure: Oracle
+    threads_involved: int
+    accesses_to_manifest: int
+    manifest_order: Tuple[Tuple[str, str], ...]
+    variables_involved: Optional[int] = None
+    resources_involved: Optional[int] = None
+    alternative_fixes: Tuple[Tuple[FixStrategy, Program], ...] = ()
+
+    # -- exploration helpers -------------------------------------------------
+
+    def find_manifestation(
+        self, max_schedules: int = 20000
+    ) -> Optional[RunResult]:
+        """A failing run of the buggy program, or ``None`` if unreachable."""
+        explorer = Explorer(self.buggy, max_schedules=max_schedules)
+        result = explorer.explore(predicate=self.failure, stop_on_first=True)
+        return result.matching[0] if result.matching else None
+
+    def manifestation_rate(self, max_schedules: int = 20000) -> float:
+        """Fraction of all schedules of the buggy program that manifest."""
+        explorer = Explorer(self.buggy, max_schedules=max_schedules)
+        outcome = explorer.explore(predicate=self.failure)
+        return outcome.match_rate()
+
+    def verify_fixed(self, max_schedules: int = 50000) -> bool:
+        """Exhaustively check that no schedule of the fixed program fails."""
+        explorer = Explorer(
+            self.fixed, max_schedules=max_schedules, keep_matches=1
+        )
+        outcome = explorer.explore(predicate=self.failure, stop_on_first=True)
+        return outcome.complete and not outcome.found
+
+    def summary(self) -> str:
+        """One-line rendering for reports."""
+        dims = []
+        dims.append(f"threads={self.threads_involved}")
+        if self.variables_involved is not None:
+            dims.append(f"vars={self.variables_involved}")
+        if self.resources_involved is not None:
+            dims.append(f"resources={self.resources_involved}")
+        dims.append(f"accesses={self.accesses_to_manifest}")
+        return f"{self.name} [{self.category.value}] ({', '.join(dims)}): {self.title}"

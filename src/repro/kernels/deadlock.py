@@ -1,0 +1,223 @@
+"""Deadlock kernels: one, two, and three resources (Table 5's split).
+
+* :func:`deadlock_self` — the one-resource case (roughly a quarter of the
+  studied deadlocks): a callback re-acquires a held non-recursive mutex.
+  Canonical fix: **give up the resource** (release before the re-entrant
+  call).
+* :func:`deadlock_abba` — the dominant two-resource case: opposite
+  acquisition orders.  Canonical fix: **enforce one acquisition order**;
+  an alternative fix demonstrates the *give-up* strategy with a try-lock
+  and back-off, the strategy the study found most common for deadlocks.
+* :func:`deadlock_three_way` — the single studied bug with three
+  resources: a circular chain across three subsystems.
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.kernels.base import BugKernel
+from repro.sim import (
+    Acquire,
+    Program,
+    Read,
+    Release,
+    RunStatus,
+    TryAcquire,
+    Write,
+)
+
+__all__ = ["deadlock_self", "deadlock_abba", "deadlock_three_way"]
+
+
+def deadlock_self() -> BugKernel:
+    """Re-acquiring a held non-recursive mutex from a nested call."""
+
+    def outer_buggy():
+        yield Acquire("monitor", label="outer.enter")
+        # ... the nested callback path re-enters the same monitor:
+        yield Acquire("monitor", label="nested.reenter")
+        yield Write("work", "done")
+        yield Release("monitor")
+        yield Release("monitor")
+
+    def outer_fixed():
+        yield Acquire("monitor", label="outer.enter")
+        work = yield Read("work")
+        # Give up the monitor before the re-entrant call needs it.
+        yield Release("monitor")
+        yield Acquire("monitor", label="nested.reenter")
+        yield Write("work", "done")
+        yield Release("monitor")
+
+    declarations = dict(initial={"work": None}, locks=["monitor"])
+    buggy = Program(
+        "deadlock-self(buggy)", threads={"T": outer_buggy}, **declarations
+    )
+    fixed = Program(
+        "deadlock-self(fixed:give-up)", threads={"T": outer_fixed}, **declarations
+    )
+    return BugKernel(
+        name="deadlock_self",
+        title="one-resource deadlock (self re-acquisition)",
+        description=(
+            "a nested callback re-acquires the non-recursive monitor the "
+            "caller already holds; the thread waits on itself forever"
+        ),
+        category=BugCategory.DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.GIVE_UP_RESOURCE,
+        failure=lambda run: run.status is RunStatus.DEADLOCK,
+        threads_involved=1,
+        resources_involved=1,
+        accesses_to_manifest=2,
+        manifest_order=(),  # manifests in every schedule
+    )
+
+
+def deadlock_abba() -> BugKernel:
+    """Opposite lock orders on two mutexes."""
+
+    def forward_buggy():
+        yield Acquire("A", label="t1.first")
+        yield Acquire("B", label="t1.second")
+        yield Write("x", 1)
+        yield Release("B")
+        yield Release("A")
+
+    def backward_buggy():
+        yield Acquire("B", label="t2.first")
+        yield Acquire("A", label="t2.second")
+        yield Write("x", 2)
+        yield Release("A")
+        yield Release("B")
+
+    def forward_fixed():
+        yield Acquire("A", label="t1.first")
+        yield Acquire("B", label="t1.second")
+        yield Write("x", 1)
+        yield Release("B")
+        yield Release("A")
+
+    def backward_fixed():
+        # Acquisition-order fix: everyone takes A before B.
+        yield Acquire("A", label="t2.first")
+        yield Acquire("B", label="t2.second")
+        yield Write("x", 2)
+        yield Release("B")
+        yield Release("A")
+
+    def backward_giveup():
+        # Give-up fix: try the second lock; on failure release and retry.
+        for _ in range(3):
+            yield Acquire("B")
+            got = yield TryAcquire("A")
+            if got:
+                yield Write("x", 2)
+                yield Release("A")
+                yield Release("B")
+                return
+            yield Release("B")
+        # Final bounded attempt in the safe global order.
+        yield Acquire("A")
+        yield Acquire("B")
+        yield Write("x", 2)
+        yield Release("B")
+        yield Release("A")
+
+    declarations = dict(initial={"x": 0}, locks=["A", "B"])
+    buggy = Program(
+        "deadlock-abba(buggy)",
+        threads={"T1": forward_buggy, "T2": backward_buggy},
+        **declarations,
+    )
+    fixed = Program(
+        "deadlock-abba(fixed:acquire-order)",
+        threads={"T1": forward_fixed, "T2": backward_fixed},
+        **declarations,
+    )
+    giveup = Program(
+        "deadlock-abba(fixed:give-up)",
+        threads={"T1": forward_buggy, "T2": backward_giveup},
+        **declarations,
+    )
+    return BugKernel(
+        name="deadlock_abba",
+        title="two-resource deadlock (opposite acquisition orders)",
+        description=(
+            "two code paths take the same pair of locks in opposite "
+            "orders; holding one each, both wait forever — the dominant "
+            "deadlock shape (23 of the 31 studied deadlocks involve "
+            "exactly two resources)"
+        ),
+        category=BugCategory.DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.ACQUIRE_ORDER,
+        failure=lambda run: run.status is RunStatus.DEADLOCK,
+        threads_involved=2,
+        resources_involved=2,
+        accesses_to_manifest=4,
+        manifest_order=(
+            ("t1.first", "t2.second"),
+            ("t2.first", "t1.second"),
+        ),
+        alternative_fixes=((FixStrategy.GIVE_UP_RESOURCE, giveup),),
+    )
+
+
+def deadlock_three_way() -> BugKernel:
+    """Circular acquisition chain across three locks."""
+
+    def chain(first, second, prefix):
+        def body():
+            yield Acquire(first, label=f"{prefix}.first")
+            yield Acquire(second, label=f"{prefix}.second")
+            yield Write("x", prefix)
+            yield Release(second)
+            yield Release(first)
+
+        return body
+
+    declarations = dict(initial={"x": None}, locks=["A", "B", "C"])
+    buggy = Program(
+        "deadlock-three-way(buggy)",
+        threads={
+            "T1": chain("A", "B", "t1"),
+            "T2": chain("B", "C", "t2"),
+            "T3": chain("C", "A", "t3"),
+        },
+        **declarations,
+    )
+    fixed = Program(
+        "deadlock-three-way(fixed:acquire-order)",
+        threads={
+            # Global order A < B < C breaks the cycle.
+            "T1": chain("A", "B", "t1"),
+            "T2": chain("B", "C", "t2"),
+            "T3": chain("A", "C", "t3"),
+        },
+        **declarations,
+    )
+    return BugKernel(
+        name="deadlock_three_way",
+        title="three-resource circular deadlock",
+        description=(
+            "three subsystems each hold one lock and wait for the next, "
+            "closing a three-edge cycle — the study's only deadlock "
+            "involving more than two resources"
+        ),
+        category=BugCategory.DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.ACQUIRE_ORDER,
+        failure=lambda run: run.status is RunStatus.DEADLOCK,
+        threads_involved=3,
+        resources_involved=3,
+        accesses_to_manifest=6,
+        manifest_order=(
+            ("t1.first", "t3.second"),
+            ("t2.first", "t1.second"),
+            ("t3.first", "t2.second"),
+        ),
+    )

@@ -1,0 +1,249 @@
+"""Additional kernels rounding out the studied class space.
+
+* :func:`atomicity_lost_update` — the canonical R-W-W lost update
+  (unsynchronised read-increment-write), the single most common shape in
+  the atomicity class; shipped with both an add-lock fix and an
+  atomic-RMW design-change fix.
+* :func:`order_teardown_use` — the shutdown-order violation flavour of
+  order bugs: the main thread tears down a resource while a worker still
+  expects it; fixed by joining the worker before teardown.
+* :func:`multivar_torn_invariant` — a three-thread, two-variable kernel
+  matching the study's rarer shapes: two updaters maintain the invariant
+  ``data == version`` one field at a time; a checker interleaved between
+  both updaters' half-updates observes a tear of 2.  Needs three threads
+  *and* more than four ordered accesses — the tail beyond Findings 4
+  and 7.
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.errors import SimCrash
+from repro.kernels.base import BugKernel
+from repro.sim import (
+    Acquire,
+    AtomicUpdate,
+    Join,
+    Program,
+    Read,
+    Release,
+    RunStatus,
+    Spawn,
+    Write,
+)
+
+__all__ = [
+    "atomicity_lost_update",
+    "order_teardown_use",
+    "multivar_torn_invariant",
+]
+
+
+def atomicity_lost_update() -> BugKernel:
+    """Two unsynchronised read-increment-write threads lose an update."""
+
+    def bump_buggy(tid):
+        def body():
+            value = yield Read("hits", label=f"{tid}.read")
+            yield Write("hits", value + 1, label=f"{tid}.write")
+
+        return body
+
+    def bump_locked(tid):
+        def body():
+            yield Acquire("L")
+            value = yield Read("hits", label=f"{tid}.read")
+            yield Write("hits", value + 1, label=f"{tid}.write")
+            yield Release("L")
+
+        return body
+
+    def bump_atomic(tid):
+        def body():
+            yield AtomicUpdate("hits", lambda v: v + 1, label=f"{tid}.rmw")
+
+        return body
+
+    buggy = Program(
+        "atomicity-lost-update(buggy)",
+        threads={"T1": bump_buggy("t1"), "T2": bump_buggy("t2")},
+        initial={"hits": 0},
+    )
+    fixed = Program(
+        "atomicity-lost-update(fixed:add-lock)",
+        threads={"T1": bump_locked("t1"), "T2": bump_locked("t2")},
+        initial={"hits": 0},
+        locks=["L"],
+    )
+    atomic = Program(
+        "atomicity-lost-update(fixed:design-change)",
+        threads={"T1": bump_atomic("t1"), "T2": bump_atomic("t2")},
+        initial={"hits": 0},
+    )
+    return BugKernel(
+        name="atomicity_lost_update",
+        title="lost update (R-W-W unserializable interleaving)",
+        description=(
+            "two threads read-increment-write the same counter with no "
+            "synchronisation; when one thread's whole pair lands inside "
+            "the other's, an increment vanishes — the canonical atomicity "
+            "violation"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.ADD_LOCK,
+        failure=lambda run: run.ok and run.memory["hits"] < 2,
+        threads_involved=2,
+        variables_involved=1,
+        accesses_to_manifest=3,
+        manifest_order=(
+            ("t1.read", "t2.write"),
+            ("t2.write", "t1.write"),
+        ),
+        alternative_fixes=((FixStrategy.DESIGN_CHANGE, atomic),),
+    )
+
+
+def order_teardown_use() -> BugKernel:
+    """Main tears the connection down while the worker still uses it."""
+
+    def main_buggy():
+        yield Spawn("Worker")
+        # ... main believes the worker is done and tears down:
+        yield Write("conn", None, label="main.teardown")
+
+    def worker():
+        conn = yield Read("conn", label="worker.use")
+        if conn is None:
+            raise SimCrash("worker used a torn-down connection")
+        yield Write("sent", True)
+
+    def main_fixed():
+        yield Spawn("Worker")
+        yield Join("Worker", label="main.join")
+        yield Write("conn", None, label="main.teardown")
+
+    declarations = dict(initial={"conn": "socket", "sent": False})
+    buggy = Program(
+        "order-teardown-use(buggy)",
+        threads={"Main": main_buggy, "Worker": worker},
+        start=["Main"],
+        **declarations,
+    )
+    fixed = Program(
+        "order-teardown-use(fixed:design-change)",
+        threads={"Main": main_fixed, "Worker": worker},
+        start=["Main"],
+        **declarations,
+    )
+    return BugKernel(
+        name="order_teardown_use",
+        title="teardown races ahead of a late use (order violation)",
+        description=(
+            "the shutdown path assumes every worker has finished; nothing "
+            "enforces 'last use happens-before teardown', so a late "
+            "worker dereferences the destroyed resource — fixed by "
+            "joining the worker first"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.DESIGN_CHANGE,
+        failure=lambda run: run.status is RunStatus.CRASH,
+        threads_involved=2,
+        variables_involved=1,
+        accesses_to_manifest=2,
+        manifest_order=(("main.teardown", "worker.use"),),
+    )
+
+
+def multivar_torn_invariant() -> BugKernel:
+    """Three threads, two variables: the checker sees a 2-wide tear."""
+
+    def updater_buggy(tid):
+        def body():
+            data = yield Read("data", label=f"{tid}.read_data")
+            yield Write("data", data + 1, label=f"{tid}.write_data")
+            version = yield Read("version")
+            yield Write("version", version + 1, label=f"{tid}.write_version")
+
+        return body
+
+    def checker_buggy():
+        data = yield Read("data", label="checker.read_data")
+        version = yield Read("version", label="checker.read_version")
+        if abs(data - version) >= 2:
+            raise SimCrash(
+                f"invariant data==version torn wide open ({data} vs {version})"
+            )
+
+    def updater_fixed(tid):
+        def body():
+            yield Acquire("L")
+            data = yield Read("data")
+            yield Write("data", data + 1, label=f"{tid}.write_data")
+            version = yield Read("version")
+            yield Write("version", version + 1, label=f"{tid}.write_version")
+            yield Release("L")
+
+        return body
+
+    def checker_fixed():
+        yield Acquire("L")
+        data = yield Read("data", label="checker.read_data")
+        version = yield Read("version", label="checker.read_version")
+        yield Release("L")
+        if abs(data - version) >= 2:
+            raise SimCrash(
+                f"invariant data==version torn wide open ({data} vs {version})"
+            )
+
+    declarations = dict(initial={"data": 0, "version": 0})
+    buggy = Program(
+        "multivar-torn-invariant(buggy)",
+        threads={
+            "U1": updater_buggy("u1"),
+            "U2": updater_buggy("u2"),
+            "Checker": checker_buggy,
+        },
+        **declarations,
+    )
+    fixed = Program(
+        "multivar-torn-invariant(fixed:add-lock)",
+        threads={
+            "U1": updater_fixed("u1"),
+            "U2": updater_fixed("u2"),
+            "Checker": checker_fixed,
+        },
+        locks=["L"],
+        **declarations,
+    )
+    return BugKernel(
+        name="multivar_torn_invariant",
+        title="three-thread, two-variable invariant tear",
+        description=(
+            "two updaters bump data then version; a checker reading "
+            "between both half-updates observes data two ahead of "
+            "version — a bug needing three threads and seven ordered "
+            "accesses, the tail of the manifestation findings"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.ADD_LOCK,
+        failure=lambda run: run.status is RunStatus.CRASH,
+        threads_involved=3,
+        variables_involved=2,
+        accesses_to_manifest=7,
+        manifest_order=(
+            # Serialise the two data updates (else they lose each other's
+            # increment and the tear narrows to 1), put the checker's data
+            # read after both, and its version read before either version
+            # write: data==2, version==0, tear of 2 guaranteed.
+            ("u1.write_data", "u2.read_data"),
+            ("u2.write_data", "checker.read_data"),
+            ("checker.read_version", "u1.write_version"),
+            ("checker.read_version", "u2.write_version"),
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Multi-variable atomicity-violation kernel (Findings 4-5).
+
+A third of the study's non-deadlock bugs involve *more than one* variable
+— typically a datum plus its descriptor (buffer + length, table + empty
+flag, pointer + validity bit) whose updates must be perceived together.
+Single-variable detectors (race detectors, per-variable AVIO invariants)
+structurally miss this class; that blind spot is one of the study's most
+quoted implications.
+
+:func:`multivar_buffer_flag` models the Mozilla property-cache figure
+example: the clearer resets the table and only then sets the ``empty``
+flag; a reader trusting the stale flag dereferences the already-cleared
+table.
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.errors import SimCrash
+from repro.kernels.base import BugKernel
+from repro.sim import Acquire, Program, Read, Release, RunStatus, Write
+
+__all__ = ["multivar_buffer_flag"]
+
+
+def multivar_buffer_flag() -> BugKernel:
+    """Table and its empty-flag updated non-atomically; reader sees a stale pair."""
+
+    def clearer_buggy():
+        yield Write("table", None, label="clearer.clear")
+        yield Write("empty", True, label="clearer.flag")
+
+    def reader_buggy():
+        empty = yield Read("empty", label="reader.checkflag")
+        if not empty:
+            entry = yield Read("table", label="reader.load")
+            if entry is None:
+                raise SimCrash("dereferenced cleared cache entry")
+            yield Write("hits", entry)
+
+    def clearer_fixed():
+        yield Acquire("L")
+        yield Write("table", None, label="clearer.clear")
+        yield Write("empty", True, label="clearer.flag")
+        yield Release("L")
+
+    def reader_fixed():
+        yield Acquire("L")
+        empty = yield Read("empty", label="reader.checkflag")
+        if not empty:
+            entry = yield Read("table", label="reader.load")
+            if entry is None:
+                raise SimCrash("dereferenced cleared cache entry")
+            yield Write("hits", entry)
+        yield Release("L")
+
+    declarations = dict(initial={"table": "entries", "empty": False, "hits": None})
+    buggy = Program(
+        "multivar-buffer-flag(buggy)",
+        threads={"Clearer": clearer_buggy, "Reader": reader_buggy},
+        **declarations,
+    )
+    fixed = Program(
+        "multivar-buffer-flag(fixed:add-lock)",
+        threads={"Clearer": clearer_fixed, "Reader": reader_fixed},
+        locks=["L"],
+        **declarations,
+    )
+    return BugKernel(
+        name="multivar_buffer_flag",
+        title="multi-variable atomicity violation (datum + descriptor)",
+        description=(
+            "the cache table and its empty flag must change together; "
+            "clearing them in two steps lets a reader trust a stale flag "
+            "and read the cleared table (the Mozilla property-cache "
+            "figure example) — invisible to single-variable detectors"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.ADD_LOCK,
+        failure=lambda run: run.status is RunStatus.CRASH,
+        threads_involved=2,
+        variables_involved=2,
+        accesses_to_manifest=4,
+        manifest_order=(
+            ("reader.checkflag", "clearer.flag"),
+            ("clearer.clear", "reader.load"),
+        ),
+    )

@@ -1,0 +1,157 @@
+"""Order-violation kernels (the second non-deadlock class).
+
+* :func:`order_use_before_init` — the Mozilla ``mThread`` figure example:
+  a parent spawns a worker and only *afterwards* publishes the handle the
+  worker dereferences.  Nothing enforces "publish happens-before first
+  use"; the canonical fix is a **code switch** (publish before spawn).
+* :func:`order_lost_wakeup` — the timer-thread figure example: the
+  ready-flag is checked *outside* the lock, so the producer's flag write
+  and notification can both land between the check and the wait; the
+  notification wakes nobody and the consumer blocks forever.  The
+  canonical fix is a **design change** to the correct condvar protocol
+  (check the predicate while holding the lock).
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.errors import SimCrash
+from repro.kernels.base import BugKernel
+from repro.sim import (
+    Acquire,
+    Notify,
+    Program,
+    Read,
+    Release,
+    RunStatus,
+    Spawn,
+    Wait,
+    Write,
+)
+
+__all__ = ["order_use_before_init", "order_lost_wakeup"]
+
+
+def order_use_before_init() -> BugKernel:
+    """Worker dereferences the handle before the parent publishes it."""
+
+    def parent_buggy():
+        yield Spawn("Worker")
+        yield Write("mThread", "thread-handle", label="parent.publish")
+
+    def worker():
+        handle = yield Read("mThread", label="worker.use")
+        if handle is None:
+            raise SimCrash("null mThread dereferenced on the new thread")
+        yield Write("used", handle)
+
+    def parent_fixed():
+        # The code switch: publish the handle before the worker can run.
+        yield Write("mThread", "thread-handle", label="parent.publish")
+        yield Spawn("Worker")
+
+    declarations = dict(initial={"mThread": None, "used": None})
+    buggy = Program(
+        "order-use-before-init(buggy)",
+        threads={"Parent": parent_buggy, "Worker": worker},
+        start=["Parent"],
+        **declarations,
+    )
+    fixed = Program(
+        "order-use-before-init(fixed:code-switch)",
+        threads={"Parent": parent_fixed, "Worker": worker},
+        start=["Parent"],
+        **declarations,
+    )
+    return BugKernel(
+        name="order_use_before_init",
+        title="use of a shared handle before its initialising write",
+        description=(
+            "the spawned thread reads mThread before the creator stores it; "
+            "the intended creation order is assumed, never enforced (the "
+            "Mozilla thread-init figure example)"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.CODE_SWITCH,
+        failure=lambda run: run.status is RunStatus.CRASH,
+        threads_involved=2,
+        variables_involved=1,
+        accesses_to_manifest=2,
+        manifest_order=(("worker.use", "parent.publish"),),
+    )
+
+
+def order_lost_wakeup() -> BugKernel:
+    """Unprotected flag check lets the notification land before the wait."""
+
+    def consumer_buggy():
+        done = yield Read("done", label="consumer.check")
+        if not done:
+            yield Acquire("L", label="consumer.lock")
+            yield Wait("cv", label="consumer.wait")
+            yield Release("L")
+        yield Write("proceeded", True)
+
+    def producer_buggy():
+        yield Write("done", True, label="producer.set")
+        yield Acquire("L")
+        yield Notify("cv", label="producer.notify")
+        yield Release("L")
+
+    def consumer_fixed():
+        # Correct protocol: the predicate is checked under the lock, so the
+        # producer's set+notify cannot slide between check and wait.
+        yield Acquire("L")
+        done = yield Read("done", label="consumer.check")
+        if not done:
+            yield Wait("cv", label="consumer.wait")
+        yield Release("L")
+        yield Write("proceeded", True)
+
+    def producer_fixed():
+        yield Acquire("L")
+        yield Write("done", True, label="producer.set")
+        yield Notify("cv", label="producer.notify")
+        yield Release("L")
+
+    declarations = dict(
+        initial={"done": False, "proceeded": False},
+        locks=["L"],
+        conditions={"cv": "L"},
+    )
+    buggy = Program(
+        "order-lost-wakeup(buggy)",
+        threads={"Consumer": consumer_buggy, "Producer": producer_buggy},
+        **declarations,
+    )
+    fixed = Program(
+        "order-lost-wakeup(fixed:design-change)",
+        threads={"Consumer": consumer_fixed, "Producer": producer_fixed},
+        **declarations,
+    )
+    return BugKernel(
+        name="order_lost_wakeup",
+        title="lost wakeup: notify lands before the wait",
+        description=(
+            "the ready flag is checked outside the lock; the producer can "
+            "set it and notify before the consumer blocks, so the wakeup is "
+            "lost and the consumer hangs (the timer-thread figure example)"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.DESIGN_CHANGE,
+        failure=lambda run: run.status is RunStatus.HANG,
+        threads_involved=2,
+        variables_involved=1,
+        accesses_to_manifest=4,
+        manifest_order=(
+            # Consumer sees 'not done', and the whole produce/notify pair
+            # completes before the consumer even takes the lock: the
+            # notification is provably lost.
+            ("consumer.check", "producer.set"),
+            ("producer.notify", "consumer.lock"),
+        ),
+    )

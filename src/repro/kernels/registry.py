@@ -1,0 +1,61 @@
+"""Registry of all bug kernels, keyed by the names bug records link to."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.kernels.atomicity import (
+    atomicity_lock_free,
+    atomicity_single_var,
+    atomicity_wwr_log,
+)
+from repro.kernels.base import BugKernel
+from repro.kernels.deadlock import deadlock_abba, deadlock_self, deadlock_three_way
+from repro.kernels.extra import (
+    atomicity_lost_update,
+    multivar_torn_invariant,
+    order_teardown_use,
+)
+from repro.kernels.multivar import multivar_buffer_flag
+from repro.kernels.order import order_lost_wakeup, order_use_before_init
+from repro.kernels.rwlock import deadlock_rwlock_upgrade
+
+__all__ = ["KERNEL_FACTORIES", "kernel_names", "get_kernel", "all_kernels"]
+
+#: Factory per kernel name.  Factories (not instances) are registered so
+#: every caller gets fresh Program objects — programs are stateless, but
+#: fresh instances keep callers from accidentally sharing identity.
+KERNEL_FACTORIES: Dict[str, Callable[[], BugKernel]] = {
+    "atomicity_single_var": atomicity_single_var,
+    "atomicity_wwr_log": atomicity_wwr_log,
+    "atomicity_lock_free": atomicity_lock_free,
+    "atomicity_lost_update": atomicity_lost_update,
+    "multivar_buffer_flag": multivar_buffer_flag,
+    "multivar_torn_invariant": multivar_torn_invariant,
+    "order_use_before_init": order_use_before_init,
+    "order_lost_wakeup": order_lost_wakeup,
+    "order_teardown_use": order_teardown_use,
+    "deadlock_self": deadlock_self,
+    "deadlock_abba": deadlock_abba,
+    "deadlock_three_way": deadlock_three_way,
+    "deadlock_rwlock_upgrade": deadlock_rwlock_upgrade,
+}
+
+
+def kernel_names() -> List[str]:
+    """All registered kernel names, stable order."""
+    return list(KERNEL_FACTORIES)
+
+
+def get_kernel(name: str) -> BugKernel:
+    """Instantiate the kernel registered under ``name``."""
+    if name not in KERNEL_FACTORIES:
+        raise KeyError(
+            f"unknown kernel {name!r}; registered: {sorted(KERNEL_FACTORIES)}"
+        )
+    return KERNEL_FACTORIES[name]()
+
+
+def all_kernels() -> List[BugKernel]:
+    """Fresh instances of every registered kernel."""
+    return [factory() for factory in KERNEL_FACTORIES.values()]

@@ -1,0 +1,100 @@
+"""Reader-writer lock upgrade deadlock.
+
+A studied deadlock flavour that involves a *single* reader-writer lock
+yet two threads: both take the lock shared, then both request the
+exclusive mode without dropping their read hold.  Each writer-request
+waits for the *other* reader to drain — a circular wait across the two
+modes of one resource.  (In Table 5 terms this is still a two-party
+circular wait; the resource is one rwlock, making it a cousin of the
+one-resource self-deadlock.)
+
+The canonical fix is the **give-up** strategy: release the read hold
+before requesting the write hold, then re-validate the protected state
+after reacquiring — exactly the re-check discipline the paper's
+condition-check fixes use.
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.kernels.base import BugKernel
+from repro.sim import (
+    AcquireRead,
+    AcquireWrite,
+    Program,
+    Read,
+    ReleaseRead,
+    ReleaseWrite,
+    RunStatus,
+    Write,
+)
+
+__all__ = ["deadlock_rwlock_upgrade"]
+
+
+def deadlock_rwlock_upgrade() -> BugKernel:
+    """Two readers both upgrade in place; each waits on the other's hold."""
+
+    def upgrader_buggy(tid):
+        def body():
+            yield AcquireRead("RW", label=f"{tid}.read_hold")
+            value = yield Read("shared")
+            # BUG: requesting exclusive mode while still holding shared mode.
+            yield AcquireWrite("RW", label=f"{tid}.upgrade")
+            yield Write("shared", value + 1)
+            yield ReleaseWrite("RW")
+            yield ReleaseRead("RW")
+
+        return body
+
+    def upgrader_fixed(tid):
+        def body():
+            yield AcquireRead("RW", label=f"{tid}.read_hold")
+            value = yield Read("shared")
+            # Give up the read hold, reacquire exclusively, re-validate.
+            yield ReleaseRead("RW")
+            yield AcquireWrite("RW", label=f"{tid}.upgrade")
+            current = yield Read("shared")
+            if current == value:
+                yield Write("shared", value + 1)
+            else:
+                yield Write("shared", current + 1)
+            yield ReleaseWrite("RW")
+
+        return body
+
+    declarations = dict(initial={"shared": 0}, rwlocks=["RW"])
+    buggy = Program(
+        "deadlock-rwlock-upgrade(buggy)",
+        threads={"T1": upgrader_buggy("t1"), "T2": upgrader_buggy("t2")},
+        **declarations,
+    )
+    fixed = Program(
+        "deadlock-rwlock-upgrade(fixed:give-up)",
+        threads={"T1": upgrader_fixed("t1"), "T2": upgrader_fixed("t2")},
+        **declarations,
+    )
+    return BugKernel(
+        name="deadlock_rwlock_upgrade",
+        title="reader-writer lock upgrade deadlock",
+        description=(
+            "both threads hold the rwlock shared and request exclusive "
+            "mode in place; each write request waits for the other's read "
+            "hold to drain, forever — fixed by releasing the read hold "
+            "and re-validating after the exclusive acquire"
+        ),
+        category=BugCategory.DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.GIVE_UP_RESOURCE,
+        failure=lambda run: run.status is RunStatus.DEADLOCK,
+        threads_involved=2,
+        resources_involved=1,
+        accesses_to_manifest=4,
+        # Both read holds must land before either upgrade request: with a
+        # sole reader the in-place upgrade would simply succeed.
+        manifest_order=(
+            ("t1.read_hold", "t2.upgrade"),
+            ("t2.read_hold", "t1.upgrade"),
+        ),
+    )

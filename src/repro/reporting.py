@@ -1,0 +1,150 @@
+"""Failure-report bundles: everything a maintainer needs from one repro.
+
+The study's subjects are bug-tracker entries; this module closes the
+loop by *producing* one.  Given a program and its failure oracle,
+:func:`build_bug_report` assembles:
+
+* the minimal-preemption witness schedule (deterministic repro recipe,
+  also serialised as JSON for attachment);
+* the full event trace of the witness;
+* every detector finding on the failing trace;
+* the statistical context: manifestation rate under random testing with
+  a Wilson interval, and how many stress runs a tester would have needed
+  to see the bug once.
+
+``BugReport.to_markdown()`` renders the classic well-formed concurrency
+bug report the paper wishes developers had filed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.detectors.base import Finding
+from repro.detectors.suite import DetectorSuite
+from repro.manifest.stats import runs_needed, wilson_interval
+from repro.sim.engine import RunResult
+from repro.sim.minimize import MinimalWitness, minimize_preemptions
+from repro.sim.program import Program
+from repro.sim.replay import schedule_to_json
+from repro.sim.scheduler import RandomScheduler
+
+__all__ = ["BugReport", "build_bug_report"]
+
+
+@dataclass
+class BugReport:
+    """A complete, self-contained failure report."""
+
+    program: str
+    witness: MinimalWitness
+    findings: List[Finding]
+    random_rate: float
+    random_runs: int
+    rate_interval: tuple
+    stress_runs_for_95: Optional[int]
+
+    @property
+    def schedule_json(self) -> str:
+        """The witness schedule, serialised for attachment."""
+        return schedule_to_json(self.witness.run.schedule)
+
+    def to_markdown(self) -> str:
+        """Render the report as a markdown document."""
+        run = self.witness.run
+        lines = [
+            f"# Concurrency failure report: {self.program}",
+            "",
+            "## Summary",
+            "",
+            f"* outcome: **{run.status.value}**"
+            + (f" ({'; '.join(run.crash_reasons)})" if run.crash_reasons else ""),
+            f"* minimal witness: {self.witness.preemptions} pre-emptive "
+            f"context switch(es) over {len(run.schedule)} steps",
+            f"* manifestation under random testing: "
+            f"{self.random_rate:.1%} of {self.random_runs} runs "
+            f"(95% CI {self.rate_interval[0]:.1%}..{self.rate_interval[1]:.1%})",
+        ]
+        if self.stress_runs_for_95 is not None:
+            lines.append(
+                f"* expected stress-testing effort: ~{self.stress_runs_for_95} "
+                f"runs for 95% confidence of seeing it once"
+            )
+        lines += [
+            "",
+            "## Deterministic reproduction",
+            "",
+            "Replay this schedule with `repro.sim.replay`:",
+            "",
+            "```json",
+            self.schedule_json,
+            "```",
+            "",
+            "## Witness trace",
+            "",
+            "```",
+            (
+                run.trace.format_columns(width=26)
+                if len(run.trace.threads()) <= 4
+                else run.trace.format()
+            ),
+            "```",
+            "",
+            "## Detector findings",
+            "",
+        ]
+        if self.findings:
+            lines.extend(f"* {finding.summary()}" for finding in self.findings)
+        else:
+            lines.append("* (no detector flagged this failure)")
+        return "\n".join(lines)
+
+
+def build_bug_report(
+    program: Program,
+    failure: Callable[[RunResult], bool],
+    random_runs: int = 200,
+    max_bound: int = 4,
+    max_schedules_per_bound: int = 60000,
+) -> Optional[BugReport]:
+    """Assemble a :class:`BugReport`, or ``None`` if no failure is reachable."""
+    witness = minimize_preemptions(
+        program,
+        failure,
+        max_bound=max_bound,
+        max_schedules_per_bound=max_schedules_per_bound,
+    )
+    if witness is None:
+        return None
+    suite = DetectorSuite.for_program(program)
+    suite_result = suite.analyse(witness.run.trace)
+    findings = [f for report in suite_result.reports.values() for f in report]
+
+    from repro.sim.engine import run_program
+
+    manifested = 0
+    for seed in range(random_runs):
+        run = run_program(program, RandomScheduler(seed=seed))
+        if failure(run):
+            manifested += 1
+    rate = manifested / random_runs if random_runs else 0.0
+    interval = wilson_interval(manifested, random_runs)
+    stress = None
+    if 0 < rate < 1:
+        stress = runs_needed(rate, confidence=0.95)
+    elif rate == 0 and random_runs:
+        # Use the interval's upper bound as the optimistic probability.
+        upper = interval[1]
+        stress = runs_needed(upper, confidence=0.95) if upper > 0 else None
+    elif rate == 1.0:
+        stress = 1
+    return BugReport(
+        program=program.name,
+        witness=witness,
+        findings=findings,
+        random_rate=rate,
+        random_runs=random_runs,
+        rate_interval=interval,
+        stress_runs_for_95=stress,
+    )

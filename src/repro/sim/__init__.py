@@ -1,0 +1,119 @@
+"""Deterministic concurrency simulator.
+
+This package is the substrate that stands in for the real multithreaded
+C/C++ executions of the ASPLOS'08 study.  It provides:
+
+* an operation DSL for writing small concurrent programs
+  (:mod:`repro.sim.ops`),
+* virtual threads and a step-by-step engine with full schedule control
+  (:mod:`repro.sim.engine`),
+* pluggable schedulers, from random stress to PCT
+  (:mod:`repro.sim.scheduler`),
+* exhaustive bounded interleaving exploration
+  (:mod:`repro.sim.explorer`), and
+* record/replay of interleavings (:mod:`repro.sim.replay`).
+"""
+
+from repro.sim.engine import Engine, RunResult, RunStatus, run_program
+from repro.sim.explorer import (
+    ExplorationResult,
+    Explorer,
+    enumerate_outcomes,
+    find_schedule,
+)
+from repro.sim.generate import (
+    FuzzReport,
+    GeneratorConfig,
+    fuzz_explorers,
+    generate_program,
+)
+from repro.sim.minimize import MinimalWitness, minimize_preemptions, preemption_count
+from repro.sim.reduction import SleepSetExplorer, op_footprint, ops_dependent
+from repro.sim.ops import (
+    Acquire,
+    AcquireRead,
+    AcquireWrite,
+    AtomicUpdate,
+    BarrierWait,
+    Join,
+    Notify,
+    NotifyAll,
+    Op,
+    Read,
+    Release,
+    ReleaseRead,
+    ReleaseWrite,
+    SemAcquire,
+    SemRelease,
+    Sleep,
+    Spawn,
+    TryAcquire,
+    Wait,
+    Write,
+    Yield,
+)
+from repro.sim.program import Program
+from repro.sim.replay import replay, replay_prefix, schedule_from_json, schedule_to_json
+from repro.sim.scheduler import (
+    CooperativeScheduler,
+    FixedScheduler,
+    PCTScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "RunStatus",
+    "run_program",
+    "Explorer",
+    "ExplorationResult",
+    "enumerate_outcomes",
+    "find_schedule",
+    "Program",
+    "Trace",
+    "replay",
+    "replay_prefix",
+    "MinimalWitness",
+    "minimize_preemptions",
+    "preemption_count",
+    "SleepSetExplorer",
+    "op_footprint",
+    "ops_dependent",
+    "GeneratorConfig",
+    "generate_program",
+    "fuzz_explorers",
+    "FuzzReport",
+    "schedule_to_json",
+    "schedule_from_json",
+    "Scheduler",
+    "RandomScheduler",
+    "CooperativeScheduler",
+    "RoundRobinScheduler",
+    "PCTScheduler",
+    "FixedScheduler",
+    "Op",
+    "Read",
+    "Write",
+    "AtomicUpdate",
+    "Acquire",
+    "Release",
+    "TryAcquire",
+    "AcquireRead",
+    "AcquireWrite",
+    "ReleaseRead",
+    "ReleaseWrite",
+    "Wait",
+    "Notify",
+    "NotifyAll",
+    "SemAcquire",
+    "SemRelease",
+    "BarrierWait",
+    "Spawn",
+    "Join",
+    "Yield",
+    "Sleep",
+]

@@ -1,0 +1,514 @@
+"""The simulation engine: executes a program under a scheduling policy.
+
+The engine owns one run's mutable state (memory, sync objects, virtual
+threads) and drives the step loop:
+
+1. compute the set of *enabled* threads (those whose pending operation can
+   execute right now);
+2. let the scheduler pick one (optionally pre-filtered by an
+   ``enabled_filter`` hook — this is how access-order enforcement is
+   layered on without touching the engine);
+3. execute the chosen thread's pending operation, emit trace events, and
+   advance its generator.
+
+The run ends when every thread has finished (``OK``), a thread crashes
+(``CRASH`` — modelling process death), no thread is enabled while some are
+alive (``DEADLOCK`` if the wait-for graph has a cycle, ``HANG`` otherwise),
+or the step budget is exhausted (``ABORTED``).
+
+A key property: *one scheduler decision per shared-state operation*.  This
+is the granularity at which the ASPLOS'08 study reasons about bugs, and it
+is what CPython's real threads cannot give you — the GIL plus opaque OS
+scheduling makes the interleavings of interest effectively unreachable,
+which is why this substrate exists at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ProgramError, SchedulerError
+from repro.sim import events as ev
+from repro.sim import ops
+from repro.sim.program import Program
+from repro.sim.scheduler import Scheduler
+from repro.sim.thread import ThreadState, VirtualThread
+from repro.sim.trace import Trace
+
+__all__ = ["RunStatus", "RunResult", "Engine", "run_program"]
+
+EnabledFilter = Callable[["Engine", List[str]], List[str]]
+
+
+class RunStatus(enum.Enum):
+    """Terminal status of one simulated run."""
+
+    OK = "ok"
+    CRASH = "crash"
+    DEADLOCK = "deadlock"
+    HANG = "hang"
+    ABORTED = "aborted"
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one finished run."""
+
+    program: str
+    status: RunStatus
+    trace: Trace
+    memory: Dict[str, Any]
+    schedule: List[str]
+    steps: int
+    crash_reasons: List[str] = field(default_factory=list)
+    blocked: Tuple[Tuple[str, str], ...] = ()
+    stop_reason: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed without any modelled failure."""
+        return self.status is RunStatus.OK
+
+    @property
+    def failed(self) -> bool:
+        """Whether the run crashed, deadlocked, or hung."""
+        return self.status in (RunStatus.CRASH, RunStatus.DEADLOCK, RunStatus.HANG)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        extra = ""
+        if self.crash_reasons:
+            extra = f" ({'; '.join(self.crash_reasons)})"
+        elif self.blocked:
+            extra = " (" + ", ".join(f"{t} on {w}" for t, w in self.blocked) + ")"
+        return f"{self.program}: {self.status.value}{extra} after {self.steps} steps"
+
+
+class Engine:
+    """Executes one run of ``program`` under ``scheduler``."""
+
+    def __init__(
+        self,
+        program: Program,
+        scheduler: Scheduler,
+        max_steps: int = 20000,
+        enabled_filter: Optional[EnabledFilter] = None,
+    ):
+        self.program = program
+        self.scheduler = scheduler
+        self.max_steps = max_steps
+        self.enabled_filter = enabled_filter
+        self.memory = program.make_memory()
+        self.sync = program.make_sync()
+        self.threads: Dict[str, VirtualThread] = program.make_threads()
+        self.trace = Trace()
+        self.schedule: List[str] = []
+        self.steps = 0
+        self._seq = 0
+        self._crashes: List[str] = []
+        # Labels already executed, visible to enabled_filter implementations.
+        self.executed_labels: List[str] = []
+
+    # -- public API -------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Drive the program to a terminal state and return the result."""
+        self.scheduler.reset()
+        for name in self.program.start:
+            self._start_thread(name)
+        status = RunStatus.OK
+        blocked: Tuple[Tuple[str, str], ...] = ()
+        stop_reason = "all threads finished"
+        while True:
+            if self._crashes:
+                status = RunStatus.CRASH
+                stop_reason = "simulated crash terminated the process"
+                break
+            alive = [t for t in self.threads.values() if t.alive]
+            if not alive:
+                break
+            enabled = self._enabled_threads()
+            if not enabled:
+                blocked = self._blocked_summary()
+                status = self._classify_stall()
+                stop_reason = "no enabled threads"
+                self._emit(ev.DeadlockEvent, thread="<engine>", blocked=blocked)
+                break
+            if self.steps >= self.max_steps:
+                status = RunStatus.ABORTED
+                stop_reason = f"step budget of {self.max_steps} exhausted"
+                break
+            allowed = enabled
+            if self.enabled_filter is not None:
+                filtered = self.enabled_filter(self, list(enabled))
+                if filtered:
+                    allowed = filtered
+            chosen = self.scheduler.choose(allowed, self.steps)
+            if chosen not in allowed:
+                raise SchedulerError(
+                    f"scheduler chose {chosen!r}, not in enabled set "
+                    f"{sorted(allowed)}"
+                )
+            self.schedule.append(chosen)
+            self.steps += 1
+            self._execute(self.threads[chosen])
+        return RunResult(
+            program=self.program.name,
+            status=status,
+            trace=self.trace,
+            memory=self.memory.snapshot(),
+            schedule=self.schedule,
+            steps=self.steps,
+            crash_reasons=list(self._crashes),
+            blocked=blocked,
+            stop_reason=stop_reason,
+        )
+
+    # -- enabledness ------------------------------------------------------
+
+    def _enabled_threads(self) -> List[str]:
+        return [
+            vt.name
+            for vt in self.threads.values()
+            if vt.state is ThreadState.RUNNABLE and self._op_enabled(vt)
+        ]
+
+    def _op_enabled(self, vt: VirtualThread) -> bool:
+        op = vt.pending
+        if op is None:
+            raise ProgramError(f"runnable thread {vt.name!r} has no pending op")
+        if isinstance(op, ops.Acquire):
+            return self.sync.mutex(op.lock).can_acquire(vt.name)
+        if isinstance(op, ops._ReacquireAfterWait):
+            return self.sync.mutex(op.lock).can_acquire(vt.name)
+        if isinstance(op, ops.AcquireRead):
+            return self.sync.rwlock(op.rwlock).can_acquire_read(vt.name)
+        if isinstance(op, ops.AcquireWrite):
+            return self.sync.rwlock(op.rwlock).can_acquire_write(vt.name)
+        if isinstance(op, ops.SemAcquire):
+            return self.sync.semaphore(op.sem).can_acquire(vt.name)
+        if isinstance(op, ops.Join):
+            return self._target(op.thread).done
+        return True
+
+    # -- execution --------------------------------------------------------
+
+    def _execute(self, vt: VirtualThread) -> None:
+        op = vt.pending
+        assert op is not None
+        label = getattr(op, "label", None)
+        if label is not None:
+            self.executed_labels.append(label)
+        handler = self._HANDLERS[type(op)]
+        handler(self, vt, op)
+
+    def _exec_read(self, vt: VirtualThread, op: ops.Read) -> None:
+        value = self.memory.read(op.var)
+        self._emit(ev.ReadEvent, thread=vt.name, label=op.label, var=op.var, value=value)
+        self._advance(vt, value)
+
+    def _exec_write(self, vt: VirtualThread, op: ops.Write) -> None:
+        old = self.memory.write(op.var, op.value)
+        self._emit(
+            ev.WriteEvent, thread=vt.name, label=op.label, var=op.var,
+            value=op.value, old=old,
+        )
+        self._advance(vt, None)
+
+    def _exec_atomic(self, vt: VirtualThread, op: ops.AtomicUpdate) -> None:
+        old, new = self.memory.update(op.var, op.fn)
+        self._emit(
+            ev.AtomicUpdateEvent, thread=vt.name, label=op.label, var=op.var,
+            value=new, old=old,
+        )
+        self._advance(vt, new)
+
+    def _exec_acquire(self, vt: VirtualThread, op: ops.Acquire) -> None:
+        self.sync.mutex(op.lock).acquire(vt.name)
+        self._emit(ev.AcquireEvent, thread=vt.name, label=op.label, lock=op.lock)
+        self._advance(vt, None)
+
+    def _exec_release(self, vt: VirtualThread, op: ops.Release) -> None:
+        self.sync.mutex(op.lock).release(vt.name)
+        self._emit(ev.ReleaseEvent, thread=vt.name, label=op.label, lock=op.lock)
+        self._advance(vt, None)
+
+    def _exec_try_acquire(self, vt: VirtualThread, op: ops.TryAcquire) -> None:
+        success = self.sync.mutex(op.lock).try_acquire(vt.name)
+        self._emit(
+            ev.TryAcquireEvent, thread=vt.name, label=op.label, lock=op.lock,
+            success=success,
+        )
+        self._advance(vt, success)
+
+    def _exec_acquire_read(self, vt: VirtualThread, op: ops.AcquireRead) -> None:
+        self.sync.rwlock(op.rwlock).acquire_read(vt.name)
+        self._emit(ev.RWAcquireEvent, thread=vt.name, label=op.label, rwlock=op.rwlock, mode="r")
+        self._advance(vt, None)
+
+    def _exec_acquire_write(self, vt: VirtualThread, op: ops.AcquireWrite) -> None:
+        self.sync.rwlock(op.rwlock).acquire_write(vt.name)
+        self._emit(ev.RWAcquireEvent, thread=vt.name, label=op.label, rwlock=op.rwlock, mode="w")
+        self._advance(vt, None)
+
+    def _exec_release_read(self, vt: VirtualThread, op: ops.ReleaseRead) -> None:
+        self.sync.rwlock(op.rwlock).release_read(vt.name)
+        self._emit(ev.RWReleaseEvent, thread=vt.name, label=op.label, rwlock=op.rwlock, mode="r")
+        self._advance(vt, None)
+
+    def _exec_release_write(self, vt: VirtualThread, op: ops.ReleaseWrite) -> None:
+        self.sync.rwlock(op.rwlock).release_write(vt.name)
+        self._emit(ev.RWReleaseEvent, thread=vt.name, label=op.label, rwlock=op.rwlock, mode="w")
+        self._advance(vt, None)
+
+    def _exec_wait(self, vt: VirtualThread, op: ops.Wait) -> None:
+        cond = self.sync.condition(op.cond)
+        mutex = self.sync.mutex(cond.lock)
+        if mutex.owner != vt.name:
+            raise ProgramError(
+                f"thread {vt.name!r} waits on {op.cond!r} without holding "
+                f"its lock {cond.lock!r}"
+            )
+        mutex.release(vt.name)
+        cond.park(vt.name)
+        self._emit(
+            ev.WaitParkEvent, thread=vt.name, label=op.label, cond=op.cond,
+            lock=cond.lock,
+        )
+        vt.park(f"cond:{op.cond}")
+
+    def _exec_notify(self, vt: VirtualThread, op: ops.Notify) -> None:
+        self._do_notify(vt, op.cond, op.label, all_waiters=False)
+
+    def _exec_notify_all(self, vt: VirtualThread, op: ops.NotifyAll) -> None:
+        self._do_notify(vt, op.cond, op.label, all_waiters=True)
+
+    def _do_notify(self, vt: VirtualThread, cond_name: str, label, all_waiters: bool) -> None:
+        cond = self.sync.condition(cond_name)
+        woken = cond.notify_all() if all_waiters else cond.notify_one()
+        for name in woken:
+            self.threads[name].unpark(
+                ops._ReacquireAfterWait(cond=cond_name, lock=cond.lock)
+            )
+        self._emit(
+            ev.NotifyEvent, thread=vt.name, label=label, cond=cond_name,
+            woken=tuple(woken), all=all_waiters,
+        )
+        self._advance(vt, None)
+
+    def _exec_reacquire(self, vt: VirtualThread, op: ops._ReacquireAfterWait) -> None:
+        self.sync.mutex(op.lock).acquire(vt.name)
+        self._emit(
+            ev.WaitResumeEvent, thread=vt.name, label=op.label, cond=op.cond,
+            lock=op.lock,
+        )
+        self._advance(vt, None)
+
+    def _exec_sem_acquire(self, vt: VirtualThread, op: ops.SemAcquire) -> None:
+        value = self.sync.semaphore(op.sem).acquire(vt.name)
+        self._emit(ev.SemAcquireEvent, thread=vt.name, label=op.label, sem=op.sem, value=value)
+        self._advance(vt, None)
+
+    def _exec_sem_release(self, vt: VirtualThread, op: ops.SemRelease) -> None:
+        value = self.sync.semaphore(op.sem).release(vt.name)
+        self._emit(ev.SemReleaseEvent, thread=vt.name, label=op.label, sem=op.sem, value=value)
+        self._advance(vt, None)
+
+    def _exec_barrier(self, vt: VirtualThread, op: ops.BarrierWait) -> None:
+        barrier = self.sync.barrier(op.barrier)
+        if barrier.can_pass(vt.name):
+            released = barrier.trip()
+            party = tuple(released) + (vt.name,)
+            self._emit(
+                ev.BarrierEvent, thread=vt.name, label=op.label,
+                barrier=op.barrier, released=party,
+            )
+            for name in released:
+                waiter = self.threads[name]
+                waiter.state = ThreadState.RUNNABLE
+                waiter.park_reason = None
+                self._advance(waiter, None)
+            self._advance(vt, None)
+        else:
+            barrier.arrive(vt.name)
+            self._emit(
+                ev.BarrierEvent, thread=vt.name, label=op.label,
+                barrier=op.barrier, released=(),
+            )
+            vt.park(f"barrier:{op.barrier}")
+
+    def _exec_spawn(self, vt: VirtualThread, op: ops.Spawn) -> None:
+        target = self._target(op.thread)
+        if target.state is not ThreadState.NEW:
+            raise ProgramError(
+                f"thread {vt.name!r} spawned {op.thread!r} which is already "
+                f"{target.state.value}"
+            )
+        self._emit(ev.SpawnEvent, thread=vt.name, label=op.label, target=op.thread)
+        self._start_thread(op.thread)
+        self._advance(vt, None)
+
+    def _exec_join(self, vt: VirtualThread, op: ops.Join) -> None:
+        self._emit(ev.JoinEvent, thread=vt.name, label=op.label, target=op.thread)
+        self._advance(vt, None)
+
+    def _exec_yield(self, vt: VirtualThread, op: ops.Yield) -> None:
+        self._emit(ev.YieldEvent, thread=vt.name, label=op.label)
+        self._advance(vt, None)
+
+    def _exec_sleep(self, vt: VirtualThread, op: ops.Sleep) -> None:
+        if vt.sleep_remaining == 0:
+            vt.sleep_remaining = max(1, op.ticks)
+        vt.sleep_remaining -= 1
+        self._emit(ev.YieldEvent, thread=vt.name, label=op.label)
+        if vt.sleep_remaining == 0:
+            self._advance(vt, None)
+
+    _HANDLERS = {
+        ops.Read: _exec_read,
+        ops.Write: _exec_write,
+        ops.AtomicUpdate: _exec_atomic,
+        ops.Acquire: _exec_acquire,
+        ops.Release: _exec_release,
+        ops.TryAcquire: _exec_try_acquire,
+        ops.AcquireRead: _exec_acquire_read,
+        ops.AcquireWrite: _exec_acquire_write,
+        ops.ReleaseRead: _exec_release_read,
+        ops.ReleaseWrite: _exec_release_write,
+        ops.Wait: _exec_wait,
+        ops.Notify: _exec_notify,
+        ops.NotifyAll: _exec_notify_all,
+        ops._ReacquireAfterWait: _exec_reacquire,
+        ops.SemAcquire: _exec_sem_acquire,
+        ops.SemRelease: _exec_sem_release,
+        ops.BarrierWait: _exec_barrier,
+        ops.Spawn: _exec_spawn,
+        ops.Join: _exec_join,
+        ops.Yield: _exec_yield,
+        ops.Sleep: _exec_sleep,
+    }
+
+    # -- thread lifecycle ---------------------------------------------------
+
+    def _start_thread(self, name: str) -> None:
+        vt = self._target(name)
+        vt.start()
+        self._emit(ev.ThreadStartEvent, thread=name)
+        self._note_termination(vt)
+
+    def _advance(self, vt: VirtualThread, result: Any) -> None:
+        vt.advance(result)
+        self._note_termination(vt)
+
+    def _note_termination(self, vt: VirtualThread) -> None:
+        if vt.state is ThreadState.FINISHED:
+            self._emit(ev.ThreadFinishEvent, thread=vt.name)
+        elif vt.state is ThreadState.CRASHED:
+            reason = vt.crash_reason or "crash"
+            self._emit(ev.ThreadCrashEvent, thread=vt.name, reason=reason)
+            self._crashes.append(f"{vt.name}: {reason}")
+
+    def _target(self, name: str) -> VirtualThread:
+        if name not in self.threads:
+            raise ProgramError(
+                f"reference to undeclared thread {name!r}; declared: "
+                f"{sorted(self.threads)}"
+            )
+        return self.threads[name]
+
+    # -- stall analysis -------------------------------------------------------
+
+    def _blocked_summary(self) -> Tuple[Tuple[str, str], ...]:
+        out = []
+        for vt in self.threads.values():
+            if vt.state is ThreadState.PARKED:
+                out.append((vt.name, vt.park_reason or "parked"))
+            elif vt.state is ThreadState.RUNNABLE:
+                out.append((vt.name, self._wait_description(vt)))
+        return tuple(out)
+
+    def _wait_description(self, vt: VirtualThread) -> str:
+        op = vt.pending
+        if isinstance(op, (ops.Acquire, ops._ReacquireAfterWait)):
+            lock = op.lock
+            owner = self.sync.mutex(lock).owner
+            return f"lock:{lock}(held by {owner})"
+        if isinstance(op, (ops.AcquireRead, ops.AcquireWrite)):
+            return f"rwlock:{op.rwlock}"
+        if isinstance(op, ops.SemAcquire):
+            return f"sem:{op.sem}"
+        if isinstance(op, ops.Join):
+            return f"join:{op.thread}"
+        return f"op:{op.describe() if op else '?'}"
+
+    def _classify_stall(self) -> RunStatus:
+        """DEADLOCK when the thread wait-for graph has a cycle, else HANG."""
+        edges: Dict[str, List[str]] = {}
+        for vt in self.threads.values():
+            if vt.state is not ThreadState.RUNNABLE:
+                continue
+            op = vt.pending
+            holders: List[str] = []
+            if isinstance(op, (ops.Acquire, ops._ReacquireAfterWait)):
+                owner = self.sync.mutex(op.lock).owner
+                if owner is not None:
+                    holders = [owner]
+            elif isinstance(op, ops.AcquireRead):
+                rw = self.sync.rwlock(op.rwlock)
+                holders = [rw.writer] if rw.writer else []
+            elif isinstance(op, ops.AcquireWrite):
+                rw = self.sync.rwlock(op.rwlock)
+                # An upgrader's own read hold does not block it; only the
+                # *other* readers are wait-for edges.
+                holders = ([rw.writer] if rw.writer else []) + sorted(
+                    r for r in rw.readers if r != vt.name
+                )
+            elif isinstance(op, ops.Join):
+                target = self._target(op.thread)
+                if target.alive:
+                    holders = [op.thread]
+            if holders:
+                edges[vt.name] = holders
+        return RunStatus.DEADLOCK if _has_cycle(edges) else RunStatus.HANG
+
+    # -- event emission ---------------------------------------------------------
+
+    def _emit(self, klass, thread: str, label: Optional[str] = None, **payload) -> None:
+        event = klass(seq=self._seq, thread=thread, label=label, **payload)
+        self._seq += 1
+        self.trace.append(event)
+
+
+def _has_cycle(edges: Dict[str, List[str]]) -> bool:
+    """Cycle detection over a small adjacency map (self-loops count)."""
+    visiting: set = set()
+    done: set = set()
+
+    def visit(node: str) -> bool:
+        if node in done:
+            return False
+        if node in visiting:
+            return True
+        visiting.add(node)
+        for nxt in edges.get(node, ()):
+            if visit(nxt):
+                return True
+        visiting.discard(node)
+        done.add(node)
+        return False
+
+    return any(visit(n) for n in list(edges))
+
+
+def run_program(
+    program: Program,
+    scheduler: Scheduler,
+    max_steps: int = 20000,
+    enabled_filter: Optional[EnabledFilter] = None,
+) -> RunResult:
+    """Convenience wrapper: build an :class:`Engine` and run it once."""
+    return Engine(
+        program, scheduler, max_steps=max_steps, enabled_filter=enabled_filter
+    ).run()

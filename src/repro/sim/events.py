@@ -1,0 +1,312 @@
+"""Trace events emitted by the simulation engine.
+
+Every scheduler step that executes an operation appends exactly one event to
+the run's :class:`~repro.sim.trace.Trace`.  Events carry a global sequence
+number (the total order of the interleaving), the executing thread, and
+operation-specific payload.  Detectors consume traces, never live engine
+state, so a trace is a complete, self-contained record of one interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "ReadEvent",
+    "WriteEvent",
+    "AtomicUpdateEvent",
+    "AcquireEvent",
+    "ReleaseEvent",
+    "TryAcquireEvent",
+    "RWAcquireEvent",
+    "RWReleaseEvent",
+    "WaitParkEvent",
+    "WaitResumeEvent",
+    "NotifyEvent",
+    "SemAcquireEvent",
+    "SemReleaseEvent",
+    "BarrierEvent",
+    "SpawnEvent",
+    "JoinEvent",
+    "YieldEvent",
+    "ThreadStartEvent",
+    "ThreadFinishEvent",
+    "ThreadCrashEvent",
+    "DeadlockEvent",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: ``seq`` is the position in the global interleaving order."""
+
+    seq: int
+    thread: str
+    label: Optional[str] = None
+
+    @property
+    def is_memory_access(self) -> bool:
+        """Whether this event reads or writes a shared variable."""
+        return isinstance(self, (ReadEvent, WriteEvent, AtomicUpdateEvent))
+
+    @property
+    def is_sync(self) -> bool:
+        """Whether this event is a synchronisation operation."""
+        return isinstance(
+            self,
+            (
+                AcquireEvent,
+                ReleaseEvent,
+                TryAcquireEvent,
+                RWAcquireEvent,
+                RWReleaseEvent,
+                WaitParkEvent,
+                WaitResumeEvent,
+                NotifyEvent,
+                SemAcquireEvent,
+                SemReleaseEvent,
+                BarrierEvent,
+                SpawnEvent,
+                JoinEvent,
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-line rendering used by :meth:`repro.sim.trace.Trace.format`."""
+        return f"{type(self).__name__}"
+
+
+@dataclass(frozen=True)
+class ReadEvent(Event):
+    """Thread read ``var`` and observed ``value``."""
+
+    var: str = ""
+    value: Any = None
+
+    def describe(self) -> str:
+        return f"read  {self.var} -> {self.value!r}"
+
+
+@dataclass(frozen=True)
+class WriteEvent(Event):
+    """Thread wrote ``value`` to ``var`` (``old`` is the overwritten value)."""
+
+    var: str = ""
+    value: Any = None
+    old: Any = None
+
+    def describe(self) -> str:
+        return f"write {self.var} <- {self.value!r}"
+
+
+@dataclass(frozen=True)
+class AtomicUpdateEvent(Event):
+    """Thread atomically replaced ``old`` with ``value`` on ``var``."""
+
+    var: str = ""
+    value: Any = None
+    old: Any = None
+
+    def describe(self) -> str:
+        return f"atomic {self.var}: {self.old!r} -> {self.value!r}"
+
+
+@dataclass(frozen=True)
+class AcquireEvent(Event):
+    """Thread acquired mutex ``lock``."""
+
+    lock: str = ""
+
+    def describe(self) -> str:
+        return f"acquire {self.lock}"
+
+
+@dataclass(frozen=True)
+class ReleaseEvent(Event):
+    """Thread released mutex ``lock``."""
+
+    lock: str = ""
+
+    def describe(self) -> str:
+        return f"release {self.lock}"
+
+
+@dataclass(frozen=True)
+class TryAcquireEvent(Event):
+    """Thread try-acquired ``lock``; ``success`` records the outcome."""
+
+    lock: str = ""
+    success: bool = False
+
+    def describe(self) -> str:
+        verdict = "ok" if self.success else "busy"
+        return f"try-acquire {self.lock} [{verdict}]"
+
+
+@dataclass(frozen=True)
+class RWAcquireEvent(Event):
+    """Thread acquired reader-writer lock ``rwlock`` in ``mode`` ('r'/'w')."""
+
+    rwlock: str = ""
+    mode: str = "r"
+
+    def describe(self) -> str:
+        return f"rw-acquire {self.rwlock} [{self.mode}]"
+
+
+@dataclass(frozen=True)
+class RWReleaseEvent(Event):
+    """Thread released its ``mode`` hold on ``rwlock``."""
+
+    rwlock: str = ""
+    mode: str = "r"
+
+    def describe(self) -> str:
+        return f"rw-release {self.rwlock} [{self.mode}]"
+
+
+@dataclass(frozen=True)
+class WaitParkEvent(Event):
+    """Thread parked on condition ``cond``, releasing ``lock``."""
+
+    cond: str = ""
+    lock: str = ""
+
+    def describe(self) -> str:
+        return f"wait-park {self.cond} (released {self.lock})"
+
+
+@dataclass(frozen=True)
+class WaitResumeEvent(Event):
+    """Thread woke from ``cond`` and re-acquired ``lock``."""
+
+    cond: str = ""
+    lock: str = ""
+
+    def describe(self) -> str:
+        return f"wait-resume {self.cond} (re-acquired {self.lock})"
+
+
+@dataclass(frozen=True)
+class NotifyEvent(Event):
+    """Thread notified ``cond``; ``woken`` lists the released thread names.
+
+    An empty ``woken`` tuple records a *lost* notification — the signature
+    of order-violation lost-wakeup bugs.
+    """
+
+    cond: str = ""
+    woken: Tuple[str, ...] = ()
+    all: bool = False
+
+    def describe(self) -> str:
+        kind = "notify-all" if self.all else "notify"
+        woken = ",".join(self.woken) if self.woken else "<lost>"
+        return f"{kind} {self.cond} -> {woken}"
+
+
+@dataclass(frozen=True)
+class SemAcquireEvent(Event):
+    """Thread decremented semaphore ``sem`` to ``value``."""
+
+    sem: str = ""
+    value: int = 0
+
+    def describe(self) -> str:
+        return f"sem-acquire {self.sem} (now {self.value})"
+
+
+@dataclass(frozen=True)
+class SemReleaseEvent(Event):
+    """Thread incremented semaphore ``sem`` to ``value``."""
+
+    sem: str = ""
+    value: int = 0
+
+    def describe(self) -> str:
+        return f"sem-release {self.sem} (now {self.value})"
+
+
+@dataclass(frozen=True)
+class BarrierEvent(Event):
+    """Thread passed ``barrier``; ``released`` names the whole party if this
+    arrival tripped the barrier."""
+
+    barrier: str = ""
+    released: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return f"barrier {self.barrier}"
+
+
+@dataclass(frozen=True)
+class SpawnEvent(Event):
+    """Thread started the declared thread ``target``."""
+
+    target: str = ""
+
+    def describe(self) -> str:
+        return f"spawn {self.target}"
+
+
+@dataclass(frozen=True)
+class JoinEvent(Event):
+    """Thread observed ``target`` finished."""
+
+    target: str = ""
+
+    def describe(self) -> str:
+        return f"join {self.target}"
+
+
+@dataclass(frozen=True)
+class YieldEvent(Event):
+    """Pure scheduling point (from ``Yield`` or each tick of ``Sleep``)."""
+
+    def describe(self) -> str:
+        return "yield"
+
+
+@dataclass(frozen=True)
+class ThreadStartEvent(Event):
+    """Thread began execution (its generator reached the first yield)."""
+
+    def describe(self) -> str:
+        return "start"
+
+
+@dataclass(frozen=True)
+class ThreadFinishEvent(Event):
+    """Thread body returned normally."""
+
+    def describe(self) -> str:
+        return "finish"
+
+
+@dataclass(frozen=True)
+class ThreadCrashEvent(Event):
+    """Thread body raised :class:`~repro.errors.SimCrash` (modelled crash)."""
+
+    reason: str = ""
+
+    def describe(self) -> str:
+        return f"CRASH: {self.reason}"
+
+
+@dataclass(frozen=True)
+class DeadlockEvent(Event):
+    """Global stall: no thread is enabled but some are unfinished.
+
+    ``blocked`` maps each stuck thread to a description of what it waits
+    on.  Covers both classic deadlocks (circular lock wait) and hangs
+    (lost wakeups, missed semaphore posts); the run status distinguishes
+    them by inspecting what the blocked threads wait on.
+    """
+
+    blocked: Tuple[Tuple[str, str], ...] = ()
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{t} on {w}" for t, w in self.blocked)
+        return f"DEADLOCK: {parts}"

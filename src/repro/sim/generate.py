@@ -1,0 +1,180 @@
+"""Seeded random concurrent-program generation (fuzzing substrate).
+
+The detectors, explorer, and reduction machinery all need adversarial
+inputs beyond the hand-written kernels.  :func:`generate_program`
+produces a random — but **deterministic given the seed** — concurrent
+program from a constrained grammar:
+
+* straight-line thread bodies over a small shared-variable alphabet;
+* optional well-nested critical sections (single global lock order, so
+  generated programs never deadlock unless ``allow_deadlock``);
+* optional crash guards (``SimCrash`` when a read observes a threshold);
+* optional deliberately-inverted lock pairs (``allow_deadlock=True``),
+  which make ABBA deadlocks reachable.
+
+Programs from this generator terminate by construction (no loops), which
+makes them exhaustively explorable — the property the fuzz harness
+(:func:`fuzz_explorers`) relies on when cross-checking plain DFS against
+sleep-set reduction on thousands of programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import SimCrash
+from repro.sim.explorer import Explorer
+from repro.sim.ops import Acquire, Read, Release, Write
+from repro.sim.program import Program
+
+__all__ = ["GeneratorConfig", "generate_program", "fuzz_explorers", "FuzzReport"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for the random program family."""
+
+    threads: Tuple[int, int] = (2, 3)
+    ops_per_thread: Tuple[int, int] = (1, 4)
+    variables: int = 2
+    locks: int = 2
+    locked_section_probability: float = 0.5
+    crash_probability: float = 0.2
+    allow_deadlock: bool = False
+
+
+def generate_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> Program:
+    """A random terminating program, deterministic in ``seed``."""
+    rng = random.Random(seed)
+    variables = [f"v{i}" for i in range(config.variables)]
+    locks = [f"L{i}" for i in range(config.locks)]
+    thread_count = rng.randint(*config.threads)
+
+    def make_body(body_plan):
+        lock_plan, op_plan, crash_threshold = body_plan
+
+        def body():
+            for lock in lock_plan:
+                yield Acquire(lock)
+            for kind, var in op_plan:
+                if kind == "read":
+                    value = yield Read(var)
+                    if crash_threshold is not None and value >= crash_threshold:
+                        raise SimCrash(f"guard tripped on {var}")
+                else:
+                    current = yield Read(var)
+                    yield Write(var, current + 1)
+            for lock in reversed(lock_plan):
+                yield Release(lock)
+
+        return body
+
+    threads = {}
+    for index in range(thread_count):
+        lock_plan: List[str] = []
+        if rng.random() < config.locked_section_probability and locks:
+            first = rng.choice(locks)
+            lock_plan = [first]
+            if config.allow_deadlock and len(locks) >= 2 and rng.random() < 0.5:
+                second = rng.choice([l for l in locks if l != first])
+                lock_plan.append(second)
+            elif not config.allow_deadlock and rng.random() < 0.3:
+                # Well-ordered nesting (sorted): deadlock-free by design.
+                others = [l for l in locks if l > first]
+                if others:
+                    lock_plan.append(rng.choice(others))
+        op_count = rng.randint(*config.ops_per_thread)
+        op_plan = [
+            (rng.choice(["read", "write"]), rng.choice(variables))
+            for _ in range(op_count)
+        ]
+        crash_threshold = (
+            rng.randint(1, 3) if rng.random() < config.crash_probability else None
+        )
+        threads[f"T{index}"] = make_body((lock_plan, op_plan, crash_threshold))
+    return Program(
+        f"generated-{seed}",
+        threads=threads,
+        initial={v: 0 for v in variables},
+        locks=locks,
+    )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of cross-checking the explorers over many random programs."""
+
+    programs: int = 0
+    mismatches: int = 0
+    skipped: int = 0
+    total_full_schedules: int = 0
+    total_reduced_schedules: int = 0
+    mismatch_seeds: List[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mismatch_seeds is None:
+            self.mismatch_seeds = []
+
+    @property
+    def clean(self) -> bool:
+        """No divergence between plain DFS and the reduced search."""
+        return self.mismatches == 0
+
+    def reduction_factor(self) -> float:
+        """How many times fewer schedules the reduced search ran."""
+        if not self.total_reduced_schedules:
+            return 1.0
+        return self.total_full_schedules / self.total_reduced_schedules
+
+    def summary(self) -> str:
+        """One-line rendering of the fuzz outcome."""
+        skipped = f", {self.skipped} over budget" if self.skipped else ""
+        return (
+            f"{self.programs} programs fuzzed{skipped}: "
+            f"{'no divergence' if self.clean else f'{self.mismatches} MISMATCHES'}; "
+            f"{self.total_full_schedules} vs {self.total_reduced_schedules} "
+            f"schedules ({self.reduction_factor():.1f}x reduction)"
+        )
+
+
+def fuzz_explorers(
+    programs: int = 100,
+    seed_base: int = 0,
+    config: GeneratorConfig = GeneratorConfig(),
+    max_schedules: int = 20000,
+) -> FuzzReport:
+    """Cross-check plain DFS against sleep-set reduction on random programs.
+
+    For each generated program both searches run; outcome sets (terminal
+    status + memory) and failure verdicts must agree.  Programs whose
+    *full* exploration exceeds the budget are skipped — without a
+    complete baseline there is nothing sound to compare against.
+    """
+    from repro.sim.reduction import SleepSetExplorer
+
+    report = FuzzReport()
+    for offset in range(programs):
+        seed = seed_base + offset
+        program = generate_program(seed, config)
+        full = Explorer(program, max_schedules=max_schedules).explore(
+            predicate=lambda run: run.failed
+        )
+        if not full.complete:
+            report.skipped += 1
+            continue
+        reduced = SleepSetExplorer(program, max_schedules=max_schedules).explore(
+            predicate=lambda run: run.failed
+        )
+        report.programs += 1
+        report.total_full_schedules += full.schedules_run
+        report.total_reduced_schedules += reduced.schedules_run
+        if (
+            not reduced.complete
+            or set(full.outcomes) != set(reduced.outcomes)
+            or full.found != reduced.found
+        ):
+            report.mismatches += 1
+            report.mismatch_seeds.append(seed)
+    return report

@@ -1,0 +1,73 @@
+"""Shared memory for simulated programs.
+
+All shared state lives in a single :class:`SharedMemory` keyed by variable
+name.  Variables must be declared up front (with their initial values) in
+the :class:`~repro.sim.program.Program`; touching an undeclared variable is
+a :class:`~repro.errors.ProgramError`.  Declaring variables explicitly keeps
+kernels honest about *which* shared locations participate in a bug — the
+study's "how many variables are involved" dimension (Findings 4-6) is
+measured against exactly this set.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterable, Mapping
+
+from repro.errors import ProgramError
+
+__all__ = ["SharedMemory"]
+
+
+class SharedMemory:
+    """A declared set of named shared variables.
+
+    Values may be any Python object; they are deep-copied at construction
+    so a program's ``initial`` mapping is never aliased by a run.
+    """
+
+    def __init__(self, initial: Mapping[str, Any]):
+        self._values: Dict[str, Any] = {
+            name: copy.deepcopy(value) for name, value in initial.items()
+        }
+
+    def read(self, var: str) -> Any:
+        """Return the current value of ``var``."""
+        self._check(var)
+        return self._values[var]
+
+    def write(self, var: str, value: Any) -> Any:
+        """Set ``var`` to ``value``; returns the overwritten value."""
+        self._check(var)
+        old = self._values[var]
+        self._values[var] = value
+        return old
+
+    def update(self, var: str, fn) -> tuple:
+        """Atomically replace ``var`` with ``fn(current)``.
+
+        Returns ``(old, new)``.  Used by the ``AtomicUpdate`` operation.
+        """
+        self._check(var)
+        old = self._values[var]
+        new = fn(old)
+        self._values[var] = new
+        return old, new
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep copy of the full variable map (for run results/oracles)."""
+        return copy.deepcopy(self._values)
+
+    def variables(self) -> Iterable[str]:
+        """The declared variable names."""
+        return self._values.keys()
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._values
+
+    def _check(self, var: str) -> None:
+        if var not in self._values:
+            raise ProgramError(
+                f"access to undeclared shared variable {var!r}; declare it in "
+                f"Program(initial={{...}}) — declared: {sorted(self._values)}"
+            )

@@ -1,0 +1,335 @@
+"""Operation DSL for simulated thread bodies.
+
+A simulated thread body is a generator function.  Each interaction with
+*shared* state — memory reads/writes, lock operations, condition variables,
+semaphores, barriers, thread spawn/join — is expressed by ``yield``-ing an
+:class:`Op` instance.  The engine executes the operation and ``send``-s the
+result (e.g. the value read) back into the generator::
+
+    def worker():
+        v = yield Read("counter")
+        yield Write("counter", v + 1)
+
+Purely local computation between yields executes atomically from the
+scheduler's point of view.  That matches the granularity at which the
+ASPLOS'08 study reasons about interleavings: only accesses to shared
+variables and synchronisation operations are ordering-relevant.
+
+Every operation accepts an optional ``label``.  Labels identify *static
+access points* and are the handles used by :mod:`repro.manifest.enforce` to
+impose partial orders among specific accesses (the paper's "enforcing a
+certain order among no more than four memory accesses guarantees the bug
+manifests" — Finding 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Op",
+    "MemoryOp",
+    "Read",
+    "Write",
+    "AtomicUpdate",
+    "Acquire",
+    "Release",
+    "TryAcquire",
+    "AcquireRead",
+    "AcquireWrite",
+    "ReleaseRead",
+    "ReleaseWrite",
+    "Wait",
+    "Notify",
+    "NotifyAll",
+    "SemAcquire",
+    "SemRelease",
+    "BarrierWait",
+    "Spawn",
+    "Join",
+    "Yield",
+    "Sleep",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for all simulated operations.
+
+    :param label: optional static identifier for this operation site, used
+        by order-enforcement and by detectors to report code locations.
+    """
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in traces and errors."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class MemoryOp(Op):
+    """Base class for operations touching a shared variable."""
+
+    var: str
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Read(MemoryOp):
+    """Read shared variable ``var``; the yielded expression evaluates to its value."""
+
+    def describe(self) -> str:
+        return f"Read({self.var!r})"
+
+
+@dataclass(frozen=True)
+class Write(Op):
+    """Write ``value`` to shared variable ``var``."""
+
+    var: str
+    value: Any = None
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Write({self.var!r}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class AtomicUpdate(Op):
+    """Atomically apply ``fn`` to ``var`` (read-modify-write in one step).
+
+    Models hardware atomics / interlocked instructions.  Fix strategies that
+    replace a racy load/store pair with an atomic instruction use this.
+    The yielded expression evaluates to the *new* value.
+    """
+
+    var: str
+    fn: Callable[[Any], Any] = None  # type: ignore[assignment]
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"AtomicUpdate({self.var!r})"
+
+
+@dataclass(frozen=True)
+class Acquire(Op):
+    """Block until mutex ``lock`` is free, then take it."""
+
+    lock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Acquire({self.lock!r})"
+
+
+@dataclass(frozen=True)
+class Release(Op):
+    """Release mutex ``lock`` (must be held by the executing thread)."""
+
+    lock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Release({self.lock!r})"
+
+
+@dataclass(frozen=True)
+class TryAcquire(Op):
+    """Attempt to take mutex ``lock`` without blocking.
+
+    The yielded expression evaluates to ``True`` on success, ``False`` if
+    the lock was held.  Never blocks; always enabled.  Deadlock *fixes* of
+    the "give up the resource" flavour are written with this operation.
+    """
+
+    lock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"TryAcquire({self.lock!r})"
+
+
+@dataclass(frozen=True)
+class AcquireRead(Op):
+    """Take reader-writer lock ``rwlock`` in shared (read) mode."""
+
+    rwlock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"AcquireRead({self.rwlock!r})"
+
+
+@dataclass(frozen=True)
+class AcquireWrite(Op):
+    """Take reader-writer lock ``rwlock`` in exclusive (write) mode."""
+
+    rwlock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"AcquireWrite({self.rwlock!r})"
+
+
+@dataclass(frozen=True)
+class ReleaseRead(Op):
+    """Drop a shared (read) hold on ``rwlock``."""
+
+    rwlock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"ReleaseRead({self.rwlock!r})"
+
+
+@dataclass(frozen=True)
+class ReleaseWrite(Op):
+    """Drop an exclusive (write) hold on ``rwlock``."""
+
+    rwlock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"ReleaseWrite({self.rwlock!r})"
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Wait on condition variable ``cond``.
+
+    The executing thread must hold the condition's associated lock.  The
+    lock is released atomically with parking; after a notification the
+    thread re-acquires the lock before the ``yield`` completes.  A ``Wait``
+    that is never notified leaves the thread parked forever — the engine
+    reports the resulting global stall as a hang, which is how lost-wakeup
+    order violations manifest.
+    """
+
+    cond: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Wait({self.cond!r})"
+
+
+@dataclass(frozen=True)
+class Notify(Op):
+    """Wake one thread parked on ``cond`` (no-op if none are parked).
+
+    Like pthreads, a notification with no waiter is *lost* — this is
+    exactly the semantics the Mozilla/MySQL lost-wakeup bugs depend on.
+    """
+
+    cond: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Notify({self.cond!r})"
+
+
+@dataclass(frozen=True)
+class NotifyAll(Op):
+    """Wake every thread parked on ``cond``."""
+
+    cond: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"NotifyAll({self.cond!r})"
+
+
+@dataclass(frozen=True)
+class SemAcquire(Op):
+    """Decrement semaphore ``sem``; blocks while its value is zero."""
+
+    sem: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"SemAcquire({self.sem!r})"
+
+
+@dataclass(frozen=True)
+class SemRelease(Op):
+    """Increment semaphore ``sem``, possibly unblocking a waiter."""
+
+    sem: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"SemRelease({self.sem!r})"
+
+
+@dataclass(frozen=True)
+class BarrierWait(Op):
+    """Block until ``barrier``'s full party has arrived, then all proceed."""
+
+    barrier: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"BarrierWait({self.barrier!r})"
+
+
+@dataclass(frozen=True)
+class Spawn(Op):
+    """Start the (declared but not yet started) thread named ``thread``."""
+
+    thread: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Spawn({self.thread!r})"
+
+
+@dataclass(frozen=True)
+class Join(Op):
+    """Block until thread ``thread`` has finished (or crashed)."""
+
+    thread: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Join({self.thread!r})"
+
+
+@dataclass(frozen=True)
+class Yield(Op):
+    """A pure scheduling point with no shared-state effect."""
+
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return "Yield()"
+
+
+@dataclass(frozen=True)
+class Sleep(Op):
+    """Model a timed sleep as ``ticks`` consecutive scheduling points.
+
+    The simulator has no wall clock; a ``Sleep`` merely makes the thread
+    yield the CPU ``ticks`` times.  This is deliberately *not* a
+    synchronisation primitive: programs that use sleeps to "wait" for
+    another thread are exactly the ad-hoc-synchronisation anti-pattern the
+    study calls out, and under an adversarial scheduler they still
+    interleave incorrectly — which is the point.
+    """
+
+    ticks: int = 1
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Sleep({self.ticks})"
+
+
+# Internal pseudo-op: a thread that executed ``Wait`` and has been notified
+# re-enters the scheduler wanting to re-acquire the condition's lock.  Never
+# constructed by user programs.
+@dataclass(frozen=True)
+class _ReacquireAfterWait(Op):
+    cond: str
+    lock: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"<reacquire {self.lock!r} after wait on {self.cond!r}>"

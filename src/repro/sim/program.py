@@ -1,0 +1,141 @@
+"""Program definition: shared state, sync objects, and thread bodies.
+
+A :class:`Program` is a *static* description — it owns no mutable run
+state, so the same program can be executed under thousands of schedules
+(random testing, exhaustive exploration) without interference.  Each run
+instantiates fresh memory, sync objects, and thread generators.
+
+Example::
+
+    from repro.sim import Program, Read, Write, Acquire, Release
+
+    def increment():
+        yield Acquire("L")
+        v = yield Read("counter")
+        yield Write("counter", v + 1)
+        yield Release("L")
+
+    prog = Program(
+        name="two-increments",
+        initial={"counter": 0},
+        locks=["L"],
+        threads={"T1": increment, "T2": increment},
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.errors import ProgramError
+from repro.sim.memory import SharedMemory
+from repro.sim.sync import SyncObjects
+from repro.sim.thread import Body, VirtualThread
+
+__all__ = ["Program"]
+
+
+class Program:
+    """A complete, immutable description of a concurrent test program.
+
+    :param name: identifier used in reports.
+    :param initial: declared shared variables and their initial values.
+    :param threads: thread name -> body (zero-argument generator function).
+    :param locks: declared mutex names.
+    :param rwlocks: declared reader-writer lock names.
+    :param semaphores: semaphore name -> initial value.
+    :param conditions: condition name -> associated mutex name.
+    :param barriers: barrier name -> party size.
+    :param start: names of the threads started at time zero; the rest must
+        be started via ``Spawn``.  Defaults to all threads.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        threads: Mapping[str, Body],
+        initial: Optional[Mapping[str, Any]] = None,
+        locks: Iterable[str] = (),
+        rwlocks: Iterable[str] = (),
+        semaphores: Optional[Mapping[str, int]] = None,
+        conditions: Optional[Mapping[str, str]] = None,
+        barriers: Optional[Mapping[str, int]] = None,
+        start: Optional[Iterable[str]] = None,
+    ):
+        if not threads:
+            raise ProgramError(f"program {name!r} declares no threads")
+        self.name = name
+        self.initial: Dict[str, Any] = dict(initial or {})
+        self.threads: Dict[str, Body] = dict(threads)
+        self.locks: List[str] = list(locks)
+        self.rwlocks: List[str] = list(rwlocks)
+        self.semaphores: Dict[str, int] = dict(semaphores or {})
+        self.conditions: Dict[str, str] = dict(conditions or {})
+        self.barriers: Dict[str, int] = dict(barriers or {})
+        self.start: List[str] = list(start) if start is not None else list(self.threads)
+        self._validate()
+
+    # -- run-state factories -------------------------------------------------
+
+    def make_memory(self) -> SharedMemory:
+        """Fresh shared memory for one run."""
+        return SharedMemory(self.initial)
+
+    def make_sync(self) -> SyncObjects:
+        """Fresh synchronisation objects for one run."""
+        return SyncObjects(
+            locks=self.locks,
+            rwlocks=self.rwlocks,
+            semaphores=self.semaphores,
+            conditions=self.conditions,
+            barriers=self.barriers,
+        )
+
+    def make_threads(self) -> Dict[str, VirtualThread]:
+        """Fresh virtual threads for one run (not yet started)."""
+        return {name: VirtualThread(name, body) for name, body in self.threads.items()}
+
+    # -- convenience -----------------------------------------------------------
+
+    def thread_names(self) -> List[str]:
+        """All declared thread names, in declaration order."""
+        return list(self.threads)
+
+    def with_threads(self, threads: Mapping[str, Body], name: Optional[str] = None) -> "Program":
+        """A copy of this program with a different thread set.
+
+        Used by fix machinery to swap a buggy body for a patched one while
+        keeping declarations identical.
+        """
+        return Program(
+            name=name or self.name,
+            threads=threads,
+            initial=self.initial,
+            locks=self.locks,
+            rwlocks=self.rwlocks,
+            semaphores=self.semaphores,
+            conditions=self.conditions,
+            barriers=self.barriers,
+            start=[t for t in self.start if t in threads],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program {self.name!r} threads={list(self.threads)}>"
+
+    # -- validation --------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for t in self.start:
+            if t not in self.threads:
+                raise ProgramError(
+                    f"program {self.name!r}: start thread {t!r} is not declared"
+                )
+        for body_name, body in self.threads.items():
+            if not callable(body):
+                raise ProgramError(
+                    f"program {self.name!r}: body of thread {body_name!r} is "
+                    f"not callable"
+                )
+        # Sync-object name validation happens in SyncObjects; run it once now
+        # so malformed programs fail at construction, not first run.
+        self.make_sync()

@@ -1,0 +1,292 @@
+"""Sleep-set partial-order reduction for interleaving exploration.
+
+Plain DFS explores every interleaving; most differ only by swapping
+*independent* operations (different variables, different locks) and reach
+identical terminal states.  Sleep sets (Godefroid) prune those: after
+exploring thread ``t`` from a node, ``t`` is put to sleep in the node's
+other branches and stays asleep while the ops executed there are
+independent of ``t``'s pending op; a branch whose enabled threads are all
+asleep is redundant and pruned.
+
+Independence is computed from pending-operation *footprints*: two ops are
+dependent iff their footprints conflict — same variable with a write,
+same mutex/rwlock/semaphore/condvar/barrier, or one is a spawn/join of
+the other's thread.  Footprints are conservative, so reduction can only
+be smaller than optimal, never unsound with respect to the footprint
+relation.
+
+One honest caveat, handled conservatively: a simulated **crash truncates
+the run** (modelling process death), which breaks the classical
+assumption that runs are maximal.  Reduction credit is therefore only
+taken from runs that ended OK / deadlocked / hung; siblings of crashed
+or budget-aborted runs are pushed with empty sleep sets.  The property
+tests in ``tests/sim/test_reduction.py`` check outcome-set equivalence
+against plain DFS on randomly generated programs, including crashing
+ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.sim import ops
+from repro.sim.engine import Engine, RunResult, RunStatus
+from repro.sim.explorer import ExplorationResult, Predicate, _default_predicate, _outcome_key
+from repro.sim.program import Program
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["SleepSetExplorer", "op_footprint", "ops_dependent"]
+
+Token = Tuple[str, str]
+
+
+def op_footprint(op: ops.Op, thread: str, cond_locks: Dict[str, str]) -> FrozenSet[Token]:
+    """The set of resource tokens an operation touches.
+
+    ``cond_locks`` maps condition names to their mutexes (a ``Wait``
+    touches both).  Every footprint carries a ``("self", thread)`` token
+    so spawn/join of a thread conflict with that thread's own steps.
+    """
+    tokens: Set[Token] = {("self", thread)}
+    if isinstance(op, ops.Read):
+        tokens.add(("read", op.var))
+    elif isinstance(op, (ops.Write, ops.AtomicUpdate)):
+        tokens.add(("write", op.var))
+    elif isinstance(op, (ops.Acquire, ops.Release, ops.TryAcquire)):
+        tokens.add(("lock", op.lock))
+    elif isinstance(op, ops._ReacquireAfterWait):
+        tokens.add(("lock", op.lock))
+        tokens.add(("cond", op.cond))
+    elif isinstance(op, ops.Wait):
+        tokens.add(("cond", op.cond))
+        tokens.add(("lock", cond_locks.get(op.cond, f"?{op.cond}")))
+    elif isinstance(op, (ops.Notify, ops.NotifyAll)):
+        tokens.add(("cond", op.cond))
+    elif isinstance(op, (ops.SemAcquire, ops.SemRelease)):
+        tokens.add(("sem", op.sem))
+    elif isinstance(op, ops.BarrierWait):
+        tokens.add(("barrier", op.barrier))
+    elif isinstance(op, (ops.AcquireRead, ops.AcquireWrite, ops.ReleaseRead, ops.ReleaseWrite)):
+        tokens.add(("lock", f"rw:{op.rwlock}"))
+    elif isinstance(op, (ops.Spawn, ops.Join)):
+        tokens.add(("thread", op.thread))
+    # Yield / Sleep: only the self token.
+    return frozenset(tokens)
+
+
+def ops_dependent(a: FrozenSet[Token], b: FrozenSet[Token]) -> bool:
+    """Whether two footprints conflict (may not commute)."""
+    for kind_a, name_a in a:
+        for kind_b, name_b in b:
+            if name_a != name_b and not (
+                (kind_a == "thread" and kind_b == "self")
+                or (kind_a == "self" and kind_b == "thread")
+            ):
+                continue
+            if kind_a == "read" and kind_b == "read":
+                continue
+            if {kind_a, kind_b} == {"read", "write"} and name_a == name_b:
+                return True
+            if kind_a == "write" and kind_b == "write" and name_a == name_b:
+                return True
+            if kind_a == kind_b and kind_a in (
+                "lock", "cond", "sem", "barrier"
+            ) and name_a == name_b:
+                return True
+            if (kind_a, kind_b) in (("thread", "self"), ("self", "thread")) and name_a == name_b:
+                return True
+    return False
+
+
+class _SleepPruned(ReproError):
+    """Raised by the scheduler when every enabled thread is asleep."""
+
+
+class _SleepScheduler(Scheduler):
+    """Replay a prefix, then extend while tracking sleep sets.
+
+    Needs engine access (attached by the explorer after construction) to
+    read pending operations for footprints.
+    """
+
+    def __init__(self, prefix: Sequence[str], initial_sleep: FrozenSet[str]):
+        self.prefix = list(prefix)
+        self.initial_sleep = initial_sleep
+        self.engine: Optional[Engine] = None
+        self.cond_locks: Dict[str, str] = {}
+        self.choices: List[str] = []
+        self.enabled_sets: List[List[str]] = []
+        self.sleep_sets: List[FrozenSet[str]] = []
+        self.footprints: List[Dict[str, FrozenSet[Token]]] = []
+        self._sleep: FrozenSet[str] = frozenset()
+        self._last: Optional[str] = None
+        self.pruned = False
+
+    def attach(self, engine: Engine) -> None:
+        self.engine = engine
+        self.cond_locks = dict(engine.program.conditions)
+
+    def _pending_footprints(self, enabled: Sequence[str]) -> Dict[str, FrozenSet[Token]]:
+        assert self.engine is not None
+        return {
+            name: op_footprint(
+                self.engine.threads[name].pending, name, self.cond_locks
+            )
+            for name in enabled
+        }
+
+    def choose(self, enabled: Sequence[str], step: int) -> str:
+        ordered = sorted(enabled)
+        index = len(self.choices)
+        if index < len(self.prefix):
+            choice = self.prefix[index]
+            if choice not in enabled:
+                raise ReproError(
+                    f"sleep-set prefix diverged at step {index}: {choice!r} "
+                    f"not enabled in {ordered}"
+                )
+            self.choices.append(choice)
+            self._last = choice
+            return choice
+
+        if index == len(self.prefix):
+            self._sleep = self.initial_sleep
+        footprints = self._pending_footprints(ordered)
+        self.enabled_sets.append(ordered)
+        self.sleep_sets.append(self._sleep)
+        self.footprints.append(footprints)
+        awake = [name for name in ordered if name not in self._sleep]
+        if not awake:
+            self.pruned = True
+            raise _SleepPruned("all enabled threads are asleep")
+        if self._last in awake:
+            choice = self._last
+        else:
+            choice = awake[0]
+        # Threads stay asleep only while independent of the executed op.
+        chosen_footprint = footprints[choice]
+        self._sleep = frozenset(
+            name
+            for name in self._sleep
+            if name in footprints
+            and not ops_dependent(footprints[name], chosen_footprint)
+        )
+        self.choices.append(choice)
+        self._last = choice
+        return choice
+
+    def reset(self) -> None:
+        self.choices = []
+        self.enabled_sets = []
+        self.sleep_sets = []
+        self.footprints = []
+        self._sleep = frozenset()
+        self._last = None
+        self.pruned = False
+
+
+class SleepSetExplorer:
+    """DFS exploration with sleep-set partial-order reduction."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_schedules: int = 20000,
+        max_steps: int = 5000,
+        keep_matches: int = 16,
+    ):
+        self.program = program
+        self.max_schedules = max_schedules
+        self.max_steps = max_steps
+        self.keep_matches = keep_matches
+        #: Redundant branches pruned in the last exploration.
+        self.pruned_runs = 0
+
+    def explore(
+        self,
+        predicate: Optional[Predicate] = None,
+        stop_on_first: bool = False,
+    ) -> ExplorationResult:
+        """Explore with reduction; result fields as in :class:`Explorer`."""
+        match = predicate if predicate is not None else _default_predicate
+        result = ExplorationResult(
+            program=self.program.name, schedules_run=0, complete=True
+        )
+        self.pruned_runs = 0
+        stack: List[Tuple[List[str], FrozenSet[str]]] = [([], frozenset())]
+        attempts = 0
+        while stack:
+            if attempts >= self.max_schedules:
+                result.complete = False
+                break
+            prefix, sleep = stack.pop()
+            attempts += 1
+            run, scheduler = self._run_once(prefix, sleep)
+            if run is not None:
+                result.schedules_run += 1
+                result.statuses[run.status] += 1
+                key = _outcome_key(run)
+                result.outcomes[key] = result.outcomes.get(key, 0) + 1
+                if match(run):
+                    result.match_count += 1
+                    if len(result.matching) < self.keep_matches:
+                        result.matching.append(run)
+                    if result.first_match_schedule is None:
+                        result.first_match_schedule = list(run.schedule)
+                    if stop_on_first:
+                        result.complete = False
+                        return result
+            else:
+                self.pruned_runs += 1
+            self._push_siblings(stack, scheduler, prefix, run)
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_once(
+        self, prefix: List[str], sleep: FrozenSet[str]
+    ) -> Tuple[Optional[RunResult], _SleepScheduler]:
+        scheduler = _SleepScheduler(prefix, sleep)
+        engine = Engine(self.program, scheduler, max_steps=self.max_steps)
+        scheduler.attach(engine)
+        try:
+            return engine.run(), scheduler
+        except _SleepPruned:
+            return None, scheduler
+
+    def _push_siblings(
+        self,
+        stack: List[Tuple[List[str], FrozenSet[str]]],
+        scheduler: _SleepScheduler,
+        prefix: List[str],
+        run: Optional[RunResult],
+    ) -> None:
+        # No reduction credit from truncated runs (crash / budget abort):
+        # their tails never executed, so commuting arguments do not apply.
+        truncated = run is not None and run.status in (
+            RunStatus.CRASH, RunStatus.ABORTED
+        )
+        choices = scheduler.choices
+        for node in range(len(scheduler.enabled_sets)):
+            step = len(prefix) + node
+            enabled = scheduler.enabled_sets[node]
+            node_sleep = scheduler.sleep_sets[node]
+            footprints = scheduler.footprints[node]
+            if step >= len(choices):
+                break  # the pruned node itself has no explored choice
+            chosen = choices[step]
+            explored: List[str] = [chosen]
+            for alt in enabled:
+                if alt == chosen or alt in node_sleep:
+                    continue
+                if truncated:
+                    alt_sleep: FrozenSet[str] = frozenset()
+                else:
+                    alt_sleep = frozenset(
+                        name
+                        for name in (node_sleep | set(explored))
+                        if not ops_dependent(footprints[name], footprints[alt])
+                    )
+                stack.append((choices[:step] + [alt], alt_sleep))
+                explored.append(alt)

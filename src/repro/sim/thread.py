@@ -1,0 +1,135 @@
+"""Virtual threads: generator coroutines driven by the engine.
+
+A :class:`VirtualThread` wraps one thread body (a generator) and tracks its
+scheduling state.  The engine advances the generator with ``send(result)``;
+the generator responds by yielding its *next* operation, which the thread
+stores as ``pending`` until a scheduler decision executes it.
+
+States:
+
+``NEW``       declared but not started (waiting for ``Spawn`` or program start)
+``RUNNABLE``  has a pending operation (which may or may not be *enabled*)
+``PARKED``    waiting inside a condition variable or barrier; not schedulable
+              until an engine-side wakeup converts it back to ``RUNNABLE``
+``FINISHED``  body returned
+``CRASHED``   body raised :class:`~repro.errors.SimCrash`
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import ProgramError, SimCrash
+from repro.sim.ops import Op
+
+__all__ = ["ThreadState", "VirtualThread"]
+
+Body = Callable[[], Generator[Op, Any, None]]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle states of a virtual thread."""
+
+    NEW = "new"
+    RUNNABLE = "runnable"
+    PARKED = "parked"
+    FINISHED = "finished"
+    CRASHED = "crashed"
+
+
+class VirtualThread:
+    """One simulated thread: a named generator plus scheduling state."""
+
+    def __init__(self, name: str, body: Body):
+        self.name = name
+        self._body = body
+        self._gen: Optional[Generator[Op, Any, None]] = None
+        self.state = ThreadState.NEW
+        self.pending: Optional[Op] = None
+        self.crash_reason: Optional[str] = None
+        # Remaining ticks for an in-progress Sleep operation.
+        self.sleep_remaining = 0
+        # Why the thread is parked ("cond:<name>" / "barrier:<name>"), for
+        # deadlock reports.
+        self.park_reason: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Instantiate the generator and advance to the first operation."""
+        if self.state is not ThreadState.NEW:
+            raise ProgramError(f"thread {self.name!r} started twice")
+        self._gen = self._body()
+        if not hasattr(self._gen, "send"):
+            raise ProgramError(
+                f"thread {self.name!r} body is not a generator function; "
+                f"bodies must 'yield' operations"
+            )
+        self.state = ThreadState.RUNNABLE
+        self._advance(None, first=True)
+
+    def advance(self, result: Any) -> None:
+        """Feed the result of the executed pending op; fetch the next op."""
+        if self.state is not ThreadState.RUNNABLE:
+            raise ProgramError(
+                f"advance() on thread {self.name!r} in state {self.state}"
+            )
+        self._advance(result, first=False)
+
+    def park(self, reason: str) -> None:
+        """Move to PARKED (condition wait / barrier wait)."""
+        self.state = ThreadState.PARKED
+        self.park_reason = reason
+        self.pending = None
+
+    def unpark(self, pending: Op) -> None:
+        """Return from PARKED to RUNNABLE with an engine-supplied pending op."""
+        if self.state is not ThreadState.PARKED:
+            raise ProgramError(
+                f"unpark() on thread {self.name!r} in state {self.state}"
+            )
+        self.state = ThreadState.RUNNABLE
+        self.park_reason = None
+        self.pending = pending
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the thread has terminated (normally or by crash)."""
+        return self.state in (ThreadState.FINISHED, ThreadState.CRASHED)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the thread has started and not yet terminated."""
+        return self.state in (ThreadState.RUNNABLE, ThreadState.PARKED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        op = self.pending.describe() if self.pending else "-"
+        return f"<VirtualThread {self.name} {self.state.value} pending={op}>"
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance(self, result: Any, first: bool) -> None:
+        assert self._gen is not None
+        try:
+            if first:
+                op = next(self._gen)
+            else:
+                op = self._gen.send(result)
+        except StopIteration:
+            self.state = ThreadState.FINISHED
+            self.pending = None
+            return
+        except SimCrash as crash:
+            self.state = ThreadState.CRASHED
+            self.crash_reason = crash.reason
+            self.pending = None
+            return
+        if not isinstance(op, Op):
+            raise ProgramError(
+                f"thread {self.name!r} yielded {op!r}; bodies must yield "
+                f"Op instances from repro.sim.ops"
+            )
+        self.pending = op

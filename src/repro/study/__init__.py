@@ -1,0 +1,39 @@
+"""The analysis pipeline: tables T1-T8, findings F1-F10, full report."""
+
+from repro.study.findings import FINDINGS, Finding, FindingResult, check_all
+from repro.study.render import Table
+from repro.study.report import StudyReport, generate_report
+from repro.study.tables import (
+    all_tables,
+    table1_applications,
+    table2_bug_sources,
+    table3_patterns,
+    table3b_patterns_by_application,
+    table4_threads,
+    table4b_impacts,
+    table5_variables,
+    table6_accesses,
+    table7_fixes,
+    table8_patch_quality,
+)
+
+__all__ = [
+    "Table",
+    "all_tables",
+    "table1_applications",
+    "table2_bug_sources",
+    "table3_patterns",
+    "table3b_patterns_by_application",
+    "table4_threads",
+    "table4b_impacts",
+    "table5_variables",
+    "table6_accesses",
+    "table7_fixes",
+    "table8_patch_quality",
+    "Finding",
+    "FindingResult",
+    "FINDINGS",
+    "check_all",
+    "StudyReport",
+    "generate_report",
+]

@@ -1,0 +1,188 @@
+"""The study's numbered findings as executable checks.
+
+Each :class:`Finding` carries the published claim and a ``check`` that
+recomputes it from the bug database (and, where marked, cross-validates it
+on the executable kernels).  ``check_all`` is what the report and the
+study tests run; every finding must PASS against the shipped database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.bugdb import BugDatabase, BugPattern, FixStrategy
+
+__all__ = ["Finding", "FindingResult", "FINDINGS", "check_all"]
+
+
+@dataclass(frozen=True)
+class FindingResult:
+    """Outcome of re-deriving one finding from the data."""
+
+    finding_id: str
+    passed: bool
+    observed: str
+    expected: str
+
+    def summary(self) -> str:
+        """One-line PASS/FAIL rendering."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"[{verdict}] {self.finding_id}: observed {self.observed} (expected {self.expected})"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One published finding with its re-derivation."""
+
+    finding_id: str
+    statement: str
+    implication: str
+    check: Callable[[BugDatabase], FindingResult]
+
+
+def _ratio_result(fid: str, part: int, whole: int, expected: Tuple[int, int]) -> FindingResult:
+    return FindingResult(
+        finding_id=fid,
+        passed=(part, whole) == expected,
+        observed=f"{part}/{whole}",
+        expected=f"{expected[0]}/{expected[1]}",
+    )
+
+
+def _f1(db: BugDatabase) -> FindingResult:
+    nd = db.non_deadlock()
+    union = nd.count(
+        lambda r: r.has_pattern(BugPattern.ATOMICITY) or r.has_pattern(BugPattern.ORDER)
+    )
+    return _ratio_result("F1", union, len(nd), (72, 74))
+
+
+def _f2(db: BugDatabase) -> FindingResult:
+    nd = db.non_deadlock()
+    atomicity = len(nd.with_pattern(BugPattern.ATOMICITY))
+    return _ratio_result("F2", atomicity, len(nd), (51, 74))
+
+
+def _f3(db: BugDatabase) -> FindingResult:
+    nd = db.non_deadlock()
+    order = len(nd.with_pattern(BugPattern.ORDER))
+    return _ratio_result("F3", order, len(nd), (24, 74))
+
+
+def _f4(db: BugDatabase) -> FindingResult:
+    few = db.count(lambda r: r.few_threads)
+    return _ratio_result("F4", few, len(db), (101, 105))
+
+
+def _f5(db: BugDatabase) -> FindingResult:
+    nd = db.non_deadlock()
+    single = nd.count(lambda r: r.involves_single_variable)
+    return _ratio_result("F5", single, len(nd), (49, 74))
+
+
+def _f6(db: BugDatabase) -> FindingResult:
+    dl = db.deadlock()
+    small = dl.count(lambda r: r.resources_involved <= 2)
+    return _ratio_result("F6", small, len(dl), (30, 31))
+
+
+def _f7(db: BugDatabase) -> FindingResult:
+    small = db.count(lambda r: r.small_access_set)
+    return _ratio_result("F7", small, len(db), (97, 105))
+
+
+def _f8(db: BugDatabase) -> FindingResult:
+    nd = db.non_deadlock()
+    lockless = nd.count(lambda r: r.fix_strategy is not FixStrategy.ADD_LOCK)
+    return _ratio_result("F8", lockless, len(nd), (54, 74))
+
+
+def _f9(db: BugDatabase) -> FindingResult:
+    dl = db.deadlock()
+    give_up = dl.count(lambda r: r.fix_strategy is FixStrategy.GIVE_UP_RESOURCE)
+    return _ratio_result("F9", give_up, len(dl), (19, 31))
+
+
+def _f10(db: BugDatabase) -> FindingResult:
+    buggy = db.count(lambda r: r.first_fix_buggy)
+    return _ratio_result("F10", buggy, len(db), (17, 105))
+
+
+FINDINGS: List[Finding] = [
+    Finding(
+        "F1",
+        "97% (72/74) of the non-deadlock bugs are atomicity or order violations.",
+        "Detecting these two patterns covers nearly all non-deadlock bugs.",
+        _f1,
+    ),
+    Finding(
+        "F2",
+        "69% (51/74) of the non-deadlock bugs are atomicity violations.",
+        "Atomicity-violation detection deserves first-class tools (AVIO-style).",
+        _f2,
+    ),
+    Finding(
+        "F3",
+        "32% (24/74) of the non-deadlock bugs are order violations.",
+        "Order violations are under-served by race/atomicity detectors and "
+        "need dedicated techniques.",
+        _f3,
+    ),
+    Finding(
+        "F4",
+        "96% (101/105) of the bugs manifest with no more than two threads.",
+        "Pairwise-thread testing is nearly complete; no need to scale "
+        "interleaving search across many threads.",
+        _f4,
+    ),
+    Finding(
+        "F5",
+        "66% (49/74) of the non-deadlock bugs involve a single variable.",
+        "Single-variable analyses are a sound first target; the remaining "
+        "third motivates multi-variable detection.",
+        _f5,
+    ),
+    Finding(
+        "F6",
+        "97% (30/31) of the deadlock bugs involve at most two resources "
+        "(and 7/31 involve just one).",
+        "Pairwise lock-order analysis covers almost all deadlocks.",
+        _f6,
+    ),
+    Finding(
+        "F7",
+        "92% (97/105) of the bugs manifest deterministically once a "
+        "partial order among at most 4 accesses/acquisitions is enforced.",
+        "Testing should enforce small access orders rather than rely on "
+        "timing; validated executably on every kernel (order_guarantees).",
+        _f7,
+    ),
+    Finding(
+        "F8",
+        "73% (54/74) of the non-deadlock fixes add or change no lock.",
+        "Patches remove the harm, not necessarily the race: tools must not "
+        "assume fix == add-lock, and benign races persist after fixes.",
+        _f8,
+    ),
+    Finding(
+        "F9",
+        "61% (19/31) of the deadlock fixes give up resource acquisition "
+        "rather than impose an order.",
+        "Deadlock-fix tooling should support back-off/try-lock rewrites.",
+        _f9,
+    ),
+    Finding(
+        "F10",
+        "16% (17/105) of the first patches were themselves incorrect.",
+        "Concurrency patches need schedule-space verification, not stress "
+        "testing (see repro.fixes.verify).",
+        _f10,
+    ),
+]
+
+
+def check_all(db: Optional[BugDatabase] = None) -> List[FindingResult]:
+    """Re-derive every finding; returns results in finding order."""
+    database = db if db is not None else BugDatabase.load()
+    return [finding.check(database) for finding in FINDINGS]

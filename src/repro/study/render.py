@@ -1,0 +1,84 @@
+"""ASCII table rendering for the study's outputs.
+
+Every table generator in :mod:`repro.study.tables` returns a
+:class:`Table`; benchmarks and the report print ``table.format()`` so the
+regenerated artifacts read like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """A titled grid with optional footer notes."""
+
+    table_id: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row; must match the column count."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"table {self.table_id}: row has {len(cells)} cells, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key: Any, column: str) -> Any:
+        """Value at (first column == row_key, column)."""
+        col_index = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[col_index]
+        raise KeyError(f"table {self.table_id}: no row keyed {row_key!r}")
+
+    def format(self) -> str:
+        """Monospace rendering with header rule and notes."""
+        cells = [[str(c) for c in row] for row in self.rows]
+        widths = [len(col) for col in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(parts: Sequence[str]) -> str:
+            return "  ".join(part.ljust(width) for part, width in zip(parts, widths)).rstrip()
+
+        out = [f"{self.table_id}: {self.title}"]
+        out.append(line(self.columns))
+        out.append("-" * len(out[-1]))
+        out.extend(line(row) for row in cells)
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """RFC-4180-ish CSV of the table (header + rows, no notes).
+
+        For loading regenerated tables into spreadsheets or pandas when
+        comparing against the paper's cells.
+        """
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()

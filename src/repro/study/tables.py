@@ -1,0 +1,317 @@
+"""Generators for every table of the study.
+
+Each function aggregates the bug database into one of the paper's tables
+(T1-T8 in DESIGN.md's experiment index).  The benchmarks in
+``benchmarks/`` call these and print the result; the tests in
+``tests/study`` pin every headline cell to the published value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.bugdb import (
+    APPLICATION_INFO,
+    Application,
+    BugDatabase,
+    BugPattern,
+    FixStrategy,
+)
+from repro.study.render import Table
+
+__all__ = [
+    "table1_applications",
+    "table2_bug_sources",
+    "table3_patterns",
+    "table3b_patterns_by_application",
+    "table4_threads",
+    "table4b_impacts",
+    "table5_variables",
+    "table6_accesses",
+    "table7_fixes",
+    "table8_patch_quality",
+    "all_tables",
+]
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:.0f}%" if whole else "-"
+
+
+def table1_applications(db: BugDatabase) -> Table:
+    """T1: the studied application suite."""
+    table = Table(
+        "T1",
+        "Applications and bug sets examined",
+        ["Application", "Type", "Approx. size", "Languages", "Bugs examined"],
+        notes=["sizes are era-approximate magnitudes; see EXPERIMENTS.md"],
+    )
+    for app in Application:
+        info = APPLICATION_INFO[app]
+        table.add_row(
+            app.value,
+            info.software_type,
+            info.approx_loc,
+            info.languages,
+            len(db.by_application(app)),
+        )
+    table.add_row("Total", "", "", "", len(db))
+    return table
+
+
+def table2_bug_sources(db: BugDatabase) -> Table:
+    """T2: non-deadlock / deadlock split per application."""
+    table = Table(
+        "T2",
+        "Examined concurrency bugs by application and category",
+        ["Application", "Non-deadlock", "Deadlock", "Total"],
+    )
+    for app in Application:
+        sub = db.by_application(app)
+        table.add_row(
+            app.value,
+            len(sub.non_deadlock()),
+            len(sub.deadlock()),
+            len(sub),
+        )
+    table.add_row(
+        "Total", len(db.non_deadlock()), len(db.deadlock()), len(db)
+    )
+    return table
+
+
+def table3_patterns(db: BugDatabase) -> Table:
+    """T3: non-deadlock bug pattern distribution (Findings 1-3)."""
+    nd = db.non_deadlock()
+    total = len(nd)
+    atomicity = len(nd.with_pattern(BugPattern.ATOMICITY))
+    order = len(nd.with_pattern(BugPattern.ORDER))
+    both = nd.count(
+        lambda r: r.has_pattern(BugPattern.ATOMICITY)
+        and r.has_pattern(BugPattern.ORDER)
+    )
+    union = atomicity + order - both
+    other = nd.count(lambda r: r.has_pattern(BugPattern.OTHER))
+    table = Table(
+        "T3",
+        "Bug patterns among the 74 non-deadlock bugs",
+        ["Pattern", "Bugs", "% of non-deadlock"],
+        notes=[
+            f"{both} bugs exhibit both patterns; union = {union} "
+            f"({_pct(union, total)}) of non-deadlock bugs"
+        ],
+    )
+    table.add_row("Atomicity violation", atomicity, _pct(atomicity, total))
+    table.add_row("Order violation", order, _pct(order, total))
+    table.add_row("Atomicity or order", union, _pct(union, total))
+    table.add_row("Other", other, _pct(other, total))
+    return table
+
+
+def table3b_patterns_by_application(db: BugDatabase) -> Table:
+    """T3b (supplementary): non-deadlock pattern split per application."""
+    table = Table(
+        "T3b",
+        "Non-deadlock bug patterns per application",
+        ["Application", "Atomicity", "Order", "Both", "Other", "Non-deadlock"],
+        notes=["'Atomicity'/'Order' columns count records carrying the "
+               "pattern, so a 'Both' record appears in each"],
+    )
+    for app in Application:
+        nd = db.by_application(app).non_deadlock()
+        atomicity = len(nd.with_pattern(BugPattern.ATOMICITY))
+        order = len(nd.with_pattern(BugPattern.ORDER))
+        both = nd.count(
+            lambda r: r.has_pattern(BugPattern.ATOMICITY)
+            and r.has_pattern(BugPattern.ORDER)
+        )
+        other = len(nd.with_pattern(BugPattern.OTHER))
+        table.add_row(app.value, atomicity, order, both, other, len(nd))
+    nd = db.non_deadlock()
+    table.add_row(
+        "Total",
+        len(nd.with_pattern(BugPattern.ATOMICITY)),
+        len(nd.with_pattern(BugPattern.ORDER)),
+        nd.count(
+            lambda r: r.has_pattern(BugPattern.ATOMICITY)
+            and r.has_pattern(BugPattern.ORDER)
+        ),
+        len(nd.with_pattern(BugPattern.OTHER)),
+        len(nd),
+    )
+    return table
+
+
+def table4b_impacts(db: BugDatabase) -> Table:
+    """T4b (supplementary): observable impact of the studied bugs."""
+    from repro.bugdb import Impact
+
+    table = Table(
+        "T4b",
+        "Failure impact of the studied bugs",
+        ["Impact", "Non-deadlock", "Deadlock", "Total"],
+        notes=["every deadlock manifests as a hang by definition"],
+    )
+    nd_impacts = db.non_deadlock().count_by_impact()
+    dl_impacts = db.deadlock().count_by_impact()
+    for impact in Impact:
+        nd_count = nd_impacts.get(impact, 0)
+        dl_count = dl_impacts.get(impact, 0)
+        if nd_count or dl_count:
+            table.add_row(impact.value, nd_count, dl_count, nd_count + dl_count)
+    table.add_row("Total", len(db.non_deadlock()), len(db.deadlock()), len(db))
+    return table
+
+
+def table4_threads(db: BugDatabase) -> Table:
+    """T4: minimum threads required to manifest (Finding 4)."""
+    histogram = db.thread_histogram()
+    total = len(db)
+    table = Table(
+        "T4",
+        "Number of threads whose interleaving manifests the bug",
+        ["Threads", "Bugs", "% of all"],
+        notes=[
+            f"{db.count(lambda r: r.few_threads)} of {total} "
+            f"({_pct(db.count(lambda r: r.few_threads), total)}) need "
+            f"no more than two threads"
+        ],
+    )
+    for threads in sorted(histogram):
+        table.add_row(threads, histogram[threads], _pct(histogram[threads], total))
+    return table
+
+
+def table5_variables(db: BugDatabase) -> Table:
+    """T5: variables (non-deadlock) / resources (deadlock) involved."""
+    nd = db.non_deadlock()
+    dl = db.deadlock()
+    table = Table(
+        "T5",
+        "Shared variables / resources involved in manifestation",
+        ["Category", "Involved", "Bugs", "% of category"],
+        notes=[
+            f"single-variable: {nd.count(lambda r: r.involves_single_variable)}"
+            f"/{len(nd)} of non-deadlock; <=2 resources: "
+            f"{dl.count(lambda r: r.resources_involved <= 2)}/{len(dl)} of deadlock"
+        ],
+    )
+    var_hist = nd.variable_histogram()
+    for count in sorted(var_hist):
+        label = "1 variable" if count == 1 else f"{count} variables"
+        table.add_row(
+            "non-deadlock", label, var_hist[count], _pct(var_hist[count], len(nd))
+        )
+    res_hist = dl.resource_histogram()
+    for count in sorted(res_hist):
+        label = "1 resource" if count == 1 else f"{count} resources"
+        table.add_row(
+            "deadlock", label, res_hist[count], _pct(res_hist[count], len(dl))
+        )
+    return table
+
+
+def table6_accesses(db: BugDatabase) -> Table:
+    """T6: size of the order-enforcement access set (Finding 8)."""
+    histogram = db.access_histogram()
+    total = len(db)
+    small = db.count(lambda r: r.small_access_set)
+    table = Table(
+        "T6",
+        "Accesses/acquisitions whose enforced order guarantees manifestation",
+        ["Accesses", "Bugs", "% of all"],
+        notes=[
+            f"{small}/{total} ({_pct(small, total)}) manifest deterministically "
+            f"by ordering no more than 4 accesses — validated executably on "
+            f"the bug kernels (bench_figures)"
+        ],
+    )
+    for accesses in sorted(histogram):
+        table.add_row(
+            accesses, histogram[accesses], _pct(histogram[accesses], total)
+        )
+    return table
+
+
+_ND_FIX_LABELS = {
+    FixStrategy.COND_CHECK: "Condition check (COND)",
+    FixStrategy.CODE_SWITCH: "Code switch (Switch)",
+    FixStrategy.DESIGN_CHANGE: "Design change (Design)",
+    FixStrategy.ADD_LOCK: "Add/change lock (Lock)",
+    FixStrategy.OTHER_NON_DEADLOCK: "Other",
+}
+_DL_FIX_LABELS = {
+    FixStrategy.GIVE_UP_RESOURCE: "Give up resource",
+    FixStrategy.ACQUIRE_ORDER: "Change acquisition order",
+    FixStrategy.SPLIT_RESOURCE: "Split resource",
+    FixStrategy.OTHER_DEADLOCK: "Other",
+}
+
+
+def table7_fixes(db: BugDatabase) -> Table:
+    """T7: fix strategies actually used (Findings 9-10)."""
+    nd = db.non_deadlock()
+    dl = db.deadlock()
+    nd_fixes = nd.count_by_fix_strategy()
+    dl_fixes = dl.count_by_fix_strategy()
+    lockless = len(nd) - nd_fixes.get(FixStrategy.ADD_LOCK, 0)
+    table = Table(
+        "T7",
+        "Fix strategies of the released patches",
+        ["Category", "Strategy", "Bugs", "% of category"],
+        notes=[
+            f"{lockless}/{len(nd)} ({_pct(lockless, len(nd))}) non-deadlock "
+            f"fixes add or change no lock",
+            f"giving up the resource fixes "
+            f"{dl_fixes.get(FixStrategy.GIVE_UP_RESOURCE, 0)}/{len(dl)} "
+            f"deadlocks",
+        ],
+    )
+    for strategy, label in _ND_FIX_LABELS.items():
+        count = nd_fixes.get(strategy, 0)
+        table.add_row("non-deadlock", label, count, _pct(count, len(nd)))
+    for strategy, label in _DL_FIX_LABELS.items():
+        count = dl_fixes.get(strategy, 0)
+        table.add_row("deadlock", label, count, _pct(count, len(dl)))
+    return table
+
+
+def table8_patch_quality(db: BugDatabase) -> Table:
+    """T8: mistakes during fixing (buggy first patches)."""
+    total = len(db)
+    buggy = db.count(lambda r: r.first_fix_buggy)
+    table = Table(
+        "T8",
+        "First-patch quality",
+        ["Application", "Buggy first patches", "Bugs examined", "%"],
+        notes=[
+            f"{buggy}/{total} ({_pct(buggy, total)}) of first patches were "
+            f"themselves incorrect; bench_table8 also audits two modelled "
+            f"bad patches with the exhaustive verifier"
+        ],
+    )
+    for app in Application:
+        sub = db.by_application(app)
+        app_buggy = sub.count(lambda r: r.first_fix_buggy)
+        table.add_row(app.value, app_buggy, len(sub), _pct(app_buggy, len(sub)))
+    table.add_row("Total", buggy, total, _pct(buggy, total))
+    return table
+
+
+def all_tables(db: Optional[BugDatabase] = None) -> Dict[str, Table]:
+    """Every table keyed by its id."""
+    database = db if db is not None else BugDatabase.load()
+    generators = [
+        table1_applications,
+        table2_bug_sources,
+        table3_patterns,
+        table3b_patterns_by_application,
+        table4_threads,
+        table4b_impacts,
+        table5_variables,
+        table6_accesses,
+        table7_fixes,
+        table8_patch_quality,
+    ]
+    tables = [generator(database) for generator in generators]
+    return {table.table_id: table for table in tables}

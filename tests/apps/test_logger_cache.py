@@ -1,0 +1,178 @@
+"""Rotating logger and refcounted cache tests."""
+
+import pytest
+
+from repro.apps.cache import CacheConfig, build_cache, single_free
+from repro.apps.logger import (
+    LoggerConfig,
+    build_logger,
+    no_events_lost,
+    stale_append,
+)
+from repro.sim import (
+    Explorer,
+    RandomScheduler,
+    RunStatus,
+    find_schedule,
+    run_program,
+)
+
+
+class TestCorrectLogger:
+    def test_random_runs_lose_nothing(self):
+        config = LoggerConfig(writers=2, events_per_writer=2, rotations=2)
+        program = build_logger(config)
+        oracle = no_events_lost(config)
+        for seed in range(40):
+            run = run_program(program, RandomScheduler(seed=seed))
+            assert oracle(run), (seed, run.memory)
+
+    def test_exhaustive_small_instance_clean(self):
+        config = LoggerConfig(writers=1, events_per_writer=1, rotations=1)
+        program = build_logger(config)
+        oracle = no_events_lost(config)
+        result = Explorer(program, max_schedules=60000).explore(
+            predicate=lambda run: not oracle(run), stop_on_first=True
+        )
+        assert result.complete and not result.found
+
+    def test_appends_record_live_segment(self):
+        config = LoggerConfig(writers=1, events_per_writer=2, rotations=1)
+        for seed in range(30):
+            run = run_program(build_logger(config), RandomScheduler(seed=seed))
+            assert not stale_append(run), seed
+
+
+class TestUnlockedRotation:
+    CONFIG = LoggerConfig(writers=1, events_per_writer=1, unlocked_rotation=True)
+
+    def test_event_loss_reachable(self):
+        program = build_logger(self.CONFIG)
+        failing = find_schedule(
+            program,
+            predicate=lambda run: run.ok and run.memory["lost"] > 0,
+            max_schedules=60000,
+        )
+        assert failing is not None
+
+    def test_atomicity_detector_flags_wrw(self):
+        from repro.detectors import AtomicityDetector, FindingKind
+
+        program = build_logger(self.CONFIG)
+        failing = find_schedule(
+            program,
+            predicate=lambda run: run.ok and run.memory["lost"] > 0,
+            max_schedules=60000,
+        )
+        report = AtomicityDetector().analyse(failing.trace)
+        violations = report.of_kind(FindingKind.ATOMICITY_VIOLATION)
+        assert any("log_open" in f.variables for f in violations)
+
+
+class TestStaleSegmentCache:
+    CONFIG = LoggerConfig(writers=1, events_per_writer=1, stale_segment_cache=True)
+
+    def test_stale_append_reachable(self):
+        program = build_logger(self.CONFIG)
+        failing = find_schedule(
+            program, predicate=stale_append, max_schedules=60000
+        )
+        assert failing is not None
+        # The event landed after rotation yet carries segment id 0.
+        assert failing.memory["appended"] == [0]
+        assert failing.memory["segment"] == 1
+
+
+class TestCorrectCache:
+    def test_object_freed_exactly_once(self):
+        config = CacheConfig(clients=2)
+        program = build_cache(config)
+        oracle = single_free(config)
+        result = Explorer(program, max_schedules=60000).explore(
+            predicate=lambda run: not oracle(run), stop_on_first=True
+        )
+        assert result.complete and not result.found
+
+    def test_no_deadlock_with_consistent_order(self):
+        config = CacheConfig(clients=2)
+        result = Explorer(build_cache(config), max_schedules=60000).explore(
+            predicate=lambda run: run.status is RunStatus.DEADLOCK,
+            stop_on_first=True,
+        )
+        assert not result.found
+
+
+class TestNonAtomicRefcount:
+    CONFIG = CacheConfig(clients=2, nonatomic_refcount=True)
+
+    def double_free(self, run):
+        return (
+            run.ok and run.memory["freed_by_c1"] and run.memory["freed_by_c2"]
+        )
+
+    def test_double_free_reachable(self):
+        failing = find_schedule(
+            build_cache(self.CONFIG), predicate=self.double_free,
+            max_schedules=60000,
+        )
+        assert failing is not None
+
+    def test_race_free_for_hb_but_flagged_by_avio(self):
+        from repro.detectors import AtomicityDetector, HappensBeforeDetector
+
+        program = build_cache(self.CONFIG)
+        failing = find_schedule(
+            program, predicate=self.double_free, max_schedules=60000
+        )
+        hb = HappensBeforeDetector().analyse(failing.trace)
+        refcnt_races = [f for f in hb if "refcnt" in f.variables]
+        assert refcnt_races == []
+        avio = AtomicityDetector().analyse(failing.trace)
+        assert any("refcnt" in f.variables for f in avio)
+
+
+class TestAbbaCache:
+    CONFIG = CacheConfig(clients=1, abba_locks=True)
+
+    def test_deadlock_reachable(self):
+        failing = find_schedule(
+            build_cache(self.CONFIG),
+            predicate=lambda run: run.status is RunStatus.DEADLOCK,
+            max_schedules=60000,
+        )
+        assert failing is not None
+        assert len(failing.blocked) == 2
+
+    def test_cycle_predicted_from_good_run(self):
+        from repro.detectors import DeadlockDetector, FindingKind
+        from repro.sim import CooperativeScheduler
+
+        program = build_cache(self.CONFIG)
+        good = run_program(program, CooperativeScheduler())
+        assert good.ok
+        report = DeadlockDetector().analyse(good.trace)
+        predicted = report.of_kind(FindingKind.POTENTIAL_DEADLOCK)
+        assert any(
+            set(f.resources) == {"cachelock", "objlock"} for f in predicted
+        )
+
+
+class TestCatalogue:
+    def test_every_entry_manifests(self):
+        from repro.apps import bug_catalogue
+
+        for app, flag, kind, program, oracle in bug_catalogue():
+            failing = find_schedule(
+                program, predicate=oracle, max_schedules=60000,
+                preemption_bound=3,
+            )
+            assert failing is not None, f"{app}.{flag}"
+
+    def test_catalogue_covers_three_apps_and_three_kinds(self):
+        from repro.apps import bug_catalogue
+
+        entries = bug_catalogue()
+        assert {e[0] for e in entries} == {"webserver", "logger", "cache"}
+        assert {e[2] for e in entries} == {
+            "atomicity-violation", "order-violation", "deadlock",
+        }

@@ -1,0 +1,129 @@
+"""Worker-pool server tests: correct configs clean, injected bugs hunted."""
+
+import pytest
+
+from repro.apps.webserver import WebServerConfig, build_webserver, served_everything
+from repro.sim import (
+    Explorer,
+    RandomScheduler,
+    RunStatus,
+    find_schedule,
+    replay,
+    run_program,
+)
+
+
+class TestCorrectServer:
+    def test_every_random_run_serves_everything(self):
+        config = WebServerConfig(workers=2, requests=3)
+        program = build_webserver(config)
+        oracle = served_everything(config)
+        for seed in range(40):
+            run = run_program(program, RandomScheduler(seed=seed))
+            assert oracle(run), (seed, run.summary())
+
+    def test_bounded_exploration_finds_no_failure(self):
+        config = WebServerConfig(workers=1, requests=1)
+        program = build_webserver(config)
+        oracle = served_everything(config)
+        result = Explorer(
+            program, max_schedules=30000, preemption_bound=2
+        ).explore(predicate=lambda run: not oracle(run), stop_on_first=True)
+        assert not result.found
+
+    def test_workers_consume_fifo(self):
+        config = WebServerConfig(workers=1, requests=3)
+        run = run_program(build_webserver(config), RandomScheduler(seed=2))
+        assert run.memory["queue"] == []
+        assert run.memory["served"] == 3
+
+    def test_shutdown_waits_for_workers(self):
+        config = WebServerConfig(workers=2, requests=2)
+        run = run_program(build_webserver(config), RandomScheduler(seed=9))
+        assert run.status is RunStatus.OK
+        assert run.memory["conn"] is None  # teardown did happen, but last
+
+
+class TestUnlockedStats:
+    CONFIG = WebServerConfig(workers=2, requests=2, unlocked_stats=True)
+
+    def lost_update(self, run):
+        return run.status is RunStatus.OK and run.memory["served"] < 2
+
+    def test_lost_update_reachable(self):
+        program = build_webserver(self.CONFIG)
+        failing = find_schedule(
+            program, predicate=self.lost_update,
+            max_schedules=60000, preemption_bound=3,
+        )
+        assert failing is not None
+        rerun = replay(program, failing.schedule)
+        assert self.lost_update(rerun)
+
+    def test_detectors_flag_the_stats_race(self):
+        from repro.detectors import HappensBeforeDetector, LocksetDetector
+
+        program = build_webserver(self.CONFIG)
+        failing = find_schedule(
+            program, predicate=self.lost_update,
+            max_schedules=60000, preemption_bound=3,
+        )
+        hb = HappensBeforeDetector().analyse(failing.trace)
+        assert any("served" in f.variables for f in hb)
+        lockset = LocksetDetector().analyse(failing.trace)
+        assert any("served" in f.variables for f in lockset)
+
+
+class TestLostWakeup:
+    CONFIG = WebServerConfig(workers=1, requests=1, unlocked_queue_check=True)
+
+    def test_hang_reachable(self):
+        program = build_webserver(self.CONFIG)
+        failing = find_schedule(
+            program,
+            predicate=lambda run: run.status is RunStatus.HANG,
+            max_schedules=60000,
+            preemption_bound=2,
+        )
+        assert failing is not None
+        blocked = dict(failing.blocked)
+        assert any(reason.startswith("cond:") for reason in blocked.values())
+
+    def test_hang_flagged_as_order_violation(self):
+        from repro.detectors import FindingKind, OrderViolationDetector
+
+        program = build_webserver(self.CONFIG)
+        failing = find_schedule(
+            program,
+            predicate=lambda run: run.status is RunStatus.HANG,
+            max_schedules=60000,
+            preemption_bound=2,
+        )
+        report = OrderViolationDetector.for_program(program).analyse(failing.trace)
+        assert FindingKind.HANG in {f.kind for f in report}
+
+
+class TestTeardownRace:
+    CONFIG = WebServerConfig(workers=1, requests=2, teardown_race=True)
+
+    def test_crash_reachable(self):
+        program = build_webserver(self.CONFIG)
+        failing = find_schedule(
+            program,
+            predicate=lambda run: run.status is RunStatus.CRASH,
+            max_schedules=60000,
+            preemption_bound=2,
+        )
+        assert failing is not None
+        assert "torn-down connection" in failing.crash_reasons[0]
+
+    def test_correct_shutdown_never_crashes(self):
+        config = WebServerConfig(workers=1, requests=2)
+        program = build_webserver(config)
+        result = Explorer(
+            program, max_schedules=60000, preemption_bound=2
+        ).explore(
+            predicate=lambda run: run.status is RunStatus.CRASH,
+            stop_on_first=True,
+        )
+        assert not result.found

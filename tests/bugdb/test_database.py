@@ -1,0 +1,191 @@
+"""BugDatabase loading, querying, and the study's headline aggregates.
+
+The aggregate tests below pin the database to the published counts of the
+ASPLOS'08 study — they are the contract the whole study layer depends on.
+"""
+
+import pytest
+
+from repro.bugdb import (
+    Application,
+    BugCategory,
+    BugDatabase,
+    BugPattern,
+    FixStrategy,
+    validate_database,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return BugDatabase.load()
+
+
+class TestLoad:
+    def test_total_is_105(self, db):
+        assert len(db) == 105
+
+    def test_category_split(self, db):
+        counts = db.count_by_category()
+        assert counts[BugCategory.NON_DEADLOCK] == 74
+        assert counts[BugCategory.DEADLOCK] == 31
+
+    def test_application_split(self, db):
+        assert db.count_by_application() == {
+            Application.MYSQL: 23,
+            Application.APACHE: 17,
+            Application.MOZILLA: 57,
+            Application.OPENOFFICE: 8,
+        }
+
+    def test_per_application_category_split(self, db):
+        expected = {
+            Application.MYSQL: (14, 9),
+            Application.APACHE: (13, 4),
+            Application.MOZILLA: (41, 16),
+            Application.OPENOFFICE: (6, 2),
+        }
+        for app, (nd, dl) in expected.items():
+            sub = db.by_application(app)
+            assert len(sub.non_deadlock()) == nd, app
+            assert len(sub.deadlock()) == dl, app
+
+    def test_ids_unique(self, db):
+        ids = db.ids()
+        assert len(set(ids)) == len(ids) == 105
+
+    def test_validates(self, db):
+        assert validate_database(db) == []
+
+    def test_get_and_contains(self, db):
+        assert "mysql-nd-binlog-rotate" in db
+        record = db.get("mysql-nd-binlog-rotate")
+        assert record.application is Application.MYSQL
+        with pytest.raises(KeyError):
+            db.get("nope")
+
+
+class TestPatternAggregates:
+    def test_atomicity_count_is_51(self, db):
+        assert len(db.non_deadlock().with_pattern(BugPattern.ATOMICITY)) == 51
+
+    def test_order_count_is_24(self, db):
+        assert len(db.non_deadlock().with_pattern(BugPattern.ORDER)) == 24
+
+    def test_union_is_72_of_74(self, db):
+        nd = db.non_deadlock()
+        union = nd.count(
+            lambda r: r.has_pattern(BugPattern.ATOMICITY)
+            or r.has_pattern(BugPattern.ORDER)
+        )
+        assert union == 72
+        assert union / len(nd) == pytest.approx(72 / 74)
+
+    def test_other_is_2(self, db):
+        assert len(db.non_deadlock().with_pattern(BugPattern.OTHER)) == 2
+
+    def test_pattern_counts_helper(self, db):
+        counts = db.pattern_counts()
+        assert counts[BugPattern.ATOMICITY] == 51
+        assert counts[BugPattern.ORDER] == 24
+        assert counts[BugPattern.OTHER] == 2
+
+
+class TestManifestationAggregates:
+    def test_two_threads_suffice_for_101(self, db):
+        assert db.count(lambda r: r.few_threads) == 101
+        assert db.fraction(lambda r: r.few_threads) == pytest.approx(101 / 105)
+
+    def test_single_variable_is_49_of_74(self, db):
+        nd = db.non_deadlock()
+        assert nd.count(lambda r: r.involves_single_variable) == 49
+
+    def test_deadlocks_with_at_most_two_resources(self, db):
+        dl = db.deadlock()
+        assert dl.count(lambda r: r.resources_involved <= 2) == 30
+        assert dl.count(lambda r: r.resources_involved == 1) == 7
+
+    def test_small_access_sets_are_97(self, db):
+        assert db.count(lambda r: r.small_access_set) == 97
+
+    def test_30_of_31_deadlocks_have_small_access_sets(self, db):
+        # The single 3-resource deadlock needs 6 ordered acquisitions.
+        assert db.deadlock().count(lambda r: r.small_access_set) == 30
+
+    def test_histograms_sum_correctly(self, db):
+        assert sum(db.thread_histogram().values()) == 105
+        assert sum(db.variable_histogram().values()) == 74
+        assert sum(db.resource_histogram().values()) == 31
+        assert sum(db.access_histogram().values()) == 105
+
+
+class TestFixAggregates:
+    def test_non_deadlock_fix_distribution(self, db):
+        fixes = db.non_deadlock().count_by_fix_strategy()
+        assert fixes == {
+            FixStrategy.COND_CHECK: 19,
+            FixStrategy.CODE_SWITCH: 10,
+            FixStrategy.DESIGN_CHANGE: 24,
+            FixStrategy.ADD_LOCK: 20,
+            FixStrategy.OTHER_NON_DEADLOCK: 1,
+        }
+
+    def test_73_percent_fixed_without_locks(self, db):
+        nd = db.non_deadlock()
+        lockless = nd.count(lambda r: r.fix_strategy is not FixStrategy.ADD_LOCK)
+        assert lockless == 54
+        assert lockless / len(nd) == pytest.approx(0.7297, abs=1e-3)
+
+    def test_deadlock_fix_distribution(self, db):
+        fixes = db.deadlock().count_by_fix_strategy()
+        assert fixes == {
+            FixStrategy.GIVE_UP_RESOURCE: 19,
+            FixStrategy.ACQUIRE_ORDER: 6,
+            FixStrategy.SPLIT_RESOURCE: 2,
+            FixStrategy.OTHER_DEADLOCK: 4,
+        }
+
+    def test_give_up_dominates_deadlock_fixes(self, db):
+        dl = db.deadlock()
+        give_up = dl.count(
+            lambda r: r.fix_strategy is FixStrategy.GIVE_UP_RESOURCE
+        )
+        assert give_up / len(dl) == pytest.approx(19 / 31)
+
+    def test_17_first_patches_were_buggy(self, db):
+        assert db.count(lambda r: r.first_fix_buggy) == 17
+
+
+class TestQuerying:
+    def test_filter_composes(self, db):
+        mozilla_atomicity = (
+            db.by_application(Application.MOZILLA)
+            .non_deadlock()
+            .with_pattern(BugPattern.ATOMICITY)
+        )
+        assert len(mozilla_atomicity) == 29  # 27 A-only + 2 both
+
+    def test_with_kernel_links(self, db):
+        linked = db.with_kernel()
+        assert len(linked) > 80  # most records carry a kernel class link
+        assert all(r.kernel is not None for r in linked)
+
+    def test_filter_returns_new_database(self, db):
+        sub = db.non_deadlock()
+        assert len(db) == 105
+        assert len(sub) == 74
+
+    def test_empty_filter_fraction_is_zero(self, db):
+        empty = db.filter(lambda r: False)
+        assert empty.fraction(lambda r: True) == 0.0
+
+    def test_count_by_impact_covers_all(self, db):
+        impacts = db.count_by_impact()
+        assert sum(impacts.values()) == 105
+
+    def test_duplicate_ids_rejected(self, db):
+        record = db.get("mysql-nd-binlog-rotate")
+        from repro.errors import BugDatabaseError
+
+        with pytest.raises(BugDatabaseError, match="duplicate"):
+            BugDatabase([record, record])

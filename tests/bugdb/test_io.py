@@ -1,0 +1,84 @@
+"""JSON import/export tests for the bug database."""
+
+import json
+
+import pytest
+
+from repro.bugdb import BugDatabase
+from repro.bugdb.io import (
+    database_from_json,
+    database_to_json,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.errors import BugDatabaseError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return BugDatabase.load()
+
+
+class TestRoundTrip:
+    def test_full_database_round_trips(self, db):
+        restored = database_from_json(database_to_json(db))
+        assert len(restored) == 105
+        assert restored.ids() == db.ids()
+        for original in db:
+            assert restored.get(original.bug_id) == original
+
+    def test_aggregates_survive_round_trip(self, db):
+        from repro.study import check_all
+
+        restored = database_from_json(database_to_json(db))
+        assert all(result.passed for result in check_all(restored))
+
+    def test_record_dict_is_json_native(self, db):
+        payload = record_to_dict(db.get("mysql-nd-binlog-rotate"))
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["application"] == "MySQL"
+        assert payload["patterns"] == ["atomicity-violation"]
+
+    def test_record_round_trip_preserves_equality(self, db):
+        for record in db:
+            assert record_from_dict(record_to_dict(record)) == record
+
+
+class TestValidationOnImport:
+    def test_rejects_non_json(self):
+        with pytest.raises(BugDatabaseError, match="not valid JSON"):
+            database_from_json("{oops")
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(BugDatabaseError, match="not a repro-bugdb"):
+            database_from_json('{"format": "something-else"}')
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(BugDatabaseError, match="version"):
+            database_from_json('{"format": "repro-bugdb", "version": 99}')
+
+    def test_rejects_schema_invalid_record(self, db):
+        payload = record_to_dict(db.get("mysql-nd-binlog-rotate"))
+        payload["threads_involved"] = 0  # schema violation
+        document = json.dumps(
+            {"format": "repro-bugdb", "version": 1, "records": [payload]}
+        )
+        with pytest.raises(BugDatabaseError, match="threads_involved"):
+            database_from_json(document)
+
+    def test_rejects_unknown_enum_value(self, db):
+        payload = record_to_dict(db.get("mysql-nd-binlog-rotate"))
+        payload["fix_strategy"] = "pray"
+        document = json.dumps(
+            {"format": "repro-bugdb", "version": 1, "records": [payload]}
+        )
+        with pytest.raises(BugDatabaseError, match="malformed record"):
+            database_from_json(document)
+
+    def test_rejects_duplicate_ids(self, db):
+        payload = record_to_dict(db.get("mysql-nd-binlog-rotate"))
+        document = json.dumps(
+            {"format": "repro-bugdb", "version": 1, "records": [payload, payload]}
+        )
+        with pytest.raises(BugDatabaseError, match="duplicate"):
+            database_from_json(document)

@@ -1,0 +1,109 @@
+"""Per-application record module tests: catch regeneration drift early."""
+
+from collections import Counter
+
+import pytest
+
+from repro.bugdb import BugCategory, BugPattern, FixStrategy
+from repro.bugdb.records import (
+    APACHE_RECORDS,
+    MOZILLA_RECORDS,
+    MYSQL_RECORDS,
+    OPENOFFICE_RECORDS,
+    all_records,
+)
+
+MODULES = {
+    "mysql": MYSQL_RECORDS,
+    "apache": APACHE_RECORDS,
+    "mozilla": MOZILLA_RECORDS,
+    "openoffice": OPENOFFICE_RECORDS,
+}
+
+
+class TestModuleShapes:
+    def test_per_module_counts(self):
+        assert len(MYSQL_RECORDS) == 23
+        assert len(APACHE_RECORDS) == 17
+        assert len(MOZILLA_RECORDS) == 57
+        assert len(OPENOFFICE_RECORDS) == 8
+
+    def test_all_records_concatenates(self):
+        assert len(all_records()) == 105
+        ids = [r.bug_id for r in all_records()]
+        assert len(set(ids)) == 105
+
+    @pytest.mark.parametrize("name,records", MODULES.items())
+    def test_ids_prefixed_by_application(self, name, records):
+        assert all(r.bug_id.startswith(name) for r in records)
+
+    @pytest.mark.parametrize("name,records", MODULES.items())
+    def test_descriptions_are_substantive(self, name, records):
+        for record in records:
+            assert len(record.description) > 40, record.bug_id
+            assert record.component, record.bug_id
+
+
+class TestPerApplicationMarginals:
+    """The per-app allocations behind the global calibration."""
+
+    def test_mozilla_pattern_split(self):
+        nd = [r for r in MOZILLA_RECORDS if r.category is BugCategory.NON_DEADLOCK]
+        atomicity_only = sum(
+            1 for r in nd if r.patterns == (BugPattern.ATOMICITY,)
+        )
+        order_only = sum(1 for r in nd if r.patterns == (BugPattern.ORDER,))
+        both = sum(1 for r in nd if len(r.patterns) == 2)
+        other = sum(1 for r in nd if r.patterns == (BugPattern.OTHER,))
+        assert (atomicity_only, order_only, both, other) == (27, 11, 2, 1)
+
+    def test_mysql_fix_split(self):
+        nd = [r for r in MYSQL_RECORDS if r.category is BugCategory.NON_DEADLOCK]
+        fixes = Counter(r.fix_strategy for r in nd)
+        assert fixes[FixStrategy.ADD_LOCK] == 4
+        assert fixes[FixStrategy.COND_CHECK] == 4
+        assert fixes[FixStrategy.CODE_SWITCH] == 2
+        assert fixes[FixStrategy.DESIGN_CHANGE] == 4
+
+    def test_apache_has_no_both_pattern_records(self):
+        nd = [r for r in APACHE_RECORDS if r.category is BugCategory.NON_DEADLOCK]
+        assert all(len(r.patterns) == 1 for r in nd)
+
+    def test_mozilla_deadlock_resources(self):
+        dl = [r for r in MOZILLA_RECORDS if r.category is BugCategory.DEADLOCK]
+        histogram = Counter(r.resources_involved for r in dl)
+        assert histogram == {1: 4, 2: 11, 3: 1}
+
+    def test_openoffice_deadlocks_all_two_resource(self):
+        dl = [r for r in OPENOFFICE_RECORDS if r.category is BugCategory.DEADLOCK]
+        assert [r.resources_involved for r in dl] == [2, 2]
+
+
+class TestAnchoredRecords:
+    def test_anchors_present(self):
+        anchored = [
+            r for r in all_records() if not r.report_ref.startswith("synthetic:")
+        ]
+        assert len(anchored) == 14
+        by_id = {r.bug_id for r in anchored}
+        assert {
+            "mozilla-nd-js-gc",
+            "mozilla-nd-cache-flush",
+            "mozilla-nd-thread-init",
+            "mysql-nd-binlog-rotate",
+            "apache-nd-log-buffer",
+            "apache-nd-refcount",
+            "mozilla-dl-nested-monitor",
+        } <= by_id
+
+    def test_real_tracker_refs(self):
+        refs = {r.report_ref for r in all_records()}
+        assert "MySQL#791" in refs
+        assert "Apache#25520" in refs
+        assert "Apache#21287" in refs
+
+    def test_synthetic_records_marked(self):
+        synthetic = [
+            r for r in all_records() if r.report_ref.startswith("synthetic:")
+        ]
+        assert len(synthetic) == 105 - 14

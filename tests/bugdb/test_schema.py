@@ -1,0 +1,136 @@
+"""BugRecord schema validation tests."""
+
+import pytest
+
+from repro.bugdb import (
+    Application,
+    BugCategory,
+    BugPattern,
+    BugRecord,
+    FixStrategy,
+    Impact,
+)
+from repro.errors import BugDatabaseError
+
+
+def make_nd(**overrides):
+    base = dict(
+        bug_id="test-nd",
+        report_ref="synthetic:test",
+        application=Application.MYSQL,
+        component="test",
+        description="a test record",
+        category=BugCategory.NON_DEADLOCK,
+        patterns=(BugPattern.ATOMICITY,),
+        impact=Impact.CRASH,
+        threads_involved=2,
+        accesses_to_manifest=3,
+        fix_strategy=FixStrategy.ADD_LOCK,
+        variables_involved=1,
+    )
+    base.update(overrides)
+    return BugRecord(**base)
+
+
+def make_dl(**overrides):
+    base = dict(
+        bug_id="test-dl",
+        report_ref="synthetic:test",
+        application=Application.APACHE,
+        component="test",
+        description="a test deadlock",
+        category=BugCategory.DEADLOCK,
+        patterns=(),
+        impact=Impact.HANG,
+        threads_involved=2,
+        accesses_to_manifest=4,
+        fix_strategy=FixStrategy.GIVE_UP_RESOURCE,
+        resources_involved=2,
+    )
+    base.update(overrides)
+    return BugRecord(**base)
+
+
+class TestNonDeadlockValidation:
+    def test_valid_record_constructs(self):
+        record = make_nd()
+        assert record.involves_single_variable
+        assert record.small_access_set
+        assert record.few_threads
+
+    def test_needs_a_pattern(self):
+        with pytest.raises(BugDatabaseError, match="at least one pattern"):
+            make_nd(patterns=())
+
+    def test_needs_variable_count(self):
+        with pytest.raises(BugDatabaseError, match="variables_involved"):
+            make_nd(variables_involved=None)
+
+    def test_rejects_resources(self):
+        with pytest.raises(BugDatabaseError, match="resources_involved"):
+            make_nd(resources_involved=2)
+
+    def test_rejects_deadlock_fix(self):
+        with pytest.raises(BugDatabaseError, match="not a non-deadlock"):
+            make_nd(fix_strategy=FixStrategy.GIVE_UP_RESOURCE)
+
+    def test_other_pattern_is_exclusive(self):
+        with pytest.raises(BugDatabaseError, match="'other'"):
+            make_nd(patterns=(BugPattern.OTHER, BugPattern.ATOMICITY))
+
+    def test_rejects_duplicate_patterns(self):
+        with pytest.raises(BugDatabaseError, match="duplicate"):
+            make_nd(patterns=(BugPattern.ATOMICITY, BugPattern.ATOMICITY))
+
+    def test_both_patterns_allowed(self):
+        record = make_nd(patterns=(BugPattern.ATOMICITY, BugPattern.ORDER))
+        assert record.has_pattern(BugPattern.ATOMICITY)
+        assert record.has_pattern(BugPattern.ORDER)
+
+
+class TestDeadlockValidation:
+    def test_valid_record_constructs(self):
+        record = make_dl()
+        assert record.is_deadlock
+        assert not record.involves_single_variable
+
+    def test_rejects_patterns(self):
+        with pytest.raises(BugDatabaseError, match="no non-deadlock patterns"):
+            make_dl(patterns=(BugPattern.ATOMICITY,))
+
+    def test_needs_resources(self):
+        with pytest.raises(BugDatabaseError, match="resources_involved"):
+            make_dl(resources_involved=None)
+
+    def test_rejects_variables(self):
+        with pytest.raises(BugDatabaseError, match="variables_involved"):
+            make_dl(variables_involved=1)
+
+    def test_rejects_non_deadlock_fix(self):
+        with pytest.raises(BugDatabaseError, match="not a deadlock"):
+            make_dl(fix_strategy=FixStrategy.ADD_LOCK)
+
+    def test_single_resource_allowed(self):
+        record = make_dl(resources_involved=1, threads_involved=1,
+                         accesses_to_manifest=2)
+        assert record.resources_involved == 1
+
+
+class TestCommonValidation:
+    def test_threads_must_be_positive(self):
+        with pytest.raises(BugDatabaseError, match="threads_involved"):
+            make_nd(threads_involved=0)
+
+    def test_accesses_must_be_positive(self):
+        with pytest.raises(BugDatabaseError, match="accesses_to_manifest"):
+            make_nd(accesses_to_manifest=0)
+
+    def test_records_are_frozen(self):
+        record = make_nd()
+        with pytest.raises(Exception):
+            record.threads_involved = 5
+
+    def test_predicates(self):
+        assert not make_nd(threads_involved=3).few_threads
+        assert not make_nd(accesses_to_manifest=5).small_access_set
+        assert not make_nd(variables_involved=2).involves_single_variable

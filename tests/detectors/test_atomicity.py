@@ -1,0 +1,153 @@
+"""AVIO-style atomicity detector tests: the 8-case table and kernels."""
+
+import pytest
+
+from repro.detectors import (
+    UNSERIALIZABLE_CASES,
+    AtomicityDetector,
+    FindingKind,
+    classify_interleaving,
+)
+from repro.sim import (
+    Acquire,
+    FixedScheduler,
+    Program,
+    Read,
+    Release,
+    Write,
+    run_program,
+)
+from tests import helpers
+
+
+def detect_with_schedule(program, schedule):
+    result = run_program(program, FixedScheduler(schedule, strict=False))
+    return AtomicityDetector().analyse(result.trace)
+
+
+def two_thread_program(local_ops, remote_op):
+    """Local thread runs two ops on x; remote runs one op on x."""
+
+    def local():
+        for op in local_ops:
+            if op == "R":
+                yield Read("x")
+            else:
+                yield Write("x", 1)
+
+    def remote():
+        if remote_op == "R":
+            yield Read("x")
+        else:
+            yield Write("x", 2)
+
+    return Program(
+        "case", threads={"Local": local, "Remote": remote}, initial={"x": 0}
+    )
+
+
+ALL_CASES = [
+    (p, c, r)
+    for p in "RW"
+    for c in "RW"
+    for r in "RW"
+]
+
+
+class TestCaseTable:
+    def test_exactly_four_cases_are_unserializable(self):
+        assert len(UNSERIALIZABLE_CASES) == 4
+
+    def test_classify_maps_booleans_to_letters(self):
+        assert classify_interleaving(True, False, True) == ("W", "R", "W")
+        assert classify_interleaving(False, False, False) == ("R", "R", "R")
+
+    @pytest.mark.parametrize("p,c,r", ALL_CASES)
+    def test_each_case_reported_iff_unserializable(self, p, c, r):
+        prog = two_thread_program([p, c], r)
+        # Interleave remote exactly between the two local accesses.
+        report = detect_with_schedule(prog, ["Local", "Remote", "Local"])
+        violations = report.of_kind(FindingKind.ATOMICITY_VIOLATION)
+        if (p, c, r) in UNSERIALIZABLE_CASES:
+            assert len(violations) == 1, f"case {p}{c}{r} should be flagged"
+            assert f"{p}{c}{r}" in violations[0].description
+        else:
+            assert violations == [], f"case {p}{c}{r} is serializable"
+
+    @pytest.mark.parametrize("p,c,r", sorted(UNSERIALIZABLE_CASES))
+    def test_no_report_without_interleaving(self, p, c, r):
+        prog = two_thread_program([p, c], r)
+        report = detect_with_schedule(prog, ["Local", "Local", "Remote"])
+        assert report.of_kind(FindingKind.ATOMICITY_VIOLATION) == []
+
+
+class TestOnPrograms:
+    def test_lost_update_interleaving_flagged(self):
+        prog = helpers.racy_counter()
+        # T2's read+write both between T1's read and write: RWW for T1... the
+        # remote write lands inside T1's read->write pair.
+        report = detect_with_schedule(prog, ["T1", "T2", "T2", "T1"])
+        violations = report.of_kind(FindingKind.ATOMICITY_VIOLATION)
+        assert violations
+        assert any("RWW" in f.description for f in violations)
+
+    def test_serial_execution_is_clean(self):
+        report = detect_with_schedule(
+            helpers.racy_counter(), ["T1", "T1", "T2", "T2"]
+        )
+        assert report.clean
+
+    def test_lock_protected_section_cannot_be_flagged(self):
+        from repro.sim import enumerate_outcomes
+
+        prog = helpers.locked_counter()
+        detector = AtomicityDetector()
+        result = enumerate_outcomes(prog, require_complete=True)
+        # No explorable schedule interleaves inside the critical section.
+        from repro.sim import Explorer
+
+        explorer = Explorer(prog)
+        exploration = explorer.explore(
+            predicate=lambda run: not detector.analyse(run.trace).clean
+        )
+        assert not exploration.found
+
+    def test_atomicity_violation_without_data_race(self):
+        """Lock-protected but non-atomic check/act: AVIO sees it, HB cannot."""
+        from repro.detectors import HappensBeforeDetector
+
+        def check_then_act():
+            yield Acquire("L")
+            value = yield Read("x")
+            yield Release("L")
+            yield Acquire("L")
+            yield Write("x", value + 1)
+            yield Release("L")
+
+        prog = Program(
+            "race-free-nonatomic",
+            threads={"T1": check_then_act, "T2": check_then_act},
+            initial={"x": 0},
+            locks=["L"],
+        )
+        schedule = [
+            "T1", "T1", "T1",      # T1: acquire, read, release
+            "T2", "T2", "T2",      # T2: acquire, read, release
+            "T2", "T2", "T2",      # T2: acquire, write, release
+            "T1", "T1", "T1",      # T1: acquire, write (stale), release
+        ]
+        result = run_program(prog, FixedScheduler(schedule, strict=False))
+        assert result.memory["x"] == 1  # lost update happened
+        atomicity = AtomicityDetector().analyse(result.trace)
+        hb = HappensBeforeDetector().analyse(result.trace)
+        assert not atomicity.clean, "AVIO must flag the unserializable RWW"
+        assert hb.clean, "every access is lock-ordered: no data race exists"
+
+    def test_findings_record_three_witness_events(self):
+        report = detect_with_schedule(
+            helpers.racy_counter(), ["T1", "T2", "T2", "T1"]
+        )
+        finding = report.of_kind(FindingKind.ATOMICITY_VIOLATION)[0]
+        assert len(finding.events) == 3
+        p, r, c = finding.events
+        assert p < r < c

@@ -1,0 +1,209 @@
+"""Eraser lockset detector tests."""
+
+from repro.detectors import FindingKind, LocksetDetector
+from repro.sim import (
+    Acquire,
+    CooperativeScheduler,
+    Program,
+    Read,
+    Release,
+    RoundRobinScheduler,
+    TryAcquire,
+    Write,
+    run_program,
+)
+from tests import helpers
+
+
+def detect(program, scheduler=None):
+    result = run_program(program, scheduler or RoundRobinScheduler())
+    return LocksetDetector().analyse(result.trace)
+
+
+class TestDiscipline:
+    def test_unlocked_shared_writes_flagged(self):
+        report = detect(helpers.racy_counter())
+        assert len(report.of_kind(FindingKind.DATA_RACE)) == 1
+        assert report.findings[0].variables == ("counter",)
+
+    def test_consistent_locking_is_clean(self):
+        assert detect(helpers.locked_counter()).clean
+
+    def test_flagged_even_when_schedule_is_benign(self):
+        # This is lockset's strength over HB: the cooperative schedule never
+        # interleaves the accesses, but the discipline violation is visible.
+        report = detect(helpers.racy_counter(), CooperativeScheduler())
+        assert not report.clean
+
+    def test_inconsistent_lock_choice_flagged(self):
+        def with_a():
+            yield Acquire("A")
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Release("A")
+
+        def with_b():
+            yield Acquire("B")
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Release("B")
+
+        prog = Program(
+            "two-locks",
+            threads={"T1": with_a, "T2": with_b},
+            initial={"x": 0},
+            locks=["A", "B"],
+        )
+        assert not detect(prog).clean
+
+    def test_common_lock_among_many_is_enough(self):
+        def both_locks():
+            yield Acquire("A")
+            yield Acquire("B")
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Release("B")
+            yield Release("A")
+
+        def only_b():
+            yield Acquire("B")
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Release("B")
+
+        prog = Program(
+            "subset",
+            threads={"T1": both_locks, "T2": only_b},
+            initial={"x": 0},
+            locks=["A", "B"],
+        )
+        assert detect(prog).clean
+
+
+class TestStateMachine:
+    def test_single_thread_never_flagged(self):
+        def alone():
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Write("x", 5)
+
+        prog = Program("solo", threads={"T": alone}, initial={"x": 0})
+        assert detect(prog).clean
+
+    def test_exclusive_init_then_locked_sharing_is_clean(self):
+        """Unlocked init by one thread, locked use by others: no report."""
+
+        def initialiser():
+            yield Write("x", 1)  # unlocked, but still EXCLUSIVE
+            yield Release  # placeholder never reached
+
+        def initialiser_body():
+            yield Write("x", 1)
+
+        def user():
+            yield Acquire("L")
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Release("L")
+
+        prog = Program(
+            "init-then-share",
+            threads={"Init": initialiser_body, "U1": user, "U2": user},
+            initial={"x": 0},
+            locks=["L"],
+        )
+        # Run init fully first (cooperative order).
+        report = detect(prog, CooperativeScheduler())
+        assert report.clean
+
+    def test_read_only_sharing_is_clean(self):
+        def writer_then_done():
+            yield Write("x", 10)
+
+        def reader():
+            yield Read("x")
+
+        prog = Program(
+            "ro-share",
+            threads={"W": writer_then_done, "R1": reader, "R2": reader},
+            initial={"x": 0},
+        )
+        from repro.sim import FixedScheduler
+
+        # Writer first, then readers: SHARED state, never reported.
+        result = run_program(prog, FixedScheduler(["W", "R1", "R2"], strict=False))
+        assert LocksetDetector().analyse(result.trace).clean
+
+    def test_write_after_shared_flags(self):
+        def writer():
+            yield Write("x", 10)
+
+        def reader():
+            yield Read("x")
+
+        def late_writer():
+            yield Write("x", 20)
+
+        prog = Program(
+            "late-write",
+            threads={"W": writer, "R": reader, "L": late_writer},
+            initial={"x": 0},
+        )
+        report = detect(prog, CooperativeScheduler())
+        assert not report.clean
+
+    def test_one_report_per_variable(self):
+        def body():
+            for _ in range(3):
+                value = yield Read("x")
+                yield Write("x", value + 1)
+
+        prog = Program("multi", threads={"A": body, "B": body}, initial={"x": 0})
+        report = detect(prog)
+        assert len(report.findings) == 1
+
+
+class TestLockTracking:
+    def test_try_acquire_counts_when_successful(self):
+        def try_locker():
+            ok = yield TryAcquire("L")
+            if ok:
+                value = yield Read("x")
+                yield Write("x", value + 1)
+                yield Release("L")
+
+        prog = Program(
+            "try-lock",
+            threads={"A": try_locker, "B": try_locker},
+            initial={"x": 0},
+            locks=["L"],
+        )
+        assert detect(prog, CooperativeScheduler()).clean
+
+    def test_wait_releases_lock_for_lockset_purposes(self):
+        from repro.sim import FixedScheduler, Notify, Wait
+
+        def waiter():
+            yield Acquire("L")
+            yield Wait("cv")
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Release("L")
+
+        def signaller():
+            yield Acquire("L")
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Notify("cv")
+            yield Release("L")
+
+        prog = Program(
+            "wait-lockset",
+            threads={"W": waiter, "S": signaller},
+            initial={"x": 0},
+            locks=["L"],
+            conditions={"cv": "L"},
+        )
+        schedule = ["W", "W", "S", "S", "S", "S", "S", "W", "W", "W", "W"]
+        result = run_program(prog, FixedScheduler(schedule, strict=False))
+        assert LocksetDetector().analyse(result.trace).clean

@@ -1,0 +1,83 @@
+"""Detector suite composition tests."""
+
+from repro.detectors import (
+    DetectorSuite,
+    FindingKind,
+    HappensBeforeDetector,
+    default_detectors,
+)
+from repro.sim import FixedScheduler, RandomScheduler, run_program
+from tests import helpers
+
+
+class TestSuite:
+    def test_default_battery_has_five_detectors(self):
+        suite = DetectorSuite()
+        assert len(suite.detectors) == 5
+        names = {d.name for d in suite.detectors}
+        assert names == {
+            "happens-before",
+            "lockset",
+            "atomicity",
+            "order-violation",
+            "deadlock",
+        }
+
+    def test_racy_counter_flagged_by_race_detectors(self):
+        prog = helpers.racy_counter()
+        trace = run_program(prog, FixedScheduler(["T1", "T2", "T2", "T1"])).trace
+        result = DetectorSuite.for_program(prog).analyse(trace)
+        flagged = result.flagged_by()
+        assert "happens-before" in flagged
+        assert "lockset" in flagged
+        assert "atomicity" in flagged
+        assert "deadlock" not in flagged
+
+    def test_deadlock_flagged_only_by_deadlock_detector(self):
+        from repro.sim import find_schedule
+
+        prog = helpers.abba_deadlock()
+        failing = find_schedule(prog)
+        result = DetectorSuite.for_program(prog).analyse(failing.trace)
+        assert "deadlock" in result.flagged_by()
+        assert "happens-before" not in result.flagged_by()
+
+    def test_clean_program_is_clean_everywhere(self):
+        prog = helpers.locked_counter()
+        trace = run_program(prog, RandomScheduler(seed=4)).trace
+        result = DetectorSuite.for_program(prog).analyse(trace)
+        assert result.clean
+        assert result.flagged_by() == []
+
+    def test_kinds_found_aggregates(self):
+        prog = helpers.racy_counter()
+        trace = run_program(prog, FixedScheduler(["T1", "T2", "T2", "T1"])).trace
+        result = DetectorSuite.for_program(prog).analyse(trace)
+        kinds = result.kinds_found()
+        assert FindingKind.DATA_RACE in kinds
+        assert FindingKind.ATOMICITY_VIOLATION in kinds
+
+    def test_analyse_many_merges_across_traces(self):
+        prog = helpers.racy_counter()
+        traces = [
+            run_program(prog, RandomScheduler(seed=s)).trace for s in range(5)
+        ]
+        result = DetectorSuite.for_program(prog).analyse_many(traces)
+        assert "lockset" in result.flagged_by()
+
+    def test_format_renders_every_detector(self):
+        prog = helpers.locked_counter()
+        trace = run_program(prog, RandomScheduler(seed=1)).trace
+        text = DetectorSuite.for_program(prog).analyse(trace).format()
+        for name in ("happens-before", "lockset", "atomicity"):
+            assert name in text
+
+    def test_default_detectors_without_program(self):
+        detectors = default_detectors()
+        assert len(detectors) == 5
+
+    def test_report_accessor(self):
+        prog = helpers.racy_counter()
+        trace = run_program(prog, FixedScheduler(["T1", "T2", "T2", "T1"])).trace
+        result = DetectorSuite.for_program(prog).analyse(trace)
+        assert result.report("happens-before").findings

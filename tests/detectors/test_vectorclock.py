@@ -1,0 +1,92 @@
+"""Vector clock unit + property tests (lattice laws, ordering)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.detectors import VectorClock
+
+THREADS = ["A", "B", "C"]
+
+clocks = st.builds(
+    VectorClock,
+    st.dictionaries(st.sampled_from(THREADS), st.integers(min_value=0, max_value=8)),
+)
+
+
+class TestBasics:
+    def test_empty_clock_components_are_zero(self):
+        vc = VectorClock()
+        assert vc.get("anything") == 0
+
+    def test_tick_increments_only_own_component(self):
+        vc = VectorClock().tick("A").tick("A").tick("B")
+        assert vc.get("A") == 2
+        assert vc.get("B") == 1
+        assert vc.get("C") == 0
+
+    def test_tick_returns_new_instance(self):
+        vc = VectorClock()
+        ticked = vc.tick("A")
+        assert vc.get("A") == 0
+        assert ticked.get("A") == 1
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({"A": 3, "B": 1})
+        b = VectorClock({"B": 2, "C": 5})
+        joined = a.join(b)
+        assert (joined.get("A"), joined.get("B"), joined.get("C")) == (3, 2, 5)
+
+    def test_zero_components_dropped_for_equality(self):
+        assert VectorClock({"A": 0, "B": 1}) == VectorClock({"B": 1})
+        assert hash(VectorClock({"A": 0})) == hash(VectorClock())
+
+    def test_ordering(self):
+        lo = VectorClock({"A": 1})
+        hi = VectorClock({"A": 2, "B": 1})
+        assert lo < hi
+        assert lo.happens_before(hi)
+        assert not hi.happens_before(lo)
+        assert not lo.concurrent_with(hi)
+
+    def test_concurrency(self):
+        a = VectorClock({"A": 1})
+        b = VectorClock({"B": 1})
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_repr_is_sorted(self):
+        assert repr(VectorClock({"B": 2, "A": 1})) == "VC(A:1, B:2)"
+
+
+class TestLatticeLaws:
+    @given(clocks, clocks)
+    def test_join_commutes(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(clocks, clocks, clocks)
+    def test_join_associates(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(clocks)
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(clocks, clocks)
+    def test_join_is_upper_bound(self, a, b):
+        joined = a.join(b)
+        assert a <= joined
+        assert b <= joined
+
+    @given(clocks, clocks)
+    def test_order_trichotomy_is_exclusive(self, a, b):
+        relations = [a < b, b < a, a == b, a.concurrent_with(b)]
+        assert sum(bool(r) for r in relations) == 1
+
+    @given(clocks, st.sampled_from(THREADS))
+    def test_tick_strictly_increases(self, a, thread):
+        assert a < a.tick(thread)
+
+    @given(clocks, clocks, clocks)
+    def test_le_transitive(self, a, b, c):
+        if a <= b and b <= c:
+            assert a <= c

@@ -1,0 +1,114 @@
+"""Fix strategy and verification tests."""
+
+import pytest
+
+from repro.bugdb.schema import FixStrategy
+from repro.errors import FixError
+from repro.fixes import (
+    FIX_DESCRIPTIONS,
+    apply_strategy,
+    audit_bad_patches,
+    bad_patches,
+    fixes_for,
+    verify_all_fixes,
+    verify_fix,
+)
+from repro.kernels import all_kernels, get_kernel
+
+
+class TestTaxonomy:
+    def test_every_strategy_documented(self):
+        assert set(FIX_DESCRIPTIONS) == set(FixStrategy)
+
+    def test_fixes_for_lists_primary_first(self):
+        kernel = get_kernel("deadlock_abba")
+        strategies = [s for s, _ in fixes_for(kernel)]
+        assert strategies[0] is FixStrategy.ACQUIRE_ORDER
+        assert FixStrategy.GIVE_UP_RESOURCE in strategies
+
+    def test_apply_strategy_returns_matching_program(self):
+        kernel = get_kernel("atomicity_single_var")
+        program = apply_strategy(kernel, FixStrategy.ADD_LOCK)
+        assert "add-lock" in program.name
+
+    def test_apply_missing_strategy_raises(self):
+        kernel = get_kernel("order_use_before_init")
+        with pytest.raises(FixError, match="no give-up-resource fix"):
+            apply_strategy(kernel, FixStrategy.GIVE_UP_RESOURCE)
+
+
+class TestVerification:
+    def test_all_shipped_fixes_verify_clean(self):
+        for kernel in all_kernels():
+            for strategy, verification in verify_all_fixes(kernel).items():
+                assert verification.clean, (kernel.name, strategy)
+                assert verification.complete, (kernel.name, strategy)
+
+    def test_buggy_program_fails_verification_with_counterexample(self):
+        kernel = get_kernel("atomicity_single_var")
+        verification = verify_fix(kernel, kernel.buggy)
+        assert not verification.clean
+        assert verification.counterexample
+
+    def test_counterexample_replays_to_failure(self):
+        from repro.sim import replay
+
+        kernel = get_kernel("multivar_buffer_flag")
+        verification = verify_fix(kernel, kernel.buggy)
+        rerun = replay(kernel.buggy, verification.counterexample)
+        assert kernel.failure(rerun)
+
+    def test_summary_mentions_verdict(self):
+        kernel = get_kernel("deadlock_self")
+        good = verify_fix(kernel, kernel.fixed)
+        bad = verify_fix(kernel, kernel.buggy)
+        assert "clean" in good.summary()
+        assert "STILL BUGGY" in bad.summary()
+
+
+class TestBadPatches:
+    def test_two_bad_patches_modelled(self):
+        assert len(bad_patches()) == 2
+
+    def test_sleep_patch_still_manifests(self):
+        audits = audit_bad_patches()
+        assert all(not v.clean for v in audits)
+
+    def test_sleep_patch_counterexample_is_replayable(self):
+        from repro.fixes import bad_patch_sleep
+        from repro.sim import replay
+
+        kernel, patched, _why = bad_patch_sleep()
+        verification = verify_fix(kernel, patched)
+        assert not verification.clean
+        rerun = replay(patched, verification.counterexample)
+        assert kernel.failure(rerun)
+
+    def test_partial_lock_patch_still_manifests(self):
+        from repro.fixes import bad_patch_partial_lock
+
+        kernel, patched, why = bad_patch_partial_lock()
+        verification = verify_fix(kernel, patched)
+        assert not verification.clean
+        assert "one side" in why
+
+    def test_sleep_patch_keeps_manifesting_in_schedule_space(self):
+        """Sleeps shift wall-clock odds but leave the interleaving space buggy.
+
+        In fact the extra scheduling points *widen* the window when
+        measured over schedules — which is exactly why timing-based fixes
+        pass stress tests on the developer's machine and fail in the
+        field.
+        """
+        from repro.fixes import bad_patch_sleep
+        from repro.sim import Explorer
+
+        kernel, patched, _why = bad_patch_sleep()
+        buggy_rate = Explorer(kernel.buggy).explore(
+            predicate=kernel.failure
+        ).match_rate()
+        patched_rate = Explorer(patched).explore(
+            predicate=kernel.failure
+        ).match_rate()
+        assert patched_rate > 0
+        assert patched_rate >= buggy_rate  # more decision points, wider window

@@ -1,0 +1,253 @@
+"""Shared program builders used across the test suite.
+
+Each helper returns a fresh :class:`~repro.sim.Program`; they are the
+canonical micro-programs the simulator/detector tests exercise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimCrash
+from repro.sim import (
+    Acquire,
+    AcquireRead,
+    AcquireWrite,
+    BarrierWait,
+    Join,
+    Notify,
+    Program,
+    Read,
+    Release,
+    ReleaseRead,
+    ReleaseWrite,
+    SemAcquire,
+    SemRelease,
+    Spawn,
+    Wait,
+    Write,
+    Yield,
+)
+
+
+def racy_counter(threads: int = 2) -> Program:
+    """N unlocked read-increment-write threads on one counter."""
+
+    def increment():
+        value = yield Read("counter")
+        yield Write("counter", value + 1)
+
+    return Program(
+        "racy-counter",
+        threads={f"T{i}": increment for i in range(1, threads + 1)},
+        initial={"counter": 0},
+    )
+
+
+def locked_counter(threads: int = 2) -> Program:
+    """N properly locked increment threads on one counter."""
+
+    def increment():
+        yield Acquire("L")
+        value = yield Read("counter")
+        yield Write("counter", value + 1)
+        yield Release("L")
+
+    return Program(
+        "locked-counter",
+        threads={f"T{i}": increment for i in range(1, threads + 1)},
+        initial={"counter": 0},
+        locks=["L"],
+    )
+
+
+def abba_deadlock() -> Program:
+    """The classic two-lock circular-wait deadlock."""
+
+    def forward():
+        yield Acquire("A")
+        yield Acquire("B")
+        yield Release("B")
+        yield Release("A")
+
+    def backward():
+        yield Acquire("B")
+        yield Acquire("A")
+        yield Release("A")
+        yield Release("B")
+
+    return Program(
+        "abba-deadlock",
+        threads={"T1": forward, "T2": backward},
+        locks=["A", "B"],
+    )
+
+
+def self_deadlock() -> Program:
+    """Re-acquiring a held non-recursive mutex: the 1-resource deadlock."""
+
+    def body():
+        yield Acquire("L")
+        yield Acquire("L")
+        yield Release("L")
+
+    return Program("self-deadlock", threads={"T1": body}, locks=["L"])
+
+
+def null_deref_race() -> Program:
+    """Use-before-init order violation: crash if reader runs first."""
+
+    def reader():
+        pointer = yield Read("ptr")
+        if pointer is None:
+            raise SimCrash("null pointer dereference")
+        yield Write("out", pointer)
+
+    def initialiser():
+        yield Write("ptr", "object")
+
+    return Program(
+        "null-deref",
+        threads={"Reader": reader, "Init": initialiser},
+        initial={"ptr": None, "out": None},
+    )
+
+
+def lost_wakeup() -> Program:
+    """Check-then-wait without holding the lock across the check: hangable."""
+
+    def waiter():
+        done = yield Read("done")
+        if not done:
+            yield Acquire("L")
+            yield Wait("cv")
+            yield Release("L")
+
+    def signaller():
+        yield Write("done", True)
+        yield Acquire("L")
+        yield Notify("cv")
+        yield Release("L")
+
+    return Program(
+        "lost-wakeup",
+        threads={"Waiter": waiter, "Signaller": signaller},
+        initial={"done": False},
+        locks=["L"],
+        conditions={"cv": "L"},
+    )
+
+
+def semaphore_pingpong() -> Program:
+    """Two threads strictly alternating via two semaphores."""
+
+    def ping():
+        for _ in range(2):
+            yield SemAcquire("sa")
+            count = yield Read("turns")
+            yield Write("turns", count + 1)
+            yield SemRelease("sb")
+
+    def pong():
+        for _ in range(2):
+            yield SemAcquire("sb")
+            count = yield Read("turns")
+            yield Write("turns", count + 1)
+            yield SemRelease("sa")
+
+    return Program(
+        "sem-pingpong",
+        threads={"Ping": ping, "Pong": pong},
+        initial={"turns": 0},
+        semaphores={"sa": 1, "sb": 0},
+    )
+
+
+def spawn_join_chain() -> Program:
+    """Main spawns a worker, joins it, then reads its result."""
+
+    def main():
+        yield Spawn("Worker")
+        yield Join("Worker")
+        result = yield Read("result")
+        yield Write("observed", result)
+
+    def worker():
+        yield Write("result", 42)
+
+    return Program(
+        "spawn-join",
+        threads={"Main": main, "Worker": worker},
+        initial={"result": None, "observed": None},
+        start=["Main"],
+    )
+
+
+def barrier_pair() -> Program:
+    """Two threads meeting at a barrier, then racing on a counter."""
+
+    def body():
+        yield BarrierWait("bar")
+        value = yield Read("n")
+        yield Write("n", value + 1)
+
+    return Program(
+        "barrier-pair",
+        threads={"X": body, "Y": body},
+        initial={"n": 0},
+        barriers={"bar": 2},
+    )
+
+
+def rwlock_readers_writer() -> Program:
+    """Two readers and one writer on an rwlock-protected variable."""
+
+    def reader():
+        yield AcquireRead("RW")
+        value = yield Read("data")
+        yield ReleaseRead("RW")
+        yield Write("sink", value)
+
+    def writer():
+        yield AcquireWrite("RW")
+        yield Write("data", 1)
+        yield ReleaseWrite("RW")
+
+    return Program(
+        "rw-readers-writer",
+        threads={"R1": reader, "R2": reader, "W": writer},
+        initial={"data": 0, "sink": None},
+        rwlocks=["RW"],
+    )
+
+
+def ordered_handoff() -> Program:
+    """Correct order enforcement via a semaphore: init always before use."""
+
+    def initialiser():
+        yield Write("ptr", "object")
+        yield SemRelease("ready")
+
+    def user():
+        yield SemAcquire("ready")
+        pointer = yield Read("ptr")
+        if pointer is None:
+            raise SimCrash("null pointer dereference")
+
+    return Program(
+        "ordered-handoff",
+        threads={"Init": initialiser, "User": user},
+        initial={"ptr": None},
+        semaphores={"ready": 0},
+    )
+
+
+def yield_only(steps: int = 3, threads: int = 2) -> Program:
+    """Pure scheduling-point threads; no shared effects at all."""
+
+    def body():
+        for _ in range(steps):
+            yield Yield()
+
+    return Program(
+        "yield-only",
+        threads={f"T{i}": body for i in range(1, threads + 1)},
+    )

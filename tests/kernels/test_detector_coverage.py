@@ -1,0 +1,172 @@
+"""Detector-coverage integration: which detector classes catch which kernels.
+
+Reproduces the study's implications-for-detection discussion as assertions:
+race detectors flag the racy kernels but are structurally blind to the
+race-free atomicity violation; the atomicity detector sees unserializable
+interleavings; the deadlock detector owns lock cycles.
+"""
+
+import pytest
+
+from repro.detectors import (
+    AtomicityDetector,
+    DeadlockDetector,
+    DetectorSuite,
+    FindingKind,
+    HappensBeforeDetector,
+    LocksetDetector,
+    OrderViolationDetector,
+)
+from repro.kernels import get_kernel
+
+
+def failing_trace(kernel):
+    failing = kernel.find_manifestation()
+    assert failing is not None
+    return failing.trace
+
+
+class TestRaceDetectorCoverage:
+    def test_hb_flags_single_var_atomicity_kernel(self):
+        kernel = get_kernel("atomicity_single_var")
+        report = HappensBeforeDetector().analyse(failing_trace(kernel))
+        assert not report.clean
+
+    def test_lockset_flags_single_var_atomicity_kernel(self):
+        kernel = get_kernel("atomicity_single_var")
+        report = LocksetDetector().analyse(failing_trace(kernel))
+        assert not report.clean
+
+    def test_race_detectors_blind_to_race_free_atomicity(self):
+        """The study's key blind spot: lock-protected non-atomic sections."""
+        kernel = get_kernel("atomicity_lock_free")
+        trace = failing_trace(kernel)
+        assert HappensBeforeDetector().analyse(trace).clean
+        assert LocksetDetector().analyse(trace).clean
+        # ... while the atomicity detector catches it:
+        report = AtomicityDetector().analyse(trace)
+        assert report.of_kind(FindingKind.ATOMICITY_VIOLATION)
+
+    def test_multivar_partially_visible_to_race_detectors(self):
+        # The individual accesses do race (no locks at all in the buggy
+        # version), so race detectors fire — but on *each* variable
+        # separately, never seeing the cross-variable invariant.
+        kernel = get_kernel("multivar_buffer_flag")
+        report = HappensBeforeDetector().analyse(failing_trace(kernel))
+        assert not report.clean
+
+
+class TestAtomicityDetectorCoverage:
+    @pytest.mark.parametrize(
+        "name", ["atomicity_single_var", "atomicity_wwr_log", "atomicity_lock_free"]
+    )
+    def test_flags_all_atomicity_kernels(self, name):
+        kernel = get_kernel(name)
+        report = AtomicityDetector().analyse(failing_trace(kernel))
+        assert report.of_kind(FindingKind.ATOMICITY_VIOLATION), name
+
+    def test_does_not_flag_deadlock_kernel(self):
+        kernel = get_kernel("deadlock_abba")
+        report = AtomicityDetector().analyse(failing_trace(kernel))
+        assert report.clean
+
+
+class TestOrderDetectorCoverage:
+    def test_flags_use_before_init(self):
+        kernel = get_kernel("order_use_before_init")
+        detector = OrderViolationDetector.for_program(kernel.buggy)
+        report = detector.analyse(failing_trace(kernel))
+        assert report.of_kind(FindingKind.ORDER_VIOLATION)
+
+    def test_flags_lost_wakeup(self):
+        kernel = get_kernel("order_lost_wakeup")
+        detector = OrderViolationDetector.for_program(kernel.buggy)
+        report = detector.analyse(failing_trace(kernel))
+        kinds = {f.kind for f in report}
+        assert kinds & {FindingKind.ORDER_VIOLATION, FindingKind.HANG}
+
+
+class TestDeadlockDetectorCoverage:
+    @pytest.mark.parametrize(
+        "name", ["deadlock_self", "deadlock_abba", "deadlock_three_way"]
+    )
+    def test_flags_observed_deadlocks(self, name):
+        kernel = get_kernel(name)
+        report = DeadlockDetector().analyse(failing_trace(kernel))
+        assert report.of_kind(FindingKind.DEADLOCK) or report.of_kind(
+            FindingKind.POTENTIAL_DEADLOCK
+        )
+
+    def test_predicts_abba_from_successful_run(self):
+        from repro.sim import CooperativeScheduler, run_program
+
+        kernel = get_kernel("deadlock_abba")
+        good = run_program(kernel.buggy, CooperativeScheduler())
+        assert good.ok
+        report = DeadlockDetector().analyse(good.trace)
+        assert report.of_kind(FindingKind.POTENTIAL_DEADLOCK)
+
+    def test_fixed_abba_has_no_cycle(self):
+        from repro.sim import CooperativeScheduler, run_program
+
+        kernel = get_kernel("deadlock_abba")
+        good = run_program(kernel.fixed, CooperativeScheduler())
+        report = DeadlockDetector().analyse(good.trace)
+        assert report.clean
+
+
+class TestSuiteOnKernels:
+    def test_every_buggy_kernel_flagged_by_some_detector(self):
+        from repro.kernels import all_kernels
+
+        for kernel in all_kernels():
+            suite = DetectorSuite.for_program(kernel.buggy)
+            result = suite.analyse(failing_trace(kernel))
+            assert result.flagged_by(), kernel.name
+
+    def test_fixed_kernels_clean_under_suite(self):
+        from repro.bugdb.schema import FixStrategy
+        from repro.kernels import all_kernels
+        from repro.sim import RandomScheduler, run_program
+
+        for kernel in all_kernels():
+            suite = DetectorSuite.for_program(kernel.fixed)
+            trace = run_program(kernel.fixed, RandomScheduler(seed=3)).trace
+            result = suite.analyse(trace)
+            noisy = set(result.flagged_by())
+            # Study-faithful nuance: a condition-check fix neutralises the
+            # *consequence* without removing the race itself (73% of the
+            # studied fixes add no synchronisation).  Race detectors are
+            # expected to keep flagging the now-benign race.
+            allowed = {"deadlock"}
+            if kernel.fix_strategy is FixStrategy.COND_CHECK:
+                allowed |= {"happens-before", "lockset", "atomicity"}
+            if kernel.fix_strategy is FixStrategy.GIVE_UP_RESOURCE:
+                # Give-up fixes re-validate after reacquiring: a benign
+                # cross-section pair that untrained AVIO still flags
+                # (invariant learning whitelists it — see the AVIO tests).
+                allowed |= {"atomicity"}
+            if kernel.name == "order_teardown_use":
+                # Eraser's classic fork-join false positive: the fix orders
+                # the accesses via Join, which the lockset discipline cannot
+                # see (HB, which models join edges, is clean here).
+                allowed |= {"lockset"}
+            assert noisy <= allowed, (kernel.name, result.format())
+
+    def test_cond_check_fix_leaves_benign_race_visible(self):
+        """The fixed js-gc kernel no longer crashes but still races."""
+        from repro.sim import Explorer, RandomScheduler, run_program
+
+        kernel = get_kernel("atomicity_single_var")
+        assert kernel.verify_fixed()  # consequence gone...
+        trace = run_program(kernel.fixed, RandomScheduler(seed=3)).trace
+        report = HappensBeforeDetector().analyse(trace)
+        assert not report.clean  # ...but the race remains
+
+    def test_add_lock_alternative_fix_removes_the_race_too(self):
+        from repro.sim import RandomScheduler, run_program
+
+        kernel = get_kernel("atomicity_single_var")
+        (strategy, locked_program), = kernel.alternative_fixes
+        trace = run_program(locked_program, RandomScheduler(seed=3)).trace
+        assert HappensBeforeDetector().analyse(trace).clean

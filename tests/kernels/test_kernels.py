@@ -1,0 +1,171 @@
+"""Kernel integration tests: every kernel manifests, every fix verifies.
+
+These are the executable form of the paper's figures: each kernel must
+(a) manifest under exhaustive exploration, (b) manifest with *exactly* its
+recorded characteristics, and (c) stop manifesting once its recorded fix
+strategy is applied.
+"""
+
+import pytest
+
+from repro.bugdb.schema import BugCategory, DEADLOCK_FIXES, NON_DEADLOCK_FIXES
+from repro.kernels import all_kernels, get_kernel, kernel_names
+from repro.sim import Explorer, RunStatus, replay
+
+KERNELS = all_kernels()
+IDS = [k.name for k in KERNELS]
+
+
+@pytest.fixture(params=KERNELS, ids=IDS)
+def kernel(request):
+    return request.param
+
+
+class TestEveryKernel:
+    def test_manifests_under_exploration(self, kernel):
+        assert kernel.find_manifestation() is not None
+
+    def test_manifestation_is_replayable(self, kernel):
+        failing = kernel.find_manifestation()
+        rerun = replay(kernel.buggy, failing.schedule)
+        assert kernel.failure(rerun)
+
+    def test_fix_is_exhaustively_clean(self, kernel):
+        assert kernel.verify_fixed()
+
+    def test_alternative_fixes_are_clean(self, kernel):
+        for strategy, program in kernel.alternative_fixes:
+            result = Explorer(program, max_schedules=50000).explore(
+                predicate=kernel.failure, stop_on_first=True
+            )
+            assert result.complete and not result.found, strategy
+
+    def test_fix_strategy_matches_category(self, kernel):
+        legal = (
+            DEADLOCK_FIXES
+            if kernel.category is BugCategory.DEADLOCK
+            else NON_DEADLOCK_FIXES
+        )
+        assert kernel.fix_strategy in legal
+        for strategy, _ in kernel.alternative_fixes:
+            assert strategy in legal
+
+    def test_thread_count_matches_record(self, kernel):
+        assert len(kernel.buggy.threads) == kernel.threads_involved
+
+    def test_dimension_fields_match_category(self, kernel):
+        if kernel.category is BugCategory.DEADLOCK:
+            assert kernel.resources_involved is not None
+            assert kernel.variables_involved is None
+        else:
+            assert kernel.variables_involved is not None
+            assert kernel.resources_involved is None
+
+    def test_manifest_order_labels_are_unique_sites(self, kernel):
+        labels = set()
+        for earlier, later in kernel.manifest_order:
+            labels.update((earlier, later))
+        # The constrained sites are at most accesses + critical-section
+        # entry proxies; never fewer than the pairs imply.
+        assert len(labels) <= max(kernel.accesses_to_manifest * 2, 2)
+
+    def test_summary_mentions_name(self, kernel):
+        assert kernel.name in kernel.summary()
+
+
+class TestVariableInvolvement:
+    @pytest.mark.parametrize(
+        "name", ["atomicity_single_var", "atomicity_wwr_log", "atomicity_lock_free"]
+    )
+    def test_single_variable_kernels_fail_through_one_variable(self, name):
+        kernel = get_kernel(name)
+        assert kernel.variables_involved == 1
+
+    def test_multivar_kernel_involves_two(self):
+        kernel = get_kernel("multivar_buffer_flag")
+        assert kernel.variables_involved == 2
+        failing = kernel.find_manifestation()
+        touched = set(failing.trace.variables_touched())
+        assert {"table", "empty"} <= touched
+
+
+class TestDeadlockKernels:
+    def test_self_deadlock_manifests_in_every_schedule(self):
+        kernel = get_kernel("deadlock_self")
+        assert kernel.manifestation_rate() == 1.0
+
+    def test_abba_statuses_partition(self):
+        from repro.sim import enumerate_outcomes
+
+        kernel = get_kernel("deadlock_abba")
+        result = enumerate_outcomes(kernel.buggy, require_complete=True)
+        assert result.statuses[RunStatus.DEADLOCK] > 0
+        assert result.statuses[RunStatus.OK] > 0
+
+    def test_three_way_needs_three_threads(self):
+        kernel = get_kernel("deadlock_three_way")
+        failing = kernel.find_manifestation()
+        assert len(failing.blocked) == 3
+
+    def test_resource_counts(self):
+        assert get_kernel("deadlock_self").resources_involved == 1
+        assert get_kernel("deadlock_abba").resources_involved == 2
+        assert get_kernel("deadlock_three_way").resources_involved == 3
+        assert get_kernel("deadlock_rwlock_upgrade").resources_involved == 1
+
+    def test_upgrade_deadlock_blocks_both_writers(self):
+        kernel = get_kernel("deadlock_rwlock_upgrade")
+        failing = kernel.find_manifestation()
+        blocked = dict(failing.blocked)
+        assert set(blocked) == {"T1", "T2"}
+        assert all(reason.startswith("rwlock:") for reason in blocked.values())
+
+    def test_upgrade_fix_is_linearizable(self):
+        """The give-up fix must still produce a correct final count."""
+        from repro.sim import enumerate_outcomes
+
+        kernel = get_kernel("deadlock_rwlock_upgrade")
+        result = enumerate_outcomes(kernel.fixed, require_complete=True)
+        finals = {key[1][0][1] for key in result.outcomes}
+        assert finals == {2}  # both increments always land
+
+
+class TestRegistry:
+    def test_thirteen_kernels_registered(self):
+        assert len(kernel_names()) == 13
+
+    def test_get_kernel_returns_fresh_instances(self):
+        a = get_kernel("deadlock_abba")
+        b = get_kernel("deadlock_abba")
+        assert a is not b
+        assert a.buggy is not b.buggy
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            get_kernel("nonexistent")
+
+    def test_bugdb_links_resolve(self):
+        from repro.bugdb import BugDatabase
+
+        known = set(kernel_names())
+        for record in BugDatabase.load().with_kernel():
+            assert record.kernel in known, record.bug_id
+
+    def test_anchored_records_match_kernel_dimensions(self):
+        """The paper's figure examples: record characteristics == kernel's."""
+        from repro.bugdb import BugDatabase
+
+        db = BugDatabase.load()
+        anchored = [
+            r
+            for r in db
+            if r.report_ref.startswith(("anchored:", "MySQL#", "Apache#"))
+            and r.kernel is not None
+        ]
+        assert len(anchored) >= 10
+        for record in anchored:
+            kernel = get_kernel(record.kernel)
+            assert kernel.threads_involved == record.threads_involved, record.bug_id
+            assert kernel.variables_involved == record.variables_involved, record.bug_id
+            assert kernel.resources_involved == record.resources_involved, record.bug_id
+            assert kernel.accesses_to_manifest == record.accesses_to_manifest, record.bug_id

@@ -1,0 +1,146 @@
+"""Order-enforcement tests (Finding 8 machinery)."""
+
+import pytest
+
+from repro.errors import EnforcementError
+from repro.kernels import all_kernels, get_kernel
+from repro.manifest import OrderEnforcer, enforce_order, order_guarantees
+from repro.sim import Program, RandomScheduler, Read, RunStatus, Write
+
+
+class TestOrderEnforcerValidation:
+    def test_self_edge_rejected(self):
+        with pytest.raises(EnforcementError, match="self-edge"):
+            OrderEnforcer([("a", "a")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(EnforcementError, match="cycle"):
+            OrderEnforcer([("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_diamond_accepted(self):
+        enforcer = OrderEnforcer([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert enforcer.predecessors["d"] == {"b", "c"}
+
+    def test_empty_order_accepted(self):
+        enforcer = OrderEnforcer([])
+        assert enforcer.labels == set()
+
+
+class TestEnforcedRuns:
+    def make_two_writers(self):
+        def first():
+            yield Write("x", "first", label="w1")
+
+        def second():
+            yield Write("x", "second", label="w2")
+
+        return Program(
+            "two-writers",
+            threads={"A": first, "B": second},
+            initial={"x": None},
+        )
+
+    def test_order_is_respected_across_seeds(self):
+        prog = self.make_two_writers()
+        for seed in range(20):
+            run = enforce_order(
+                prog, [("w1", "w2")], scheduler=RandomScheduler(seed=seed)
+            )
+            assert run.ok
+            assert run.result.memory["x"] == "second"
+
+    def test_reverse_order_flips_outcome(self):
+        prog = self.make_two_writers()
+        for seed in range(20):
+            run = enforce_order(
+                prog, [("w2", "w1")], scheduler=RandomScheduler(seed=seed)
+            )
+            assert run.result.memory["x"] == "first"
+
+    def test_unconstrained_labels_schedule_freely(self):
+        prog = self.make_two_writers()
+        outcomes = {
+            enforce_order(prog, [], scheduler=RandomScheduler(seed=s)).result.memory["x"]
+            for s in range(30)
+        }
+        assert outcomes == {"first", "second"}
+
+    def test_missing_label_reported(self):
+        def writer():
+            yield Write("x", 1, label="w1")
+
+        prog = Program("one-writer", threads={"A": writer}, initial={"x": 0})
+        run = enforce_order(prog, [("w1", "never-executed")])
+        assert "never-executed" in run.missing_labels
+        assert not run.ok
+
+    def test_unsatisfiable_order_reports_stall(self):
+        """An order fighting the program's locks falls back and records it."""
+        from repro.sim import Acquire, Release
+
+        def holder():
+            yield Acquire("L")
+            yield Write("x", 1, label="inside")
+            yield Release("L")
+
+        def blocked():
+            yield Acquire("L", label="other-enter")
+            yield Release("L")
+
+        prog = Program(
+            "lock-conflict",
+            threads={"H": holder, "B": blocked},
+            initial={"x": 0},
+            locks=["L"],
+        )
+        # Demand B's acquire happens before H's write, but also H's write
+        # before B's acquire cannot both... use a single impossible-ish
+        # demand: B enters first, then H's labelled write must precede
+        # B's (already done) acquire -> the filter can stall when H is the
+        # only enabled thread but its label is blocked on other-enter while
+        # B is blocked on the lock H holds.
+        run = enforce_order(
+            prog,
+            [("other-enter", "inside")],
+            scheduler=RandomScheduler(seed=1),
+        )
+        # Whichever way it resolves, the run must terminate and the
+        # satisfied flag must faithfully report whether fallback happened.
+        assert run.result.status in (RunStatus.OK, RunStatus.DEADLOCK)
+        if run.result.status is RunStatus.OK:
+            assert isinstance(run.satisfied, bool)
+
+
+class TestGuarantees:
+    def test_every_kernel_order_guarantees_manifestation(self):
+        for kernel in all_kernels():
+            assert order_guarantees(
+                kernel.buggy, kernel.manifest_order, kernel.failure, attempts=10
+            ), kernel.name
+
+    def test_wrong_order_does_not_guarantee(self):
+        kernel = get_kernel("order_use_before_init")
+        # The *correct* order (publish before use) prevents manifestation.
+        reverse = tuple((b, a) for a, b in kernel.manifest_order)
+        assert not order_guarantees(
+            kernel.buggy, reverse, kernel.failure, attempts=5
+        )
+
+    def test_empty_order_guarantees_only_always_failing_kernels(self):
+        always = get_kernel("deadlock_self")
+        assert order_guarantees(always.buggy, (), always.failure, attempts=5)
+        sometimes = get_kernel("deadlock_abba")
+        assert not order_guarantees(
+            sometimes.buggy, (), sometimes.failure, attempts=10
+        )
+
+    def test_enforced_fix_order_suppresses_bug(self):
+        """Enforcing the correct order is itself a (temporal) fix."""
+        kernel = get_kernel("order_use_before_init")
+        correct = (("parent.publish", "worker.use"),)
+        for seed in range(10):
+            run = enforce_order(
+                kernel.buggy, correct, scheduler=RandomScheduler(seed=seed)
+            )
+            assert run.satisfied
+            assert not kernel.failure(run.result)

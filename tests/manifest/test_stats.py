@@ -1,0 +1,118 @@
+"""Statistics module tests: intervals, sample sizes, rate comparisons."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.manifest.stats import compare_rates, runs_needed, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.30 < high
+
+    def test_zero_successes_lower_bound_is_zero(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0
+        assert 0.0 < high < 0.06  # "absence of evidence" still leaves ~4%
+
+    def test_all_successes_upper_bound_is_one(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert low > 0.9
+
+    def test_zero_runs_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrower_with_more_runs(self):
+        low_small, high_small = wilson_interval(5, 10)
+        low_big, high_big = wilson_interval(500, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+    def test_higher_confidence_is_wider(self):
+        narrow = wilson_interval(20, 100, confidence=0.80)
+        wide = wilson_interval(20, 100, confidence=0.99)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.5)
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=200),
+    )
+    def test_bounds_always_ordered_and_clamped(self, successes, runs):
+        successes = min(successes, runs)
+        low, high = wilson_interval(successes, runs)
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestRunsNeeded:
+    def test_certain_bug_needs_one_run(self):
+        assert runs_needed(1.0) == 1
+
+    def test_one_percent_bug_needs_hundreds(self):
+        needed = runs_needed(0.01, confidence=0.95)
+        assert 290 <= needed <= 310
+
+    def test_rarer_bugs_need_more(self):
+        assert runs_needed(0.001) > runs_needed(0.01) > runs_needed(0.1)
+
+    def test_matches_direct_probability(self):
+        p, c = 0.07, 0.9
+        n = runs_needed(p, confidence=c)
+        assert 1 - (1 - p) ** n >= c
+        assert 1 - (1 - p) ** (n - 1) < c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            runs_needed(0.0)
+        with pytest.raises(ValueError):
+            runs_needed(0.5, confidence=0.0)
+
+    def test_study_punchline(self):
+        """Enforced order (p=1) needs 1 run; random stress needs hundreds."""
+        from repro.kernels import get_kernel
+        from repro.manifest import compare_strategies
+
+        kernel = get_kernel("order_lost_wakeup")
+        estimates = compare_strategies(kernel, runs=100)
+        random_rate = estimates["random"].rate
+        assert runs_needed(max(random_rate, 0.01)) > 10
+        assert runs_needed(estimates["enforced"].rate) == 1
+
+
+class TestCompareRates:
+    def test_identical_rates_not_significant(self):
+        cmp = compare_rates(20, 100, 20, 100)
+        assert cmp.z_score == pytest.approx(0.0)
+        assert not cmp.significant()
+
+    def test_clear_difference_is_significant(self):
+        cmp = compare_rates(90, 100, 10, 100)
+        assert cmp.significant(alpha=0.001)
+        assert cmp.rate_a > cmp.rate_b
+
+    def test_small_samples_not_significant(self):
+        cmp = compare_rates(2, 3, 1, 3)
+        assert not cmp.significant()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_rates(1, 0, 1, 1)
+
+    def test_enforced_vs_random_on_a_kernel(self):
+        from repro.kernels import get_kernel
+        from repro.manifest import compare_strategies
+
+        kernel = get_kernel("deadlock_abba")
+        estimates = compare_strategies(kernel, runs=100)
+        cmp = compare_rates(
+            estimates["enforced"].manifested, estimates["enforced"].runs,
+            estimates["random"].manifested, estimates["random"].runs,
+        )
+        assert cmp.significant(alpha=0.001)

@@ -1,0 +1,179 @@
+"""Exploration tests: counting, completeness, bounds, search."""
+
+import math
+
+import pytest
+
+from repro.errors import ExplorationError
+from repro.sim import (
+    Explorer,
+    Program,
+    Read,
+    RunStatus,
+    Write,
+    Yield,
+    enumerate_outcomes,
+    find_schedule,
+)
+from tests import helpers
+
+
+def interleaving_count(*lengths):
+    """Number of interleavings of independent straight-line threads."""
+    total = math.factorial(sum(lengths))
+    for n in lengths:
+        total //= math.factorial(n)
+    return total
+
+
+class TestEnumeration:
+    def test_two_by_two_has_six_schedules(self):
+        result = enumerate_outcomes(helpers.racy_counter(), require_complete=True)
+        assert result.schedules_run == interleaving_count(2, 2) == 6
+        assert result.complete
+
+    def test_three_threads_count(self):
+        result = enumerate_outcomes(
+            helpers.racy_counter(threads=3), require_complete=True
+        )
+        assert result.schedules_run == interleaving_count(2, 2, 2) == 90
+
+    def test_yield_only_counts(self):
+        result = enumerate_outcomes(
+            helpers.yield_only(steps=3, threads=2), require_complete=True
+        )
+        assert result.schedules_run == interleaving_count(3, 3) == 20
+
+    def test_outcome_partition_sums_to_total(self):
+        result = enumerate_outcomes(helpers.racy_counter(), require_complete=True)
+        assert sum(result.outcomes.values()) == result.schedules_run
+
+    def test_racy_counter_outcome_split(self):
+        result = enumerate_outcomes(helpers.racy_counter(), require_complete=True)
+        by_counter = {
+            key[1][0][1]: count for key, count in result.outcomes.items()
+        }
+        assert by_counter == {1: 4, 2: 2}
+
+    def test_locked_counter_single_outcome(self):
+        result = enumerate_outcomes(helpers.locked_counter(), require_complete=True)
+        assert len(result.outcomes) == 1
+        ((key, count),) = result.outcomes.items()
+        assert key[0] == "ok"
+
+    def test_deadlock_counted(self):
+        result = enumerate_outcomes(helpers.abba_deadlock(), require_complete=True)
+        assert result.statuses[RunStatus.DEADLOCK] == 2
+        assert result.statuses[RunStatus.OK] == 4
+        assert result.failure_rate() == pytest.approx(2 / 6)
+
+
+class TestBudgets:
+    def test_budget_exhaustion_flagged(self):
+        explorer = Explorer(helpers.racy_counter(threads=3), max_schedules=10)
+        result = explorer.explore(predicate=lambda run: False)
+        assert result.schedules_run == 10
+        assert not result.complete
+
+    def test_require_complete_raises_on_budget(self):
+        with pytest.raises(ExplorationError, match="budget"):
+            enumerate_outcomes(
+                helpers.racy_counter(threads=3),
+                max_schedules=10,
+                require_complete=True,
+            )
+
+    def test_preemption_bound_zero_is_nonpreemptive_only(self):
+        result = Explorer(
+            helpers.racy_counter(), preemption_bound=0
+        ).explore(predicate=lambda run: False)
+        # Only the two thread orders survive: T1 whole then T2, or reverse.
+        assert result.schedules_run == 2
+
+    def test_preemption_bound_grows_coverage(self):
+        counts = []
+        for bound in (0, 1, 2):
+            result = Explorer(
+                helpers.racy_counter(), preemption_bound=bound
+            ).explore(predicate=lambda run: False)
+            counts.append(result.schedules_run)
+        assert counts[0] < counts[1] <= counts[2]
+        # Bound 2 on a 2x2-op program is already everything.
+        assert counts[2] == 6
+
+    def test_single_preemption_suffices_for_lost_update(self):
+        run = find_schedule(
+            helpers.racy_counter(),
+            predicate=lambda r: r.memory["counter"] == 1,
+            preemption_bound=1,
+        )
+        assert run is not None
+
+
+class TestSearch:
+    def test_find_schedule_returns_matching_run(self):
+        run = find_schedule(
+            helpers.racy_counter(), predicate=lambda r: r.memory["counter"] == 1
+        )
+        assert run is not None
+        assert run.memory["counter"] == 1
+
+    def test_find_schedule_none_when_impossible(self):
+        run = find_schedule(
+            helpers.locked_counter(), predicate=lambda r: r.memory["counter"] == 1
+        )
+        assert run is None
+
+    def test_default_predicate_finds_failures(self):
+        result = Explorer(helpers.abba_deadlock()).explore()
+        assert result.found
+        assert all(r.status is RunStatus.DEADLOCK for r in result.matching)
+
+    def test_first_match_schedule_is_replayable(self):
+        from repro.sim import replay
+
+        prog = helpers.null_deref_race()
+        result = Explorer(prog).explore(stop_on_first=True)
+        assert result.first_match_schedule is not None
+        rerun = replay(prog, result.first_match_schedule)
+        assert rerun.status is RunStatus.CRASH
+
+    def test_keep_matches_caps_storage(self):
+        explorer = Explorer(helpers.abba_deadlock(), keep_matches=1)
+        result = explorer.explore()
+        assert len(result.matching) == 1
+        assert result.statuses[RunStatus.DEADLOCK] == 2
+
+    def test_matching_runs_satisfy_predicate(self):
+        result = Explorer(helpers.racy_counter()).explore(
+            predicate=lambda r: r.memory["counter"] == 2
+        )
+        assert all(r.memory["counter"] == 2 for r in result.matching)
+        assert len(result.matching) == 2
+
+
+class TestExhaustivenessAgainstBruteForce:
+    def test_every_schedule_is_unique(self):
+        seen = set()
+
+        def record(run):
+            key = tuple(run.schedule)
+            assert key not in seen, "duplicate schedule explored"
+            seen.add(key)
+            return False
+
+        result = Explorer(helpers.racy_counter(threads=3)).explore(predicate=record)
+        assert len(seen) == result.schedules_run == 90
+
+    def test_blocked_programs_explored_fully(self):
+        # Locked counter: schedules differ only in lock-grant order.
+        result = enumerate_outcomes(helpers.locked_counter(), require_complete=True)
+        # Each thread does 4 ops; the lock serialises them, so the only
+        # choice is who goes first: 2 schedules.
+        assert result.schedules_run == 2
+
+    def test_summary_mentions_counts(self):
+        result = enumerate_outcomes(helpers.racy_counter(), require_complete=True)
+        text = result.summary()
+        assert "6 schedules" in text
+        assert "complete" in text

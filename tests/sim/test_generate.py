@@ -1,0 +1,86 @@
+"""Program generator and fuzz-harness tests (kept fast: small budgets)."""
+
+import pytest
+
+from repro.sim import Explorer, RandomScheduler, RunStatus, run_program
+from repro.sim.generate import FuzzReport, GeneratorConfig, fuzz_explorers, generate_program
+
+
+class TestGenerateProgram:
+    def test_deterministic_in_seed(self):
+        a = generate_program(42)
+        b = generate_program(42)
+        assert a.thread_names() == b.thread_names()
+        run_a = run_program(a, RandomScheduler(seed=1))
+        run_b = run_program(b, RandomScheduler(seed=1))
+        assert run_a.memory == run_b.memory
+        assert run_a.schedule == run_b.schedule
+
+    def test_different_seeds_differ_eventually(self):
+        shapes = {
+            tuple(generate_program(seed).thread_names()) for seed in range(20)
+        }
+        assert len(shapes) > 1
+
+    def test_default_config_never_deadlocks(self):
+        for seed in range(15):
+            program = generate_program(seed)
+            result = Explorer(program, max_schedules=3000).explore(
+                predicate=lambda run: run.status is RunStatus.DEADLOCK,
+                stop_on_first=True,
+            )
+            assert not result.found, seed
+
+    def test_deadlock_config_can_deadlock(self):
+        config = GeneratorConfig(allow_deadlock=True, crash_probability=0.0)
+        found_one = False
+        for seed in range(40):
+            program = generate_program(seed, config)
+            result = Explorer(program, max_schedules=4000).explore(
+                predicate=lambda run: run.status is RunStatus.DEADLOCK,
+                stop_on_first=True,
+            )
+            if result.found:
+                found_one = True
+                break
+        assert found_one
+
+    def test_crash_probability_zero_never_crashes(self):
+        config = GeneratorConfig(crash_probability=0.0)
+        for seed in range(20):
+            run = run_program(generate_program(seed, config), RandomScheduler(seed=seed))
+            assert run.status is not RunStatus.CRASH
+
+    def test_generated_programs_terminate(self):
+        for seed in range(20):
+            run = run_program(generate_program(seed), RandomScheduler(seed=0))
+            assert run.status in (RunStatus.OK, RunStatus.CRASH)
+
+
+class TestFuzzExplorers:
+    def test_no_divergence_on_default_family(self):
+        report = fuzz_explorers(programs=15, max_schedules=3000)
+        assert report.clean, report.mismatch_seeds
+        assert report.programs > 10
+        assert report.total_reduced_schedules <= report.total_full_schedules
+
+    def test_no_divergence_with_deadlocks(self):
+        config = GeneratorConfig(allow_deadlock=True)
+        report = fuzz_explorers(programs=15, max_schedules=4000, config=config)
+        assert report.clean, report.mismatch_seeds
+
+    def test_reduction_factor_reported(self):
+        report = fuzz_explorers(programs=15, max_schedules=4000)
+        assert report.reduction_factor() >= 1.0
+        assert "reduction" in report.summary()
+
+    def test_over_budget_programs_skipped_not_failed(self):
+        report = fuzz_explorers(programs=10, max_schedules=5)
+        assert report.clean
+        assert report.skipped > 0
+        assert "over budget" in report.summary()
+
+    def test_empty_report_is_clean(self):
+        report = FuzzReport()
+        assert report.clean
+        assert report.reduction_factor() == 1.0

@@ -1,0 +1,103 @@
+"""Witness-minimisation tests."""
+
+import pytest
+
+from repro.errors import ReplayError
+from repro.sim import (
+    RandomScheduler,
+    RunStatus,
+    minimize_preemptions,
+    preemption_count,
+    replay,
+    run_program,
+)
+from tests import helpers
+
+
+class TestPreemptionCount:
+    def test_serial_schedule_has_zero(self):
+        prog = helpers.racy_counter()
+        assert preemption_count(prog, ["T1", "T1", "T2", "T2"]) == 0
+
+    def test_single_preemption_counted(self):
+        prog = helpers.racy_counter()
+        assert preemption_count(prog, ["T1", "T2", "T2", "T1"]) == 1
+
+    def test_alternation_counts_only_preemptive_switches(self):
+        prog = helpers.racy_counter()
+        # T1.read, T2.read (preempt), T1.write (preempt), T2.write — the
+        # final switch is free because T1 finished at its write.
+        assert preemption_count(prog, ["T1", "T2", "T1", "T2"]) == 2
+
+    def test_forced_switch_is_free(self):
+        # After T1 finishes both ops, moving to T2 is not a preemption.
+        prog = helpers.locked_counter()
+        schedule = ["T1"] * 4 + ["T2"] * 4
+        assert preemption_count(prog, schedule) == 0
+
+    def test_switch_away_from_blocked_thread_is_free(self):
+        prog = helpers.abba_deadlock()
+        # T1 acquires A (T2 still enabled on B): switching to T2 is one
+        # preemption; T1 then blocks on B so the deadlock costs nothing more.
+        assert preemption_count(prog, ["T1", "T2"]) == 1
+
+    def test_wrong_schedule_raises(self):
+        prog = helpers.racy_counter()
+        with pytest.raises(ReplayError):
+            preemption_count(prog, ["T1"])
+
+
+class TestMinimize:
+    def test_lost_update_needs_one_preemption(self):
+        prog = helpers.racy_counter()
+        witness = minimize_preemptions(
+            prog, predicate=lambda r: r.memory["counter"] == 1
+        )
+        assert witness is not None
+        assert witness.preemptions == 1
+        rerun = replay(prog, witness.run.schedule)
+        assert rerun.memory["counter"] == 1
+
+    def test_self_deadlock_needs_zero(self):
+        witness = minimize_preemptions(
+            helpers.self_deadlock(), predicate=lambda r: r.failed
+        )
+        assert witness.preemptions == 0
+
+    def test_impossible_failure_returns_none(self):
+        witness = minimize_preemptions(
+            helpers.locked_counter(),
+            predicate=lambda r: r.memory["counter"] == 1,
+            max_bound=3,
+        )
+        assert witness is None
+
+    def test_every_kernel_fails_within_one_preemption(self):
+        """The CHESS small-bound claim, measured on all nine kernels."""
+        from repro.kernels import all_kernels
+
+        for kernel in all_kernels():
+            witness = minimize_preemptions(kernel.buggy, kernel.failure)
+            assert witness is not None, kernel.name
+            assert witness.preemptions <= 1, kernel.name
+
+    def test_witness_is_no_worse_than_random_finds(self):
+        prog = helpers.racy_counter()
+        witness = minimize_preemptions(
+            prog, predicate=lambda r: r.memory["counter"] == 1
+        )
+        # Any random failing run has at least as many preemptions.
+        for seed in range(40):
+            run = run_program(prog, RandomScheduler(seed=seed))
+            if run.memory["counter"] == 1:
+                assert (
+                    preemption_count(prog, run.schedule) >= witness.preemptions
+                )
+
+    def test_summary_mentions_counts(self):
+        witness = minimize_preemptions(
+            helpers.abba_deadlock(), predicate=lambda r: r.failed
+        )
+        text = witness.summary()
+        assert "preemption" in text
+        assert "witness" in text

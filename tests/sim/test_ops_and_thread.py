@@ -1,0 +1,149 @@
+"""Operation dataclass and VirtualThread state-machine tests."""
+
+import pytest
+
+from repro.errors import ProgramError, SimCrash
+from repro.sim import ops
+from repro.sim.thread import ThreadState, VirtualThread
+
+
+class TestOps:
+    def test_ops_are_frozen(self):
+        op = ops.Read("x")
+        with pytest.raises(Exception):
+            op.var = "y"
+
+    def test_labels_default_to_none(self):
+        for op in (
+            ops.Read("x"),
+            ops.Write("x", 1),
+            ops.Acquire("L"),
+            ops.Wait("cv"),
+            ops.Yield(),
+        ):
+            assert op.label is None
+
+    def test_labels_are_carried(self):
+        assert ops.Read("x", label="S1").label == "S1"
+        assert ops.Write("x", 0, label="S2").label == "S2"
+
+    def test_describe_is_informative(self):
+        assert "x" in ops.Read("x").describe()
+        assert "L" in ops.Acquire("L").describe()
+        assert "cv" in ops.Notify("cv").describe()
+        assert "3" in ops.Sleep(3).describe()
+
+    def test_memory_op_classification(self):
+        from repro.sim import events as ev
+
+        read = ev.ReadEvent(seq=0, thread="T", var="x", value=1)
+        acquire = ev.AcquireEvent(seq=0, thread="T", lock="L")
+        assert read.is_memory_access and not read.is_sync
+        assert acquire.is_sync and not acquire.is_memory_access
+
+    def test_equality_by_value(self):
+        assert ops.Read("x") == ops.Read("x")
+        assert ops.Read("x") != ops.Read("y")
+
+
+class TestVirtualThread:
+    def make(self, body):
+        return VirtualThread("T", body)
+
+    def test_initial_state_is_new(self):
+        vt = self.make(lambda: iter(()))
+        assert vt.state is ThreadState.NEW
+        assert not vt.alive and not vt.done
+
+    def test_start_advances_to_first_op(self):
+        def body():
+            yield ops.Yield()
+
+        vt = self.make(body)
+        vt.start()
+        assert vt.state is ThreadState.RUNNABLE
+        assert isinstance(vt.pending, ops.Yield)
+
+    def test_double_start_raises(self):
+        def body():
+            yield ops.Yield()
+
+        vt = self.make(body)
+        vt.start()
+        with pytest.raises(ProgramError, match="started twice"):
+            vt.start()
+
+    def test_empty_body_finishes_immediately(self):
+        def body():
+            return
+            yield  # pragma: no cover - makes this a generator function
+
+        vt = self.make(body)
+        vt.start()
+        assert vt.state is ThreadState.FINISHED
+        assert vt.done
+
+    def test_advance_feeds_result(self):
+        seen = []
+
+        def body():
+            value = yield ops.Read("x")
+            seen.append(value)
+
+        vt = self.make(body)
+        vt.start()
+        vt.advance(41)
+        assert seen == [41]
+        assert vt.state is ThreadState.FINISHED
+
+    def test_crash_captured(self):
+        def body():
+            yield ops.Yield()
+            raise SimCrash("boom")
+
+        vt = self.make(body)
+        vt.start()
+        vt.advance(None)
+        assert vt.state is ThreadState.CRASHED
+        assert vt.crash_reason == "boom"
+        assert vt.done
+
+    def test_park_unpark_cycle(self):
+        def body():
+            yield ops.Wait("cv")
+            yield ops.Yield()
+
+        vt = self.make(body)
+        vt.start()
+        vt.park("cond:cv")
+        assert vt.state is ThreadState.PARKED
+        assert vt.pending is None
+        reacquire = ops._ReacquireAfterWait(cond="cv", lock="L")
+        vt.unpark(reacquire)
+        assert vt.state is ThreadState.RUNNABLE
+        assert vt.pending is reacquire
+
+    def test_unpark_when_not_parked_raises(self):
+        def body():
+            yield ops.Yield()
+
+        vt = self.make(body)
+        vt.start()
+        with pytest.raises(ProgramError):
+            vt.unpark(ops.Yield())
+
+    def test_advance_in_wrong_state_raises(self):
+        def body():
+            yield ops.Yield()
+
+        vt = self.make(body)
+        with pytest.raises(ProgramError):
+            vt.advance(None)
+
+    def test_non_op_yield_raises_program_error(self):
+        def body():
+            yield 123
+
+        vt = self.make(body)
+        with pytest.raises(ProgramError, match="must yield"):
+            vt.start()

@@ -1,0 +1,103 @@
+"""Program construction and validation tests."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.sim import CooperativeScheduler, Program, Read, Write, Yield, run_program
+from repro.sim.thread import ThreadState
+from tests import helpers
+
+
+def noop():
+    yield Yield()
+
+
+class TestConstruction:
+    def test_programs_need_threads(self):
+        with pytest.raises(ProgramError, match="no threads"):
+            Program("empty", threads={})
+
+    def test_start_defaults_to_all_threads(self):
+        prog = Program("p", threads={"A": noop, "B": noop})
+        assert prog.start == ["A", "B"]
+
+    def test_start_must_reference_declared_threads(self):
+        with pytest.raises(ProgramError, match="not declared"):
+            Program("p", threads={"A": noop}, start=["B"])
+
+    def test_bodies_must_be_callable(self):
+        with pytest.raises(ProgramError, match="not callable"):
+            Program("p", threads={"A": 42})
+
+    def test_sync_validation_happens_at_construction(self):
+        with pytest.raises(ProgramError, match="undeclared lock"):
+            Program("p", threads={"A": noop}, conditions={"cv": "missing"})
+
+    def test_duplicate_sync_names_rejected(self):
+        with pytest.raises(ProgramError, match="more than once"):
+            Program("p", threads={"A": noop}, locks=["X"], rwlocks=["X"])
+
+
+class TestRunIsolation:
+    def test_runs_do_not_share_memory(self):
+        prog = helpers.racy_counter()
+        first = run_program(prog, CooperativeScheduler())
+        second = run_program(prog, CooperativeScheduler())
+        assert first.memory == second.memory == {"counter": 2}
+
+    def test_make_threads_returns_fresh_new_threads(self):
+        prog = helpers.racy_counter()
+        threads = prog.make_threads()
+        assert all(t.state is ThreadState.NEW for t in threads.values())
+        again = prog.make_threads()
+        assert threads["T1"] is not again["T1"]
+
+    def test_initial_mapping_not_aliased(self):
+        initial = {"data": [1, 2]}
+
+        def body():
+            value = yield Read("data")
+            value.append(3)
+            yield Write("data", value)
+
+        prog = Program("alias", threads={"T": body}, initial=initial)
+        run_program(prog, CooperativeScheduler())
+        assert initial["data"] == [1, 2]
+
+
+class TestWithThreads:
+    def test_swapping_bodies_keeps_declarations(self):
+        prog = helpers.locked_counter()
+
+        def fixed():
+            yield Yield()
+
+        patched = prog.with_threads({"T1": fixed, "T2": fixed}, name="patched")
+        assert patched.name == "patched"
+        assert patched.locks == prog.locks
+        assert patched.initial == prog.initial
+        result = run_program(patched, CooperativeScheduler())
+        assert result.memory["counter"] == 0
+
+    def test_start_list_filtered_to_new_threads(self):
+        prog = Program("p", threads={"A": noop, "B": noop}, start=["A", "B"])
+        reduced = prog.with_threads({"A": noop})
+        assert reduced.start == ["A"]
+
+
+class TestBodyProtocol:
+    def test_non_generator_body_rejected_at_run(self):
+        def not_a_generator():
+            return None
+
+        prog = Program("bad", threads={"T": not_a_generator})
+        with pytest.raises(ProgramError, match="not a generator"):
+            run_program(prog, CooperativeScheduler())
+
+    def test_yielding_non_op_rejected(self):
+        def bad_yield():
+            yield "not an op"
+
+        prog = Program("bad", threads={"T": bad_yield})
+        with pytest.raises(ProgramError, match="must yield"):
+            run_program(prog, CooperativeScheduler())

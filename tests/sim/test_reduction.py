@@ -1,0 +1,182 @@
+"""Sleep-set reduction tests: equivalence with plain DFS, then savings.
+
+The key property: over any program in the generated family (straight-line
+threads with reads/writes/lock sections, optionally crashing), the
+reduced exploration reaches exactly the same set of terminal outcomes
+(status + final memory) and the same failure verdict as exhaustive DFS —
+while running no more schedules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimCrash
+from repro.kernels import all_kernels
+from repro.sim import Acquire, Explorer, Program, Read, Release, Write
+from repro.sim.reduction import SleepSetExplorer, op_footprint, ops_dependent
+from repro.sim import ops as op_mod
+from tests import helpers
+
+VARS = ["x", "y"]
+
+
+def build_body(spec):
+    locked, op_list, crashes = spec
+
+    def body():
+        if locked:
+            yield Acquire("L")
+        for kind, var in op_list:
+            if kind == "read":
+                value = yield Read(var)
+                if crashes and value and value >= 3:
+                    raise SimCrash("generated crash")
+            else:
+                current = yield Read(var)
+                yield Write(var, (current or 0) + 1)
+        if locked:
+            yield Release("L")
+
+    return body
+
+
+@st.composite
+def small_programs(draw):
+    thread_count = draw(st.integers(min_value=2, max_value=3))
+    threads = {}
+    for index in range(thread_count):
+        locked = draw(st.booleans())
+        # Three threads x (2 mem ops -> up to 4 events) + lock ops stays
+        # well under the exploration budget; anything bigger is skipped
+        # via assume() in the tests.
+        count = draw(st.integers(min_value=1, max_value=2))
+        op_list = [
+            (draw(st.sampled_from(["read", "write"])), draw(st.sampled_from(VARS)))
+            for _ in range(count)
+        ]
+        crashes = draw(st.booleans())
+        threads[f"T{index}"] = build_body((locked, tuple(op_list), crashes))
+    return Program(
+        "generated",
+        threads=threads,
+        initial={v: 0 for v in VARS},
+        locks=["L"],
+    )
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(small_programs())
+def test_outcome_sets_match_plain_dfs(program):
+    full = Explorer(program, max_schedules=60000).explore(
+        predicate=lambda run: False
+    )
+    assume(full.complete)  # outsized programs carry no comparison value
+    reducer = SleepSetExplorer(program, max_schedules=60000)
+    reduced = reducer.explore(predicate=lambda run: False)
+    assert reduced.complete
+    assert set(reduced.outcomes) == set(full.outcomes)
+    assert reduced.schedules_run <= full.schedules_run
+
+
+@settings(max_examples=12, deadline=None, derandomize=True)
+@given(small_programs())
+def test_failure_verdicts_match(program):
+    full = Explorer(program, max_schedules=60000).explore()
+    assume(full.complete)
+    reduced = SleepSetExplorer(program, max_schedules=60000).explore()
+    assert full.found == reduced.found
+    full_statuses = {s for s in full.statuses}
+    reduced_statuses = {s for s in reduced.statuses}
+    assert full_statuses == reduced_statuses
+
+
+class TestOnKnownPrograms:
+    def test_racy_counter_keeps_both_outcomes(self):
+        reduced = SleepSetExplorer(helpers.racy_counter()).explore(
+            predicate=lambda run: False
+        )
+        finals = {key[1][0][1] for key in reduced.outcomes}
+        assert finals == {1, 2}
+
+    def test_every_kernel_verdict_preserved(self):
+        for kernel in all_kernels():
+            full = Explorer(kernel.buggy, max_schedules=100000).explore(
+                predicate=kernel.failure
+            )
+            reduced = SleepSetExplorer(kernel.buggy, max_schedules=100000).explore(
+                predicate=kernel.failure
+            )
+            assert reduced.found == full.found, kernel.name
+            assert set(reduced.outcomes) == set(full.outcomes), kernel.name
+            assert reduced.schedules_run <= full.schedules_run, kernel.name
+
+    def test_reduction_actually_prunes(self):
+        reducer = SleepSetExplorer(helpers.abba_deadlock())
+        reduced = reducer.explore(predicate=lambda run: False)
+        assert reducer.pruned_runs > 0
+        assert reduced.schedules_run < 6  # plain DFS needs 6
+
+    def test_independent_threads_explode_linearly(self):
+        def writer(var):
+            def body():
+                yield Write(var, 1)
+                yield Write(var, 2)
+
+            return body
+
+        program = Program(
+            "independent",
+            threads={"A": writer("x"), "B": writer("y")},
+            initial={"x": 0, "y": 0},
+        )
+        full = Explorer(program).explore(predicate=lambda run: False)
+        reduced = SleepSetExplorer(program).explore(predicate=lambda run: False)
+        assert full.schedules_run == 6  # C(4,2) interleavings
+        assert reduced.schedules_run == 1  # a single representative
+
+
+class TestFootprints:
+    def fp(self, op, thread="T"):
+        return op_footprint(op, thread, {"cv": "L"})
+
+    def test_read_read_independent(self):
+        assert not ops_dependent(
+            self.fp(op_mod.Read("x"), "A"), self.fp(op_mod.Read("x"), "B")
+        )
+
+    def test_read_write_dependent(self):
+        assert ops_dependent(
+            self.fp(op_mod.Read("x"), "A"), self.fp(op_mod.Write("x", 1), "B")
+        )
+
+    def test_different_vars_independent(self):
+        assert not ops_dependent(
+            self.fp(op_mod.Write("x", 1), "A"), self.fp(op_mod.Write("y", 1), "B")
+        )
+
+    def test_same_lock_dependent(self):
+        assert ops_dependent(
+            self.fp(op_mod.Acquire("L"), "A"), self.fp(op_mod.Release("L"), "B")
+        )
+
+    def test_different_locks_independent(self):
+        assert not ops_dependent(
+            self.fp(op_mod.Acquire("L"), "A"), self.fp(op_mod.Acquire("M"), "B")
+        )
+
+    def test_wait_touches_cond_and_its_lock(self):
+        wait_fp = self.fp(op_mod.Wait("cv"), "A")
+        assert ops_dependent(wait_fp, self.fp(op_mod.Acquire("L"), "B"))
+        assert ops_dependent(wait_fp, self.fp(op_mod.Notify("cv"), "B"))
+
+    def test_join_depends_on_target_thread_ops(self):
+        join_fp = self.fp(op_mod.Join("W"), "Main")
+        target_op = self.fp(op_mod.Yield(), "W")
+        assert ops_dependent(join_fp, target_op)
+
+    def test_yields_of_different_threads_independent(self):
+        assert not ops_dependent(
+            self.fp(op_mod.Yield(), "A"), self.fp(op_mod.Yield(), "B")
+        )

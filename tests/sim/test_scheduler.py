@@ -1,0 +1,134 @@
+"""Scheduler policy tests: determinism and policy shape."""
+
+import pytest
+
+from repro.errors import ReplayError, SchedulerError
+from repro.sim import (
+    CooperativeScheduler,
+    FixedScheduler,
+    PCTScheduler,
+    Program,
+    RandomScheduler,
+    RoundRobinScheduler,
+    RunStatus,
+    Yield,
+    run_program,
+)
+from tests import helpers
+
+
+class TestRandomScheduler:
+    def test_same_seed_same_schedule(self):
+        prog = helpers.racy_counter(threads=3)
+        first = run_program(prog, RandomScheduler(seed=7))
+        second = run_program(prog, RandomScheduler(seed=7))
+        assert first.schedule == second.schedule
+        assert first.memory == second.memory
+
+    def test_different_seeds_eventually_differ(self):
+        prog = helpers.racy_counter(threads=3)
+        schedules = {
+            tuple(run_program(prog, RandomScheduler(seed=s)).schedule)
+            for s in range(20)
+        }
+        assert len(schedules) > 1
+
+    def test_reset_restores_seed_stream(self):
+        scheduler = RandomScheduler(seed=3)
+        prog = helpers.racy_counter(threads=3)
+        first = run_program(prog, scheduler)
+        second = run_program(prog, scheduler)  # engine calls reset()
+        assert first.schedule == second.schedule
+
+
+class TestCooperativeScheduler:
+    def test_runs_one_thread_to_completion_first(self):
+        prog = helpers.racy_counter()
+        result = run_program(prog, CooperativeScheduler())
+        # The first thread's two ops happen before the second thread starts.
+        assert result.schedule == ["T1", "T1", "T2", "T2"]
+
+    def test_no_lost_update_without_preemption(self):
+        result = run_program(helpers.racy_counter(), CooperativeScheduler())
+        assert result.memory["counter"] == 2
+
+    def test_moves_on_when_current_blocks(self):
+        result = run_program(helpers.semaphore_pingpong(), CooperativeScheduler())
+        assert result.status is RunStatus.OK
+        assert result.memory["turns"] == 4
+
+
+class TestRoundRobinScheduler:
+    def test_alternates_between_enabled_threads(self):
+        prog = helpers.yield_only(steps=2, threads=2)
+        result = run_program(prog, RoundRobinScheduler())
+        assert result.schedule == ["T1", "T2", "T1", "T2"]
+
+    def test_wraps_around_thread_order(self):
+        prog = helpers.yield_only(steps=1, threads=3)
+        result = run_program(prog, RoundRobinScheduler())
+        assert result.schedule == ["T1", "T2", "T3"]
+
+
+class TestPCTScheduler:
+    def test_deterministic_given_seed(self):
+        prog = helpers.racy_counter(threads=3)
+        a = run_program(prog, PCTScheduler(seed=11, depth=2))
+        b = run_program(prog, PCTScheduler(seed=11, depth=2))
+        assert a.schedule == b.schedule
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(SchedulerError):
+            PCTScheduler(seed=0, depth=0)
+
+    def test_depth_one_is_pure_priority(self):
+        # With no change points, the highest-priority thread runs to the end
+        # whenever enabled, so every run is non-preemptive.
+        prog = helpers.racy_counter()
+        result = run_program(prog, PCTScheduler(seed=5, depth=1))
+        assert result.schedule in (
+            ["T1", "T1", "T2", "T2"],
+            ["T2", "T2", "T1", "T1"],
+        )
+
+    def test_finds_racy_outcome_across_seeds(self):
+        # Horizon matched to program length so the priority-change point
+        # actually lands inside the run (PCT's k parameter).
+        prog = helpers.racy_counter()
+        outcomes = {
+            run_program(
+                prog, PCTScheduler(seed=s, depth=2, horizon=5)
+            ).memory["counter"]
+            for s in range(40)
+        }
+        assert 1 in outcomes  # the lost update shows up within a few runs
+
+
+class TestFixedScheduler:
+    def test_replays_exact_sequence(self):
+        prog = helpers.racy_counter()
+        result = run_program(prog, FixedScheduler(["T1", "T2", "T2", "T1"]))
+        assert result.memory["counter"] == 1
+
+    def test_strict_mode_rejects_disabled_choice(self):
+        prog = helpers.locked_counter()
+        # T2 cannot run its second op (read under lock) while T1 holds L.
+        with pytest.raises(ReplayError, match="not enabled"):
+            run_program(prog, FixedScheduler(["T1", "T2", "T2"]))
+
+    def test_strict_mode_rejects_truncated_schedule(self):
+        prog = helpers.racy_counter()
+        with pytest.raises(ReplayError, match="exhausted"):
+            run_program(prog, FixedScheduler(["T1"]))
+
+    def test_lenient_mode_falls_back(self):
+        prog = helpers.racy_counter()
+        result = run_program(prog, FixedScheduler(["T2"], strict=False))
+        assert result.status is RunStatus.OK
+
+    def test_reset_rewinds_replay(self):
+        scheduler = FixedScheduler(["T1", "T2", "T2", "T1"])
+        prog = helpers.racy_counter()
+        first = run_program(prog, scheduler)
+        second = run_program(prog, scheduler)
+        assert first.schedule == second.schedule == ["T1", "T2", "T2", "T1"]

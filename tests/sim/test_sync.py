@@ -1,0 +1,213 @@
+"""Unit tests for repro.sim.sync primitives."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.sim.sync import Barrier, Condition, Mutex, RWLock, Semaphore, SyncObjects
+
+
+class TestMutex:
+    def test_free_mutex_is_acquirable(self):
+        m = Mutex("L")
+        assert m.can_acquire("T1")
+
+    def test_held_mutex_is_not_acquirable_even_by_owner(self):
+        m = Mutex("L")
+        m.acquire("T1")
+        assert not m.can_acquire("T2")
+        assert not m.can_acquire("T1")  # non-recursive
+
+    def test_acquire_sets_owner(self):
+        m = Mutex("L")
+        m.acquire("T1")
+        assert m.owner == "T1"
+
+    def test_release_by_owner_frees(self):
+        m = Mutex("L")
+        m.acquire("T1")
+        m.release("T1")
+        assert m.owner is None
+
+    def test_release_by_non_owner_raises(self):
+        m = Mutex("L")
+        m.acquire("T1")
+        with pytest.raises(ProgramError, match="owned by 'T1'"):
+            m.release("T2")
+
+    def test_release_of_free_mutex_raises(self):
+        m = Mutex("L")
+        with pytest.raises(ProgramError):
+            m.release("T1")
+
+    def test_double_acquire_scheduling_is_engine_bug(self):
+        m = Mutex("L")
+        m.acquire("T1")
+        with pytest.raises(ProgramError, match="engine bug"):
+            m.acquire("T2")
+
+    def test_try_acquire_success_and_failure(self):
+        m = Mutex("L")
+        assert m.try_acquire("T1") is True
+        assert m.try_acquire("T2") is False
+        assert m.owner == "T1"
+
+
+class TestRWLock:
+    def test_multiple_readers_allowed(self):
+        rw = RWLock("RW")
+        rw.acquire_read("R1")
+        assert rw.can_acquire_read("R2")
+        rw.acquire_read("R2")
+        assert rw.readers == {"R1", "R2"}
+
+    def test_writer_excludes_readers(self):
+        rw = RWLock("RW")
+        rw.acquire_write("W")
+        assert not rw.can_acquire_read("R1")
+        assert not rw.can_acquire_write("W2")
+
+    def test_readers_exclude_writer(self):
+        rw = RWLock("RW")
+        rw.acquire_read("R1")
+        assert not rw.can_acquire_write("W")
+        assert rw.can_acquire_read("R2")
+
+    def test_release_read_unknown_reader_raises(self):
+        rw = RWLock("RW")
+        with pytest.raises(ProgramError):
+            rw.release_read("R1")
+
+    def test_release_write_wrong_thread_raises(self):
+        rw = RWLock("RW")
+        rw.acquire_write("W")
+        with pytest.raises(ProgramError):
+            rw.release_write("X")
+
+    def test_write_after_readers_drain(self):
+        rw = RWLock("RW")
+        rw.acquire_read("R1")
+        rw.release_read("R1")
+        assert rw.can_acquire_write("W")
+
+    def test_sole_reader_may_upgrade_in_place(self):
+        rw = RWLock("RW")
+        rw.acquire_read("T1")
+        assert rw.can_acquire_write("T1")
+        rw.acquire_write("T1")
+        assert rw.writer == "T1"
+        assert "T1" in rw.readers  # the read hold survives the upgrade
+        rw.release_write("T1")
+        rw.release_read("T1")
+
+    def test_upgrade_blocked_by_other_reader(self):
+        rw = RWLock("RW")
+        rw.acquire_read("T1")
+        rw.acquire_read("T2")
+        assert not rw.can_acquire_write("T1")
+        assert not rw.can_acquire_write("T2")
+
+
+class TestSemaphore:
+    def test_initial_value_respected(self):
+        s = Semaphore("S", 2)
+        assert s.can_acquire("T")
+        assert s.acquire("T") == 1
+        assert s.acquire("T") == 0
+        assert not s.can_acquire("T")
+
+    def test_release_unblocks(self):
+        s = Semaphore("S", 0)
+        assert not s.can_acquire("T")
+        assert s.release("T") == 1
+        assert s.can_acquire("T")
+
+    def test_negative_initial_raises(self):
+        with pytest.raises(ProgramError):
+            Semaphore("S", -1)
+
+    def test_drained_acquire_is_engine_bug(self):
+        s = Semaphore("S", 0)
+        with pytest.raises(ProgramError, match="engine bug"):
+            s.acquire("T")
+
+
+class TestCondition:
+    def test_notify_one_is_fifo(self):
+        c = Condition("cv", "L")
+        c.park("T1")
+        c.park("T2")
+        assert c.notify_one() == ["T1"]
+        assert c.notify_one() == ["T2"]
+
+    def test_notify_without_waiters_is_lost(self):
+        c = Condition("cv", "L")
+        assert c.notify_one() == []
+
+    def test_notify_all_drains_everyone(self):
+        c = Condition("cv", "L")
+        c.park("T1")
+        c.park("T2")
+        assert c.notify_all() == ["T1", "T2"]
+        assert c.waiters == []
+
+
+class TestBarrier:
+    def test_last_arrival_can_pass(self):
+        b = Barrier("bar", 3)
+        assert not b.can_pass("T1")
+        b.arrive("T1")
+        assert not b.can_pass("T2")
+        b.arrive("T2")
+        assert b.can_pass("T3")
+
+    def test_trip_resets_for_reuse(self):
+        b = Barrier("bar", 2)
+        b.arrive("T1")
+        assert b.trip() == ["T1"]
+        assert b.arrived == []
+        assert not b.can_pass("T1")
+
+    def test_party_size_validation(self):
+        with pytest.raises(ProgramError):
+            Barrier("bar", 0)
+
+
+class TestSyncObjects:
+    def _make(self, **kwargs):
+        defaults = dict(locks=[], rwlocks=[], semaphores={}, conditions={}, barriers={})
+        defaults.update(kwargs)
+        return SyncObjects(**defaults)
+
+    def test_lookup_of_each_kind(self):
+        sync = self._make(
+            locks=["L"],
+            rwlocks=["RW"],
+            semaphores={"S": 1},
+            conditions={"cv": "L"},
+            barriers={"bar": 2},
+        )
+        assert sync.mutex("L").name == "L"
+        assert sync.rwlock("RW").name == "RW"
+        assert sync.semaphore("S").value == 1
+        assert sync.condition("cv").lock == "L"
+        assert sync.barrier("bar").parties == 2
+
+    def test_undeclared_lookup_raises(self):
+        sync = self._make(locks=["L"])
+        with pytest.raises(ProgramError, match="undeclared lock 'M'"):
+            sync.mutex("M")
+
+    def test_condition_requires_declared_lock(self):
+        with pytest.raises(ProgramError, match="undeclared lock"):
+            self._make(conditions={"cv": "nope"})
+
+    def test_duplicate_names_across_kinds_raise(self):
+        with pytest.raises(ProgramError, match="more than once"):
+            self._make(locks=["X"], rwlocks=["X"])
+
+    def test_held_by_reports_mutexes_and_rwlocks(self):
+        sync = self._make(locks=["L"], rwlocks=["RW"])
+        sync.mutex("L").acquire("T1")
+        sync.rwlock("RW").acquire_read("T1")
+        assert sorted(sync.held_by("T1")) == ["L", "RW"]
+        assert sync.held_by("T2") == []

@@ -1,0 +1,86 @@
+"""Finding checks and full-report tests."""
+
+import pytest
+
+from repro.bugdb import BugDatabase
+from repro.study import FINDINGS, StudyReport, check_all, generate_report
+
+
+@pytest.fixture(scope="module")
+def db():
+    return BugDatabase.load()
+
+
+class TestFindings:
+    def test_ten_findings_defined(self):
+        assert len(FINDINGS) == 10
+        assert [f.finding_id for f in FINDINGS] == [
+            f"F{i}" for i in range(1, 11)
+        ]
+
+    def test_all_findings_pass_on_shipped_database(self, db):
+        results = check_all(db)
+        failures = [r.summary() for r in results if not r.passed]
+        assert not failures, failures
+
+    def test_every_finding_has_statement_and_implication(self):
+        for finding in FINDINGS:
+            assert finding.statement.strip()
+            assert finding.implication.strip()
+
+    def test_findings_fail_on_perturbed_database(self, db):
+        # Drop one atomicity bug: F2 must fail, proving checks are real.
+        perturbed = db.filter(lambda r: r.bug_id != "mozilla-nd-js-gc")
+        results = {r.finding_id: r for r in check_all(perturbed)}
+        assert not results["F2"].passed
+
+    def test_result_summary_format(self, db):
+        result = check_all(db)[0]
+        assert "F1" in result.summary()
+        assert "PASS" in result.summary()
+
+    def test_expected_ratios_match_paper(self, db):
+        expected = {
+            "F1": "72/74",
+            "F2": "51/74",
+            "F3": "24/74",
+            "F4": "101/105",
+            "F5": "49/74",
+            "F6": "30/31",
+            "F7": "97/105",
+            "F8": "54/74",
+            "F9": "19/31",
+            "F10": "17/105",
+        }
+        for result in check_all(db):
+            assert result.observed == expected[result.finding_id]
+
+
+class TestReport:
+    def test_quick_report_structure(self, db):
+        report = generate_report(db, quick=True)
+        assert isinstance(report, StudyReport)
+        assert len(report.tables) == 10
+        assert len(report.findings) == 10
+        assert report.all_findings_pass
+        assert report.kernel_evidence == []
+
+    def test_quick_report_renders_verdict(self, db):
+        text = generate_report(db, quick=True).format()
+        assert "ALL FINDINGS REPRODUCED" in text
+        assert "T7" in text
+        assert "F10" in text
+
+    def test_full_report_includes_kernel_evidence(self, db):
+        report = generate_report(db, quick=False)
+        assert len(report.kernel_evidence) == 13
+        text = report.format()
+        assert "Executable kernel evidence" in text
+        assert "order-guarantees=yes" in text
+        assert "NO" not in "".join(report.kernel_evidence)
+
+    def test_mismatch_verdict_on_perturbed_data(self, db):
+        perturbed = db.filter(lambda r: not r.is_deadlock)
+        report = generate_report(perturbed, quick=True)
+        assert not report.all_findings_pass
+        assert "MISMATCH" in report.format()

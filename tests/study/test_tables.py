@@ -1,0 +1,210 @@
+"""Table generator tests: every headline cell pinned to the published value."""
+
+import pytest
+
+from repro.bugdb import BugDatabase
+from repro.study import (
+    all_tables,
+    table1_applications,
+    table2_bug_sources,
+    table3_patterns,
+    table4_threads,
+    table5_variables,
+    table6_accesses,
+    table7_fixes,
+    table8_patch_quality,
+)
+from repro.study.render import Table
+
+
+@pytest.fixture(scope="module")
+def db():
+    return BugDatabase.load()
+
+
+class TestRender:
+    def test_row_arity_checked(self):
+        table = Table("X", "test", ["a", "b"])
+        with pytest.raises(ValueError, match="expected 2"):
+            table.add_row(1)
+
+    def test_cell_lookup(self):
+        table = Table("X", "test", ["k", "v"])
+        table.add_row("one", 1)
+        assert table.cell("one", "v") == 1
+        with pytest.raises(KeyError):
+            table.cell("two", "v")
+
+    def test_column_extraction(self):
+        table = Table("X", "test", ["k", "v"])
+        table.add_row("a", 1)
+        table.add_row("b", 2)
+        assert table.column("v") == [1, 2]
+
+    def test_format_contains_title_and_notes(self):
+        table = Table("X", "my title", ["k"], notes=["a note"])
+        table.add_row("val")
+        text = table.format()
+        assert "my title" in text
+        assert "note: a note" in text
+        assert "val" in text
+
+
+class TestTable1And2:
+    def test_t1_totals(self, db):
+        table = table1_applications(db)
+        assert table.cell("Total", "Bugs examined") == 105
+        assert table.cell("Mozilla", "Bugs examined") == 57
+
+    def test_t2_category_split(self, db):
+        table = table2_bug_sources(db)
+        assert table.cell("Total", "Non-deadlock") == 74
+        assert table.cell("Total", "Deadlock") == 31
+        assert table.cell("MySQL", "Non-deadlock") == 14
+        assert table.cell("MySQL", "Deadlock") == 9
+        assert table.cell("Apache", "Non-deadlock") == 13
+        assert table.cell("Mozilla", "Deadlock") == 16
+        assert table.cell("OpenOffice", "Total") == 8
+
+    def test_t2_rows_sum_to_totals(self, db):
+        table = table2_bug_sources(db)
+        body = [row for row in table.rows if row[0] != "Total"]
+        assert sum(row[1] for row in body) == 74
+        assert sum(row[2] for row in body) == 31
+
+
+class TestTable3:
+    def test_pattern_counts(self, db):
+        table = table3_patterns(db)
+        assert table.cell("Atomicity violation", "Bugs") == 51
+        assert table.cell("Order violation", "Bugs") == 24
+        assert table.cell("Atomicity or order", "Bugs") == 72
+        assert table.cell("Other", "Bugs") == 2
+
+    def test_percentages(self, db):
+        table = table3_patterns(db)
+        assert table.cell("Atomicity violation", "% of non-deadlock") == "69%"
+        assert table.cell("Atomicity or order", "% of non-deadlock") == "97%"
+
+
+class TestTable4:
+    def test_thread_histogram(self, db):
+        table = table4_threads(db)
+        assert table.cell(2, "Bugs") == 94
+        assert table.cell(1, "Bugs") == 7  # single-resource deadlocks
+        assert table.cell(3, "Bugs") == 4
+
+    def test_note_states_96_percent(self, db):
+        assert "101 of 105 (96%)" in table4_threads(db).format()
+
+
+class TestTable5:
+    def test_variable_rows(self, db):
+        table = table5_variables(db)
+        assert table.cell("non-deadlock", "Bugs") == 49  # first nd row: 1 var
+
+    def test_resource_distribution(self, db):
+        table = table5_variables(db)
+        dl_rows = [r for r in table.rows if r[0] == "deadlock"]
+        counts = {r[1]: r[2] for r in dl_rows}
+        assert counts == {"1 resource": 7, "2 resources": 23, "3 resources": 1}
+
+    def test_nd_rows_sum_to_74(self, db):
+        table = table5_variables(db)
+        nd_rows = [r for r in table.rows if r[0] == "non-deadlock"]
+        assert sum(r[2] for r in nd_rows) == 74
+
+
+class TestTable6:
+    def test_small_access_note(self, db):
+        assert "97/105 (92%)" in table6_accesses(db).format()
+
+    def test_histogram_sums(self, db):
+        table = table6_accesses(db)
+        assert sum(table.column("Bugs")) == 105
+
+
+class TestTable7:
+    def test_non_deadlock_strategies(self, db):
+        table = table7_fixes(db)
+        rows = {r[1]: r[2] for r in table.rows if r[0] == "non-deadlock"}
+        assert rows == {
+            "Condition check (COND)": 19,
+            "Code switch (Switch)": 10,
+            "Design change (Design)": 24,
+            "Add/change lock (Lock)": 20,
+            "Other": 1,
+        }
+
+    def test_deadlock_strategies(self, db):
+        table = table7_fixes(db)
+        rows = {r[1]: r[2] for r in table.rows if r[0] == "deadlock"}
+        assert rows == {
+            "Give up resource": 19,
+            "Change acquisition order": 6,
+            "Split resource": 2,
+            "Other": 4,
+        }
+
+    def test_lockless_note(self, db):
+        assert "54/74 (73%)" in table7_fixes(db).format()
+
+
+class TestTable8:
+    def test_total_buggy_patches(self, db):
+        table = table8_patch_quality(db)
+        assert table.cell("Total", "Buggy first patches") == 17
+
+    def test_per_app_sums(self, db):
+        table = table8_patch_quality(db)
+        body = [r for r in table.rows if r[0] != "Total"]
+        assert sum(r[1] for r in body) == 17
+
+
+class TestSupplementaryTables:
+    def test_t3b_per_application_split(self, db):
+        from repro.study import table3b_patterns_by_application
+
+        table = table3b_patterns_by_application(db)
+        assert table.cell("Mozilla", "Atomicity") == 29
+        assert table.cell("MySQL", "Order") == 5
+        assert table.cell("Total", "Atomicity") == 51
+        assert table.cell("Total", "Order") == 24
+        assert table.cell("Total", "Both") == 3
+
+    def test_t4b_impacts_sum(self, db):
+        from repro.study import table4b_impacts
+
+        table = table4b_impacts(db)
+        assert table.cell("Total", "Total") == 105
+        assert table.cell("hang", "Deadlock") == 31
+        body = [r for r in table.rows if r[0] != "Total"]
+        assert sum(r[3] for r in body) == 105
+
+
+class TestAllTables:
+    def test_ten_tables(self, db):
+        tables = all_tables(db)
+        assert sorted(tables) == [
+            "T1", "T2", "T3", "T3b", "T4", "T4b", "T5", "T6", "T7", "T8",
+        ]
+
+    def test_default_database_loaded(self):
+        tables = all_tables()
+        assert tables["T1"].cell("Total", "Bugs examined") == 105
+
+
+class TestCsvExport:
+    def test_csv_round_trips_through_csv_reader(self, db):
+        import csv
+        import io
+
+        table = table2_bug_sources(db)
+        rows = list(csv.reader(io.StringIO(table.to_csv())))
+        assert rows[0] == table.columns
+        assert rows[-1][0] == "Total"
+        assert rows[-1][1] == "74"
+
+    def test_csv_has_no_notes(self, db):
+        table = table6_accesses(db)
+        assert "note" not in table.to_csv()

@@ -1,0 +1,122 @@
+"""API quality guards: docstrings everywhere, exports resolve, events render.
+
+These tests keep the documentation deliverable honest: every public
+module, class, and function in the package must carry a docstring, and
+every ``__all__`` export must actually exist.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.detectors",
+    "repro.bugdb",
+    "repro.kernels",
+    "repro.apps",
+    "repro.fixes",
+    "repro.manifest",
+    "repro.study",
+]
+
+
+def walk_modules():
+    seen = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        seen.append(package)
+        for info in pkgutil.iter_modules(package.__path__ if hasattr(package, "__path__") else []):
+            if info.name.startswith("_") and info.name != "__main__":
+                continue
+            try:
+                seen.append(importlib.import_module(f"{package_name}.{info.name}"))
+            except ImportError:
+                pass
+    return {m.__name__: m for m in seen}.values()
+
+
+MODULES = list(walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_all_exports_resolve(module):
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    if not module.__name__.startswith("repro"):
+        pytest.skip("external")
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__module__.startswith("repro") and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, undocumented
+
+
+def test_public_methods_documented():
+    """Every public method of every exported class carries a docstring."""
+    undocumented = []
+    for module in MODULES:
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if not inspect.isclass(obj) or not obj.__module__.startswith("repro"):
+                continue
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(attr):
+                    continue
+                # getattr + getdoc honours docstring inheritance from the
+                # ABC (e.g. Detector.analyse overrides).
+                doc = inspect.getdoc(getattr(obj, attr_name))
+                if not (doc or "").strip():
+                    undocumented.append(f"{obj.__module__}.{obj.__name__}.{attr_name}")
+    assert not sorted(set(undocumented)), sorted(set(undocumented))
+
+
+def test_every_event_class_renders():
+    """describe() is non-empty on a default instance of every event type."""
+    from repro.sim import events as ev
+
+    for name in ev.__all__:
+        klass = getattr(ev, name)
+        if not isinstance(klass, type) or klass is ev.Event:
+            continue
+        instance = klass(seq=0, thread="T")
+        assert instance.describe().strip(), name
+
+
+def test_every_op_class_renders():
+    """describe() works on representative instances of every operation."""
+    from repro.sim import ops
+
+    samples = [
+        ops.Read("x"), ops.Write("x", 1), ops.AtomicUpdate("x", lambda v: v),
+        ops.Acquire("L"), ops.Release("L"), ops.TryAcquire("L"),
+        ops.AcquireRead("RW"), ops.AcquireWrite("RW"),
+        ops.ReleaseRead("RW"), ops.ReleaseWrite("RW"),
+        ops.Wait("cv"), ops.Notify("cv"), ops.NotifyAll("cv"),
+        ops.SemAcquire("s"), ops.SemRelease("s"), ops.BarrierWait("b"),
+        ops.Spawn("T2"), ops.Join("T2"), ops.Yield(), ops.Sleep(2),
+    ]
+    for op in samples:
+        assert op.describe().strip()
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"

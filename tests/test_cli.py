@@ -1,0 +1,119 @@
+"""CLI tests: every command exercised through main()."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_all_tables_render(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for table_id in ("T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"):
+            assert table_id in out
+
+    def test_selected_table(self, capsys):
+        assert main(["tables", "t7"]) == 0
+        out = capsys.readouterr().out
+        assert "Give up resource" in out
+        assert "T1:" not in out
+
+    def test_unknown_table_id_fails(self, capsys):
+        assert main(["tables", "T99"]) == 2
+        assert "unknown table" in capsys.readouterr().err
+
+
+class TestFindingsAndValidate:
+    def test_findings_all_pass(self, capsys):
+        assert main(["findings"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("[PASS]") == 10
+        assert "[FAIL]" not in out
+
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        assert "all findings reproduced" in capsys.readouterr().out
+
+
+class TestKernelCommands:
+    def test_kernels_lists_thirteen(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 13
+        assert "deadlock_abba" in out
+
+    def test_kernel_drives_end_to_end(self, capsys):
+        assert main(["kernel", "order_use_before_init"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal witness" in out
+        assert "verified clean" in out
+
+    def test_kernel_unknown_name(self, capsys):
+        assert main(["kernel", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_detect_prints_reports(self, capsys):
+        assert main(["detect", "atomicity_lost_update"]) == 0
+        out = capsys.readouterr().out
+        assert "happens-before" in out
+        assert "lockset" in out
+
+    def test_estimate_prints_strategies(self, capsys):
+        assert main(["estimate", "deadlock_self", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cooperative" in out
+        assert "enforced" in out
+
+
+class TestBugCommand:
+    def test_show_record(self, capsys):
+        assert main(["bug", "mysql-nd-binlog-rotate"]) == 0
+        out = capsys.readouterr().out
+        assert "MySQL#791" in out
+        assert "atomicity-violation" in out
+
+    def test_unknown_bug(self, capsys):
+        assert main(["bug", "nope"]) == 2
+        assert "unknown bug id" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_quick_report(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL FINDINGS REPRODUCED" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestFuzzCommand:
+    def test_fuzz_runs_clean(self, capsys):
+        assert main(["fuzz", "--programs", "8", "--budget", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+
+    def test_fuzz_with_deadlocks(self, capsys):
+        assert main(
+            ["fuzz", "--programs", "6", "--budget", "2000", "--deadlocks"]
+        ) == 0
+
+
+class TestBugReportCommand:
+    def test_markdown_report_emitted(self, capsys):
+        assert main(["bug-report", "deadlock_self", "--runs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "# Concurrency failure report" in out
+        assert "Deterministic reproduction" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["bug-report", "nope"]) == 2
+
+
+class TestTablesCsv:
+    def test_csv_output(self, capsys):
+        assert main(["tables", "T2", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("Application,")
+        assert "Total,74,31,105" in out

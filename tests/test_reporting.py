@@ -1,0 +1,98 @@
+"""Bug-report bundle tests."""
+
+import json
+
+import pytest
+
+from repro.kernels import get_kernel
+from repro.reporting import build_bug_report
+from repro.sim import replay, schedule_from_json
+from tests import helpers
+
+
+class TestBuildBugReport:
+    def test_report_for_crash_kernel(self):
+        kernel = get_kernel("atomicity_single_var")
+        report = build_bug_report(kernel.buggy, kernel.failure, random_runs=60)
+        assert report is not None
+        assert report.witness.preemptions <= 1
+        assert 0 < report.random_rate < 1
+        low, high = report.rate_interval
+        assert low <= report.random_rate <= high
+        assert report.stress_runs_for_95 >= 1
+
+    def test_schedule_json_round_trips_to_failure(self):
+        kernel = get_kernel("deadlock_abba")
+        report = build_bug_report(kernel.buggy, kernel.failure, random_runs=30)
+        schedule = schedule_from_json(report.schedule_json)
+        rerun = replay(kernel.buggy, schedule)
+        assert kernel.failure(rerun)
+
+    def test_findings_included(self):
+        kernel = get_kernel("atomicity_lost_update")
+        report = build_bug_report(kernel.buggy, kernel.failure, random_runs=30)
+        assert report.findings
+        kinds = {f.kind.value for f in report.findings}
+        assert "atomicity-violation" in kinds
+
+    def test_none_when_program_is_correct(self):
+        prog = helpers.locked_counter()
+        report = build_bug_report(
+            prog, lambda run: run.memory["counter"] == 1, random_runs=10
+        )
+        assert report is None
+
+    def test_always_failing_program_reports_one_run_needed(self):
+        prog = helpers.self_deadlock()
+        report = build_bug_report(prog, lambda run: run.failed, random_runs=10)
+        assert report.random_rate == 1.0
+        assert report.stress_runs_for_95 == 1
+
+
+class TestMarkdownRendering:
+    def test_markdown_sections_present(self):
+        kernel = get_kernel("order_lost_wakeup")
+        report = build_bug_report(kernel.buggy, kernel.failure, random_runs=40)
+        text = report.to_markdown()
+        for heading in (
+            "# Concurrency failure report",
+            "## Summary",
+            "## Deterministic reproduction",
+            "## Witness trace",
+            "## Detector findings",
+        ):
+            assert heading in text
+
+    def test_markdown_embeds_valid_schedule_json(self):
+        kernel = get_kernel("multivar_buffer_flag")
+        report = build_bug_report(kernel.buggy, kernel.failure, random_runs=20)
+        text = report.to_markdown()
+        start = text.index("```json") + len("```json\n")
+        end = text.index("```", start)
+        payload = json.loads(text[start:end].strip())
+        assert payload["version"] == 1
+
+    def test_markdown_mentions_crash_reason(self):
+        kernel = get_kernel("order_use_before_init")
+        report = build_bug_report(kernel.buggy, kernel.failure, random_runs=20)
+        assert "crash" in report.to_markdown()
+
+    def test_app_scale_report(self):
+        """A report for the miniature cache's double free."""
+        from repro.apps.cache import CacheConfig, build_cache
+
+        config = CacheConfig(clients=2, nonatomic_refcount=True)
+        program = build_cache(config)
+
+        def double_free(run):
+            return (
+                run.ok
+                and run.memory["freed_by_c1"]
+                and run.memory["freed_by_c2"]
+            )
+
+        report = build_bug_report(program, double_free, random_runs=50)
+        assert report is not None
+        text = report.to_markdown()
+        assert "cache" in text
+        assert report.witness.preemptions <= 2

@@ -1,0 +1,740 @@
+#!/usr/bin/env python3
+"""Generate the bug-record modules in src/repro/bugdb/records/.
+
+The ASPLOS'08 study's raw per-bug coding sheet was never released; what is
+published are the aggregate counts (74 non-deadlock + 31 deadlock across
+four applications, pattern/threads/variables/accesses/fix distributions).
+This tool synthesises a per-bug record set whose *every marginal matches
+the published aggregates exactly*, anchors the well-known example bugs
+from the paper's figures as bespoke entries, and emits the records as
+reviewable literal Python.  It asserts every target before writing a
+single file, so the emitted database cannot drift from the calibration.
+
+Regenerate with:  python tools/gen_bugdb.py
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+OUT = REPO / "src" / "repro" / "bugdb" / "records"
+
+# --------------------------------------------------------------------------
+# Record spec (mirrors BugRecord, as plain data for generation)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Spec:
+    app: str                      # MYSQL / APACHE / MOZILLA / OPENOFFICE
+    category: str                 # ND / DL
+    patterns: Tuple[str, ...]     # subset of {A, O, X}; empty for DL
+    threads: int
+    variables: Optional[int]
+    resources: Optional[int]
+    accesses: int
+    fix: str                      # schema FixStrategy member name
+    impact: str                   # schema Impact member name
+    buggy_fix: bool = False
+    component: str = ""
+    description: str = ""
+    report_ref: str = ""
+    kernel: Optional[str] = None
+    bug_id: str = ""
+
+
+# --------------------------------------------------------------------------
+# Calibration targets (published aggregates of the study)
+# --------------------------------------------------------------------------
+
+APP_SPLIT = {  # app -> (non-deadlock, deadlock)
+    "MOZILLA": (41, 16),
+    "MYSQL": (14, 9),
+    "APACHE": (13, 4),
+    "OPENOFFICE": (6, 2),
+}
+
+# Non-deadlock pattern allocation per app: (A-only, O-only, both, other).
+ND_PATTERNS = {
+    "MOZILLA": (27, 11, 2, 1),
+    "MYSQL": (9, 4, 1, 0),
+    "APACHE": (9, 4, 0, 0),
+    "OPENOFFICE": (3, 2, 0, 1),
+}
+
+# Non-deadlock fix allocation per app within pattern groups.
+# {app: {group: {fix: count}}}
+ND_FIXES = {
+    "MOZILLA": {
+        "A": {"ADD_LOCK": 10, "COND_CHECK": 8, "DESIGN_CHANGE": 7, "CODE_SWITCH": 2},
+        "O": {"CODE_SWITCH": 4, "DESIGN_CHANGE": 4, "COND_CHECK": 3},
+        "AO": {"DESIGN_CHANGE": 1, "ADD_LOCK": 1},
+        "X": {"DESIGN_CHANGE": 1},
+    },
+    "MYSQL": {
+        "A": {"ADD_LOCK": 4, "COND_CHECK": 3, "DESIGN_CHANGE": 2},
+        "O": {"CODE_SWITCH": 2, "COND_CHECK": 1, "DESIGN_CHANGE": 1},
+        "AO": {"DESIGN_CHANGE": 1},
+        "X": {},
+    },
+    "APACHE": {
+        "A": {"ADD_LOCK": 3, "COND_CHECK": 2, "DESIGN_CHANGE": 3, "CODE_SWITCH": 1},
+        "O": {"COND_CHECK": 1, "DESIGN_CHANGE": 2, "CODE_SWITCH": 1},
+        "AO": {},
+        "X": {},
+    },
+    "OPENOFFICE": {
+        "A": {"ADD_LOCK": 2, "COND_CHECK": 1},
+        "O": {"DESIGN_CHANGE": 2},
+        "AO": {},
+        "X": {"OTHER_NON_DEADLOCK": 1},
+    },
+}
+
+# Multi-variable non-deadlock records per app per group (rest are 1-var).
+ND_MULTIVAR = {
+    "MOZILLA": {"A": 11, "O": 2, "AO": 2, "X": 0},
+    "MYSQL": {"A": 3, "O": 0, "AO": 1, "X": 0},
+    "APACHE": {"A": 4, "O": 0, "AO": 0, "X": 0},
+    "OPENOFFICE": {"A": 1, "O": 1, "AO": 0, "X": 0},
+}
+
+# Records needing >4 ordered accesses per app (assigned to multi-var A).
+ND_BIG_ACCESS = {"MOZILLA": 4, "MYSQL": 1, "APACHE": 1, "OPENOFFICE": 1}
+
+# Non-deadlock records needing 3 threads: (app, group) pairs.
+ND_THREE_THREADS = [("MOZILLA", "AO"), ("MOZILLA", "A"), ("MYSQL", "O")]
+
+# Buggy first patches among non-deadlock records per app per group.
+ND_BUGGY = {
+    "MOZILLA": {"A": 3, "O": 1, "AO": 1},
+    "MYSQL": {"A": 2, "O": 1},
+    "APACHE": {"A": 2, "O": 1},
+    "OPENOFFICE": {"A": 1},
+}
+
+# Deadlock allocation per app: resources histogram and fixes.
+DL_RESOURCES = {
+    "MOZILLA": {1: 4, 2: 11, 3: 1},
+    "MYSQL": {1: 2, 2: 7},
+    "APACHE": {1: 1, 2: 3},
+    "OPENOFFICE": {2: 2},
+}
+DL_FIXES = {
+    "MOZILLA": {"GIVE_UP_RESOURCE": 10, "ACQUIRE_ORDER": 4, "SPLIT_RESOURCE": 1, "OTHER_DEADLOCK": 1},
+    "MYSQL": {"GIVE_UP_RESOURCE": 5, "ACQUIRE_ORDER": 1, "SPLIT_RESOURCE": 1, "OTHER_DEADLOCK": 2},
+    "APACHE": {"GIVE_UP_RESOURCE": 2, "ACQUIRE_ORDER": 1, "OTHER_DEADLOCK": 1},
+    "OPENOFFICE": {"GIVE_UP_RESOURCE": 2},
+}
+DL_BUGGY = {"MOZILLA": 2, "MYSQL": 1, "APACHE": 1, "OPENOFFICE": 1}
+
+# --------------------------------------------------------------------------
+# Flavour text
+# --------------------------------------------------------------------------
+
+COMPONENTS = {
+    "MOZILLA": [
+        "js engine", "necko (network)", "layout", "xpcom threads", "imglib",
+        "plugin host", "editor", "cache service", "timer thread", "docshell",
+        "security (NSS glue)", "mailnews",
+    ],
+    "MYSQL": [
+        "replication/binlog", "innodb buffer pool", "query cache",
+        "thread pool", "myisam", "optimizer statistics", "data dictionary",
+        "net I/O layer",
+    ],
+    "APACHE": [
+        "mpm worker", "mod_log_config", "apr pools", "mod_ssl session cache",
+        "scoreboard", "mod_mem_cache",
+    ],
+    "OPENOFFICE": [
+        "vcl event loop", "writer core", "sfx2 dispatcher", "ucb content broker",
+    ],
+}
+
+ATOMICITY_1VAR = [
+    "check of {var} and the dependent use are not in one critical section; "
+    "a remote update slips between them",
+    "read-modify-write on {var} is split across two lock regions, losing a "
+    "concurrent update",
+    "{var} is tested for validity, then dereferenced after another thread "
+    "resets it",
+    "status flag {var} is read twice with an intervening remote write, so "
+    "the two reads disagree",
+    "counter {var} is incremented without holding the protecting lock on "
+    "one rarely-executed path",
+]
+ATOMICITY_NVAR = [
+    "{var} and its companion length/state field are updated in two steps; "
+    "a reader observes the intermediate combination",
+    "pointer {var} and its validity flag are set non-atomically, so a "
+    "consumer sees a stale pair",
+    "two related fields ({var} and its mirror) must change together but "
+    "are written under different lock acquisitions",
+]
+ORDER_TEXT = [
+    "{var} is consumed by the child thread before the creator finishes "
+    "publishing it",
+    "notification is issued before the waiter blocks on the condition, so "
+    "the wakeup is lost",
+    "shutdown path tears down {var} while a late callback still expects it",
+    "initialisation of {var} races with its first use on the new thread",
+]
+OTHER_TEXT = [
+    "ad-hoc synchronisation via a sleep/poll loop on {var} breaks under load",
+]
+DL_TEXT = {
+    1: "a callback re-enters a routine that re-acquires the already-held "
+       "non-recursive mutex",
+    2: "two code paths take the same pair of locks in opposite orders",
+    3: "three subsystems form a circular lock-acquisition chain",
+}
+VAR_NAMES = [
+    "gState", "mRefCnt", "pending_count", "cache_table", "conn->status",
+    "log_pos", "buf_len", "mDocument", "query_len", "thd->proc_info",
+    "is_open", "handler_ptr", "num_waiters", "mThread", "free_list",
+]
+
+# --------------------------------------------------------------------------
+# Bespoke entries (the paper's figure examples and other anchors)
+# --------------------------------------------------------------------------
+
+
+def bespoke() -> List[Spec]:
+    return [
+        # --- Mozilla, the paper's running examples --------------------------
+        Spec(
+            app="MOZILLA", category="ND", patterns=("A",), threads=2,
+            variables=1, resources=None, accesses=3, fix="COND_CHECK",
+            impact="CRASH", buggy_fix=True, component="js engine",
+            description=(
+                "js_DestroyContext reads gcLevel and proceeds to free GC "
+                "things while a concurrent collection is still mutating the "
+                "same state; the check and the use are not atomic"
+            ),
+            report_ref="anchored:fig-atomicity-js",
+            kernel="atomicity_single_var",
+            bug_id="mozilla-nd-js-gc",
+        ),
+        Spec(
+            app="MOZILLA", category="ND", patterns=("A",), threads=2,
+            variables=2, resources=None, accesses=4, fix="ADD_LOCK",
+            impact="WRONG_OUTPUT", component="js engine",
+            description=(
+                "the property cache table and its empty flag are cleared in "
+                "two steps; a lookup between the steps trusts a stale flag "
+                "and reads freed entries (multi-variable involvement)"
+            ),
+            report_ref="anchored:fig-multivar-cache",
+            kernel="multivar_buffer_flag",
+            bug_id="mozilla-nd-cache-flush",
+        ),
+        Spec(
+            app="MOZILLA", category="ND", patterns=("O",), threads=2,
+            variables=1, resources=None, accesses=2, fix="COND_CHECK",
+            impact="CRASH", component="xpcom threads",
+            description=(
+                "the spawned thread dereferences mThread before the creating "
+                "thread stores the PR_CreateThread result into it — the "
+                "intended 'create happens-before first use' order is never "
+                "enforced"
+            ),
+            report_ref="anchored:fig-order-init",
+            kernel="order_use_before_init",
+            bug_id="mozilla-nd-thread-init",
+        ),
+        Spec(
+            app="MOZILLA", category="ND", patterns=("O",), threads=2,
+            variables=1, resources=None, accesses=4, fix="DESIGN_CHANGE",
+            impact="HANG", component="timer thread",
+            description=(
+                "the timer thread can signal completion before the requester "
+                "starts waiting; the unprotected ready-flag check makes the "
+                "wakeup vanish and the requester blocks forever"
+            ),
+            report_ref="anchored:fig-order-wakeup",
+            kernel="order_lost_wakeup",
+            bug_id="mozilla-nd-timer-wakeup",
+        ),
+        Spec(
+            app="MOZILLA", category="ND", patterns=("A", "O"), threads=3,
+            variables=2, resources=None, accesses=4, fix="DESIGN_CHANGE",
+            impact="WRONG_OUTPUT", component="cache service",
+            description=(
+                "eviction both assumes the scan set up the entry first "
+                "(order) and assumes entry+state update atomicity; with a "
+                "third thread loading, both assumptions break together"
+            ),
+            report_ref="anchored:mixed-cache-eviction",
+            kernel=None,
+            bug_id="mozilla-nd-cache-eviction",
+        ),
+        Spec(
+            app="MOZILLA", category="DL", patterns=(), threads=1,
+            variables=None, resources=1, accesses=2, fix="GIVE_UP_RESOURCE",
+            impact="HANG", component="security (NSS glue)",
+            description=(
+                "a certificate-verification callback re-enters the store and "
+                "re-acquires the already-held non-recursive monitor"
+            ),
+            report_ref="anchored:self-monitor",
+            kernel="deadlock_self",
+            bug_id="mozilla-dl-nested-monitor",
+        ),
+        Spec(
+            app="MOZILLA", category="DL", patterns=(), threads=2,
+            variables=None, resources=2, accesses=4, fix="ACQUIRE_ORDER",
+            impact="HANG", buggy_fix=True, component="layout",
+            description=(
+                "layout takes the reflow lock then the net-image lock; the "
+                "decoder callback path takes them in the opposite order"
+            ),
+            report_ref="anchored:abba-layout-imglib",
+            kernel="deadlock_abba",
+            bug_id="mozilla-dl-layout-imglib",
+        ),
+        # --- MySQL ------------------------------------------------------------
+        Spec(
+            app="MYSQL", category="ND", patterns=("A",), threads=2,
+            variables=1, resources=None, accesses=3, fix="COND_CHECK",
+            impact="WRONG_OUTPUT", component="replication/binlog",
+            description=(
+                "binlog rotation closes the log between a writer's "
+                "'log is open' check and its append, so committed events "
+                "silently miss the binlog (the classic MySQL#791 shape)"
+            ),
+            report_ref="MySQL#791",
+            kernel="atomicity_wwr_log",
+            bug_id="mysql-nd-binlog-rotate",
+        ),
+        Spec(
+            app="MYSQL", category="ND", patterns=("A",), threads=2,
+            variables=1, resources=None, accesses=3, fix="ADD_LOCK",
+            impact="CRASH", component="data dictionary",
+            description=(
+                "DROP TABLE invalidates the table object between another "
+                "session's existence check and use of the handler pointer"
+            ),
+            report_ref="anchored:dict-drop-race",
+            kernel="atomicity_single_var",
+            bug_id="mysql-nd-drop-handler",
+        ),
+        Spec(
+            app="MYSQL", category="DL", patterns=(), threads=2,
+            variables=None, resources=2, accesses=4, fix="ACQUIRE_ORDER",
+            impact="HANG", component="replication/binlog",
+            description=(
+                "LOCK_log and LOCK_index are taken in opposite orders by "
+                "rotation and by PURGE, deadlocking the server under load"
+            ),
+            report_ref="anchored:lock-log-index",
+            kernel="deadlock_abba",
+            bug_id="mysql-dl-log-index",
+        ),
+        # --- Apache --------------------------------------------------------------
+        Spec(
+            app="APACHE", category="ND", patterns=("A",), threads=2,
+            variables=2, resources=None, accesses=4, fix="ADD_LOCK",
+            impact="CORRUPTION", component="mod_log_config",
+            description=(
+                "two workers append to the shared log buffer: buffer bytes "
+                "and the length field are updated non-atomically, "
+                "interleaving corrupts the access log"
+            ),
+            report_ref="Apache#25520",
+            kernel="multivar_buffer_flag",
+            bug_id="apache-nd-log-buffer",
+        ),
+        Spec(
+            app="APACHE", category="ND", patterns=("A",), threads=2,
+            variables=1, resources=None, accesses=4, fix="DESIGN_CHANGE",
+            impact="CRASH", buggy_fix=True, component="mod_mem_cache",
+            description=(
+                "the reference-count decrement and the zero check are two "
+                "separate operations; two threads both see zero and the "
+                "object is freed twice (fixed with an atomic decrement)"
+            ),
+            report_ref="Apache#21287",
+            kernel="atomicity_lock_free",
+            bug_id="apache-nd-refcount",
+        ),
+        Spec(
+            app="APACHE", category="DL", patterns=(), threads=1,
+            variables=None, resources=1, accesses=2, fix="GIVE_UP_RESOURCE",
+            impact="HANG", component="apr pools",
+            description=(
+                "a pool-cleanup handler re-acquires the global allocator "
+                "mutex already held by the destroying thread"
+            ),
+            report_ref="anchored:apr-pool-self",
+            kernel="deadlock_self",
+            bug_id="apache-dl-pool-cleanup",
+        ),
+        # --- OpenOffice ---------------------------------------------------------------
+        Spec(
+            app="OPENOFFICE", category="ND", patterns=("X",), threads=2,
+            variables=1, resources=None, accesses=3, fix="OTHER_NON_DEADLOCK",
+            impact="WRONG_OUTPUT", component="vcl event loop",
+            description=(
+                "clipboard handover relies on a sleep/poll loop instead of "
+                "synchronisation; under load the poll misses the update "
+                "window entirely (neither a clean atomicity nor order shape)"
+            ),
+            report_ref="anchored:clipboard-poll",
+            kernel=None,
+            bug_id="openoffice-nd-clipboard",
+        ),
+    ]
+
+
+# --------------------------------------------------------------------------
+# Generation
+# --------------------------------------------------------------------------
+
+
+def group_of(spec: Spec) -> str:
+    if spec.category == "DL":
+        return "DL"
+    if spec.patterns == ("A", "O"):
+        return "AO"
+    return spec.patterns[0]
+
+
+IMPACT_CYCLES = {
+    "A": ["CRASH", "WRONG_OUTPUT", "CRASH", "CORRUPTION", "WRONG_OUTPUT"],
+    "O": ["CRASH", "HANG"],
+    "AO": ["WRONG_OUTPUT"],
+    "X": ["WRONG_OUTPUT"],
+}
+
+
+def generate_app_nd(app: str, anchors: List[Spec]) -> List[Spec]:
+    a_only, o_only, both, other = ND_PATTERNS[app]
+    want = {"A": a_only, "O": o_only, "AO": both, "X": other}
+    fixes = {g: Counter(t) for g, t in ND_FIXES[app].items()}
+    multivar = dict(ND_MULTIVAR[app])
+    big_access = ND_BIG_ACCESS.get(app, 0)
+    three_threads = Counter(g for (a, g) in ND_THREE_THREADS if a == app)
+    buggy = Counter(ND_BUGGY.get(app, {}))
+
+    # Subtract anchored records from the pools.
+    out: List[Spec] = []
+    for spec in anchors:
+        g = group_of(spec)
+        want[g] -= 1
+        fixes[g][spec.fix] -= 1
+        assert fixes[g][spec.fix] >= 0, (app, g, spec.fix)
+        if spec.variables and spec.variables > 1:
+            multivar[g] -= 1
+        if spec.accesses > 4:
+            big_access -= 1
+        if spec.threads > 2:
+            three_threads[g] -= 1
+        if spec.buggy_fix:
+            buggy[g] -= 1
+        out.append(spec)
+    assert all(v >= 0 for v in want.values()), (app, want)
+    assert all(v >= 0 for v in multivar.values())
+    assert all(v >= 0 for v in buggy.values()), (app, buggy)
+
+    components = COMPONENTS[app]
+    serial = 0
+    for g in ("A", "O", "AO", "X"):
+        group_fixes: List[str] = []
+        for fix_name, n in sorted(fixes[g].items()):
+            group_fixes.extend([fix_name] * n)
+        assert len(group_fixes) == want[g], (app, g, group_fixes, want[g])
+        n_multi = multivar[g]
+        n_big = big_access if g == "A" else 0
+        for i in range(want[g]):
+            serial += 1
+            is_multi = i < n_multi
+            threads = 3 if three_threads[g] > 0 else 2
+            if threads == 3:
+                three_threads[g] -= 1
+            if g == "A":
+                if is_multi and n_big > 0:
+                    accesses = 6 if n_big == 1 and ND_BIG_ACCESS[app] >= 5 else 5
+                    n_big -= 1
+                else:
+                    accesses = 4 if is_multi else 3
+            elif g == "O":
+                accesses = 4 if is_multi else 2
+            elif g == "AO":
+                accesses = 4
+            else:
+                accesses = 3
+            variables = (2 if serial % 2 else 3) if is_multi else 1
+            patterns = {"A": ("A",), "O": ("O",), "AO": ("A", "O"), "X": ("X",)}[g]
+            impact_cycle = IMPACT_CYCLES[g]
+            impact = impact_cycle[i % len(impact_cycle)]
+            # Order bugs that lose wakeups hang; keep HANG entries consistent.
+            var = VAR_NAMES[(serial * 3 + len(app)) % len(VAR_NAMES)]
+            if g == "A":
+                pool = ATOMICITY_NVAR if is_multi else ATOMICITY_1VAR
+            elif g == "O":
+                pool = ORDER_TEXT
+            elif g == "AO":
+                pool = ATOMICITY_NVAR
+            else:
+                pool = OTHER_TEXT
+            text = pool[i % len(pool)].format(var=var)
+            component = components[(serial + i) % len(components)]
+            is_buggy = buggy[g] > 0
+            if is_buggy:
+                buggy[g] -= 1
+            kernel = {
+                "A": "multivar_buffer_flag" if is_multi else "atomicity_single_var",
+                "O": "order_lost_wakeup" if impact == "HANG" else "order_use_before_init",
+                "AO": None,
+                "X": None,
+            }[g]
+            out.append(
+                Spec(
+                    app=app, category="ND", patterns=patterns, threads=threads,
+                    variables=variables, resources=None, accesses=accesses,
+                    fix=group_fixes[i], impact=impact, buggy_fix=is_buggy,
+                    component=component, description=text,
+                    report_ref=f"synthetic:{app.lower()}-nd-{serial:03d}",
+                    kernel=kernel,
+                    bug_id=f"{app.lower()}-nd-{serial:03d}",
+                )
+            )
+        if g == "A":
+            assert n_big == 0, (app, "big access left", n_big)
+    return out
+
+
+def generate_app_dl(app: str, anchors: List[Spec]) -> List[Spec]:
+    resources = Counter(DL_RESOURCES[app])
+    fixes = Counter(DL_FIXES[app])
+    buggy = DL_BUGGY.get(app, 0)
+    out: List[Spec] = []
+    for spec in anchors:
+        resources[spec.resources] -= 1
+        fixes[spec.fix] -= 1
+        if spec.buggy_fix:
+            buggy -= 1
+        assert resources[spec.resources] >= 0 and fixes[spec.fix] >= 0
+        out.append(spec)
+    assert buggy >= 0
+
+    fix_list: List[str] = []
+    for fix_name, n in sorted(fixes.items()):
+        fix_list.extend([fix_name] * n)
+    res_list: List[int] = []
+    for res, n in sorted(resources.items()):
+        res_list.extend([res] * n)
+    assert len(fix_list) == len(res_list)
+    # Pair give-up fixes with 2-resource bugs first, order fixes likewise;
+    # simple deterministic zip after sorting suffices for calibration.
+    components = COMPONENTS[app]
+    serial = 0
+    for res, fix_name in zip(sorted(res_list), fix_list):
+        serial += 1
+        threads = res if res > 1 else 1
+        accesses = {1: 2, 2: 4, 3: 6}[res]
+        is_buggy = buggy > 0
+        if is_buggy:
+            buggy -= 1
+        kernel = {1: "deadlock_self", 2: "deadlock_abba", 3: "deadlock_three_way"}[res]
+        out.append(
+            Spec(
+                app=app, category="DL", patterns=(), threads=threads,
+                variables=None, resources=res, accesses=accesses,
+                fix=fix_name, impact="HANG", buggy_fix=is_buggy,
+                component=components[serial % len(components)],
+                description=DL_TEXT[res],
+                report_ref=f"synthetic:{app.lower()}-dl-{serial:03d}",
+                kernel=kernel,
+                bug_id=f"{app.lower()}-dl-{serial:03d}",
+            )
+        )
+    return out
+
+
+def generate() -> Dict[str, List[Spec]]:
+    anchors_by = {}
+    for spec in bespoke():
+        anchors_by.setdefault((spec.app, spec.category), []).append(spec)
+    result: Dict[str, List[Spec]] = {}
+    for app in APP_SPLIT:
+        nd = generate_app_nd(app, anchors_by.get((app, "ND"), []))
+        dl = generate_app_dl(app, anchors_by.get((app, "DL"), []))
+        assert len(nd) == APP_SPLIT[app][0], (app, len(nd))
+        assert len(dl) == APP_SPLIT[app][1], (app, len(dl))
+        result[app] = nd + dl
+    return result
+
+
+# --------------------------------------------------------------------------
+# Calibration self-check
+# --------------------------------------------------------------------------
+
+
+def check(all_specs: List[Spec]) -> None:
+    nd = [s for s in all_specs if s.category == "ND"]
+    dl = [s for s in all_specs if s.category == "DL"]
+    assert len(all_specs) == 105 and len(nd) == 74 and len(dl) == 31
+
+    atom = [s for s in nd if "A" in s.patterns]
+    order = [s for s in nd if "O" in s.patterns]
+    both = [s for s in nd if s.patterns == ("A", "O")]
+    other = [s for s in nd if s.patterns == ("X",)]
+    assert len(atom) == 51, len(atom)
+    assert len(order) == 24, len(order)
+    assert len(both) == 3 and len(other) == 2
+    assert len(set(id(s) for s in atom) | set(id(s) for s in order)) == 72
+
+    assert sum(1 for s in all_specs if s.threads <= 2) == 101
+    assert sum(1 for s in nd if s.variables == 1) == 49
+    assert sum(1 for s in nd if s.variables > 1) == 25
+    assert sum(1 for s in dl if s.resources <= 2) == 30
+    assert sum(1 for s in dl if s.resources == 1) == 7
+    assert sum(1 for s in dl if s.accesses <= 4) == 30
+    assert sum(1 for s in all_specs if s.accesses <= 4) == 97
+
+    nd_fixes = Counter(s.fix for s in nd)
+    assert nd_fixes == Counter(
+        {"COND_CHECK": 19, "CODE_SWITCH": 10, "DESIGN_CHANGE": 24,
+         "ADD_LOCK": 20, "OTHER_NON_DEADLOCK": 1}
+    ), nd_fixes
+    dl_fixes = Counter(s.fix for s in dl)
+    assert dl_fixes == Counter(
+        {"GIVE_UP_RESOURCE": 19, "ACQUIRE_ORDER": 6, "SPLIT_RESOURCE": 2,
+         "OTHER_DEADLOCK": 4}
+    ), dl_fixes
+    assert sum(1 for s in all_specs if s.buggy_fix) == 17
+    ids = [s.bug_id for s in all_specs]
+    assert len(set(ids)) == len(ids)
+
+
+# --------------------------------------------------------------------------
+# Emission
+# --------------------------------------------------------------------------
+
+HEADER = '''"""Bug records for {app_title} — generated by tools/gen_bugdb.py.
+
+Do not edit by hand: regenerate with ``python tools/gen_bugdb.py``.
+Records whose ``report_ref`` starts with ``anchored:`` model specific,
+well-known bugs discussed in the paper; ``synthetic:`` records are
+calibration entries whose aggregate statistics (and only those) are
+meaningful.  See DESIGN.md section 2 and EXPERIMENTS.md.
+"""
+
+from repro.bugdb.schema import (
+    Application,
+    BugCategory,
+    BugPattern,
+    BugRecord,
+    FixStrategy,
+    Impact,
+)
+
+RECORDS = (
+'''
+
+PATTERN_NAME = {"A": "ATOMICITY", "O": "ORDER", "X": "OTHER"}
+
+
+def emit_record(spec: Spec) -> str:
+    patterns = ", ".join(f"BugPattern.{PATTERN_NAME[p]}" for p in spec.patterns)
+    if patterns:
+        patterns += ","
+    lines = [
+        "    BugRecord(",
+        f"        bug_id={spec.bug_id!r},",
+        f"        report_ref={spec.report_ref!r},",
+        f"        application=Application.{spec.app},",
+        f"        component={spec.component!r},",
+        f"        description=(",
+    ]
+    # Wrap the description at ~64 chars.
+    words = spec.description.split()
+    line = ""
+    desc_lines = []
+    for word in words:
+        if len(line) + len(word) + 1 > 60:
+            desc_lines.append(line)
+            line = word
+        else:
+            line = f"{line} {word}".strip()
+    desc_lines.append(line)
+    for i, dl_line in enumerate(desc_lines):
+        suffix = "" if i == len(desc_lines) - 1 else " "
+        lines.append(f"            {dl_line + suffix!r}")
+    lines.append("        ),")
+    category = "NON_DEADLOCK" if spec.category == "ND" else "DEADLOCK"
+    lines.append(f"        category=BugCategory.{category},")
+    lines.append(f"        patterns=({patterns}),")
+    lines.append(f"        impact=Impact.{spec.impact},")
+    lines.append(f"        threads_involved={spec.threads},")
+    lines.append(f"        accesses_to_manifest={spec.accesses},")
+    lines.append(f"        fix_strategy=FixStrategy.{spec.fix},")
+    if spec.variables is not None:
+        lines.append(f"        variables_involved={spec.variables},")
+    if spec.resources is not None:
+        lines.append(f"        resources_involved={spec.resources},")
+    if spec.buggy_fix:
+        lines.append("        first_fix_buggy=True,")
+    if spec.kernel is not None:
+        lines.append(f"        kernel={spec.kernel!r},")
+    lines.append("    ),")
+    return "\n".join(lines)
+
+
+FILES = {
+    "MOZILLA": "mozilla.py",
+    "MYSQL": "mysql.py",
+    "APACHE": "apache.py",
+    "OPENOFFICE": "openoffice.py",
+}
+
+
+def main() -> int:
+    per_app = generate()
+    all_specs = [s for specs in per_app.values() for s in specs]
+    check(all_specs)
+    OUT.mkdir(parents=True, exist_ok=True)
+    for app, filename in FILES.items():
+        body = HEADER.format(app_title=app.title())
+        body += "\n".join(emit_record(s) for s in per_app[app])
+        body += "\n)\n"
+        (OUT / filename).write_text(body)
+        print(f"wrote {OUT / filename} ({len(per_app[app])} records)")
+    init = '''"""The studied bug records, one module per application."""
+
+from typing import List, Tuple
+
+from repro.bugdb.records.apache import RECORDS as APACHE_RECORDS
+from repro.bugdb.records.mozilla import RECORDS as MOZILLA_RECORDS
+from repro.bugdb.records.mysql import RECORDS as MYSQL_RECORDS
+from repro.bugdb.records.openoffice import RECORDS as OPENOFFICE_RECORDS
+
+__all__ = [
+    "APACHE_RECORDS",
+    "MOZILLA_RECORDS",
+    "MYSQL_RECORDS",
+    "OPENOFFICE_RECORDS",
+    "all_records",
+]
+
+
+def all_records():
+    """Every studied record, grouped by application, stable order."""
+    return (
+        MYSQL_RECORDS + APACHE_RECORDS + MOZILLA_RECORDS + OPENOFFICE_RECORDS
+    )
+'''
+    (OUT / "__init__.py").write_text(init)
+    print(f"total: {len(all_specs)} records")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
