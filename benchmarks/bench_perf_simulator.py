@@ -5,12 +5,20 @@ performance so regressions in the engine/explorer hot paths are visible.
 Typical numbers on a laptop-class machine: hundreds of thousands of
 engine steps per second; thousands of explored schedules per second on
 kernel-sized programs.
+
+The parallel/memoization benches compare the serial plain DFS baseline
+against the shipped fast path (``ParallelExplorer`` with sharding +
+per-shard memoization) on the largest kernel exploration, asserting the
+outcome set is preserved and the wall-clock speedup is at least 2x.
 """
+
+import time
 
 from repro.kernels import get_kernel
 from repro.sim import (
     Acquire,
     Explorer,
+    ParallelExplorer,
     Program,
     RandomScheduler,
     Read,
@@ -74,6 +82,65 @@ def test_replay_throughput(benchmark):
 
     rerun = benchmark(replay_once)
     assert rerun.memory == recorded.memory
+
+
+def test_parallel_exploration_speedup():
+    # multivar_torn_invariant is the largest kernel exploration (~3k
+    # schedules).  Baseline: serial plain DFS.  Fast path: the shipped
+    # parallel configuration — workers=4 with prefix sharding and
+    # per-shard memoization.  On few-core machines the speedup comes
+    # mostly from memoization (sharding adds process overhead but cannot
+    # beat the core count); the 2x bar must hold either way.
+    kernel = get_kernel("multivar_torn_invariant")
+
+    start = time.perf_counter()
+    serial = Explorer(kernel.buggy, max_schedules=20000).explore(
+        predicate=kernel.failure
+    )
+    serial_seconds = time.perf_counter() - start
+    assert serial.complete
+
+    parallel_explorer = ParallelExplorer(
+        kernel.buggy, workers=4, max_schedules=20000, memoize=True
+    )
+    start = time.perf_counter()
+    parallel = parallel_explorer.explore(predicate=kernel.failure)
+    parallel_seconds = time.perf_counter() - start
+    assert parallel.complete
+
+    # Memoization preserves the outcome set and the verdict, not counts.
+    assert set(parallel.outcomes) == set(serial.outcomes)
+    assert parallel.found == serial.found
+
+    speedup = serial_seconds / parallel_seconds
+    print(
+        f"\n  serial: {serial.schedules_run} schedules in "
+        f"{serial_seconds:.3f}s; workers=4+memo: {parallel.schedules_run} "
+        f"schedules + {parallel.cache_hits} cache hits in "
+        f"{parallel_seconds:.3f}s -> {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, (
+        f"parallel+memoized exploration only {speedup:.2f}x faster "
+        f"({serial_seconds:.3f}s -> {parallel_seconds:.3f}s)"
+    )
+
+
+def test_memoization_cache_hit_rate():
+    kernel = get_kernel("multivar_torn_invariant")
+    baseline = Explorer(kernel.buggy, max_schedules=20000).explore(
+        predicate=kernel.failure
+    )
+    explorer = Explorer(kernel.buggy, max_schedules=20000, memoize=True)
+    memoized = explorer.explore(predicate=kernel.failure)
+    assert memoized.complete
+    assert memoized.cache_hits > 0
+    assert set(memoized.outcomes) == set(baseline.outcomes)
+    assert memoized.found == baseline.found
+    assert explorer.cache is not None
+    print(
+        f"\n  plain: {baseline.schedules_run} schedules; memoized: "
+        f"{memoized.schedules_run} schedules ({explorer.cache.summary()})"
+    )
 
 
 def test_detector_throughput(benchmark):

@@ -37,9 +37,11 @@ from repro.kernels import BugKernel, all_kernels, get_kernel, kernel_names
 from repro.sim import (
     Engine,
     Explorer,
+    ParallelExplorer,
     Program,
     RunResult,
     RunStatus,
+    StateCache,
     Trace,
     enumerate_outcomes,
     find_schedule,
@@ -64,6 +66,8 @@ __all__ = [
     "Trace",
     "run_program",
     "Explorer",
+    "ParallelExplorer",
+    "StateCache",
     "enumerate_outcomes",
     "find_schedule",
     "replay",

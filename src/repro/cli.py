@@ -10,11 +10,11 @@ Commands:
     Re-derive findings F1-F10 and print pass/fail.
 ``kernels``
     List the executable bug kernels.
-``kernel NAME``
+``kernel NAME [--workers N]``
     Drive one kernel end to end: manifest, minimal witness, fix check.
-``detect NAME``
+``detect NAME [--workers N]``
     Run the detector battery on a manifesting trace of kernel NAME.
-``estimate NAME [--runs N]``
+``estimate NAME [--runs N] [--workers N]``
     Manifestation rates under cooperative/random/PCT/enforced testing.
 ``bug BUG_ID``
     Show one bug record (try ``mysql-nd-binlog-rotate``).
@@ -36,6 +36,13 @@ from repro.bugdb import BugDatabase, validate_database
 from repro.study import all_tables, check_all, generate_report
 
 __all__ = ["main", "build_parser"]
+
+
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,15 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("findings", help="re-derive findings F1-F10")
     commands.add_parser("kernels", help="list executable bug kernels")
 
+    workers_help = "shard exploration across N worker processes"
     kernel = commands.add_parser("kernel", help="drive one kernel end to end")
     kernel.add_argument("name")
+    kernel.add_argument("--workers", type=_worker_count, default=None,
+                        help=workers_help)
 
     detect = commands.add_parser("detect", help="detectors on a manifesting trace")
     detect.add_argument("name")
+    detect.add_argument("--workers", type=_worker_count, default=None,
+                        help=workers_help)
 
     estimate = commands.add_parser("estimate", help="manifestation-rate estimates")
     estimate.add_argument("name")
     estimate.add_argument("--runs", type=int, default=100)
+    estimate.add_argument("--workers", type=_worker_count, default=None,
+                          help="split the seeded runs across N worker processes")
 
     bug = commands.add_parser("bug", help="show one bug record")
     bug.add_argument("bug_id")
@@ -159,7 +173,7 @@ def _cmd_kernel(args) -> int:
     print(f"  minimal witness: {witness.preemptions} preemption(s), "
           f"schedule {witness.run.schedule}")
     print(f"  outcome: {witness.run.summary()}")
-    clean = kernel.verify_fixed()
+    clean = kernel.verify_fixed(workers=args.workers)
     print(f"  fix '{kernel.fix_strategy.value}': "
           f"{'verified clean over every schedule' if clean else 'STILL BUGGY'}")
     return 0 if clean else 1
@@ -171,7 +185,7 @@ def _cmd_detect(args) -> int:
     kernel = _get_kernel_or_fail(args.name)
     if kernel is None:
         return 2
-    failing = kernel.find_manifestation()
+    failing = kernel.find_manifestation(workers=args.workers)
     if failing is None:
         print("kernel did not manifest", file=sys.stderr)
         return 1
@@ -188,7 +202,8 @@ def _cmd_estimate(args) -> int:
     kernel = _get_kernel_or_fail(args.name)
     if kernel is None:
         return 2
-    for estimate in compare_strategies(kernel, runs=args.runs).values():
+    estimates = compare_strategies(kernel, runs=args.runs, workers=args.workers)
+    for estimate in estimates.values():
         print(estimate.summary())
     return 0
 

@@ -12,7 +12,7 @@ report and a coverage map.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.detectors.atomicity import AtomicityDetector
 from repro.detectors.base import Detector, FindingKind, Report
@@ -20,7 +20,10 @@ from repro.detectors.deadlock import DeadlockDetector
 from repro.detectors.happensbefore import HappensBeforeDetector
 from repro.detectors.lockset import LocksetDetector
 from repro.detectors.orderviolation import OrderViolationDetector
+from repro.sim.engine import RunResult, run_program
+from repro.sim.explorer import _make_explorer
 from repro.sim.program import Program
+from repro.sim.scheduler import CooperativeScheduler
 from repro.sim.trace import Trace
 
 __all__ = ["DetectorSuite", "SuiteResult", "default_detectors"]
@@ -98,3 +101,31 @@ class DetectorSuite:
         return SuiteResult(
             reports={d.name: d.analyse_many(trace_list) for d in self.detectors}
         )
+
+    def analyse_program(
+        self,
+        program: Program,
+        predicate: Optional[Callable[[RunResult], bool]] = None,
+        max_schedules: int = 20000,
+        workers: Optional[int] = None,
+        keep_matches: int = 16,
+    ) -> SuiteResult:
+        """Explore the program's schedules, then analyse the interesting runs.
+
+        Explores up to ``max_schedules`` interleavings (sharded across a
+        process pool when ``workers > 1``), collects the traces of runs
+        matching ``predicate`` (default: failing runs) up to
+        ``keep_matches``, and feeds them through :meth:`analyse_many`.  If
+        no run matches, analyses the single cooperative-schedule baseline
+        run instead, so detectors still see one representative trace.
+        """
+        explorer = _make_explorer(
+            program, max_schedules, 5000, None, workers, False,
+            keep_matches=keep_matches,
+        )
+        result = explorer.explore(predicate=predicate)
+        traces = [run.trace for run in result.matching]
+        if not traces:
+            baseline = run_program(program, CooperativeScheduler())
+            traces = [baseline.trace]
+        return self.analyse_many(traces)

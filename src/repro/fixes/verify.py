@@ -16,7 +16,8 @@ from typing import Dict, List, Optional
 from repro.bugdb.schema import FixStrategy
 from repro.fixes.strategies import bad_patches, fixes_for
 from repro.kernels.base import BugKernel
-from repro.sim import Explorer, Program
+from repro.sim import Program
+from repro.sim.explorer import _make_explorer
 
 __all__ = ["FixVerification", "verify_fix", "verify_all_fixes", "audit_bad_patches"]
 
@@ -47,10 +48,19 @@ class FixVerification:
 
 
 def verify_fix(
-    kernel: BugKernel, patched: Program, max_schedules: int = 50000
+    kernel: BugKernel,
+    patched: Program,
+    max_schedules: int = 50000,
+    workers: Optional[int] = None,
 ) -> FixVerification:
-    """Explore every schedule of ``patched`` against the kernel's oracle."""
-    explorer = Explorer(patched, max_schedules=max_schedules, keep_matches=1)
+    """Explore every schedule of ``patched`` against the kernel's oracle.
+
+    ``workers > 1`` shards the exploration across a process pool; the
+    verdict and counterexample are identical to the serial search.
+    """
+    explorer = _make_explorer(
+        patched, max_schedules, 5000, None, workers, False, keep_matches=1,
+    )
     result = explorer.explore(predicate=kernel.failure, stop_on_first=True)
     if result.found:
         return FixVerification(
@@ -69,16 +79,22 @@ def verify_fix(
 
 
 def verify_all_fixes(
-    kernel: BugKernel, max_schedules: int = 50000
+    kernel: BugKernel,
+    max_schedules: int = 50000,
+    workers: Optional[int] = None,
 ) -> Dict[FixStrategy, FixVerification]:
     """Verify every patched variant the kernel ships."""
     return {
-        strategy: verify_fix(kernel, program, max_schedules=max_schedules)
+        strategy: verify_fix(
+            kernel, program, max_schedules=max_schedules, workers=workers
+        )
         for strategy, program in fixes_for(kernel)
     }
 
 
-def audit_bad_patches(max_schedules: int = 50000) -> List[FixVerification]:
+def audit_bad_patches(
+    max_schedules: int = 50000, workers: Optional[int] = None
+) -> List[FixVerification]:
     """Run the modelled incorrect first patches through verification.
 
     Every returned verification must be non-clean — the point of the
@@ -87,6 +103,6 @@ def audit_bad_patches(max_schedules: int = 50000) -> List[FixVerification]:
     success.
     """
     return [
-        verify_fix(kernel, patched, max_schedules=max_schedules)
+        verify_fix(kernel, patched, max_schedules=max_schedules, workers=workers)
         for kernel, patched, _why in bad_patches()
     ]

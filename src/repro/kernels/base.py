@@ -28,7 +28,7 @@ from typing import Callable, Optional, Tuple
 
 from repro.bugdb.schema import BugCategory, FixStrategy
 from repro.sim.engine import RunResult
-from repro.sim.explorer import Explorer
+from repro.sim.explorer import _make_explorer
 from repro.sim.program import Program
 
 __all__ = ["BugKernel", "Oracle"]
@@ -58,23 +58,47 @@ class BugKernel:
     # -- exploration helpers -------------------------------------------------
 
     def find_manifestation(
-        self, max_schedules: int = 20000
+        self,
+        max_schedules: int = 20000,
+        workers: Optional[int] = None,
+        memoize: bool = False,
     ) -> Optional[RunResult]:
-        """A failing run of the buggy program, or ``None`` if unreachable."""
-        explorer = Explorer(self.buggy, max_schedules=max_schedules)
+        """A failing run of the buggy program, or ``None`` if unreachable.
+
+        ``workers > 1`` shards the search across a process pool.
+        ``memoize=True`` is sound here only if the kernel's failure oracle
+        inspects terminal state, not the schedule/trace — the bundled
+        kernels' oracles do, but it stays opt-in.
+        """
+        explorer = _make_explorer(
+            self.buggy, max_schedules, 5000, None, workers, memoize,
+        )
         result = explorer.explore(predicate=self.failure, stop_on_first=True)
         return result.matching[0] if result.matching else None
 
-    def manifestation_rate(self, max_schedules: int = 20000) -> float:
-        """Fraction of all schedules of the buggy program that manifest."""
-        explorer = Explorer(self.buggy, max_schedules=max_schedules)
+    def manifestation_rate(
+        self, max_schedules: int = 20000, workers: Optional[int] = None
+    ) -> float:
+        """Fraction of all schedules of the buggy program that manifest.
+
+        No ``memoize`` option: pruned subtrees would skew the rate.
+        """
+        explorer = _make_explorer(
+            self.buggy, max_schedules, 5000, None, workers, False,
+        )
         outcome = explorer.explore(predicate=self.failure)
         return outcome.match_rate()
 
-    def verify_fixed(self, max_schedules: int = 50000) -> bool:
+    def verify_fixed(
+        self,
+        max_schedules: int = 50000,
+        workers: Optional[int] = None,
+        memoize: bool = False,
+    ) -> bool:
         """Exhaustively check that no schedule of the fixed program fails."""
-        explorer = Explorer(
-            self.fixed, max_schedules=max_schedules, keep_matches=1
+        explorer = _make_explorer(
+            self.fixed, max_schedules, 5000, None, workers, memoize,
+            keep_matches=1,
         )
         outcome = explorer.explore(predicate=self.failure, stop_on_first=True)
         return outcome.complete and not outcome.found

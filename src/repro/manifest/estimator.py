@@ -12,8 +12,9 @@ All estimates are deterministic given the seed range.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.kernels.base import BugKernel
 from repro.manifest.enforce import enforce_order
@@ -53,6 +54,51 @@ class ManifestationEstimate:
         return f"{self.strategy}: {self.manifested}/{self.runs} ({self.rate:.1%})"
 
 
+#: Worker-process state for parallel estimation (inherited via fork, so
+#: generator-closure programs and closure factories need not pickle).
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(
+    program: Program,
+    failure: Callable[[RunResult], bool],
+    scheduler_factory: SchedulerFactory,
+    max_steps: int,
+) -> None:
+    _WORKER["program"] = program
+    _WORKER["failure"] = failure
+    _WORKER["scheduler_factory"] = scheduler_factory
+    _WORKER["max_steps"] = max_steps
+
+
+def _count_range(seed_range: Tuple[int, int]) -> int:
+    """Failures over ``range(*seed_range)``; runs inside a worker."""
+    lo, hi = seed_range
+    manifested = 0
+    for seed in range(lo, hi):
+        result = run_program(
+            _WORKER["program"],
+            _WORKER["scheduler_factory"](seed),
+            max_steps=_WORKER["max_steps"],
+        )
+        if _WORKER["failure"](result):
+            manifested += 1
+    return manifested
+
+
+def _seed_ranges(runs: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(runs)`` into ``shards`` contiguous near-equal ranges."""
+    step, extra = divmod(runs, shards)
+    ranges = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + step + (1 if index < extra else 0)
+        if hi > lo:
+            ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
 def estimate_manifestation(
     program: Program,
     failure: Callable[[RunResult], bool],
@@ -60,8 +106,31 @@ def estimate_manifestation(
     runs: int = 100,
     strategy: str = "custom",
     max_steps: int = 20000,
+    workers: Optional[int] = None,
 ) -> ManifestationEstimate:
-    """Run ``program`` ``runs`` times under seeded schedulers; count failures."""
+    """Run ``program`` ``runs`` times under seeded schedulers; count failures.
+
+    ``workers > 1`` splits the seed range across a process pool; every
+    seed still runs exactly once, so the estimate is identical to the
+    serial one for any worker count.
+    """
+    if (
+        workers is not None
+        and workers > 1
+        and runs > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        ranges = _seed_ranges(runs, min(workers, runs))
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            processes=len(ranges),
+            initializer=_init_worker,
+            initargs=(program, failure, scheduler_factory, max_steps),
+        ) as pool:
+            manifested = sum(pool.map(_count_range, ranges))
+        return ManifestationEstimate(
+            strategy=strategy, runs=runs, manifested=manifested
+        )
     manifested = 0
     for seed in range(runs):
         result = run_program(program, scheduler_factory(seed), max_steps=max_steps)
@@ -75,6 +144,7 @@ def compare_strategies(
     runs: int = 100,
     pct_depth: int = 3,
     pct_horizon: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, ManifestationEstimate]:
     """Manifestation rates of one kernel under the standard strategies.
 
@@ -102,12 +172,12 @@ def compare_strategies(
         "random": estimate_manifestation(
             kernel.buggy, kernel.failure,
             lambda seed: RandomScheduler(seed=seed),
-            runs=runs, strategy="random",
+            runs=runs, strategy="random", workers=workers,
         ),
         "pct": estimate_manifestation(
             kernel.buggy, kernel.failure,
             lambda seed: PCTScheduler(seed=seed, depth=pct_depth, horizon=horizon),
-            runs=runs, strategy="pct",
+            runs=runs, strategy="pct", workers=workers,
         ),
     }
     enforced = 0

@@ -10,7 +10,9 @@ C/C++ executions of the ASPLOS'08 study.  It provides:
 * pluggable schedulers, from random stress to PCT
   (:mod:`repro.sim.scheduler`),
 * exhaustive bounded interleaving exploration
-  (:mod:`repro.sim.explorer`), and
+  (:mod:`repro.sim.explorer`), sharded across processes by
+  :mod:`repro.sim.parallel` and pruned by the state-fingerprint
+  memoization of :mod:`repro.sim.statecache`, and
 * record/replay of interleavings (:mod:`repro.sim.replay`).
 """
 
@@ -28,7 +30,9 @@ from repro.sim.generate import (
     generate_program,
 )
 from repro.sim.minimize import MinimalWitness, minimize_preemptions, preemption_count
+from repro.sim.parallel import ParallelExplorer
 from repro.sim.reduction import SleepSetExplorer, op_footprint, ops_dependent
+from repro.sim.statecache import StateCache, canonical_value, state_fingerprint
 from repro.sim.ops import (
     Acquire,
     AcquireRead,
@@ -81,6 +85,10 @@ __all__ = [
     "minimize_preemptions",
     "preemption_count",
     "SleepSetExplorer",
+    "ParallelExplorer",
+    "StateCache",
+    "state_fingerprint",
+    "canonical_value",
     "op_footprint",
     "ops_dependent",
     "GeneratorConfig",

@@ -15,9 +15,23 @@ Two bounds keep exploration tractable and *meaningful*:
   handful of ordering points suffice — Finding 8) are why small bounds
   find essentially all of these bugs; bench E2 demonstrates it.
 
+A third, optional pruning layer is **state-space memoization**
+(``memoize=True``): every decision point's canonical state fingerprint
+(:mod:`repro.sim.statecache`) is recorded, and a run that reaches an
+already-expanded state is aborted — the subtree below it can only
+reproduce outcomes the earlier expansion already enumerates.  This
+preserves the terminal outcome *set* (and any verdict over terminal
+states) but not schedule counts or match rates; predicates that inspect
+``run.schedule`` or ``run.trace`` are unsound under memoization.
+
 The default extension policy is *non-preemptive* (keep running the current
 thread while it stays enabled), so the very first schedule explored is the
 one a cooperative scheduler would produce.
+
+For multi-core machines, :class:`repro.sim.parallel.ParallelExplorer`
+shards this same search by prefix across a process pool; the
+``workers=`` argument of :func:`find_schedule` and
+:func:`enumerate_outcomes` selects it.
 """
 
 from __future__ import annotations
@@ -30,25 +44,54 @@ from repro.errors import ExplorationError
 from repro.sim.engine import Engine, EnabledFilter, RunResult, RunStatus
 from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
+from repro.sim.statecache import MemoHit, StateCache, state_fingerprint
 
 __all__ = ["Explorer", "ExplorationResult", "find_schedule", "enumerate_outcomes"]
 
 Predicate = Callable[[RunResult], bool]
 
+#: A DFS stack entry: (schedule prefix, preemptions already paid inside it).
+Seed = Tuple[List[str], int]
+
 
 class _RecordingScheduler(Scheduler):
-    """Follow ``prefix``, then extend non-preemptively; record enabled sets."""
+    """Follow ``prefix``, then extend non-preemptively; record enabled sets.
 
-    def __init__(self, prefix: Sequence[str]):
+    When a :class:`StateCache` is attached, every decision point beyond
+    the prefix is fingerprinted first; reaching an already-expanded state
+    raises :class:`MemoHit` to abort the (redundant) run.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[str],
+        cache: Optional[StateCache] = None,
+        preemption_bound: Optional[int] = None,
+    ):
         self.prefix = list(prefix)
+        self.cache = cache
+        self.preemption_bound = preemption_bound
+        self.engine: Optional[Engine] = None
         self.enabled_sets: List[List[str]] = []
         self.choices: List[str] = []
         self._last: Optional[str] = None
+        self._preemptions = 0
+
+    def attach(self, engine: Engine) -> None:
+        self.engine = engine
 
     def choose(self, enabled: Sequence[str], step: int) -> str:
         ordered = sorted(enabled)
-        self.enabled_sets.append(ordered)
         index = len(self.choices)
+        if self.cache is not None and index >= len(self.prefix):
+            fingerprint = state_fingerprint(self.engine)
+            if self.preemption_bound is not None:
+                # Under a bound the subtree also depends on the budget
+                # already spent; only identical (state, paid) nodes merge.
+                fingerprint = (fingerprint, ("preemptions", self._preemptions))
+            if self.cache.seen(fingerprint):
+                raise MemoHit()
+        self.enabled_sets.append(ordered)
         if index < len(self.prefix):
             choice = self.prefix[index]
             if choice not in enabled:
@@ -61,6 +104,7 @@ class _RecordingScheduler(Scheduler):
             choice = self._last
         else:
             choice = ordered[0]
+        self._preemptions += _preemption_cost(self._last, choice, ordered)
         self.choices.append(choice)
         self._last = choice
         return choice
@@ -69,6 +113,7 @@ class _RecordingScheduler(Scheduler):
         self.enabled_sets = []
         self.choices = []
         self._last = None
+        self._preemptions = 0
 
 
 @dataclass
@@ -83,6 +128,10 @@ class ExplorationResult:
     matching: List[RunResult] = field(default_factory=list)
     match_count: int = 0
     first_match_schedule: Optional[List[str]] = None
+    #: Runs aborted because they reached an already-expanded state.
+    cache_hits: int = 0
+    #: Subtree shards merged into this result (0 for a serial search).
+    shards: int = 0
 
     @property
     def found(self) -> bool:
@@ -131,13 +180,24 @@ class Explorer:
         preemption_bound: Optional[int] = None,
         enabled_filter: Optional[EnabledFilter] = None,
         keep_matches: int = 16,
+        memoize: bool = False,
     ):
+        if memoize and enabled_filter is not None:
+            raise ExplorationError(
+                "memoize=True cannot be combined with an enabled_filter: "
+                "filters may depend on the execution path (e.g. "
+                "executed_labels), which state fingerprints do not capture"
+            )
         self.program = program
         self.max_schedules = max_schedules
         self.max_steps = max_steps
         self.preemption_bound = preemption_bound
         self.enabled_filter = enabled_filter
         self.keep_matches = keep_matches
+        self.memoize = memoize
+        #: The state cache of the most recent exploration (None unless
+        #: ``memoize=True``); exposes hit/size statistics.
+        self.cache: Optional[StateCache] = None
 
     def explore(
         self,
@@ -151,49 +211,87 @@ class Explorer:
             (crash / deadlock / hang) match.
         :param stop_on_first: end the search at the first match.
         """
-        match = predicate if predicate is not None else _default_predicate
-        result = ExplorationResult(
-            program=self.program.name, schedules_run=0, complete=True
-        )
-        # Each stack entry: (prefix, preemptions already paid inside prefix).
-        stack: List[Tuple[List[str], int]] = [([], 0)]
-        while stack:
-            if result.schedules_run >= self.max_schedules:
-                result.complete = False
-                break
-            prefix, paid = stack.pop()
-            run, recorder = self._run_once(prefix)
-            result.schedules_run += 1
-            result.statuses[run.status] += 1
-            outcome = _outcome_key(run)
-            result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
-            if match(run):
-                result.match_count += 1
-                if len(result.matching) < self.keep_matches:
-                    result.matching.append(run)
-                if result.first_match_schedule is None:
-                    result.first_match_schedule = list(run.schedule)
-                if stop_on_first:
-                    result.complete = False
-                    return result
-            self._push_siblings(stack, recorder, prefix, paid)
+        result, _ = self._search([([], 0)], predicate, stop_on_first, None)
         return result
 
     # -- internals -----------------------------------------------------------
 
-    def _run_once(self, prefix: List[str]) -> Tuple[RunResult, _RecordingScheduler]:
-        recorder = _RecordingScheduler(prefix)
+    def _search(
+        self,
+        stack: List[Seed],
+        predicate: Optional[Predicate],
+        stop_on_first: bool,
+        frontier_target: Optional[int],
+    ) -> Tuple[ExplorationResult, List[Seed]]:
+        """The DFS loop over a seeded stack; returns (result, leftover stack).
+
+        ``frontier_target`` is the sharding hook used by the parallel
+        explorer: when set, the loop stops as soon as the stack holds at
+        least that many pending prefixes — or, on narrow trees where the
+        LIFO stack never grows that deep, after that many attempts with a
+        non-empty stack — leaving the remaining prefixes for the caller to
+        distribute.  The stack is LIFO, so the serial exploration order is
+        exactly: the runs executed here, then the popped entries' subtrees
+        from the top of the leftover stack downward.
+        """
+        match = predicate if predicate is not None else _default_predicate
+        cache = StateCache() if self.memoize else None
+        self.cache = cache
+        result = ExplorationResult(
+            program=self.program.name, schedules_run=0, complete=True
+        )
+        attempts = 0
+        while stack:
+            if frontier_target is not None and (
+                len(stack) >= frontier_target or attempts >= frontier_target
+            ):
+                break
+            if attempts >= self.max_schedules:
+                result.complete = False
+                break
+            prefix, paid = stack.pop()
+            attempts += 1
+            run, recorder = self._run_once(prefix, cache)
+            if run is None:
+                result.cache_hits += 1
+            else:
+                result.schedules_run += 1
+                result.statuses[run.status] += 1
+                outcome = _outcome_key(run)
+                result.outcomes[outcome] = result.outcomes.get(outcome, 0) + 1
+                if match(run):
+                    result.match_count += 1
+                    if len(result.matching) < self.keep_matches:
+                        result.matching.append(run)
+                    if result.first_match_schedule is None:
+                        result.first_match_schedule = list(run.schedule)
+                    if stop_on_first:
+                        result.complete = False
+                        return result, stack
+            self._push_siblings(stack, recorder, prefix, paid)
+        return result, stack
+
+    def _run_once(
+        self, prefix: List[str], cache: Optional[StateCache]
+    ) -> Tuple[Optional[RunResult], _RecordingScheduler]:
+        recorder = _RecordingScheduler(
+            prefix, cache=cache, preemption_bound=self.preemption_bound
+        )
         engine = Engine(
             self.program,
             recorder,
             max_steps=self.max_steps,
             enabled_filter=self.enabled_filter,
         )
-        return engine.run(), recorder
+        recorder.attach(engine)
+        try:
+            return engine.run(), recorder
+        except MemoHit:
+            return None, recorder
 
     def _push_siblings(
         self,
-        stack: List[Tuple[List[str], int]],
+        stack: List[Seed],
         recorder: _RecordingScheduler,
         prefix: List[str],
         paid: int,
@@ -243,19 +341,56 @@ def _outcome_key(run: RunResult) -> Tuple:
     return (run.status.value, tuple(items))
 
 
+def _make_explorer(
+    program: Program,
+    max_schedules: int,
+    max_steps: int,
+    preemption_bound: Optional[int],
+    workers: Optional[int],
+    memoize: bool,
+    keep_matches: int = 16,
+):
+    """Serial or parallel explorer, by ``workers`` (shared factory)."""
+    if workers is not None and workers > 1:
+        from repro.sim.parallel import ParallelExplorer
+
+        return ParallelExplorer(
+            program,
+            workers=workers,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            preemption_bound=preemption_bound,
+            keep_matches=keep_matches,
+            memoize=memoize,
+        )
+    return Explorer(
+        program,
+        max_schedules=max_schedules,
+        max_steps=max_steps,
+        preemption_bound=preemption_bound,
+        keep_matches=keep_matches,
+        memoize=memoize,
+    )
+
+
 def find_schedule(
     program: Program,
     predicate: Optional[Predicate] = None,
     max_schedules: int = 20000,
     max_steps: int = 5000,
     preemption_bound: Optional[int] = None,
+    workers: Optional[int] = None,
+    memoize: bool = False,
 ) -> Optional[RunResult]:
-    """First run satisfying ``predicate`` (default: any failure), or ``None``."""
-    explorer = Explorer(
-        program,
-        max_schedules=max_schedules,
-        max_steps=max_steps,
-        preemption_bound=preemption_bound,
+    """First run satisfying ``predicate`` (default: any failure), or ``None``.
+
+    ``workers > 1`` shards the search across a process pool;
+    ``memoize=True`` prunes revisited states (sound for predicates over
+    terminal state only — see :mod:`repro.sim.statecache`).
+    """
+    explorer = _make_explorer(
+        program, max_schedules, max_steps, preemption_bound, workers, memoize,
+        keep_matches=1,
     )
     result = explorer.explore(predicate=predicate, stop_on_first=True)
     return result.matching[0] if result.matching else None
@@ -267,13 +402,17 @@ def enumerate_outcomes(
     max_steps: int = 5000,
     preemption_bound: Optional[int] = None,
     require_complete: bool = False,
+    workers: Optional[int] = None,
+    memoize: bool = False,
 ) -> ExplorationResult:
-    """Explore every schedule (within bounds) and tally terminal outcomes."""
-    explorer = Explorer(
-        program,
-        max_schedules=max_schedules,
-        max_steps=max_steps,
-        preemption_bound=preemption_bound,
+    """Explore every schedule (within bounds) and tally terminal outcomes.
+
+    With ``memoize=True`` the outcome *set* is preserved but per-outcome
+    counts are not (pruned subtrees are never run); with ``workers > 1``
+    and a complete search, counts match the serial search exactly.
+    """
+    explorer = _make_explorer(
+        program, max_schedules, max_steps, preemption_bound, workers, memoize
     )
     result = explorer.explore(predicate=lambda run: False)
     if require_complete and not result.complete:

@@ -1,0 +1,232 @@
+"""Sharded parallel interleaving exploration.
+
+:class:`ParallelExplorer` splits the schedule tree of
+:class:`~repro.sim.explorer.Explorer` by *prefix*: a short serial phase
+expands the DFS stack until it holds enough pending prefixes
+(``workers * shard_factor``, for load balancing), then each leftover
+prefix becomes an independent shard explored to completion in a worker
+process.  Shards share nothing at runtime, so the pure-python engine
+escapes the GIL via ``multiprocessing`` with the ``fork`` start method —
+the program's thread bodies are generator closures, which ``fork``
+inherits for free where pickling would fail.  Only schedule prefixes
+travel to the workers and only :class:`ExplorationResult`\\ s travel back.
+
+**Merge semantics.**  The DFS stack is LIFO, so the serial exploration
+order is exactly: the root-phase runs, then the subtree of the topmost
+leftover prefix, then the next one down, and so on.  Shards are merged in
+that order, which makes a *complete* parallel exploration reproduce the
+serial result exactly — same outcome tallies, same match count, same
+``matching`` list, same first match.  With ``stop_on_first`` the merge
+discards every shard after the first matching one, again reproducing the
+serial result (the later shards' work is wasted, not wrong).  The one
+intentional deviation: the ``max_schedules`` budget is enforced
+*per shard* (each shard gets the budget left after the root phase), so a
+budget-exhausted parallel search may run more total schedules than a
+serial one — but deterministically so for a fixed worker count.
+
+``memoize=True`` composes: each shard prunes revisited states with its
+own :class:`~repro.sim.statecache.StateCache`.  Caches are per-process,
+so states revisited *across* shards are re-explored (lost hits, never
+false ones); the outcome-set guarantee is unaffected.
+
+Falls back to in-process sequential shard execution when ``fork`` is
+unavailable (non-POSIX platforms), ``workers=1``, or the machine has a
+single CPU (forking CPU-bound work onto one core is pure overhead) —
+same shards, same results, same merge path, no pool.  ``pool="fork"``
+forces the pool regardless and ``pool="none"`` forbids it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.sim.engine import EnabledFilter
+from repro.sim.explorer import (
+    ExplorationResult,
+    Explorer,
+    Predicate,
+    Seed,
+)
+from repro.sim.program import Program
+
+__all__ = ["ParallelExplorer"]
+
+#: Worker-process state installed by the pool initializer (inherited via
+#: fork, so unpicklable programs/predicates survive the crossing).
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(program: Program, predicate: Optional[Predicate], options: Dict[str, Any]) -> None:
+    _WORKER["program"] = program
+    _WORKER["predicate"] = predicate
+    _WORKER["options"] = options
+
+
+def _explore_shard(seed: Seed) -> ExplorationResult:
+    """Explore one prefix subtree to completion; runs inside a worker."""
+    options = _WORKER["options"]
+    explorer = Explorer(
+        _WORKER["program"],
+        max_schedules=options["max_schedules"],
+        max_steps=options["max_steps"],
+        preemption_bound=options["preemption_bound"],
+        enabled_filter=options["enabled_filter"],
+        keep_matches=options["keep_matches"],
+        memoize=options["memoize"],
+    )
+    prefix, paid = seed
+    result, _ = explorer._search(
+        [(list(prefix), paid)],
+        _WORKER["predicate"],
+        options["stop_on_first"],
+        None,
+    )
+    return result
+
+
+class ParallelExplorer:
+    """Work-sharded exploration across a process pool.
+
+    Drop-in for :class:`Explorer`: same constructor bounds, same
+    ``explore`` signature, same :class:`ExplorationResult`.  ``workers``
+    defaults to the CPU count; ``shard_factor`` controls how many shards
+    are cut per worker (more shards → better load balancing, more
+    dispatch overhead).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        workers: Optional[int] = None,
+        max_schedules: int = 20000,
+        max_steps: int = 5000,
+        preemption_bound: Optional[int] = None,
+        enabled_filter: Optional[EnabledFilter] = None,
+        keep_matches: int = 16,
+        memoize: bool = False,
+        shard_factor: int = 4,
+        pool: str = "auto",
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if pool not in ("auto", "fork", "none"):
+            raise ValueError(f"pool must be 'auto', 'fork', or 'none', got {pool!r}")
+        self.program = program
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.max_schedules = max_schedules
+        self.max_steps = max_steps
+        self.preemption_bound = preemption_bound
+        self.enabled_filter = enabled_filter
+        self.keep_matches = keep_matches
+        self.memoize = memoize
+        self.shard_factor = shard_factor
+        self.pool = pool
+
+    def explore(
+        self,
+        predicate: Optional[Predicate] = None,
+        stop_on_first: bool = False,
+    ) -> ExplorationResult:
+        """Run the sharded search; result fields as in :class:`Explorer`."""
+        serial = Explorer(
+            self.program,
+            max_schedules=self.max_schedules,
+            max_steps=self.max_steps,
+            preemption_bound=self.preemption_bound,
+            enabled_filter=self.enabled_filter,
+            keep_matches=self.keep_matches,
+            memoize=self.memoize,
+        )
+        target = max(2, self.workers * self.shard_factor)
+        root, frontier = serial._search([([], 0)], predicate, stop_on_first, target)
+        # Root phase finished the whole tree, exhausted the budget, or
+        # matched with stop_on_first: nothing left to shard.
+        if not frontier or not root.complete or (stop_on_first and root.found):
+            return root
+        # Top of the LIFO stack first = serial DFS subtree order.
+        shards: List[Seed] = list(reversed(frontier))
+        attempts_root = root.schedules_run + root.cache_hits
+        shard_budget = max(1, self.max_schedules - attempts_root)
+        shard_results = self._run_shards(
+            shards, predicate, stop_on_first, shard_budget
+        )
+        return _merge(
+            root, shard_results, self.keep_matches, stop_on_first, len(shards)
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_shards(
+        self,
+        shards: List[Seed],
+        predicate: Optional[Predicate],
+        stop_on_first: bool,
+        shard_budget: int,
+    ) -> List[ExplorationResult]:
+        options = {
+            "max_schedules": shard_budget,
+            "max_steps": self.max_steps,
+            "preemption_bound": self.preemption_bound,
+            "enabled_filter": self.enabled_filter,
+            "keep_matches": self.keep_matches,
+            "memoize": self.memoize,
+            "stop_on_first": stop_on_first,
+        }
+        if self._use_pool():
+            context = multiprocessing.get_context("fork")
+            with context.Pool(
+                processes=min(self.workers, len(shards)),
+                initializer=_init_worker,
+                initargs=(self.program, predicate, options),
+            ) as pool:
+                return pool.map(_explore_shard, shards)
+        # In-process fallback: identical results, no pool.
+        _init_worker(self.program, predicate, options)
+        try:
+            return [_explore_shard(seed) for seed in shards]
+        finally:
+            _WORKER.clear()
+
+    def _use_pool(self) -> bool:
+        if self.pool == "none" or self.workers <= 1:
+            return False
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        if self.pool == "fork":
+            return True
+        # auto: a pool only pays off with more than one core to run on.
+        return (os.cpu_count() or 1) > 1
+
+
+def _merge(
+    merged: ExplorationResult,
+    shard_results: List[ExplorationResult],
+    keep_matches: int,
+    stop_on_first: bool,
+    shards: int,
+) -> ExplorationResult:
+    """Fold shard results into the root result, in serial DFS order."""
+    merged.shards = shards
+    for shard in shard_results:
+        merged.schedules_run += shard.schedules_run
+        merged.cache_hits += shard.cache_hits
+        merged.statuses.update(shard.statuses)
+        for outcome, count in shard.outcomes.items():
+            merged.outcomes[outcome] = merged.outcomes.get(outcome, 0) + count
+        merged.match_count += shard.match_count
+        for run in shard.matching:
+            if len(merged.matching) >= keep_matches:
+                break
+            merged.matching.append(run)
+        if merged.first_match_schedule is None and shard.first_match_schedule:
+            merged.first_match_schedule = list(shard.first_match_schedule)
+        merged.complete = merged.complete and shard.complete
+        if stop_on_first and shard.match_count:
+            # Serial search would have stopped inside this shard; the
+            # remaining shards' results are redundant work, not part of
+            # the answer.
+            merged.complete = False
+            break
+    return merged

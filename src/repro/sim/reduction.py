@@ -35,6 +35,7 @@ from repro.sim.engine import Engine, RunResult, RunStatus
 from repro.sim.explorer import ExplorationResult, Predicate, _default_predicate, _outcome_key
 from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
+from repro.sim.statecache import MemoHit, StateCache, state_fingerprint
 
 __all__ = ["SleepSetExplorer", "op_footprint", "ops_dependent"]
 
@@ -108,11 +109,22 @@ class _SleepScheduler(Scheduler):
 
     Needs engine access (attached by the explorer after construction) to
     read pending operations for footprints.
+
+    With a :class:`StateCache` attached, each decision point beyond the
+    prefix is fingerprinted as ``(engine state, sleep set)`` — the pair
+    that fully determines the reduced subtree below the node — and a
+    revisited pair raises :class:`MemoHit` to abort the redundant run.
     """
 
-    def __init__(self, prefix: Sequence[str], initial_sleep: FrozenSet[str]):
+    def __init__(
+        self,
+        prefix: Sequence[str],
+        initial_sleep: FrozenSet[str],
+        cache: Optional[StateCache] = None,
+    ):
         self.prefix = list(prefix)
         self.initial_sleep = initial_sleep
+        self.cache = cache
         self.engine: Optional[Engine] = None
         self.cond_locks: Dict[str, str] = {}
         self.choices: List[str] = []
@@ -152,6 +164,16 @@ class _SleepScheduler(Scheduler):
 
         if index == len(self.prefix):
             self._sleep = self.initial_sleep
+        if self.cache is not None:
+            # The reduced subtree depends on the state *and* the sleep set
+            # (a sleeping thread's branches are skipped), so only nodes
+            # identical in both may merge.
+            fingerprint = (
+                state_fingerprint(self.engine),
+                ("sleep", tuple(sorted(self._sleep))),
+            )
+            if self.cache.seen(fingerprint):
+                raise MemoHit()
         footprints = self._pending_footprints(ordered)
         self.enabled_sets.append(ordered)
         self.sleep_sets.append(self._sleep)
@@ -195,13 +217,18 @@ class SleepSetExplorer:
         max_schedules: int = 20000,
         max_steps: int = 5000,
         keep_matches: int = 16,
+        memoize: bool = False,
     ):
         self.program = program
         self.max_schedules = max_schedules
         self.max_steps = max_steps
         self.keep_matches = keep_matches
+        self.memoize = memoize
         #: Redundant branches pruned in the last exploration.
         self.pruned_runs = 0
+        #: The state cache of the most recent exploration (None unless
+        #: ``memoize=True``).
+        self.cache: Optional[StateCache] = None
 
     def explore(
         self,
@@ -214,6 +241,8 @@ class SleepSetExplorer:
             program=self.program.name, schedules_run=0, complete=True
         )
         self.pruned_runs = 0
+        cache = StateCache() if self.memoize else None
+        self.cache = cache
         stack: List[Tuple[List[str], FrozenSet[str]]] = [([], frozenset())]
         attempts = 0
         while stack:
@@ -222,7 +251,7 @@ class SleepSetExplorer:
                 break
             prefix, sleep = stack.pop()
             attempts += 1
-            run, scheduler = self._run_once(prefix, sleep)
+            run, scheduler = self._run_once(prefix, sleep, cache)
             if run is not None:
                 result.schedules_run += 1
                 result.statuses[run.status] += 1
@@ -237,22 +266,27 @@ class SleepSetExplorer:
                     if stop_on_first:
                         result.complete = False
                         return result
-            else:
+            elif scheduler.pruned:
                 self.pruned_runs += 1
+            else:
+                result.cache_hits += 1
             self._push_siblings(stack, scheduler, prefix, run)
         return result
 
     # -- internals ----------------------------------------------------------
 
     def _run_once(
-        self, prefix: List[str], sleep: FrozenSet[str]
+        self,
+        prefix: List[str],
+        sleep: FrozenSet[str],
+        cache: Optional[StateCache],
     ) -> Tuple[Optional[RunResult], _SleepScheduler]:
-        scheduler = _SleepScheduler(prefix, sleep)
+        scheduler = _SleepScheduler(prefix, sleep, cache=cache)
         engine = Engine(self.program, scheduler, max_steps=self.max_steps)
         scheduler.attach(engine)
         try:
             return engine.run(), scheduler
-        except _SleepPruned:
+        except (_SleepPruned, MemoHit):
             return None, scheduler
 
     def _push_siblings(

@@ -1,0 +1,246 @@
+"""Canonical state fingerprinting and outcome memoization for exploration.
+
+Stateless exploration re-executes the program for every schedule, so the
+same *simulator state* — memory contents, sync-object state, and every
+thread's continuation — is reached again and again along different
+interleavings of independent operations.  The subtree of schedules below
+a state depends only on that state, so once one node with a given state
+has been expanded, every later node with an identical state explores a
+subtree whose terminal outcomes are already guaranteed to be enumerated.
+:class:`StateCache` records fingerprints of expanded states; the
+explorers abort a run the moment it reaches a cached state
+(:class:`MemoHit`), skipping the redundant subtree.
+
+What a fingerprint must capture is exactly "everything that determines
+future behaviour":
+
+* shared memory values (canonicalised, value-based — identity is useless
+  because every run rebuilds all objects from scratch);
+* mutex owners, rwlock reader sets and writers, semaphore counts,
+  condition-variable wait queues **in FIFO order** (``notify_one`` wakes
+  the head), and barrier arrival lists;
+* per-thread lifecycle state, the pending operation **including its
+  payload** (an ``AtomicUpdate`` is fingerprinted down to its closure
+  cells, so two in-flight atomic blocks with different captured values
+  never collide), sleep ticks, park reasons, and the generator
+  continuation (bytecode offset + canonicalised locals);
+* the step count, so ``max_steps`` truncation behaves identically.
+
+Soundness contract: memoized exploration preserves the *reachable
+terminal outcome set* (status + final memory) and therefore any verdict
+derived from terminal states — but not schedule counts, match counts, or
+rates, because pruned paths are simply never run.  Predicates that
+inspect the *path* (``run.schedule``, ``run.trace``) are unsound under
+memoization; see ``docs/simulator.md``.
+
+Canonicalisation is value-based and best-effort: primitives and
+containers recurse structurally, functions canonicalise to code location
+plus closure/default values, anything else falls back to ``pickle`` and
+finally ``repr``.  A ``repr`` containing an object address degrades to a
+cache *miss* (safe, just ineffective); a custom ``repr`` that hides
+behavioural state could in principle cause a false hit — the same
+caveat every value-equality cache carries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import pickle
+import types
+from typing import Any, Optional, Tuple
+
+__all__ = ["MemoHit", "StateCache", "canonical_value", "state_fingerprint"]
+
+_ATOMS = (int, float, complex, bool, str, bytes, type(None))
+
+
+class MemoHit(Exception):
+    """Internal control flow: the run reached an already-expanded state."""
+
+
+def canonical_value(value: Any, _seen: Optional[set] = None) -> Any:
+    """A hashable, identity-free representation of ``value``.
+
+    Equal values canonicalise equally across independent re-executions;
+    unequal values are kept distinct wherever the structure allows.
+    """
+    if isinstance(value, _ATOMS):
+        return value
+    if isinstance(value, enum.Enum):
+        return ("enum", type(value).__qualname__, value.name)
+    if _seen is None:
+        _seen = set()
+    oid = id(value)
+    if oid in _seen:
+        return ("<cycle>",)
+    _seen.add(oid)
+    try:
+        if isinstance(value, (list, tuple)):
+            return (
+                type(value).__name__,
+                tuple(canonical_value(v, _seen) for v in value),
+            )
+        if isinstance(value, (set, frozenset)):
+            items = sorted((canonical_value(v, _seen) for v in value), key=repr)
+            return ("set", tuple(items))
+        if isinstance(value, dict):
+            items = sorted(
+                (
+                    (canonical_value(k, _seen), canonical_value(v, _seen))
+                    for k, v in value.items()
+                ),
+                key=repr,
+            )
+            return ("dict", tuple(items))
+        if isinstance(value, types.FunctionType):
+            return _canonical_function(value, _seen)
+        if isinstance(value, types.GeneratorType):
+            frame = value.gi_frame
+            if frame is None:
+                return ("gen", value.__qualname__, "done")
+            return (
+                "gen",
+                value.__qualname__,
+                frame.f_lasti,
+                canonical_value(dict(frame.f_locals), _seen),
+            )
+        try:
+            return ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            return ("repr", type(value).__qualname__, repr(value))
+    finally:
+        _seen.discard(oid)
+
+
+def _canonical_function(fn: types.FunctionType, _seen: set) -> Tuple:
+    """Code location + captured values: distinguishes closures, merges runs."""
+    code = fn.__code__
+    cells = []
+    for cell in fn.__closure__ or ():
+        try:
+            cells.append(canonical_value(cell.cell_contents, _seen))
+        except ValueError:  # empty cell
+            cells.append(("<empty-cell>",))
+    defaults = (
+        canonical_value(fn.__defaults__, _seen) if fn.__defaults__ else None
+    )
+    return (
+        "fn",
+        fn.__qualname__,
+        code.co_filename,
+        code.co_firstlineno,
+        defaults,
+        tuple(cells),
+    )
+
+
+def _canonical_op(op: Any) -> Any:
+    """Pending-operation fingerprint including payloads (fn, value, ...)."""
+    if op is None:
+        return None
+    return (type(op).__name__,) + tuple(
+        (f.name, canonical_value(getattr(op, f.name)))
+        for f in dataclasses.fields(op)
+    )
+
+
+def _continuation(vt: Any) -> Any:
+    """Where a thread's generator is suspended: bytecode offset + locals."""
+    frame = vt.frame
+    if frame is None:
+        return None
+    locs = tuple(
+        sorted(
+            ((name, canonical_value(value)) for name, value in frame.f_locals.items()),
+            key=lambda item: item[0],
+        )
+    )
+    return (frame.f_lasti, locs)
+
+
+def state_fingerprint(engine: Any) -> Tuple:
+    """Canonical fingerprint of an engine's full pre-decision state.
+
+    Two engines with equal fingerprints behave identically under every
+    future schedule (up to the canonicalisation caveats above).
+    """
+    memory = engine.memory
+    sync = engine.sync
+    mem = tuple(
+        (var, canonical_value(memory.read(var)))
+        for var in sorted(memory.variables())
+    )
+    mutexes = tuple(
+        (name, mutex.owner) for name, mutex in sorted(sync.mutexes.items())
+    )
+    rwlocks = tuple(
+        (name, rw.writer, tuple(sorted(rw.readers)))
+        for name, rw in sorted(sync.rwlocks.items())
+    )
+    semaphores = tuple(
+        (name, sem.value) for name, sem in sorted(sync.semaphores.items())
+    )
+    conditions = tuple(
+        (name, tuple(cond.waiters))
+        for name, cond in sorted(sync.conditions.items())
+    )
+    barriers = tuple(
+        (name, tuple(barrier.arrived))
+        for name, barrier in sorted(sync.barriers.items())
+    )
+    threads = tuple(
+        (
+            name,
+            vt.state.value,
+            _canonical_op(vt.pending),
+            vt.sleep_remaining,
+            vt.park_reason,
+            _continuation(vt),
+        )
+        for name, vt in sorted(engine.threads.items())
+    )
+    return (
+        mem,
+        mutexes,
+        rwlocks,
+        semaphores,
+        conditions,
+        barriers,
+        threads,
+        engine.steps,
+    )
+
+
+class StateCache:
+    """The set of already-expanded state fingerprints, with hit counters."""
+
+    __slots__ = ("_seen", "hits", "lookups")
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+        self.hits = 0
+        self.lookups = 0
+
+    def seen(self, fingerprint: Any) -> bool:
+        """Check-and-mark: ``True`` iff the fingerprint was already cached."""
+        self.lookups += 1
+        if fingerprint in self._seen:
+            self.hits += 1
+            return True
+        self._seen.add(fingerprint)
+        return False
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        """One-line rendering for benchmarks and reports."""
+        return (
+            f"{len(self._seen)} states cached, {self.hits}/{self.lookups} "
+            f"lookups hit ({self.hit_rate():.1%})"
+        )

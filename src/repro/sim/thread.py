@@ -105,6 +105,19 @@ class VirtualThread:
         """Whether the thread has started and not yet terminated."""
         return self.state in (ThreadState.RUNNABLE, ThreadState.PARKED)
 
+    @property
+    def frame(self):
+        """The suspended generator frame, or ``None`` once finished/unstarted.
+
+        Exposed for state fingerprinting (:mod:`repro.sim.statecache`):
+        the frame's instruction offset and locals are the thread's
+        continuation, the part of its behaviour the pending op alone
+        cannot describe.
+        """
+        if self._gen is None:
+            return None
+        return self._gen.gi_frame
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         op = self.pending.describe() if self.pending else "-"
         return f"<VirtualThread {self.name} {self.state.value} pending={op}>"

@@ -2,9 +2,18 @@
 
 Each helper returns a fresh :class:`~repro.sim.Program`; they are the
 canonical micro-programs the simulator/detector tests exercise.
+
+The module also hosts the *generated-program corpus*: a restricted
+grammar of straight-line threads (reads / read-increment-writes over a
+two-variable alphabet, optionally lock-wrapped, optionally crashing)
+plus hypothesis strategies over it.  Every corpus program terminates and
+is exhaustively explorable, which is what the differential tests
+(plain DFS vs sleep sets vs memoization vs parallel sharding) need.
 """
 
 from __future__ import annotations
+
+from hypothesis import strategies as st
 
 from repro.errors import SimCrash
 from repro.sim import (
@@ -238,6 +247,92 @@ def ordered_handoff() -> Program:
         initial={"ptr": None},
         semaphores={"ready": 0},
     )
+
+
+# -- generated-program corpus -------------------------------------------------
+#
+# A thread spec is ``(locked, op_list, crashes)``: whether the ops run
+# under lock "L", a tuple of ("read" | "write", var) pairs, and whether a
+# read of a value >= 3 crashes the thread.  A "write" is a
+# read-increment-write (two scheduling points), so unlocked writers race.
+
+CORPUS_VARS = ["x", "y"]
+CORPUS_LOCK = "L"
+
+
+def corpus_body(spec):
+    """One thread body from a ``(locked, op_list, crashes)`` spec."""
+    locked, op_list, crashes = spec
+
+    def body():
+        if locked:
+            yield Acquire(CORPUS_LOCK)
+        for kind, var in op_list:
+            if kind == "read":
+                value = yield Read(var)
+                if crashes and value and value >= 3:
+                    raise SimCrash("generated crash")
+            else:
+                current = yield Read(var)
+                yield Write(var, (current or 0) + 1)
+        if locked:
+            yield Release(CORPUS_LOCK)
+
+    return body
+
+
+def corpus_program(specs, name: str = "generated") -> Program:
+    """A corpus program with one thread per spec (named T0, T1, ...)."""
+    return Program(
+        name,
+        threads={f"T{i}": corpus_body(spec) for i, spec in enumerate(specs)},
+        initial={var: 0 for var in CORPUS_VARS},
+        locks=[CORPUS_LOCK],
+    )
+
+
+def corpus_spec_lengths(specs):
+    """Scheduling points per thread: reads are 1, writes 2, lock ops 2."""
+    return [
+        sum(2 if kind == "write" else 1 for kind, _ in op_list)
+        + (2 if locked else 0)
+        for locked, op_list, _crashes in specs
+    ]
+
+
+@st.composite
+def corpus_specs(draw, max_ops: int = 2, crashes: bool = True):
+    """Strategy for one thread spec."""
+    locked = draw(st.booleans())
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    op_list = tuple(
+        (
+            draw(st.sampled_from(["read", "write"])),
+            draw(st.sampled_from(CORPUS_VARS)),
+        )
+        for _ in range(count)
+    )
+    crash = draw(st.booleans()) if crashes else False
+    return (locked, op_list, crash)
+
+
+@st.composite
+def corpus_programs(
+    draw,
+    min_threads: int = 2,
+    max_threads: int = 3,
+    max_ops: int = 2,
+    crashes: bool = True,
+    with_specs: bool = False,
+):
+    """Strategy for a whole corpus program (optionally with its specs)."""
+    thread_count = draw(st.integers(min_value=min_threads, max_value=max_threads))
+    specs = [
+        draw(corpus_specs(max_ops=max_ops, crashes=crashes))
+        for _ in range(thread_count)
+    ]
+    program = corpus_program(specs)
+    return (program, specs) if with_specs else program
 
 
 def yield_only(steps: int = 3, threads: int = 2) -> Program:

@@ -1,0 +1,198 @@
+"""Differential harness: parallel / memoized exploration vs serial DFS.
+
+The serial :class:`Explorer` is the trusted baseline.  Everything layered
+on top for speed — prefix sharding across a process pool, state-space
+memoization, their composition with sleep sets — must be *observation
+equivalent*:
+
+* a complete parallel search reproduces the serial result exactly
+  (outcome tallies, match rate, statuses, first match) at any worker
+  count;
+* memoized search preserves the terminal outcome *set* and every verdict
+  derived from terminal states (found / deadlocked / crashed), though
+  not schedule counts;
+* fixed seed + fixed worker count is byte-for-byte deterministic.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Explorer,
+    ParallelExplorer,
+    RunStatus,
+    SleepSetExplorer,
+    enumerate_outcomes,
+    find_schedule,
+)
+from repro.sim.generate import GeneratorConfig, generate_program
+from tests.helpers import corpus_programs
+
+#: Small enough that most generated programs explore completely within
+#: the budget; incomplete ones are skipped via assume() — a truncated
+#: search carries no equivalence obligation.
+CONFIG = GeneratorConfig(ops_per_thread=(1, 3))
+DEADLOCK_CONFIG = GeneratorConfig(
+    ops_per_thread=(1, 3), allow_deadlock=True, crash_probability=0.0
+)
+BUDGET = 4000
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _explore(program, workers=None, memoize=False, predicate=None):
+    if workers is None:
+        explorer = Explorer(program, max_schedules=BUDGET, memoize=memoize)
+    else:
+        explorer = ParallelExplorer(
+            program, workers=workers, max_schedules=BUDGET, memoize=memoize
+        )
+    return explorer.explore(predicate=predicate)
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(st.integers(min_value=0, max_value=63))
+def test_parallel_matches_serial_exactly(seed):
+    program = generate_program(seed, CONFIG)
+    serial = _explore(program)
+    assume(serial.complete)
+    for workers in WORKER_COUNTS:
+        parallel = _explore(program, workers=workers)
+        assert parallel.complete
+        assert parallel.outcomes == serial.outcomes, workers
+        assert parallel.schedules_run == serial.schedules_run, workers
+        assert parallel.statuses == serial.statuses, workers
+        assert parallel.match_count == serial.match_count, workers
+        assert parallel.match_rate() == serial.match_rate(), workers
+        assert parallel.failure_rate() == serial.failure_rate(), workers
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(st.integers(min_value=0, max_value=63))
+def test_parallel_preserves_deadlock_verdicts(seed):
+    program = generate_program(seed, DEADLOCK_CONFIG)
+    serial = _explore(program)
+    assume(serial.complete)
+    for workers in (2, 4):
+        parallel = _explore(program, workers=workers)
+        assert (RunStatus.DEADLOCK in parallel.statuses) == (
+            RunStatus.DEADLOCK in serial.statuses
+        )
+        assert parallel.statuses == serial.statuses
+        assert parallel.match_rate() == serial.match_rate()
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(st.integers(min_value=0, max_value=63))
+def test_memoized_generated_outcome_sets_match(seed):
+    program = generate_program(seed, CONFIG)
+    plain = _explore(program)
+    assume(plain.complete)
+    memoized = _explore(program, memoize=True)
+    assert memoized.complete
+    assert set(memoized.outcomes) == set(plain.outcomes)
+    assert set(memoized.statuses) == set(plain.statuses)
+    assert memoized.found == plain.found
+
+
+@settings(max_examples=12, deadline=None, derandomize=True)
+@given(corpus_programs())
+def test_memoized_corpus_outcome_sets_match(program):
+    plain = Explorer(program, max_schedules=BUDGET).explore()
+    assume(plain.complete)
+    memoized = Explorer(program, max_schedules=BUDGET, memoize=True).explore()
+    assert set(memoized.outcomes) == set(plain.outcomes)
+    assert memoized.found == plain.found
+    # Sleep sets + memoization compose; the outcome set still survives.
+    reduced = SleepSetExplorer(
+        program, max_schedules=BUDGET, memoize=True
+    ).explore()
+    assert set(reduced.outcomes) == set(plain.outcomes)
+    assert reduced.found == plain.found
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(st.integers(min_value=0, max_value=63))
+def test_parallel_stop_on_first_matches_serial(seed):
+    program = generate_program(seed, CONFIG)
+    serial = _explore(program)
+    assume(serial.complete)
+    first_serial = Explorer(program, max_schedules=BUDGET).explore(
+        stop_on_first=True
+    )
+    for workers in (2, 4):
+        first_parallel = ParallelExplorer(
+            program, workers=workers, max_schedules=BUDGET
+        ).explore(stop_on_first=True)
+        assert first_parallel.found == first_serial.found
+        assert (
+            first_parallel.first_match_schedule
+            == first_serial.first_match_schedule
+        )
+        if first_serial.found:
+            assert (
+                first_parallel.schedules_run == first_serial.schedules_run
+            )
+
+
+def test_forced_fork_pool_matches_serial():
+    # pool="auto" skips the process pool on single-CPU machines, so pin
+    # the actual fork crossing (program inheritance, result pickling)
+    # explicitly.
+    program = generate_program(7, CONFIG)
+    serial = _explore(program)
+    assert serial.complete
+    forced = ParallelExplorer(
+        program, workers=2, max_schedules=BUDGET, pool="fork"
+    ).explore()
+    assert forced.complete
+    assert forced.outcomes == serial.outcomes
+    assert forced.schedules_run == serial.schedules_run
+    assert forced.shards > 0
+
+
+def test_find_schedule_workers_agree():
+    program = generate_program(6, CONFIG)
+    serial = find_schedule(program)
+    parallel = find_schedule(program, workers=2)
+    assert (serial is None) == (parallel is None)
+    if serial is not None:
+        assert parallel.schedule == serial.schedule
+
+
+def test_enumerate_outcomes_workers_agree():
+    program = generate_program(7, CONFIG)
+    serial = enumerate_outcomes(program, max_schedules=BUDGET)
+    parallel = enumerate_outcomes(program, max_schedules=BUDGET, workers=4)
+    assert serial.complete and parallel.complete
+    assert parallel.outcomes == serial.outcomes
+
+
+class TestDeterminism:
+    """Fixed seed + fixed worker count => byte-identical results."""
+
+    def test_merged_summary_is_reproducible(self):
+        program = generate_program(7, CONFIG)
+        for workers in WORKER_COUNTS:
+            first = ParallelExplorer(
+                program, workers=workers, max_schedules=BUDGET
+            ).explore()
+            second = ParallelExplorer(
+                program, workers=workers, max_schedules=BUDGET
+            ).explore()
+            assert first.summary() == second.summary()
+            assert first.outcomes == second.outcomes
+            assert first.statuses == second.statuses
+            assert first.shards == second.shards
+            assert [r.schedule for r in first.matching] == [
+                r.schedule for r in second.matching
+            ]
+
+    def test_memoized_runs_are_reproducible(self):
+        program = generate_program(7, CONFIG)
+        first = Explorer(program, max_schedules=BUDGET, memoize=True).explore()
+        second = Explorer(program, max_schedules=BUDGET, memoize=True).explore()
+        assert first.summary() == second.summary()
+        assert first.outcomes == second.outcomes
+        assert first.cache_hits == second.cache_hits

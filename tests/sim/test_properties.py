@@ -13,68 +13,25 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import (
-    Acquire,
-    FixedScheduler,
-    Program,
     RandomScheduler,
-    Read,
-    Release,
     RunStatus,
     Trace,
-    Write,
     enumerate_outcomes,
     replay,
     run_program,
 )
-
-VARS = ["x", "y"]
-LOCKS = ["L"]
+from tests.helpers import corpus_programs, corpus_spec_lengths
 
 
-@st.composite
-def straightline_ops(draw, max_ops=4):
-    """A short straight-line sequence of memory ops, optionally locked."""
-    count = draw(st.integers(min_value=1, max_value=max_ops))
-    ops_spec = []
-    for _ in range(count):
-        kind = draw(st.sampled_from(["read", "write"]))
-        var = draw(st.sampled_from(VARS))
-        ops_spec.append((kind, var))
-    locked = draw(st.booleans())
-    return (locked, tuple(ops_spec))
-
-
-def build_body(spec):
-    locked, op_list = spec
-
-    def body():
-        if locked:
-            yield Acquire("L")
-        acc = 0
-        for kind, var in op_list:
-            if kind == "read":
-                value = yield Read(var)
-                acc += value if isinstance(value, int) else 0
-            else:
-                acc += 1
-                yield Write(var, acc)
-        if locked:
-            yield Release("L")
-
-    return body
-
-
-@st.composite
-def small_programs(draw, max_threads=3):
-    thread_count = draw(st.integers(min_value=1, max_value=max_threads))
-    specs = [draw(straightline_ops()) for _ in range(thread_count)]
-    threads = {f"T{i}": build_body(spec) for i, spec in enumerate(specs, 1)}
-    return Program(
-        "generated",
-        threads=threads,
-        initial={v: 0 for v in VARS},
-        locks=LOCKS,
-    ), specs
+def small_programs(max_threads=3, max_ops=3):
+    """Crash-free corpus programs with their specs (for the count bound)."""
+    return corpus_programs(
+        min_threads=1,
+        max_threads=max_threads,
+        max_ops=max_ops,
+        crashes=False,
+        with_specs=True,
+    )
 
 
 @settings(max_examples=40, deadline=None)
@@ -117,14 +74,14 @@ def test_exploration_is_exhaustive_and_duplicate_free(prog_and_spec):
     assert result.complete
     assert len(seen) == result.schedules_run
     # Straight-line unlocked threads: schedule count equals the multinomial
-    # of per-thread op counts.  (Locked threads serialise, reducing counts,
-    # so the multinomial is an upper bound in general.)
-    lengths = [len(ops) + (2 if locked else 0) for locked, ops in specs]
+    # of per-thread scheduling-point counts.  (Locked threads serialise,
+    # reducing counts, so the multinomial is an upper bound in general.)
+    lengths = corpus_spec_lengths(specs)
     bound = math.factorial(sum(lengths))
     for n in lengths:
         bound //= math.factorial(n)
     assert result.schedules_run <= bound
-    if not any(locked for locked, _ in specs):
+    if not any(locked for locked, _ops, _crashes in specs):
         assert result.schedules_run == bound
 
 

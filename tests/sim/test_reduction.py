@@ -10,64 +10,21 @@ while running no more schedules.
 from __future__ import annotations
 
 from hypothesis import assume, given, settings
-from hypothesis import strategies as st
 
-from repro.errors import SimCrash
 from repro.kernels import all_kernels
-from repro.sim import Acquire, Explorer, Program, Read, Release, Write
+from repro.sim import Explorer, Program, Write
 from repro.sim.reduction import SleepSetExplorer, op_footprint, ops_dependent
 from repro.sim import ops as op_mod
 from tests import helpers
+from tests.helpers import corpus_programs
 
-VARS = ["x", "y"]
-
-
-def build_body(spec):
-    locked, op_list, crashes = spec
-
-    def body():
-        if locked:
-            yield Acquire("L")
-        for kind, var in op_list:
-            if kind == "read":
-                value = yield Read(var)
-                if crashes and value and value >= 3:
-                    raise SimCrash("generated crash")
-            else:
-                current = yield Read(var)
-                yield Write(var, (current or 0) + 1)
-        if locked:
-            yield Release("L")
-
-    return body
-
-
-@st.composite
-def small_programs(draw):
-    thread_count = draw(st.integers(min_value=2, max_value=3))
-    threads = {}
-    for index in range(thread_count):
-        locked = draw(st.booleans())
-        # Three threads x (2 mem ops -> up to 4 events) + lock ops stays
-        # well under the exploration budget; anything bigger is skipped
-        # via assume() in the tests.
-        count = draw(st.integers(min_value=1, max_value=2))
-        op_list = [
-            (draw(st.sampled_from(["read", "write"])), draw(st.sampled_from(VARS)))
-            for _ in range(count)
-        ]
-        crashes = draw(st.booleans())
-        threads[f"T{index}"] = build_body((locked, tuple(op_list), crashes))
-    return Program(
-        "generated",
-        threads=threads,
-        initial={v: 0 for v in VARS},
-        locks=["L"],
-    )
+# Three threads x (2 mem ops -> up to 4 events) + lock ops stays well
+# under the exploration budget; anything bigger is skipped via assume()
+# in the tests.
 
 
 @settings(max_examples=20, deadline=None, derandomize=True)
-@given(small_programs())
+@given(corpus_programs())
 def test_outcome_sets_match_plain_dfs(program):
     full = Explorer(program, max_schedules=60000).explore(
         predicate=lambda run: False
@@ -81,7 +38,7 @@ def test_outcome_sets_match_plain_dfs(program):
 
 
 @settings(max_examples=12, deadline=None, derandomize=True)
-@given(small_programs())
+@given(corpus_programs())
 def test_failure_verdicts_match(program):
     full = Explorer(program, max_schedules=60000).explore()
     assume(full.complete)

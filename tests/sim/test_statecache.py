@@ -1,0 +1,226 @@
+"""State-fingerprint edge cases: what must (and must not) collide.
+
+Memoization is only sound if the fingerprint captures *everything* that
+determines future behaviour.  These tests drive small programs to
+mid-execution states along chosen schedule prefixes and assert that
+states differing in rwlock reader sets, semaphore counts, condition-wait
+FIFO order, in-flight atomic closures, or generator locals never share a
+fingerprint — and that genuinely equivalent states (independent ops
+reordered) do.
+"""
+
+from __future__ import annotations
+
+from repro.sim import (
+    Acquire,
+    Program,
+    Read,
+    Release,
+    SemRelease,
+    Wait,
+    Write,
+    Yield,
+)
+from repro.sim.engine import Engine
+from repro.sim.ops import AtomicUpdate
+from repro.sim.scheduler import Scheduler
+from repro.sim.statecache import (
+    StateCache,
+    canonical_value,
+    state_fingerprint,
+)
+from repro.sim.statecache import _canonical_op
+from tests import helpers
+
+
+class _Snapshot(Exception):
+    def __init__(self, fingerprint):
+        self.fingerprint = fingerprint
+
+
+class _SnapshotScheduler(Scheduler):
+    """Follow a prefix, then capture the state fingerprint and bail out."""
+
+    def __init__(self, prefix):
+        self.prefix = list(prefix)
+        self.engine = None
+        self._index = 0
+
+    def choose(self, enabled, step):
+        if self._index >= len(self.prefix):
+            raise _Snapshot(state_fingerprint(self.engine))
+        choice = self.prefix[self._index]
+        self._index += 1
+        assert choice in enabled, (choice, sorted(enabled))
+        return choice
+
+
+def fingerprint_after(program: Program, prefix) -> tuple:
+    """The state fingerprint at the decision point right after ``prefix``."""
+    scheduler = _SnapshotScheduler(prefix)
+    engine = Engine(program, scheduler)
+    scheduler.engine = engine
+    try:
+        engine.run()
+    except _Snapshot as snapshot:
+        return snapshot.fingerprint
+    raise AssertionError("program finished before the prefix was consumed")
+
+
+class TestSyncObjectStates:
+    def test_rwlock_reader_counts_distinguish(self):
+        program = helpers.rwlock_readers_writer()
+        one_reader = fingerprint_after(program, ["R1"])
+        two_readers = fingerprint_after(program, ["R1", "R2"])
+        assert one_reader != two_readers
+
+    def test_rwlock_reader_identity_distinguishes(self):
+        program = helpers.rwlock_readers_writer()
+        assert fingerprint_after(program, ["R1"]) != fingerprint_after(
+            program, ["R2"]
+        )
+
+    def test_semaphore_values_distinguish(self):
+        def releaser():
+            yield SemRelease("s")
+            yield SemRelease("s")
+            yield Yield()
+
+        program = Program(
+            "sem-values", threads={"T": releaser}, semaphores={"s": 0}
+        )
+        assert fingerprint_after(program, ["T"]) != fingerprint_after(
+            program, ["T", "T"]
+        )
+
+    def test_condition_wait_queue_order_distinguishes(self):
+        # notify_one wakes the FIFO head, so [W1, W2] and [W2, W1] queues
+        # have different futures despite identical memory/locks.
+        def waiter():
+            yield Acquire("L")
+            yield Wait("cv")
+            yield Release("L")
+
+        def notifier():
+            yield Yield()
+
+        program = Program(
+            "cv-order",
+            threads={"W1": waiter, "W2": waiter, "N": notifier},
+            locks=["L"],
+            conditions={"cv": "L"},
+        )
+        w1_first = fingerprint_after(program, ["W1", "W1", "W2", "W2"])
+        w2_first = fingerprint_after(program, ["W2", "W2", "W1", "W1"])
+        assert w1_first != w2_first
+
+
+class TestThreadContinuations:
+    def test_in_flight_atomic_closures_distinguish(self):
+        # B's pending AtomicUpdate closes over the value it read from
+        # "k"; the two prefixes normalise memory to the same contents, so
+        # only the closure (and B's locals) tell the states apart.
+        def setter():
+            yield Write("k", 0)
+
+        def updater():
+            k = yield Read("k")
+            yield Write("k", 0)
+            yield AtomicUpdate("acc", lambda current: (current or 0) + k)
+
+        program = Program(
+            "atomic-closure",
+            threads={"S": setter, "B": updater},
+            initial={"k": 1, "acc": 0},
+        )
+        captured_zero = fingerprint_after(program, ["S", "B", "B"])
+        captured_one = fingerprint_after(program, ["B", "B", "S"])
+        assert captured_zero != captured_one
+
+    def test_generator_locals_distinguish_at_equal_step_counts(self):
+        def body():
+            for _ in range(2):
+                yield Yield()
+
+        program = Program("loops", threads={"A": body, "B": body})
+        # Both states are 3 steps in with identical pending ops; only the
+        # loop counters inside the suspended generator frames differ.
+        a_ahead = fingerprint_after(program, ["A", "A", "B"])
+        b_ahead = fingerprint_after(program, ["A", "B", "B"])
+        assert a_ahead != b_ahead
+
+    def test_reordered_independent_ops_collide(self):
+        # The memoization win: schedules that differ only by swapping
+        # independent operations converge on one fingerprint.
+        def writer(var):
+            def body():
+                yield Write(var, 1)
+                yield Yield()
+
+            return body
+
+        program = Program(
+            "independent",
+            threads={"A": writer("x"), "B": writer("y")},
+            initial={"x": 0, "y": 0},
+        )
+        assert fingerprint_after(program, ["A", "B"]) == fingerprint_after(
+            program, ["B", "A"]
+        )
+
+class TestCanonicalValue:
+    def test_atoms_pass_through(self):
+        assert canonical_value(3) == 3
+        assert canonical_value("s") == "s"
+        assert canonical_value(None) is None
+
+    def test_dicts_are_order_insensitive(self):
+        assert canonical_value({"a": 1, "b": 2}) == canonical_value(
+            {"b": 2, "a": 1}
+        )
+
+    def test_sets_are_order_insensitive(self):
+        assert canonical_value({3, 1, 2}) == canonical_value({2, 3, 1})
+
+    def test_closures_with_equal_captures_collide(self):
+        def make(k):
+            return lambda v: v + k
+
+        assert canonical_value(make(5)) == canonical_value(make(5))
+
+    def test_closures_with_different_captures_differ(self):
+        def make(k):
+            return lambda v: v + k
+
+        assert canonical_value(make(1)) != canonical_value(make(2))
+
+    def test_atomic_update_ops_fingerprint_their_closures(self):
+        def make(k):
+            return AtomicUpdate("acc", lambda v: (v or 0) + k)
+
+        assert _canonical_op(make(1)) != _canonical_op(make(2))
+        assert _canonical_op(make(7)) == _canonical_op(make(7))
+
+    def test_cycles_terminate(self):
+        loop = []
+        loop.append(loop)
+        assert canonical_value(loop)  # no RecursionError
+
+
+class TestStateCache:
+    def test_check_and_mark(self):
+        cache = StateCache()
+        assert not cache.seen("fp1")
+        assert cache.seen("fp1")
+        assert not cache.seen("fp2")
+        assert len(cache) == 2
+        assert cache.hits == 1
+        assert cache.lookups == 3
+
+    def test_hit_rate_and_summary(self):
+        cache = StateCache()
+        assert cache.hit_rate() == 0.0
+        cache.seen("a")
+        cache.seen("a")
+        assert cache.hit_rate() == 0.5
+        assert "1/2" in cache.summary()
