@@ -23,6 +23,11 @@ reproduce outcomes the earlier expansion already enumerates.  This
 preserves the terminal outcome *set* (and any verdict over terminal
 states) but not schedule counts or match rates; predicates that inspect
 ``run.schedule`` or ``run.trace`` are unsound under memoization.
+Cache-hit aborts count against ``max_schedules`` like full runs (each
+still replays its prefix before the hit is detected), so a memoized
+search may report "budget exhausted" after fewer completed schedules
+than an unmemoized one with the same budget — ``cache_hits`` on the
+result records how many attempts were cut short.
 
 The default extension policy is *non-preemptive* (keep running the current
 thread while it stays enabled), so the very first schedule explored is the
@@ -87,8 +92,17 @@ class _RecordingScheduler(Scheduler):
             fingerprint = state_fingerprint(self.engine)
             if self.preemption_bound is not None:
                 # Under a bound the subtree also depends on the budget
-                # already spent; only identical (state, paid) nodes merge.
-                fingerprint = (fingerprint, ("preemptions", self._preemptions))
+                # already spent AND on which thread ran last — switching
+                # away from a still-enabled previous thread is what costs
+                # a preemption, so two paths reaching the same state with
+                # equal spend but different last threads have different
+                # budget-feasible subtrees.  Only identical
+                # (state, paid, last) nodes merge.
+                fingerprint = (
+                    fingerprint,
+                    ("preemptions", self._preemptions),
+                    ("last", self._last),
+                )
             if self.cache.seen(fingerprint):
                 raise MemoHit()
         self.enabled_sets.append(ordered)
@@ -408,8 +422,10 @@ def enumerate_outcomes(
     """Explore every schedule (within bounds) and tally terminal outcomes.
 
     With ``memoize=True`` the outcome *set* is preserved but per-outcome
-    counts are not (pruned subtrees are never run); with ``workers > 1``
-    and a complete search, counts match the serial search exactly.
+    counts are not (pruned subtrees are never run), and cache-hit aborts
+    consume ``max_schedules`` budget alongside completed runs; with
+    ``workers > 1`` and a complete search, counts match the serial
+    search exactly.
     """
     explorer = _make_explorer(
         program, max_schedules, max_steps, preemption_bound, workers, memoize

@@ -33,7 +33,9 @@ Falls back to in-process sequential shard execution when ``fork`` is
 unavailable (non-POSIX platforms), ``workers=1``, or the machine has a
 single CPU (forking CPU-bound work onto one core is pure overhead) —
 same shards, same results, same merge path, no pool.  ``pool="fork"``
-forces the pool regardless and ``pool="none"`` forbids it.
+forces the pool regardless (raising :class:`ValueError` at construction
+if the ``fork`` start method is unavailable, rather than silently
+degrading) and ``pool="none"`` forbids it.
 """
 
 from __future__ import annotations
@@ -113,6 +115,12 @@ class ParallelExplorer:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if pool not in ("auto", "fork", "none"):
             raise ValueError(f"pool must be 'auto', 'fork', or 'none', got {pool!r}")
+        if pool == "fork" and "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "pool='fork' requested but the 'fork' start method is not "
+                "available on this platform; use pool='auto' to fall back "
+                "to in-process execution"
+            )
         self.program = program
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.max_schedules = max_schedules
@@ -190,12 +198,14 @@ class ParallelExplorer:
             _WORKER.clear()
 
     def _use_pool(self) -> bool:
+        # pool="fork" availability is validated in __init__, so forcing
+        # here cannot silently degrade.
+        if self.pool == "fork":
+            return True
         if self.pool == "none" or self.workers <= 1:
             return False
         if "fork" not in multiprocessing.get_all_start_methods():
             return False
-        if self.pool == "fork":
-            return True
         # auto: a pool only pays off with more than one core to run on.
         return (os.cpu_count() or 1) > 1
 

@@ -16,6 +16,7 @@ equivalent*:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
@@ -96,6 +97,63 @@ def test_memoized_generated_outcome_sets_match(seed):
     assert memoized.found == plain.found
 
 
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    st.integers(min_value=0, max_value=63),
+    st.integers(min_value=1, max_value=2),
+)
+def test_memoized_bounded_outcome_sets_match(seed, bound):
+    # Memoization x preemption_bound: the bounded fingerprint must key on
+    # (state, preemptions spent, last-run thread) — spend alone merges
+    # nodes whose budget-feasible subtrees differ and loses outcomes.
+    program = generate_program(seed, CONFIG)
+    plain = Explorer(
+        program, max_schedules=BUDGET, preemption_bound=bound
+    ).explore()
+    assume(plain.complete)
+    memoized = Explorer(
+        program, max_schedules=BUDGET, preemption_bound=bound, memoize=True
+    ).explore()
+    assert memoized.complete
+    assert set(memoized.outcomes) == set(plain.outcomes)
+    assert set(memoized.statuses) == set(plain.statuses)
+    assert memoized.found == plain.found
+    sharded = ParallelExplorer(
+        program,
+        workers=2,
+        max_schedules=BUDGET,
+        preemption_bound=bound,
+        memoize=True,
+    ).explore()
+    assert set(sharded.outcomes) == set(plain.outcomes)
+    assert sharded.found == plain.found
+
+
+def test_memoized_bounded_regression_seeds():
+    # Seeds where fingerprinting only (state, preemptions spent) merged
+    # nodes reached via commuting ops with different last threads and
+    # dropped reachable outcomes from the bounded search.
+    for seed in (2, 16, 17, 33, 41):
+        program = generate_program(seed, CONFIG)
+        for bound in (1, 2):
+            plain = Explorer(
+                program, max_schedules=BUDGET, preemption_bound=bound
+            ).explore()
+            assert plain.complete
+            memoized = Explorer(
+                program,
+                max_schedules=BUDGET,
+                preemption_bound=bound,
+                memoize=True,
+            ).explore()
+            assert set(memoized.outcomes) == set(plain.outcomes), (seed, bound)
+            serial_first = find_schedule(program, preemption_bound=bound)
+            memo_first = find_schedule(
+                program, preemption_bound=bound, memoize=True
+            )
+            assert (serial_first is None) == (memo_first is None), (seed, bound)
+
+
 @settings(max_examples=12, deadline=None, derandomize=True)
 @given(corpus_programs())
 def test_memoized_corpus_outcome_sets_match(program):
@@ -150,6 +208,17 @@ def test_forced_fork_pool_matches_serial():
     assert forced.outcomes == serial.outcomes
     assert forced.schedules_run == serial.schedules_run
     assert forced.shards > 0
+
+
+def test_forced_fork_pool_unavailable_raises(monkeypatch):
+    # An explicit pool="fork" must fail loudly where fork doesn't exist,
+    # not silently degrade to in-process execution.
+    monkeypatch.setattr(
+        "repro.sim.parallel.multiprocessing.get_all_start_methods",
+        lambda: ["spawn"],
+    )
+    with pytest.raises(ValueError, match="fork"):
+        ParallelExplorer(generate_program(7, CONFIG), workers=2, pool="fork")
 
 
 def test_find_schedule_workers_agree():
