@@ -9,12 +9,19 @@ kernel-sized programs.
 The parallel/memoization benches compare the serial plain DFS baseline
 against the shipped fast path (``ParallelExplorer`` with sharding +
 per-shard memoization) on the largest kernel exploration, asserting the
-outcome set is preserved and the wall-clock speedup is at least 2x.
+outcome set is preserved and the wall-clock speedup is at least 2x —
+with the metrics registry supplying the *evidence* behind the speedup:
+cache hit rate and per-shard schedule balance, not just two wall-clock
+numbers.  ``test_observability_overhead`` pins the cost of the
+observability layer itself (metrics disabled vs enabled vs profiled).
 """
 
+import contextlib
 import time
 
 from repro.kernels import get_kernel
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.sim import (
     Acquire,
     Explorer,
@@ -26,6 +33,26 @@ from repro.sim import (
     Write,
     run_program,
 )
+
+
+@contextlib.contextmanager
+def _metrics(enabled: bool):
+    """A fresh registry (or none), restoring whatever was active before.
+
+    The conftest may have installed a session-wide registry via
+    ``REPRO_METRICS_OUT``; these benches must not tear it down.
+    """
+    previous = obs_metrics.active()
+    registry = obs_metrics.enable() if enabled else None
+    if not enabled:
+        obs_metrics.disable()
+    try:
+        yield registry
+    finally:
+        if previous is not None:
+            obs_metrics.enable(previous)
+        else:
+            obs_metrics.disable()
 
 
 def make_churn_program(threads: int = 4, iterations: int = 50) -> Program:
@@ -100,12 +127,15 @@ def test_parallel_exploration_speedup():
     serial_seconds = time.perf_counter() - start
     assert serial.complete
 
-    parallel_explorer = ParallelExplorer(
-        kernel.buggy, workers=4, max_schedules=20000, memoize=True
-    )
-    start = time.perf_counter()
-    parallel = parallel_explorer.explore(predicate=kernel.failure)
-    parallel_seconds = time.perf_counter() - start
+    # The fast path runs under the metrics registry so the speedup
+    # claim ships with its evidence: hit rate and shard balance.
+    with _metrics(enabled=True) as registry:
+        parallel_explorer = ParallelExplorer(
+            kernel.buggy, workers=4, max_schedules=20000, memoize=True
+        )
+        start = time.perf_counter()
+        parallel = parallel_explorer.explore(predicate=kernel.failure)
+        parallel_seconds = time.perf_counter() - start
     assert parallel.complete
 
     # Memoization preserves the outcome set and the verdict, not counts.
@@ -113,15 +143,91 @@ def test_parallel_exploration_speedup():
     assert parallel.found == serial.found
 
     speedup = serial_seconds / parallel_seconds
+    attempts = parallel.schedules_run + parallel.cache_hits
+    hit_rate = parallel.cache_hits / attempts if attempts else 0.0
+    balance = registry.histogram(
+        "parallel.shard_schedules_balance", program=kernel.buggy.name
+    )
     print(
         f"\n  serial: {serial.schedules_run} schedules in "
         f"{serial_seconds:.3f}s; workers=4+memo: {parallel.schedules_run} "
         f"schedules + {parallel.cache_hits} cache hits in "
         f"{parallel_seconds:.3f}s -> {speedup:.2f}x"
     )
+    print(
+        f"  evidence: {hit_rate:.0%} of attempts memo-pruned "
+        f"({parallel.cache_lookups} fingerprint lookups, "
+        f"{parallel.cache_states} states cached across shards)"
+    )
+    if balance is not None and balance.count:
+        print(
+            f"  shard balance: {balance.count} shards ran "
+            f"{balance.minimum:.0f}..{balance.maximum:.0f} schedules "
+            f"(mean {balance.mean:.1f})"
+        )
+    assert registry.counter(
+        "explorer.schedules_run",
+        program=kernel.buggy.name, explorer="parallel",
+    ) == parallel.schedules_run
     assert speedup >= 2.0, (
         f"parallel+memoized exploration only {speedup:.2f}x faster "
         f"({serial_seconds:.3f}s -> {parallel_seconds:.3f}s)"
+    )
+
+
+def test_observability_overhead():
+    # The obs layer must cost nothing when off: every hook is one
+    # module-global None check, and the engine hoists the check out of
+    # its step loop entirely.  Measure the same run disabled, with the
+    # metrics registry on, and with the profiler on; best-of-N to shave
+    # scheduler noise.  Only the disabled-vs-metrics comparison is
+    # asserted (both do zero per-step work); the profiler times every
+    # engine step by design, so its per-step cost is reported, not bound.
+    program = make_churn_program(threads=2, iterations=200)
+
+    def best_of(repeats=5):
+        best = float("inf")
+        steps = 0
+        for attempt in range(repeats):
+            start = time.perf_counter()
+            result = run_program(
+                program, RandomScheduler(seed=11), max_steps=100000
+            )
+            best = min(best, time.perf_counter() - start)
+            steps = result.steps
+        return best, steps
+
+    with _metrics(enabled=False):
+        assert not obs_metrics.enabled()
+        off_seconds, steps = best_of()
+        assert obs_metrics.snapshot() is None
+
+    with _metrics(enabled=True) as registry:
+        on_seconds, _ = best_of()
+    # Metrics are run-granular: exactly two counter bumps per run.
+    assert registry.counter("engine.runs", program="churn", status="ok") == 5
+
+    with _metrics(enabled=True):
+        profiler = obs_profile.enable()
+        try:
+            profiled_seconds, _ = best_of()
+        finally:
+            obs_profile.disable()
+    span = profiler.as_dict()["engine.execute"]
+    assert span["count"] == 5 * steps
+
+    per_step = lambda seconds: seconds / steps * 1e6
+    print(
+        f"\n  {steps} steps/run: disabled {per_step(off_seconds):.2f}us/step, "
+        f"metrics {per_step(on_seconds):.2f}us/step, "
+        f"metrics+profile {per_step(profiled_seconds):.2f}us/step"
+    )
+    # Generous noise bound — the two configurations execute identical
+    # per-step code, so anything near 2x would mean a hook leaked into
+    # the hot loop.
+    assert on_seconds < off_seconds * 2.0, (
+        f"metrics registry added per-step overhead: "
+        f"{off_seconds:.4f}s disabled vs {on_seconds:.4f}s enabled"
     )
 
 

@@ -4,13 +4,38 @@ Every bench regenerates one paper artifact (table T1-T8, the figure
 kernels, or an extension experiment), asserts the headline cells match
 the published values, and prints the rendered artifact (visible with
 ``pytest benchmarks/ --benchmark-only -s``).
+
+Set ``REPRO_METRICS_OUT=PATH`` to record the whole bench session: every
+instrumented exploration/estimator call appends a JSONL run record to
+PATH, plus one final ``bench_session`` record carrying the aggregated
+metrics snapshot (schema in ``docs/observability.md``).
 """
+
+import os
 
 import pytest
 
 from repro.bugdb import BugDatabase
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog as obs_runlog
 
 
 @pytest.fixture(scope="session")
 def db():
     return BugDatabase.load()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_runlog():
+    path = os.environ.get("REPRO_METRICS_OUT")
+    if not path:
+        yield
+        return
+    registry = obs_metrics.enable()
+    obs_runlog.set_runlog(path)
+    try:
+        yield
+        obs_runlog.emit("bench_session", metrics=registry.snapshot())
+    finally:
+        obs_runlog.clear_runlog()
+        obs_metrics.disable()

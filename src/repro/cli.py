@@ -24,12 +24,24 @@ Commands:
     Cross-check plain DFS against sleep-set reduction on random programs.
 ``bug-report NAME [--runs N]``
     Emit a complete markdown failure report for one kernel.
+
+Every subcommand additionally accepts the observability flags
+(``docs/observability.md``):
+
+``--metrics-out PATH``
+    Append structured JSONL run records (one per exploration /
+    estimator sweep, plus a final per-command summary carrying the full
+    metrics snapshot) to PATH.
+``--profile``
+    Print a hot-path span table (engine execution, fingerprinting,
+    shard dispatch/merge) to stderr when the command finishes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.bugdb import BugDatabase, validate_database
@@ -56,42 +68,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    report = commands.add_parser("report", help="full study report")
+    # Observability flags, shared by every subcommand (docs/observability.md).
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="append JSONL run records + a metrics snapshot to PATH",
+    )
+    obs_flags.add_argument(
+        "--profile", action="store_true",
+        help="print a hot-path span table to stderr on exit",
+    )
+
+    report = commands.add_parser(
+        "report", help="full study report", parents=[obs_flags]
+    )
     report.add_argument(
         "--quick", action="store_true", help="skip exploration-heavy kernel evidence"
     )
 
-    tables = commands.add_parser("tables", help="render study tables")
+    tables = commands.add_parser(
+        "tables", help="render study tables", parents=[obs_flags]
+    )
     tables.add_argument("ids", nargs="*", help="table ids (default: all)")
     tables.add_argument("--csv", action="store_true", help="emit CSV instead of ASCII")
 
-    commands.add_parser("findings", help="re-derive findings F1-F10")
-    commands.add_parser("kernels", help="list executable bug kernels")
+    commands.add_parser(
+        "findings", help="re-derive findings F1-F10", parents=[obs_flags]
+    )
+    commands.add_parser(
+        "kernels", help="list executable bug kernels", parents=[obs_flags]
+    )
 
     workers_help = "shard exploration across N worker processes"
-    kernel = commands.add_parser("kernel", help="drive one kernel end to end")
+    kernel = commands.add_parser(
+        "kernel", help="drive one kernel end to end", parents=[obs_flags]
+    )
     kernel.add_argument("name")
     kernel.add_argument("--workers", type=_worker_count, default=None,
                         help=workers_help)
 
-    detect = commands.add_parser("detect", help="detectors on a manifesting trace")
+    detect = commands.add_parser(
+        "detect", help="detectors on a manifesting trace", parents=[obs_flags]
+    )
     detect.add_argument("name")
     detect.add_argument("--workers", type=_worker_count, default=None,
                         help=workers_help)
 
-    estimate = commands.add_parser("estimate", help="manifestation-rate estimates")
+    estimate = commands.add_parser(
+        "estimate", help="manifestation-rate estimates", parents=[obs_flags]
+    )
     estimate.add_argument("name")
     estimate.add_argument("--runs", type=int, default=100)
     estimate.add_argument("--workers", type=_worker_count, default=None,
                           help="split the seeded runs across N worker processes")
 
-    bug = commands.add_parser("bug", help="show one bug record")
+    bug = commands.add_parser(
+        "bug", help="show one bug record", parents=[obs_flags]
+    )
     bug.add_argument("bug_id")
 
-    commands.add_parser("validate", help="check database invariants + findings")
+    commands.add_parser(
+        "validate", help="check database invariants + findings",
+        parents=[obs_flags],
+    )
 
     fuzz = commands.add_parser(
-        "fuzz", help="cross-check plain DFS vs sleep-set reduction on random programs"
+        "fuzz",
+        help="cross-check plain DFS vs sleep-set reduction on random programs",
+        parents=[obs_flags],
     )
     fuzz.add_argument("--programs", type=int, default=50)
     fuzz.add_argument("--seed-base", type=int, default=0)
@@ -101,7 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="allow inverted lock pairs (ABBA deadlocks)")
 
     report_cmd = commands.add_parser(
-        "bug-report", help="markdown failure report for one kernel"
+        "bug-report", help="markdown failure report for one kernel",
+        parents=[obs_flags],
     )
     report_cmd.add_argument("name")
     report_cmd.add_argument("--runs", type=int, default=100)
@@ -293,7 +338,48 @@ _HANDLERS = {
 }
 
 
+def _run_with_observability(args) -> int:
+    """Run one command with metrics/runlog/profiling switched on.
+
+    The registry, run log, and profiler are process-global; they are
+    installed for the duration of the command and always torn down, so
+    library use of :func:`main` never leaks observability state.
+    """
+    from repro.obs import metrics, profile, runlog
+
+    registry = metrics.enable()
+    profiler = profile.enable() if args.profile else None
+    if args.metrics_out:
+        runlog.set_runlog(args.metrics_out)
+    start = time.perf_counter()
+    code = 2
+    try:
+        code = _HANDLERS[args.command](args)
+        return code
+    finally:
+        if args.metrics_out:
+            runlog.emit(
+                "cli",
+                command=args.command,
+                args={
+                    k: v for k, v in sorted(vars(args).items())
+                    if k not in ("command",) and not callable(v)
+                },
+                exit_code=code,
+                wall_seconds=time.perf_counter() - start,
+                metrics=registry.snapshot(),
+                profile=profiler.as_dict() if profiler else None,
+            )
+        if profiler is not None:
+            print(profiler.report(), file=sys.stderr)
+        metrics.disable()
+        profile.disable()
+        runlog.clear_runlog()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "metrics_out", None) or getattr(args, "profile", False):
+        return _run_with_observability(args)
     return _HANDLERS[args.command](args)

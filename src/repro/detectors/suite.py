@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.detectors.atomicity import AtomicityDetector
+from repro.obs import metrics as obs_metrics
 from repro.detectors.base import Detector, FindingKind, Report
 from repro.detectors.deadlock import DeadlockDetector
 from repro.detectors.happensbefore import HappensBeforeDetector
@@ -76,6 +77,30 @@ class SuiteResult:
         )
 
 
+def _record_suite(result: SuiteResult) -> SuiteResult:
+    """Tally per-detector verdicts and findings into the metrics registry.
+
+    One ``detector.verdicts`` increment per detector per analysis
+    (labelled clean/flagged) plus one ``detector.findings`` increment
+    per finding (labelled by kind) — the coverage-matrix evidence in
+    countable form.  No-op while metrics are disabled.
+    """
+    registry = obs_metrics.active()
+    if registry is not None:
+        for name, report in result.reports.items():
+            registry.inc("detector.analyses", 1, detector=name)
+            registry.inc(
+                "detector.verdicts", 1, detector=name,
+                verdict="clean" if report.clean else "flagged",
+            )
+            for finding in report:
+                registry.inc(
+                    "detector.findings", 1, detector=name,
+                    kind=finding.kind.value,
+                )
+    return result
+
+
 class DetectorSuite:
     """A battery of detectors applied to one or more traces."""
 
@@ -91,16 +116,16 @@ class DetectorSuite:
 
     def analyse(self, trace: Trace) -> SuiteResult:
         """Run every detector on one trace."""
-        return SuiteResult(
+        return _record_suite(SuiteResult(
             reports={d.name: d.analyse(trace) for d in self.detectors}
-        )
+        ))
 
     def analyse_many(self, traces: Iterable[Trace]) -> SuiteResult:
         """Run every detector across several traces, merging findings."""
         trace_list = list(traces)
-        return SuiteResult(
+        return _record_suite(SuiteResult(
             reports={d.name: d.analyse_many(trace_list) for d in self.detectors}
-        )
+        ))
 
     def analyse_program(
         self,

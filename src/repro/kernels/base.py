@@ -24,11 +24,12 @@ label names exactly one operation site of one thread.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional, Tuple
 
 from repro.bugdb.schema import BugCategory, FixStrategy
 from repro.sim.engine import RunResult
-from repro.sim.explorer import _make_explorer
+from repro.sim.explorer import _emit_exploration_runlog, _make_explorer
 from repro.sim.program import Program
 
 __all__ = ["BugKernel", "Oracle"]
@@ -73,7 +74,12 @@ class BugKernel:
         explorer = _make_explorer(
             self.buggy, max_schedules, 5000, None, workers, memoize,
         )
+        start = perf_counter()
         result = explorer.explore(predicate=self.failure, stop_on_first=True)
+        _emit_exploration_runlog(
+            "kernel.find_manifestation", result, max_schedules, 5000, None,
+            workers, memoize, perf_counter() - start,
+        )
         return result.matching[0] if result.matching else None
 
     def manifestation_rate(
@@ -86,7 +92,12 @@ class BugKernel:
         explorer = _make_explorer(
             self.buggy, max_schedules, 5000, None, workers, False,
         )
+        start = perf_counter()
         outcome = explorer.explore(predicate=self.failure)
+        _emit_exploration_runlog(
+            "kernel.manifestation_rate", outcome, max_schedules, 5000, None,
+            workers, False, perf_counter() - start,
+        )
         return outcome.match_rate()
 
     def verify_fixed(
@@ -100,7 +111,12 @@ class BugKernel:
             self.fixed, max_schedules, 5000, None, workers, memoize,
             keep_matches=1,
         )
+        start = perf_counter()
         outcome = explorer.explore(predicate=self.failure, stop_on_first=True)
+        _emit_exploration_runlog(
+            "kernel.verify_fixed", outcome, max_schedules, 5000, None,
+            workers, memoize, perf_counter() - start,
+        )
         return outcome.complete and not outcome.found
 
     def summary(self) -> str:

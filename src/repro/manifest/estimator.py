@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.kernels.base import BugKernel
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog as obs_runlog
 from repro.manifest.enforce import enforce_order
 from repro.sim.engine import RunResult, run_program
 from repro.sim.program import Program
@@ -114,6 +117,7 @@ def estimate_manifestation(
     seed still runs exactly once, so the estimate is identical to the
     serial one for any worker count.
     """
+    start = perf_counter()
     if (
         workers is not None
         and workers > 1
@@ -128,15 +132,45 @@ def estimate_manifestation(
             initargs=(program, failure, scheduler_factory, max_steps),
         ) as pool:
             manifested = sum(pool.map(_count_range, ranges))
-        return ManifestationEstimate(
-            strategy=strategy, runs=runs, manifested=manifested
+    else:
+        manifested = 0
+        for seed in range(runs):
+            result = run_program(
+                program, scheduler_factory(seed), max_steps=max_steps
+            )
+            if failure(result):
+                manifested += 1
+    estimate = ManifestationEstimate(
+        strategy=strategy, runs=runs, manifested=manifested
+    )
+    _record_estimate(program.name, estimate, workers, perf_counter() - start)
+    return estimate
+
+
+def _record_estimate(
+    program: str,
+    estimate: ManifestationEstimate,
+    workers: Optional[int],
+    wall_seconds: float,
+) -> None:
+    """Publish one estimator sweep to metrics and the run log (if active)."""
+    registry = obs_metrics.active()
+    if registry is not None:
+        labels = {"program": program, "strategy": estimate.strategy}
+        registry.inc("estimator.runs", estimate.runs, **labels)
+        registry.inc("estimator.manifested", estimate.manifested, **labels)
+    if obs_runlog.active_runlog() is not None:
+        obs_runlog.emit(
+            "estimate_manifestation",
+            program=program,
+            strategy=estimate.strategy,
+            args={"runs": estimate.runs, "workers": workers},
+            result={
+                "manifested": estimate.manifested,
+                "rate": estimate.rate,
+            },
+            wall_seconds=wall_seconds,
         )
-    manifested = 0
-    for seed in range(runs):
-        result = run_program(program, scheduler_factory(seed), max_steps=max_steps)
-        if failure(result):
-            manifested += 1
-    return ManifestationEstimate(strategy=strategy, runs=runs, manifested=manifested)
 
 
 def compare_strategies(
@@ -181,6 +215,7 @@ def compare_strategies(
         ),
     }
     enforced = 0
+    enforced_start = perf_counter()
     for seed in range(runs):
         run = enforce_order(
             kernel.buggy,
@@ -194,5 +229,9 @@ def compare_strategies(
             enforced += 1
     estimates["enforced"] = ManifestationEstimate(
         strategy="enforced(<=4 accesses)", runs=runs, manifested=enforced
+    )
+    _record_estimate(
+        kernel.buggy.name, estimates["enforced"], None,
+        perf_counter() - enforced_start,
     )
     return estimates

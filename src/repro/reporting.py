@@ -19,9 +19,11 @@ bug report the paper wishes developers had filed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.detectors.base import Finding
+from repro.obs import runlog as obs_runlog
 from repro.detectors.suite import DetectorSuite
 from repro.manifest.stats import runs_needed, wilson_interval
 from repro.sim.engine import RunResult
@@ -109,6 +111,7 @@ def build_bug_report(
     max_schedules_per_bound: int = 60000,
 ) -> Optional[BugReport]:
     """Assemble a :class:`BugReport`, or ``None`` if no failure is reachable."""
+    start = perf_counter()
     witness = minimize_preemptions(
         program,
         failure,
@@ -139,6 +142,24 @@ def build_bug_report(
         stress = runs_needed(upper, confidence=0.95) if upper > 0 else None
     elif rate == 1.0:
         stress = 1
+    if obs_runlog.active_runlog() is not None:
+        obs_runlog.emit(
+            "bug_report",
+            program=program.name,
+            args={
+                "random_runs": random_runs,
+                "max_bound": max_bound,
+                "max_schedules_per_bound": max_schedules_per_bound,
+            },
+            result={
+                "witness_preemptions": witness.preemptions,
+                "witness_steps": len(witness.run.schedule),
+                "findings": len(findings),
+                "random_rate": rate,
+                "stress_runs_for_95": stress,
+            },
+            wall_seconds=perf_counter() - start,
+        )
     return BugReport(
         program=program.name,
         witness=witness,

@@ -27,9 +27,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ProgramError, SchedulerError
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.sim import events as ev
 from repro.sim import ops
 from repro.sim.program import Program
@@ -121,6 +124,11 @@ class Engine:
         status = RunStatus.OK
         blocked: Tuple[Tuple[str, str], ...] = ()
         stop_reason = "all threads finished"
+        # Observability is hoisted out of the step loop: the disabled
+        # path pays one None check per step, the enabled path two
+        # perf_counter calls around op execution.
+        profiler = obs_profile.active()
+        execute_seconds = 0.0
         while True:
             if self._crashes:
                 status = RunStatus.CRASH
@@ -153,7 +161,21 @@ class Engine:
                 )
             self.schedule.append(chosen)
             self.steps += 1
-            self._execute(self.threads[chosen])
+            if profiler is None:
+                self._execute(self.threads[chosen])
+            else:
+                started = perf_counter()
+                self._execute(self.threads[chosen])
+                execute_seconds += perf_counter() - started
+        if profiler is not None and self.steps:
+            profiler.add("engine.execute", execute_seconds, count=self.steps)
+        registry = obs_metrics.active()
+        if registry is not None:
+            registry.inc(
+                "engine.runs", 1,
+                program=self.program.name, status=status.value,
+            )
+            registry.inc("engine.steps", self.steps, program=self.program.name)
         return RunResult(
             program=self.program.name,
             status=status,

@@ -43,9 +43,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExplorationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import runlog as obs_runlog
 from repro.sim.engine import Engine, EnabledFilter, RunResult, RunStatus
 from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
@@ -81,15 +85,32 @@ class _RecordingScheduler(Scheduler):
         self.choices: List[str] = []
         self._last: Optional[str] = None
         self._preemptions = 0
+        # Hoisted once per run: fingerprinting is the per-decision hot
+        # path, so the disabled-profiler cost must stay one None check.
+        self._profiler = obs_profile.active()
 
     def attach(self, engine: Engine) -> None:
         self.engine = engine
+
+    @property
+    def preemptions(self) -> int:
+        """Preemption cost paid by this run so far (prefix included)."""
+        return self._preemptions
+
+    def _fingerprint(self):
+        profiler = self._profiler
+        if profiler is None:
+            return state_fingerprint(self.engine)
+        start = perf_counter()
+        fingerprint = state_fingerprint(self.engine)
+        profiler.add("explorer.fingerprint", perf_counter() - start)
+        return fingerprint
 
     def choose(self, enabled: Sequence[str], step: int) -> str:
         ordered = sorted(enabled)
         index = len(self.choices)
         if self.cache is not None and index >= len(self.prefix):
-            fingerprint = state_fingerprint(self.engine)
+            fingerprint = self._fingerprint()
             if self.preemption_bound is not None:
                 # Under a bound the subtree also depends on the budget
                 # already spent AND on which thread ran last — switching
@@ -146,6 +167,19 @@ class ExplorationResult:
     cache_hits: int = 0
     #: Subtree shards merged into this result (0 for a serial search).
     shards: int = 0
+    #: Decision-tree nodes newly expanded (choices made beyond each
+    #: run's replayed prefix); identical for serial and complete
+    #: parallel searches because both visit every node exactly once.
+    states_expanded: int = 0
+    #: Total preemption cost paid across all executed schedule steps
+    #: (replayed prefixes included).
+    preemptions_spent: int = 0
+    #: State-cache lookups/stored fingerprints, summed across shards
+    #: (0 unless ``memoize=True``).
+    cache_lookups: int = 0
+    cache_states: int = 0
+    #: Wall-clock of the exploration (for a shard: that shard's search).
+    wall_seconds: float = 0.0
 
     @property
     def found(self) -> bool:
@@ -225,7 +259,12 @@ class Explorer:
             (crash / deadlock / hang) match.
         :param stop_on_first: end the search at the first match.
         """
+        start = perf_counter()
         result, _ = self._search([([], 0)], predicate, stop_on_first, None)
+        result.wall_seconds = perf_counter() - start
+        if self.cache is not None:
+            self.cache.record_metrics(program=self.program.name)
+        _record_exploration(result, "dfs")
         return result
 
     # -- internals -----------------------------------------------------------
@@ -266,6 +305,9 @@ class Explorer:
             prefix, paid = stack.pop()
             attempts += 1
             run, recorder = self._run_once(prefix, cache)
+            if len(recorder.choices) > len(prefix):
+                result.states_expanded += len(recorder.choices) - len(prefix)
+            result.preemptions_spent += recorder.preemptions
             if run is None:
                 result.cache_hits += 1
             else:
@@ -281,8 +323,10 @@ class Explorer:
                         result.first_match_schedule = list(run.schedule)
                     if stop_on_first:
                         result.complete = False
+                        _fill_cache_stats(result, cache)
                         return result, stack
             self._push_siblings(stack, recorder, prefix, paid)
+        _fill_cache_stats(result, cache)
         return result, stack
 
     def _run_once(
@@ -329,6 +373,68 @@ class Explorer:
                     continue
                 stack.append((choices[:i] + [alt], preemptions + cost_alt))
             preemptions += cost_chosen
+
+
+def _fill_cache_stats(result: ExplorationResult, cache: Optional[StateCache]) -> None:
+    """Copy a search's cache totals into its result (travels across forks)."""
+    if cache is not None:
+        result.cache_lookups = cache.lookups
+        result.cache_states = len(cache)
+
+
+def _record_exploration(result: ExplorationResult, explorer: str) -> None:
+    """Publish one exploration's counters to the metrics registry.
+
+    Called once per top-level ``explore()`` (the parallel explorer
+    records only its merged result, so counters never double-count).
+    No-op while metrics are disabled.
+    """
+    registry = obs_metrics.active()
+    if registry is None:
+        return
+    labels = {"program": result.program, "explorer": explorer}
+    registry.inc(
+        "explorer.explorations", 1,
+        complete=str(result.complete).lower(), **labels,
+    )
+    registry.inc("explorer.schedules_run", result.schedules_run, **labels)
+    registry.inc("explorer.cache_hits", result.cache_hits, **labels)
+    registry.inc("explorer.states_expanded", result.states_expanded, **labels)
+    registry.inc("explorer.preemptions_spent", result.preemptions_spent, **labels)
+    registry.inc("explorer.matches", result.match_count, **labels)
+    for status, count in result.statuses.items():
+        registry.inc(
+            "explorer.runs_by_status", count, status=status.value, **labels
+        )
+    registry.set_gauge(
+        "explorer.distinct_outcomes", len(result.outcomes), **labels
+    )
+    registry.observe("explorer.wall_seconds", result.wall_seconds, **labels)
+
+
+def _emit_exploration_runlog(
+    event: str,
+    result: ExplorationResult,
+    max_schedules: int,
+    max_steps: int,
+    preemption_bound: Optional[int],
+    workers: Optional[int],
+    memoize: bool,
+    wall_seconds: float,
+) -> None:
+    """Append one run record for an exploration entry point (if active)."""
+    if obs_runlog.active_runlog() is None:
+        return
+    args = {
+        "max_schedules": max_schedules,
+        "max_steps": max_steps,
+        "preemption_bound": preemption_bound,
+        "workers": workers,
+        "memoize": memoize,
+    }
+    obs_runlog.emit(
+        event, **obs_runlog.exploration_record(result, args, wall_seconds)
+    )
 
 
 def _preemption_cost(previous: Optional[str], choice: str, enabled: List[str]) -> int:
@@ -406,7 +512,12 @@ def find_schedule(
         program, max_schedules, max_steps, preemption_bound, workers, memoize,
         keep_matches=1,
     )
+    start = perf_counter()
     result = explorer.explore(predicate=predicate, stop_on_first=True)
+    _emit_exploration_runlog(
+        "find_schedule", result, max_schedules, max_steps, preemption_bound,
+        workers, memoize, perf_counter() - start,
+    )
     return result.matching[0] if result.matching else None
 
 
@@ -430,7 +541,12 @@ def enumerate_outcomes(
     explorer = _make_explorer(
         program, max_schedules, max_steps, preemption_bound, workers, memoize
     )
+    start = perf_counter()
     result = explorer.explore(predicate=lambda run: False)
+    _emit_exploration_runlog(
+        "enumerate_outcomes", result, max_schedules, max_steps,
+        preemption_bound, workers, memoize, perf_counter() - start,
+    )
     if require_complete and not result.complete:
         raise ExplorationError(
             f"exploration of {program.name!r} exceeded the budget of "

@@ -42,14 +42,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from time import perf_counter
 from typing import Any, Dict, List, Optional
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.sim.engine import EnabledFilter
 from repro.sim.explorer import (
     ExplorationResult,
     Explorer,
     Predicate,
     Seed,
+    _record_exploration,
 )
 from repro.sim.program import Program
 
@@ -79,12 +83,14 @@ def _explore_shard(seed: Seed) -> ExplorationResult:
         memoize=options["memoize"],
     )
     prefix, paid = seed
+    start = perf_counter()
     result, _ = explorer._search(
         [(list(prefix), paid)],
         _WORKER["predicate"],
         options["stop_on_first"],
         None,
     )
+    result.wall_seconds = perf_counter() - start
     return result
 
 
@@ -138,6 +144,7 @@ class ParallelExplorer:
         stop_on_first: bool = False,
     ) -> ExplorationResult:
         """Run the sharded search; result fields as in :class:`Explorer`."""
+        start = perf_counter()
         serial = Explorer(
             self.program,
             max_schedules=self.max_schedules,
@@ -152,19 +159,76 @@ class ParallelExplorer:
         # Root phase finished the whole tree, exhausted the budget, or
         # matched with stop_on_first: nothing left to shard.
         if not frontier or not root.complete or (stop_on_first and root.found):
+            root.wall_seconds = perf_counter() - start
+            self._record(root, [])
             return root
         # Top of the LIFO stack first = serial DFS subtree order.
         shards: List[Seed] = list(reversed(frontier))
         attempts_root = root.schedules_run + root.cache_hits
         shard_budget = max(1, self.max_schedules - attempts_root)
-        shard_results = self._run_shards(
-            shards, predicate, stop_on_first, shard_budget
-        )
-        return _merge(
-            root, shard_results, self.keep_matches, stop_on_first, len(shards)
-        )
+        with obs_profile.span("parallel.dispatch"):
+            shard_results = self._run_shards(
+                shards, predicate, stop_on_first, shard_budget
+            )
+        with obs_profile.span("parallel.merge"):
+            merged = _merge(
+                root, shard_results, self.keep_matches, stop_on_first,
+                len(shards),
+            )
+        merged.wall_seconds = perf_counter() - start
+        self._record(merged, shard_results)
+        return merged
 
     # -- internals -----------------------------------------------------------
+
+    def _record(
+        self,
+        merged: ExplorationResult,
+        shard_results: List[ExplorationResult],
+    ) -> None:
+        """Publish the merged search plus per-shard balance metrics.
+
+        Worker processes cannot reach the parent registry, so every
+        per-shard number is taken from the ``ExplorationResult`` the
+        shard sent back — including its state-cache totals, which is
+        why the parallel path publishes ``statecache.*`` itself instead
+        of via :meth:`StateCache.record_metrics`.
+        """
+        registry = obs_metrics.active()
+        if registry is not None:
+            program = self.program.name
+            registry.inc("parallel.explorations", 1, program=program)
+            registry.inc(
+                "parallel.shards_run", len(shard_results), program=program
+            )
+            for index, shard in enumerate(shard_results):
+                registry.set_gauge(
+                    "parallel.shard_schedules", shard.schedules_run,
+                    program=program, shard=index,
+                )
+                registry.set_gauge(
+                    "parallel.shard_wall_seconds", shard.wall_seconds,
+                    program=program, shard=index,
+                )
+                registry.observe(
+                    "parallel.shard_schedules_balance", shard.schedules_run,
+                    program=program,
+                )
+                registry.observe(
+                    "parallel.shard_wall_seconds_balance", shard.wall_seconds,
+                    program=program,
+                )
+            if self.memoize:
+                registry.inc(
+                    "statecache.lookups", merged.cache_lookups, program=program
+                )
+                registry.inc(
+                    "statecache.hits", merged.cache_hits, program=program
+                )
+                registry.set_gauge(
+                    "statecache.size", merged.cache_states, program=program
+                )
+        _record_exploration(merged, "parallel")
 
     def _run_shards(
         self,
@@ -222,6 +286,10 @@ def _merge(
     for shard in shard_results:
         merged.schedules_run += shard.schedules_run
         merged.cache_hits += shard.cache_hits
+        merged.states_expanded += shard.states_expanded
+        merged.preemptions_spent += shard.preemptions_spent
+        merged.cache_lookups += shard.cache_lookups
+        merged.cache_states += shard.cache_states
         merged.statuses.update(shard.statuses)
         for outcome, count in shard.outcomes.items():
             merged.outcomes[outcome] = merged.outcomes.get(outcome, 0) + count

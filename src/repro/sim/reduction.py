@@ -27,12 +27,21 @@ ones.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.sim import ops
 from repro.sim.engine import Engine, RunResult, RunStatus
-from repro.sim.explorer import ExplorationResult, Predicate, _default_predicate, _outcome_key
+from repro.sim.explorer import (
+    ExplorationResult,
+    Predicate,
+    _default_predicate,
+    _outcome_key,
+    _record_exploration,
+)
 from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
 from repro.sim.statecache import MemoHit, StateCache, state_fingerprint
@@ -134,10 +143,21 @@ class _SleepScheduler(Scheduler):
         self._sleep: FrozenSet[str] = frozenset()
         self._last: Optional[str] = None
         self.pruned = False
+        # Hoisted once per run; fingerprinting is the per-decision hot path.
+        self._profiler = obs_profile.active()
 
     def attach(self, engine: Engine) -> None:
         self.engine = engine
         self.cond_locks = dict(engine.program.conditions)
+
+    def _fingerprint(self):
+        profiler = self._profiler
+        if profiler is None:
+            return state_fingerprint(self.engine)
+        start = perf_counter()
+        fingerprint = state_fingerprint(self.engine)
+        profiler.add("explorer.fingerprint", perf_counter() - start)
+        return fingerprint
 
     def _pending_footprints(self, enabled: Sequence[str]) -> Dict[str, FrozenSet[Token]]:
         assert self.engine is not None
@@ -169,7 +189,7 @@ class _SleepScheduler(Scheduler):
             # (a sleeping thread's branches are skipped), so only nodes
             # identical in both may merge.
             fingerprint = (
-                state_fingerprint(self.engine),
+                self._fingerprint(),
                 ("sleep", tuple(sorted(self._sleep))),
             )
             if self.cache.seen(fingerprint):
@@ -236,6 +256,7 @@ class SleepSetExplorer:
         stop_on_first: bool = False,
     ) -> ExplorationResult:
         """Explore with reduction; result fields as in :class:`Explorer`."""
+        start = perf_counter()
         match = predicate if predicate is not None else _default_predicate
         result = ExplorationResult(
             program=self.program.name, schedules_run=0, complete=True
@@ -252,6 +273,8 @@ class SleepSetExplorer:
             prefix, sleep = stack.pop()
             attempts += 1
             run, scheduler = self._run_once(prefix, sleep, cache)
+            if len(scheduler.choices) > len(prefix):
+                result.states_expanded += len(scheduler.choices) - len(prefix)
             if run is not None:
                 result.schedules_run += 1
                 result.statuses[run.status] += 1
@@ -265,13 +288,33 @@ class SleepSetExplorer:
                         result.first_match_schedule = list(run.schedule)
                     if stop_on_first:
                         result.complete = False
+                        self._finish(result, cache, start)
                         return result
             elif scheduler.pruned:
                 self.pruned_runs += 1
             else:
                 result.cache_hits += 1
             self._push_siblings(stack, scheduler, prefix, run)
+        self._finish(result, cache, start)
         return result
+
+    def _finish(
+        self,
+        result: ExplorationResult,
+        cache: Optional[StateCache],
+        start: float,
+    ) -> None:
+        """Close out one exploration: cache stats, wall-clock, metrics."""
+        if cache is not None:
+            result.cache_lookups = cache.lookups
+            result.cache_states = len(cache)
+            cache.record_metrics(program=self.program.name)
+        result.wall_seconds = perf_counter() - start
+        obs_metrics.inc(
+            "explorer.pruned_runs", self.pruned_runs,
+            program=self.program.name, explorer="sleepset",
+        )
+        _record_exploration(result, "sleepset")
 
     # -- internals ----------------------------------------------------------
 

@@ -50,6 +50,8 @@ import pickle
 import types
 from typing import Any, Optional, Tuple
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = ["MemoHit", "StateCache", "canonical_value", "state_fingerprint"]
 
 _ATOMS = (int, float, complex, bool, str, bytes, type(None))
@@ -244,3 +246,19 @@ class StateCache:
             f"{len(self._seen)} states cached, {self.hits}/{self.lookups} "
             f"lookups hit ({self.hit_rate():.1%})"
         )
+
+    def record_metrics(self, **labels: object) -> None:
+        """Publish this cache's totals to :mod:`repro.obs.metrics`.
+
+        Called once per exploration (not per lookup — ``seen`` is the
+        hot path); a no-op while metrics are disabled.  Worker-process
+        caches never reach the parent registry: their *effects* travel
+        back inside ``ExplorationResult.cache_lookups``/``cache_states``
+        instead (see ``docs/observability.md``).
+        """
+        registry = obs_metrics.active()
+        if registry is None:
+            return
+        registry.inc("statecache.lookups", self.lookups, **labels)
+        registry.inc("statecache.hits", self.hits, **labels)
+        registry.set_gauge("statecache.size", len(self._seen), **labels)

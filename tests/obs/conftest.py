@@ -1,0 +1,26 @@
+"""Fixtures for the observability tests.
+
+The registry, profiler, and run log are process globals; every test in
+this package gets automatic teardown so a failing assertion can never
+leak an enabled registry into unrelated tests.
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import runlog as obs_runlog
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs_globals():
+    yield
+    obs_metrics.disable()
+    obs_profile.disable()
+    obs_runlog.clear_runlog()
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry installed as the global one."""
+    return obs_metrics.enable()

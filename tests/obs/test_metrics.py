@@ -1,0 +1,113 @@
+"""Unit tests for the metrics registry and its module-level helpers."""
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("runs")
+        registry.inc("runs", 4)
+        assert registry.counter("runs") == 5
+
+    def test_counter_defaults_to_zero(self):
+        assert MetricsRegistry().counter("never.touched") == 0
+
+    def test_labels_slice_series(self):
+        registry = MetricsRegistry()
+        registry.inc("schedules", 3, program="a", explorer="dfs")
+        registry.inc("schedules", 7, program="b", explorer="dfs")
+        assert registry.counter("schedules", program="a", explorer="dfs") == 3
+        assert registry.counter("schedules", program="b", explorer="dfs") == 7
+        assert registry.counter_total("schedules") == 10
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.inc("m", 1, b="2", a="1")
+        assert registry.counter("m", a="1", b="2") == 1
+
+    def test_label_values_stringified(self):
+        registry = MetricsRegistry()
+        registry.inc("m", 1, shard=0)
+        assert registry.counter("m", shard="0") == 1
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("size", 10)
+        registry.set_gauge("size", 3)
+        assert registry.gauge("size") == 3
+        assert registry.gauge("never.set") is None
+
+    def test_histogram_stats(self):
+        registry = MetricsRegistry()
+        for value in (2.0, 4.0, 9.0):
+            registry.observe("latency", value)
+        stats = registry.histogram("latency")
+        assert stats.count == 3
+        assert stats.total == 15.0
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+        assert stats.mean == 5.0
+        assert registry.histogram("never.observed") is None
+
+    def test_series_iterates_all_label_sets(self):
+        registry = MetricsRegistry()
+        registry.inc("m", 1, program="a")
+        registry.inc("m", 2, program="b")
+        series = dict(
+            (labels["program"], value) for labels, value in registry.series("m")
+        )
+        assert series == {"a": 1, "b": 2}
+
+    def test_len_counts_every_series(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1)
+        registry.observe("h", 1)
+        assert len(registry) == 3
+
+    def test_snapshot_renders_labelled_keys(self):
+        registry = MetricsRegistry()
+        registry.inc("runs", 2, program="p", explorer="dfs")
+        registry.set_gauge("size", 5, program="p")
+        registry.observe("wall", 0.5, program="p")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["runs{explorer=dfs,program=p}"] == 2
+        assert snapshot["gauges"]["size{program=p}"] == 5
+        assert snapshot["histograms"]["wall{program=p}"]["count"] == 1
+        assert snapshot["histograms"]["wall{program=p}"]["mean"] == 0.5
+
+
+class TestGlobalHelpers:
+    def test_disabled_helpers_are_noops(self):
+        assert not obs_metrics.enabled()
+        assert obs_metrics.active() is None
+        # None of these may raise or record anywhere.
+        obs_metrics.inc("c", program="p")
+        obs_metrics.set_gauge("g", 1.0)
+        obs_metrics.observe("h", 1.0)
+        assert obs_metrics.snapshot() is None
+
+    def test_enable_installs_fresh_registry(self):
+        registry = obs_metrics.enable()
+        assert obs_metrics.active() is registry
+        assert len(registry) == 0
+        obs_metrics.inc("c", 2)
+        assert registry.counter("c") == 2
+        assert obs_metrics.snapshot() == registry.snapshot()
+
+    def test_enable_accepts_existing_registry(self):
+        mine = MetricsRegistry()
+        mine.inc("carried.over")
+        assert obs_metrics.enable(mine) is mine
+        obs_metrics.inc("carried.over")
+        assert mine.counter("carried.over") == 2
+
+    def test_disable_stops_recording(self):
+        registry = obs_metrics.enable()
+        obs_metrics.inc("c")
+        obs_metrics.disable()
+        obs_metrics.inc("c")
+        assert registry.counter("c") == 1
+        assert not obs_metrics.enabled()

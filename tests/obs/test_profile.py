@@ -1,0 +1,76 @@
+"""Unit tests for the span profiler."""
+
+from repro.obs import profile as obs_profile
+from repro.obs.profile import Profiler
+
+
+class TestProfiler:
+    def test_add_accumulates(self):
+        profiler = Profiler()
+        profiler.add("s", 0.5)
+        profiler.add("s", 0.25, count=4)
+        stats = profiler.spans["s"]
+        assert stats.count == 5
+        assert stats.total == 0.75
+        assert stats.mean == 0.15
+
+    def test_span_times_block(self):
+        profiler = Profiler()
+        with profiler.span("block"):
+            pass
+        stats = profiler.spans["block"]
+        assert stats.count == 1
+        assert stats.total >= 0.0
+
+    def test_span_records_on_exception(self):
+        profiler = Profiler()
+        try:
+            with profiler.span("boom"):
+                raise ValueError("expected")
+        except ValueError:
+            pass
+        assert profiler.spans["boom"].count == 1
+
+    def test_as_dict_is_json_ready(self):
+        profiler = Profiler()
+        profiler.add("b", 0.2)
+        profiler.add("a", 0.1, count=2)
+        dumped = profiler.as_dict()
+        assert list(dumped) == ["a", "b"]
+        assert dumped["a"] == {
+            "count": 2, "total_seconds": 0.1, "mean_seconds": 0.05,
+        }
+
+    def test_report_sorted_by_total_desc(self):
+        profiler = Profiler()
+        profiler.add("cheap", 0.001)
+        profiler.add("expensive", 1.0)
+        report = profiler.report()
+        lines = report.splitlines()
+        assert lines[0].split() == ["span", "calls", "total", "(s)", "mean", "(us)"]
+        assert report.index("expensive") < report.index("cheap")
+
+    def test_empty_report(self):
+        assert "no spans" in Profiler().report()
+
+
+class TestGlobalProfiler:
+    def test_disabled_span_is_noop(self):
+        assert not obs_profile.enabled()
+        with obs_profile.span("ignored"):
+            pass
+        assert obs_profile.active() is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        # The disabled path must not allocate per call.
+        assert obs_profile.span("a") is obs_profile.span("b")
+
+    def test_enable_routes_spans(self):
+        profiler = obs_profile.enable()
+        with obs_profile.span("timed"):
+            pass
+        assert profiler.spans["timed"].count == 1
+        obs_profile.disable()
+        with obs_profile.span("timed"):
+            pass
+        assert profiler.spans["timed"].count == 1

@@ -1,0 +1,100 @@
+"""Unit tests for the structured run log (JSONL telemetry)."""
+
+import json
+
+import pytest
+
+from repro.obs import runlog as obs_runlog
+from repro.obs.runlog import SCHEMA, RunLog, outcome_digest, read_records
+
+
+class TestRunLog:
+    def test_file_sink_appends_jsonl(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog(path)
+        log.emit("first", value=1)
+        log.emit("second", nested={"a": [1, 2]})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        # Every line must round-trip through plain json.loads.
+        records = [json.loads(line) for line in lines]
+        assert [r["event"] for r in records] == ["first", "second"]
+        assert all(r["schema"] == SCHEMA for r in records)
+        assert all(isinstance(r["ts"], float) for r in records)
+        assert records[1]["nested"] == {"a": [1, 2]}
+        assert log.records_emitted == 2
+
+    def test_read_records_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLog(path)
+        emitted = log.emit("e", program="p", wall_seconds=0.25)
+        assert read_records(path) == [emitted]
+
+    def test_callback_sink(self):
+        seen = []
+        log = RunLog(seen.append)
+        log.emit("hello", x=1)
+        assert len(seen) == 1
+        assert seen[0]["event"] == "hello"
+        assert seen[0]["x"] == 1
+        assert log.path is None
+
+    def test_unjsonable_values_coerced(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+
+        class Odd:
+            pass
+
+        RunLog(path).emit("e", odd=Odd())
+        # repr()-coerced, not a crash.
+        assert "Odd" in read_records(path)[0]["odd"]
+
+
+class TestGlobalSink:
+    def test_emit_noop_without_sink(self):
+        assert obs_runlog.active_runlog() is None
+        assert obs_runlog.emit("ignored") is None
+
+    def test_set_and_clear(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = obs_runlog.set_runlog(path)
+        assert obs_runlog.active_runlog() is log
+        obs_runlog.emit("recorded")
+        obs_runlog.clear_runlog()
+        obs_runlog.emit("dropped")
+        assert [r["event"] for r in read_records(path)] == ["recorded"]
+
+
+class TestOutcomeDigest:
+    def test_order_independent(self):
+        a = [("ok", (("x", 1),)), ("crash", (("x", 2),))]
+        assert outcome_digest(a) == outcome_digest(list(reversed(a)))
+
+    def test_set_not_multiset(self):
+        # A dict of outcome -> count digests by keys only, so memoized
+        # and unmemoized explorations of the same program agree.
+        assert outcome_digest({"a": 5, "b": 1}) == outcome_digest({"a": 1, "b": 9})
+
+    def test_differs_on_different_sets(self):
+        assert outcome_digest(["a"]) != outcome_digest(["b"])
+
+
+class TestExplorationRecord:
+    def test_matches_result_fields(self):
+        from repro.obs.runlog import exploration_record
+        from repro.sim import enumerate_outcomes
+
+        from tests.helpers import racy_counter
+
+        result = enumerate_outcomes(racy_counter(), max_schedules=5000)
+        record = exploration_record(result, {"max_schedules": 5000}, 0.5)
+        assert record["program"] == "racy-counter"
+        assert record["result"]["schedules_run"] == result.schedules_run
+        assert record["result"]["states_expanded"] == result.states_expanded
+        assert record["result"]["complete"] is True
+        assert record["result"]["distinct_outcomes"] == len(result.outcomes)
+        assert record["outcome_digest"] == outcome_digest(result.outcomes)
+        assert record["wall_seconds"] == 0.5
+        # Statuses keyed by enum value (JSON-native).
+        assert set(record["result"]["statuses"]) == {"ok"}
+        json.dumps(record)  # must be JSON-native throughout

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Docs/code consistency gate (run in CI).
+
+Three checks, all against the working tree:
+
+1. **Module coverage** — every ``.py`` module under ``src/repro/`` must
+   be mentioned by filename in ``docs/architecture.md`` (the one-page
+   tour promises completeness).  Generated record modules under
+   ``bugdb/records/`` are covered by mentioning the ``records/``
+   directory itself.
+2. **CLI flag coverage** — every ``--flag`` defined in
+   ``src/repro/cli.py`` must appear in at least one docs page
+   (``docs/*.md`` or ``README.md``).
+3. **Link integrity** — every relative markdown link in ``docs/*.md``
+   and ``README.md`` must resolve to an existing file.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+DOCS = REPO / "docs"
+ARCHITECTURE = DOCS / "architecture.md"
+
+#: Markdown inline links: [text](target), ignoring images and code spans.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"\"(--[a-z][a-z0-9-]*)\"")
+
+
+def check_modules(problems: list) -> None:
+    tour = ARCHITECTURE.read_text(encoding="utf-8")
+    if "records/" not in tour:
+        problems.append(f"{ARCHITECTURE.relative_to(REPO)}: missing mention of records/")
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC)
+        if relative.parts[0] == "bugdb" and "records" in relative.parts[:-1]:
+            continue  # generated data modules, covered by the records/ mention
+        if path.name not in tour:
+            problems.append(
+                f"{ARCHITECTURE.relative_to(REPO)}: module "
+                f"src/repro/{relative} is not mentioned"
+            )
+
+
+def check_cli_flags(problems: list) -> None:
+    cli_source = (SRC / "cli.py").read_text(encoding="utf-8")
+    flags = sorted(set(FLAG_RE.findall(cli_source)))
+    if not flags:
+        problems.append("tools/check_docs.py: found no --flags in cli.py (regex broken?)")
+    pages = sorted(DOCS.glob("*.md")) + [REPO / "README.md"]
+    corpus = "\n".join(page.read_text(encoding="utf-8") for page in pages)
+    for flag in flags:
+        if flag not in corpus:
+            problems.append(
+                f"cli.py flag {flag} is documented in no docs page "
+                f"(docs/*.md, README.md)"
+            )
+
+
+def check_links(problems: list) -> None:
+    for page in sorted(DOCS.glob("*.md")) + [REPO / "README.md"]:
+        text = page.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (page.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{page.relative_to(REPO)}: broken link -> {target}"
+                )
+
+
+def main() -> int:
+    problems: list = []
+    check_modules(problems)
+    check_cli_flags(problems)
+    check_links(problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: architecture tour, CLI flags, and links all consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
