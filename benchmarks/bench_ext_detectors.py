@@ -11,10 +11,16 @@ classes flag it?  Expected shape (the paper's argument):
   atomicity kernels, including the race-free one;
 * deadlocks are invisible to all of the above and owned by the
   lock-order analysis.
+
+Also benches the streaming detector pipeline against the classic
+per-detector batch: identical findings, one shared event pass.
 """
 
+import time
+
 from repro.detectors import DetectorSuite
-from repro.kernels import all_kernels
+from repro.kernels import all_kernels, get_kernel
+from repro.sim.explorer import make_explorer
 
 
 def build_matrix():
@@ -55,3 +61,70 @@ def test_detector_coverage_matrix(benchmark):
             f"{'X' if d in flagged else '.':>14s}" for d in detectors
         )
         print(row)
+
+
+def test_streaming_vs_batch_suite(benchmark):
+    """E1b — the online streamed pipeline beats explore-then-batch analysis.
+
+    Both paths analyse every explored schedule of the torn-invariant
+    kernel (the largest state space in the kernel set).  The batch path
+    explores first, retains every trace, then runs the five-detector
+    battery over them; the online path streams one shared pipeline along
+    the exploration, restoring snapshotted analysis state at branch
+    points so shared schedule prefixes are analysed once.  Findings must
+    be identical; the prefix reuse is the wall-clock win.
+    """
+    kernel = get_kernel("multivar_torn_invariant")
+    program = kernel.buggy
+    budget = 3000
+
+    def batch_path():
+        explorer = make_explorer(
+            program, max_schedules=budget, keep_matches=10**9
+        )
+        exploration = explorer.explore(predicate=lambda run: True)
+        traces = [run.trace for run in exploration.matching]
+        return DetectorSuite.for_program(program).analyse_many(traces)
+
+    def online_path():
+        return DetectorSuite.for_program(program).analyse_online(
+            program, max_schedules=budget
+        )
+
+    def best_of(path, repeats=3):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = path()
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    batch_seconds, batch_result = best_of(batch_path)
+    online_seconds, online_result = benchmark.pedantic(
+        best_of, args=(online_path,), rounds=1, iterations=1
+    )
+
+    # Equivalence first: the speed-up must not change a single finding.
+    def keys(result):
+        return {
+            name: sorted(
+                (f.kind.value, f.detector, f.description, f.threads,
+                 f.variables, f.resources, f.events)
+                for f in report
+            )
+            for name, report in result.reports.items()
+        }
+
+    assert keys(online_result) == keys(batch_result)
+    assert not online_result.clean
+
+    stats = online_result.exploration.pipeline_stats
+    print()
+    print(f"  schedules: {online_result.exploration.schedules_run}"
+          f"  events dispatched: {stats['events_dispatched']}"
+          f"  reused: {stats['events_reused']} ({stats['reuse_ratio']:.0%})")
+    print(f"  explore + batch battery:  {batch_seconds * 1e3:8.1f} ms")
+    print(f"  online streamed pipeline: {online_seconds * 1e3:8.1f} ms")
+    print(f"  speed-up:                 {batch_seconds / online_seconds:8.2f}x")
+    # ~1.5x locally; the margin is generous so CI noise cannot flake it.
+    assert online_seconds < batch_seconds * 0.95

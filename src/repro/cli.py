@@ -12,8 +12,10 @@ Commands:
     List the executable bug kernels.
 ``kernel NAME [--workers N]``
     Drive one kernel end to end: manifest, minimal witness, fix check.
-``detect NAME [--workers N]``
-    Run the detector battery on a manifesting trace of kernel NAME.
+``detect NAME [--workers N] [--online]``
+    Run the detector battery on a manifesting trace of kernel NAME;
+    ``--online`` streams the detectors along the whole exploration
+    instead (every interleaving analysed, shared prefixes once).
 ``estimate NAME [--runs N] [--workers N]``
     Manifestation rates under cooperative/random/PCT/enforced testing.
 ``bug BUG_ID``
@@ -113,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("name")
     detect.add_argument("--workers", type=_worker_count, default=None,
                         help=workers_help)
+    detect.add_argument(
+        "--online", action="store_true",
+        help="stream detectors along the exploration (analyse every "
+             "interleaving, sharing work across schedule prefixes)",
+    )
 
     estimate = commands.add_parser(
         "estimate", help="manifestation-rate estimates", parents=[obs_flags]
@@ -230,6 +237,29 @@ def _cmd_detect(args) -> int:
     kernel = _get_kernel_or_fail(args.name)
     if kernel is None:
         return 2
+    if args.online:
+        suite = DetectorSuite.for_program(kernel.buggy)
+        result = suite.analyse_online(kernel.buggy, workers=args.workers)
+        exploration = result.exploration
+        assert exploration is not None
+        print(exploration.summary())
+        stats = exploration.pipeline_stats or {}
+        print(
+            "pipeline: {dispatched} events dispatched, {reused} reused "
+            "({ratio:.0%} of analysed events came from shared prefixes), "
+            "{passes} passes".format(
+                dispatched=stats.get("events_dispatched", 0),
+                reused=stats.get("events_reused", 0),
+                ratio=stats.get("reuse_ratio", 0.0),
+                passes=stats.get("passes", 0),
+            )
+        )
+        first = stats.get("first_finding_step")
+        if first is not None:
+            print(f"first finding at trace step {first}")
+        print()
+        print(result.format())
+        return 0
     failing = kernel.find_manifestation(workers=args.workers)
     if failing is None:
         print("kernel did not manifest", file=sys.stderr)

@@ -17,6 +17,7 @@ from repro.detectors.deadlock import DeadlockDetector, build_lock_order_graph
 from repro.detectors.happensbefore import HappensBeforeDetector
 from repro.detectors.lockset import LocksetDetector, VariableState
 from repro.detectors.orderviolation import OrderViolationDetector
+from repro.detectors.pipeline import AnalysisState, DetectorPipeline
 from repro.detectors.suite import DetectorSuite, SuiteResult, default_detectors
 from repro.detectors.vectorclock import VectorClock
 
@@ -36,6 +37,8 @@ __all__ = [
     "OrderViolationDetector",
     "DeadlockDetector",
     "build_lock_order_graph",
+    "AnalysisState",
+    "DetectorPipeline",
     "DetectorSuite",
     "SuiteResult",
     "default_detectors",

@@ -31,13 +31,20 @@ serializable interleaving (e.g. R..R with remote R) is benign here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from repro.detectors.base import Detector, Finding, FindingKind, Report
 from repro.sim import events as ev
-from repro.sim.trace import Trace
 
-__all__ = ["AtomicityDetector", "UNSERIALIZABLE_CASES", "classify_interleaving"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.detectors.pipeline import AnalysisState
+
+__all__ = [
+    "AtomicityDetector",
+    "PairTracker",
+    "UNSERIALIZABLE_CASES",
+    "classify_interleaving",
+]
 
 #: The four unserializable (local-first, local-second, remote) combinations.
 UNSERIALIZABLE_CASES = {
@@ -72,67 +79,99 @@ class _Access:
     is_write: bool
 
 
+class PairTracker:
+    """Local-pair completion over a streaming per-variable access feed.
+
+    Feed accesses in trace order; each access ``c`` *completes* the local
+    pair ``(p, c)`` — where ``p`` is the same thread's previous access to
+    the same variable — and :meth:`observe` returns that pair with every
+    remote access interleaved between them, in trace order.  This is the
+    streaming equivalent of collecting per-variable streams and scanning
+    ``p.seq < r.seq < c.seq`` after the fact: the pending-remote list of a
+    thread is reset each time the thread accesses the variable, so it
+    holds exactly the accesses since ``p``.
+
+    Accesses may be any object with ``thread``/``var`` attributes (the
+    AVIO learner reuses this with site-annotated accesses).
+    """
+
+    __slots__ = ("last", "remotes")
+
+    def __init__(self) -> None:
+        # var -> thread -> the thread's last access to var.
+        self.last: Dict[str, Dict[str, Any]] = {}
+        # var -> thread -> remote accesses since the thread's last access.
+        self.remotes: Dict[str, Dict[str, List[Any]]] = {}
+
+    def observe(self, access: Any) -> List[Tuple[Any, Any, Any]]:
+        """Feed one access; returns completed ``(p, c, remote)`` triples."""
+        var_last = self.last.setdefault(access.var, {})
+        var_remotes = self.remotes.setdefault(access.var, {})
+        thread = access.thread
+        completed: List[Tuple[Any, Any, Any]] = []
+        p = var_last.get(thread)
+        if p is not None:
+            completed = [(p, access, r) for r in var_remotes.get(thread, ())]
+        var_last[thread] = access
+        var_remotes[thread] = []
+        for other, pending in var_remotes.items():
+            if other != thread:
+                pending.append(access)
+        return completed
+
+    def copy(self) -> "PairTracker":
+        """Structural copy for pipeline snapshots (accesses are immutable)."""
+        dup = PairTracker.__new__(PairTracker)
+        dup.last = {var: dict(m) for var, m in self.last.items()}
+        dup.remotes = {
+            var: {t: list(pending) for t, pending in m.items()}
+            for var, m in self.remotes.items()
+        }
+        return dup
+
+
 class AtomicityDetector(Detector):
     """Unserializable-interleaving detector for single variables."""
 
     name = "atomicity"
 
-    def analyse(self, trace: Trace) -> Report:
-        report = Report(detector=self.name)
-        accesses = self._collect(trace)
-        for var, stream in accesses.items():
-            self._analyse_variable(var, stream, report)
-        return report
+    def begin(self) -> PairTracker:
+        """Fresh local-pair tracker."""
+        return PairTracker()
 
-    @staticmethod
-    def _collect(trace: Trace) -> Dict[str, List[_Access]]:
-        streams: Dict[str, List[_Access]] = {}
-        for event in trace:
-            if not event.is_memory_access:
+    def copy_state(self, local: PairTracker) -> PairTracker:
+        """Structural copy of the pair tracker."""
+        return local.copy()
+
+    def on_event(
+        self, event: ev.Event, state: "AnalysisState", local: Any, report: Report
+    ) -> None:
+        """Report each unserializable (local pair, remote) triple."""
+        if not event.is_memory_access:
+            return
+        access = _Access(
+            seq=event.seq,
+            thread=event.thread,
+            var=event.var,  # type: ignore[attr-defined]
+            is_write=isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent)),
+        )
+        for p, c, remote in local.observe(access):
+            case = classify_interleaving(p.is_write, c.is_write, remote.is_write)
+            if case not in UNSERIALIZABLE_CASES:
                 continue
-            is_write = isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent))
-            streams.setdefault(event.var, []).append(  # type: ignore[attr-defined]
-                _Access(
-                    seq=event.seq,
-                    thread=event.thread,
-                    var=event.var,  # type: ignore[attr-defined]
-                    is_write=is_write,
+            pattern = "".join(case)
+            report.add(
+                Finding(
+                    kind=FindingKind.ATOMICITY_VIOLATION,
+                    detector=self.name,
+                    description=(
+                        f"unserializable interleaving {pattern} on "
+                        f"{access.var!r}: {_EXPLANATIONS[case]} "
+                        f"(remote {remote.thread} between "
+                        f"{access.thread}'s accesses)"
+                    ),
+                    threads=tuple(sorted({access.thread, remote.thread})),
+                    variables=(access.var,),
+                    events=(p.seq, remote.seq, c.seq),
                 )
             )
-        return streams
-
-    def _analyse_variable(self, var: str, stream: List[_Access], report: Report) -> None:
-        # Local pairs: consecutive same-thread accesses in the *per-thread*
-        # projection of the stream.
-        by_thread: Dict[str, List[_Access]] = {}
-        for access in stream:
-            by_thread.setdefault(access.thread, []).append(access)
-        for thread, local in by_thread.items():
-            for p, c in zip(local, local[1:]):
-                remotes = [
-                    r
-                    for r in stream
-                    if r.thread != thread and p.seq < r.seq < c.seq
-                ]
-                for remote in remotes:
-                    case = classify_interleaving(
-                        p.is_write, c.is_write, remote.is_write
-                    )
-                    if case not in UNSERIALIZABLE_CASES:
-                        continue
-                    pattern = "".join(case)
-                    report.add(
-                        Finding(
-                            kind=FindingKind.ATOMICITY_VIOLATION,
-                            detector=self.name,
-                            description=(
-                                f"unserializable interleaving {pattern} on "
-                                f"{var!r}: {_EXPLANATIONS[case]} "
-                                f"(remote {remote.thread} between "
-                                f"{thread}'s accesses)"
-                            ),
-                            threads=tuple(sorted({thread, remote.thread})),
-                            variables=(var,),
-                            events=(p.seq, remote.seq, c.seq),
-                        )
-                    )

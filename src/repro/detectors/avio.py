@@ -24,12 +24,19 @@ than memorising dynamic indices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Set, Tuple
 
-from repro.detectors.atomicity import UNSERIALIZABLE_CASES, classify_interleaving
+from repro.detectors.atomicity import (
+    UNSERIALIZABLE_CASES,
+    PairTracker,
+    classify_interleaving,
+)
 from repro.detectors.base import Detector, Finding, FindingKind, Report
 from repro.sim import events as ev
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.detectors.pipeline import AnalysisState
 
 __all__ = ["LearningAVIODetector"]
 
@@ -46,54 +53,37 @@ class _SitedAccess:
     site: str
 
 
-def _sited_accesses(trace: Trace) -> List[_SitedAccess]:
-    out: List[_SitedAccess] = []
-    for event in trace:
-        if not event.is_memory_access:
+def _sited_access(event: ev.Event) -> Optional[_SitedAccess]:
+    """The event as a site-annotated access (``None`` for non-accesses)."""
+    if not event.is_memory_access:
+        return None
+    var = event.var  # type: ignore[attr-defined]
+    is_write = isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent))
+    if event.label is not None:
+        site = event.label
+    else:
+        # Static-site approximation for unlabelled programs: AVIO keys
+        # invariants by instruction, so repeated executions of the same
+        # access (loop iterations) must share one site id — no
+        # occurrence counter here, unlike the coverage metric.
+        site = f"{event.thread}:{var}:{'w' if is_write else 'r'}"
+    return _SitedAccess(
+        seq=event.seq, thread=event.thread, var=var,
+        is_write=is_write, site=site,
+    )
+
+
+def _triples(tracker: PairTracker, event: ev.Event):
+    """Unserializable ``(key, access, p, c, remote)`` triples ``event`` completes."""
+    access = _sited_access(event)
+    if access is None:
+        return
+    for p, c, remote in tracker.observe(access):
+        case = classify_interleaving(p.is_write, c.is_write, remote.is_write)
+        if case not in UNSERIALIZABLE_CASES:
             continue
-        var = event.var  # type: ignore[attr-defined]
-        is_write = isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent))
-        if event.label is not None:
-            site = event.label
-        else:
-            # Static-site approximation for unlabelled programs: AVIO keys
-            # invariants by instruction, so repeated executions of the same
-            # access (loop iterations) must share one site id — no
-            # occurrence counter here, unlike the coverage metric.
-            site = f"{event.thread}:{var}:{'w' if is_write else 'r'}"
-        out.append(
-            _SitedAccess(
-                seq=event.seq, thread=event.thread, var=var,
-                is_write=is_write, site=site,
-            )
-        )
-    return out
-
-
-def _unserializable_triples(trace: Trace) -> List[Tuple[InvariantKey, Tuple[int, int, int], str]]:
-    """All unserializable (local pair, remote) triples with witness seqs."""
-    accesses = _sited_accesses(trace)
-    by_var: Dict[str, List[_SitedAccess]] = {}
-    for access in accesses:
-        by_var.setdefault(access.var, []).append(access)
-    out = []
-    for var, stream in by_var.items():
-        by_thread: Dict[str, List[_SitedAccess]] = {}
-        for access in stream:
-            by_thread.setdefault(access.thread, []).append(access)
-        for thread, local in by_thread.items():
-            for p, c in zip(local, local[1:]):
-                for remote in stream:
-                    if remote.thread == thread or not (p.seq < remote.seq < c.seq):
-                        continue
-                    case = classify_interleaving(
-                        p.is_write, c.is_write, remote.is_write
-                    )
-                    if case not in UNSERIALIZABLE_CASES:
-                        continue
-                    key: InvariantKey = (var, (p.site, c.site), remote.site, case)
-                    out.append((key, (p.seq, remote.seq, c.seq), remote.thread))
-    return out
+        key: InvariantKey = (access.var, (p.site, c.site), remote.site, case)
+        yield key, p, c, remote
 
 
 class LearningAVIODetector(Detector):
@@ -112,14 +102,26 @@ class LearningAVIODetector(Detector):
         benign non-atomicity and will not be reported by ``analyse``.
         """
         for trace in traces:
-            for key, _seqs, _thread in _unserializable_triples(trace):
-                self._whitelist.add(key)
+            tracker = PairTracker()
+            for event in trace:
+                for key, _p, _c, _remote in _triples(tracker, event):
+                    self._whitelist.add(key)
             self.trained_traces += 1
         return len(self._whitelist)
 
-    def analyse(self, trace: Trace) -> Report:
-        report = Report(detector=self.name)
-        for key, seqs, remote_thread in _unserializable_triples(trace):
+    def begin(self) -> PairTracker:
+        """Fresh local-pair tracker (the whitelist lives on the detector)."""
+        return PairTracker()
+
+    def copy_state(self, local: PairTracker) -> PairTracker:
+        """Structural copy of the pair tracker."""
+        return local.copy()
+
+    def on_event(
+        self, event: ev.Event, state: "AnalysisState", local: Any, report: Report
+    ) -> None:
+        """Report unserializable interleavings absent from the whitelist."""
+        for key, p, c, remote in _triples(local, event):
             if key in self._whitelist:
                 continue
             var, (p_site, c_site), remote_site, case = key
@@ -134,9 +136,8 @@ class LearningAVIODetector(Detector):
                         f"and {c_site} (never seen in "
                         f"{self.trained_traces} passing runs)"
                     ),
-                    threads=(remote_thread,),
+                    threads=(remote.thread,),
                     variables=(var,),
-                    events=seqs,
+                    events=(p.seq, remote.seq, c.seq),
                 )
             )
-        return report

@@ -1,9 +1,17 @@
-"""Detector framework: common finding/report types and the detector ABC.
+"""Detector framework: finding/report types and the streaming detector ABC.
 
-Every detector consumes a :class:`~repro.sim.trace.Trace` (never live
-engine state) and produces a :class:`Report` of :class:`Finding`s.  Keeping
-detectors trace-based means one recorded interleaving can be analysed by
-every detector, and detector results are exactly reproducible.
+Every detector is a **streaming observer**: it declares which shared
+:class:`~repro.detectors.pipeline.AnalysisState` components it reads
+(:attr:`Detector.requires`), receives every event exactly once through
+:meth:`Detector.on_event`, and finishes end-of-trace analyses in
+:meth:`Detector.finish`.  A :class:`~repro.detectors.pipeline.DetectorPipeline`
+owns the single event pass and the shared state (vector clocks, locksets,
+lock-order graph), so running five detectors costs one pass, not five.
+
+The batch entry points survive as thin compatibility shims:
+:meth:`Detector.analyse` runs a one-detector pipeline over a recorded
+:class:`~repro.sim.trace.Trace`, so existing callers (and the guarantee
+that one recorded interleaving is analysed reproducibly) are unchanged.
 
 The detector taxonomy mirrors the tool landscape the ASPLOS'08 study draws
 implications for: data-race detectors (happens-before and lockset),
@@ -16,11 +24,16 @@ which bug class" discussion.
 from __future__ import annotations
 
 import abc
+import copy
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import TYPE_CHECKING, Any, FrozenSet, Iterable, List, Tuple
 
+from repro.sim import events as ev
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports base)
+    from repro.detectors.pipeline import AnalysisState
 
 __all__ = ["FindingKind", "Finding", "Report", "Detector"]
 
@@ -121,19 +134,61 @@ class Report:
 
 
 class Detector(abc.ABC):
-    """A dynamic analysis over one execution trace."""
+    """A streaming dynamic analysis over an execution's event stream.
+
+    Subclasses implement the observer protocol — :meth:`begin`,
+    :meth:`on_event`, :meth:`finish`, :meth:`copy_state` — and declare
+    the shared-state components they read in :attr:`requires`.  The
+    batch entry points (:meth:`analyse`, :meth:`analyse_many`) are
+    compatibility shims over a one-detector
+    :class:`~repro.detectors.pipeline.DetectorPipeline`.
+    """
 
     #: Short stable name used in reports and coverage tables.
     name: str = "detector"
 
-    @abc.abstractmethod
+    #: Shared :class:`~repro.detectors.pipeline.AnalysisState` components
+    #: this detector reads (subset of ``pipeline.COMPONENTS``); the
+    #: pipeline maintains only the union its detectors require.
+    requires: FrozenSet[str] = frozenset()
+
+    # -- streaming observer protocol ---------------------------------------
+
+    def begin(self) -> Any:
+        """Fresh per-pass local state (any value; ``None`` if stateless)."""
+        return None
+
+    def on_event(
+        self, event: ev.Event, state: "AnalysisState", local: Any, report: Report
+    ) -> None:
+        """Observe one event; read ``state``, mutate ``local``, add findings."""
+
+    def finish(self, state: "AnalysisState", local: Any, report: Report) -> None:
+        """End-of-trace analyses once the event stream is exhausted."""
+
+    def copy_state(self, local: Any) -> Any:
+        """Copy per-pass local state for a pipeline snapshot.
+
+        The default deep-copies; detectors with hot local state override
+        this with a cheaper structural copy.
+        """
+        return copy.deepcopy(local)
+
+    # -- batch compatibility shims -----------------------------------------
+
     def analyse(self, trace: Trace) -> Report:
-        """Analyse ``trace`` and return a report of findings."""
+        """Analyse one recorded trace (shim over the streaming pipeline)."""
+        from repro.detectors.pipeline import DetectorPipeline
+
+        pipeline = DetectorPipeline([self])
+        pipeline.run_trace(trace)
+        return pipeline.reports[self.name]
 
     def analyse_many(self, traces: Iterable[Trace]) -> Report:
-        """Analyse several traces and merge the findings."""
-        merged = Report(detector=self.name)
+        """Analyse several traces and merge the findings (de-duplicated)."""
+        from repro.detectors.pipeline import DetectorPipeline
+
+        pipeline = DetectorPipeline([self])
         for trace in traces:
-            for finding in self.analyse(trace):
-                merged.add(finding)
-        return merged
+            pipeline.run_trace(trace)
+        return pipeline.reports[self.name]

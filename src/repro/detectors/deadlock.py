@@ -16,19 +16,26 @@ bugs involve at most two resources):
   the two-resource deadlocks of Table 5 from a *successful* test run.
   Self-edges (re-acquiring a held mutex) are the one-resource case.
 
-The graph is built with :mod:`networkx`, which also supplies cycle
-enumeration.
+The lock-order edges are maintained incrementally by the shared
+:class:`~repro.detectors.pipeline.LockOrderTracker`; this detector only
+reads the finished graph, so it is a pure :meth:`Detector.finish`
+analysis with no per-event work of its own.  The graph is built with
+:mod:`networkx`, which also supplies cycle enumeration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Set
 
 import networkx as nx
 
 from repro.detectors.base import Detector, Finding, FindingKind, Report
+from repro.detectors.pipeline import LockOrderTracker
 from repro.sim import events as ev
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.detectors.pipeline import AnalysisState
 
 __all__ = ["DeadlockDetector", "build_lock_order_graph"]
 
@@ -41,56 +48,28 @@ def build_lock_order_graph(trace: Trace) -> "nx.DiGraph":
     these come from the *pending* operation of a thread blocked on itself,
     which the trace exposes through the terminal deadlock event.
     """
-    graph = nx.DiGraph()
-    held: Dict[str, Dict[str, int]] = {}
+    tracker = LockOrderTracker()
     for event in trace:
-        locks = held.setdefault(event.thread, {})
-        if isinstance(event, ev.AcquireEvent) or (
-            isinstance(event, ev.TryAcquireEvent) and event.success
-        ):
-            for prior, prior_seq in locks.items():
-                _add_edge(graph, prior, event.lock, (event.thread, prior_seq, event.seq))
-            locks[event.lock] = event.seq
-        elif isinstance(event, ev.WaitResumeEvent):
-            for prior, prior_seq in locks.items():
-                _add_edge(graph, prior, event.lock, (event.thread, prior_seq, event.seq))
-            locks[event.lock] = event.seq
-        elif isinstance(event, (ev.ReleaseEvent, ev.WaitParkEvent)):
-            locks.pop(event.lock, None)
-        elif isinstance(event, ev.DeadlockEvent):
-            # Blocked acquires never executed, but the wait-for info names
-            # the lock each stuck thread wanted; add those edges too.
-            for thread, waiting in event.blocked:
-                if not waiting.startswith("lock:"):
-                    continue
-                wanted = waiting.split(":", 1)[1].split("(", 1)[0]
-                for prior, prior_seq in held.get(thread, {}).items():
-                    _add_edge(graph, prior, wanted, (thread, prior_seq, event.seq))
-    return graph
-
-
-def _add_edge(graph: "nx.DiGraph", src: str, dst: str, witness: Tuple[str, int, int]) -> None:
-    if graph.has_edge(src, dst):
-        graph.edges[src, dst]["witnesses"].append(witness)
-    else:
-        graph.add_edge(src, dst, witnesses=[witness])
+        tracker.apply(event)
+    return tracker.graph()
 
 
 class DeadlockDetector(Detector):
     """Observed-deadlock reporting plus lock-order cycle prediction."""
 
     name = "deadlock"
+    requires = frozenset({"lock_order"})
 
-    def analyse(self, trace: Trace) -> Report:
-        report = Report(detector=self.name)
-        self._observed(trace, report)
-        self._predicted(trace, report)
-        return report
+    def finish(self, state: "AnalysisState", local: Any, report: Report) -> None:
+        """Report the observed deadlock (if any) and predicted cycles."""
+        self._observed(state.deadlock, report)
+        self._predicted(state.lock_order.graph(), report)
 
     # -- observed ------------------------------------------------------------
 
-    def _observed(self, trace: Trace, report: Report) -> None:
-        deadlock = trace.deadlock()
+    def _observed(
+        self, deadlock: Optional[ev.DeadlockEvent], report: Report
+    ) -> None:
         if deadlock is None:
             return
         lock_blocked = [
@@ -119,8 +98,7 @@ class DeadlockDetector(Detector):
 
     # -- predicted --------------------------------------------------------------
 
-    def _predicted(self, trace: Trace, report: Report) -> None:
-        graph = build_lock_order_graph(trace)
+    def _predicted(self, graph: "nx.DiGraph", report: Report) -> None:
         seen: Set[frozenset] = set()
         for cycle in nx.simple_cycles(graph):
             key = frozenset(cycle)

@@ -1,8 +1,9 @@
 """Happens-before data-race detection over execution traces.
 
-The detector replays a trace, maintaining one vector clock per thread and
-one per synchronisation object, and building the happens-before relation
-from:
+The detector observes the event stream (one shared pass — see
+:mod:`repro.detectors.pipeline`), reading the pipeline's vector clocks —
+one per thread and one per synchronisation object — which build the
+happens-before relation from:
 
 * program order within each thread;
 * mutex release -> subsequent acquire of the same mutex (likewise
@@ -28,12 +29,14 @@ trade-off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.detectors.base import Detector, Finding, FindingKind, Report
 from repro.detectors.vectorclock import VectorClock
 from repro.sim import events as ev
-from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.detectors.pipeline import AnalysisState
 
 __all__ = ["HappensBeforeDetector"]
 
@@ -47,204 +50,100 @@ class _Access:
     atomic: bool
 
 
+class _HBLocal:
+    """Per-pass access histories (the clocks live in the shared state)."""
+
+    __slots__ = ("last_write", "reads_since_write")
+
+    def __init__(self) -> None:
+        # Per-variable: last write and reads since the last write.
+        self.last_write: Dict[str, Optional[_Access]] = {}
+        self.reads_since_write: Dict[str, List[_Access]] = {}
+
+    def copy(self) -> "_HBLocal":
+        dup = _HBLocal.__new__(_HBLocal)
+        dup.last_write = dict(self.last_write)
+        dup.reads_since_write = {
+            var: list(reads) for var, reads in self.reads_since_write.items()
+        }
+        return dup
+
+
 class HappensBeforeDetector(Detector):
     """Vector-clock data-race detector (sound on the observed trace)."""
 
     name = "happens-before"
+    requires = frozenset({"clocks"})
 
-    def analyse(self, trace: Trace) -> Report:
-        report = Report(detector=self.name)
-        state = _HBState()
-        for event in trace:
-            state.process(event, report)
-        return report
+    def begin(self) -> _HBLocal:
+        """Fresh per-variable access histories."""
+        return _HBLocal()
 
+    def copy_state(self, local: _HBLocal) -> _HBLocal:
+        """Structural copy (accesses and clocks are immutable)."""
+        return local.copy()
 
-class _HBState:
-    """Mutable clocks and access histories during one trace replay."""
-
-    def __init__(self) -> None:
-        self.thread_clocks: Dict[str, VectorClock] = {}
-        self.sync_clocks: Dict[str, VectorClock] = {}
-        self.spawn_clocks: Dict[str, VectorClock] = {}
-        self.final_clocks: Dict[str, VectorClock] = {}
-        self.notify_clocks: Dict[Tuple[str, str], VectorClock] = {}
-        # Per-variable: last writes and reads since the last write.
-        self.last_write: Dict[str, Optional[_Access]] = {}
-        self.reads_since_write: Dict[str, List[_Access]] = {}
-        # Barrier arrival bookkeeping: clocks of parked arrivals.
-        self.barrier_clocks: Dict[str, List[VectorClock]] = {}
-
-    # -- clock helpers ------------------------------------------------------
-
-    def clock(self, thread: str) -> VectorClock:
-        if thread not in self.thread_clocks:
-            self.thread_clocks[thread] = VectorClock().tick(thread)
-        return self.thread_clocks[thread]
-
-    def advance(self, thread: str) -> None:
-        self.thread_clocks[thread] = self.clock(thread).tick(thread)
-
-    def acquire_edge(self, thread: str, obj: str) -> None:
-        if obj in self.sync_clocks:
-            self.thread_clocks[thread] = self.clock(thread).join(self.sync_clocks[obj])
-
-    def release_edge(self, thread: str, obj: str) -> None:
-        current = self.sync_clocks.get(obj, VectorClock())
-        self.sync_clocks[obj] = current.join(self.clock(thread))
-
-    # -- event dispatch ----------------------------------------------------------
-
-    def process(self, event: ev.Event, report: Report) -> None:
+    def on_event(
+        self, event: ev.Event, state: "AnalysisState", local: Any, report: Report
+    ) -> None:
+        """Check each memory access against prior conflicting accesses."""
+        if not isinstance(event, (ev.ReadEvent, ev.WriteEvent, ev.AtomicUpdateEvent)):
+            return
         thread = event.thread
-        if isinstance(event, ev.ThreadStartEvent):
-            if thread in self.spawn_clocks:
-                self.thread_clocks[thread] = self.clock(thread).join(
-                    self.spawn_clocks.pop(thread)
-                )
-            else:
-                self.clock(thread)
-            return
-        if isinstance(event, ev.SpawnEvent):
-            self.spawn_clocks[event.target] = self.clock(thread)
-            self.advance(thread)
-            return
-        if isinstance(event, (ev.ThreadFinishEvent, ev.ThreadCrashEvent)):
-            self.final_clocks[thread] = self.clock(thread)
-            return
-        if isinstance(event, ev.JoinEvent):
-            final = self.final_clocks.get(event.target)
-            if final is not None:
-                self.thread_clocks[thread] = self.clock(thread).join(final)
-            self.advance(thread)
-            return
-        if isinstance(event, ev.AcquireEvent):
-            self.acquire_edge(thread, f"lock:{event.lock}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.TryAcquireEvent):
-            if event.success:
-                self.acquire_edge(thread, f"lock:{event.lock}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.ReleaseEvent):
-            self.release_edge(thread, f"lock:{event.lock}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.RWAcquireEvent):
-            self.acquire_edge(thread, f"rwlock:{event.rwlock}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.RWReleaseEvent):
-            self.release_edge(thread, f"rwlock:{event.rwlock}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.WaitParkEvent):
-            # Parking releases the lock.
-            self.release_edge(thread, f"lock:{event.lock}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.NotifyEvent):
-            for woken in event.woken:
-                self.notify_clocks[(event.cond, woken)] = self.clock(thread)
-            self.advance(thread)
-            return
-        if isinstance(event, ev.WaitResumeEvent):
-            self.acquire_edge(thread, f"lock:{event.lock}")
-            notify = self.notify_clocks.pop((event.cond, thread), None)
-            if notify is not None:
-                self.thread_clocks[thread] = self.clock(thread).join(notify)
-            self.advance(thread)
-            return
-        if isinstance(event, ev.SemReleaseEvent):
-            self.release_edge(thread, f"sem:{event.sem}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.SemAcquireEvent):
-            self.acquire_edge(thread, f"sem:{event.sem}")
-            self.advance(thread)
-            return
-        if isinstance(event, ev.BarrierEvent):
-            key = event.barrier
-            if event.released:
-                # Trip: every member's clock joins every other's.
-                clocks = self.barrier_clocks.pop(key, [])
-                clocks.append(self.clock(thread))
-                merged = VectorClock()
-                for c in clocks:
-                    merged = merged.join(c)
-                for member in event.released:
-                    self.thread_clocks[member] = self.clock(member).join(merged)
-                    self.advance(member)
-            else:
-                self.barrier_clocks.setdefault(key, []).append(self.clock(thread))
-                self.advance(thread)
-            return
-        if isinstance(event, (ev.ReadEvent, ev.WriteEvent, ev.AtomicUpdateEvent)):
-            self._memory_access(event, report)
-            self.advance(thread)
-            return
-        # Yield / deadlock events carry no ordering information.
-        if isinstance(event, ev.YieldEvent):
-            self.advance(thread)
-
-    # -- race checking ----------------------------------------------------------
-
-    def _memory_access(self, event: ev.Event, report: Report) -> None:
-        thread = event.thread
-        var = event.var  # type: ignore[attr-defined]
+        var = event.var
         is_write = isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent))
         is_read = isinstance(event, (ev.ReadEvent, ev.AtomicUpdateEvent))
         atomic = isinstance(event, ev.AtomicUpdateEvent)
         access = _Access(
             thread=thread,
             seq=event.seq,
-            clock=self.clock(thread),
+            clock=state.clocks.access_clock,
             is_write=is_write,
             atomic=atomic,
         )
-        previous_write = self.last_write.get(var)
+        previous_write = local.last_write.get(var)
         if previous_write is not None:
-            self._check_pair(previous_write, access, var, report)
+            _check_pair(previous_write, access, var, report)
         if is_write:
-            for read in self.reads_since_write.get(var, ()):
-                self._check_pair(read, access, var, report)
-            self.last_write[var] = access
-            self.reads_since_write[var] = []
+            for read in local.reads_since_write.get(var, ()):
+                _check_pair(read, access, var, report)
+            local.last_write[var] = access
+            local.reads_since_write[var] = []
         if is_read and not is_write:
-            self.reads_since_write.setdefault(var, []).append(access)
+            local.reads_since_write.setdefault(var, []).append(access)
         elif atomic:
             # Atomic read-modify-write acts as the new write; nothing to keep.
             pass
 
-    @staticmethod
-    def _conflicting(a: _Access, b: _Access) -> bool:
-        if a.thread == b.thread:
-            return False
-        if not (a.is_write or b.is_write):
-            return False
-        if a.atomic and b.atomic:
-            return False
-        return True
 
-    def _check_pair(self, earlier: _Access, later: _Access, var: str, report: Report) -> None:
-        if not self._conflicting(earlier, later):
-            return
-        if earlier.clock.concurrent_with(later.clock):
-            kinds = (
-                ("write" if earlier.is_write else "read"),
-                ("write" if later.is_write else "read"),
+def _conflicting(a: _Access, b: _Access) -> bool:
+    if a.thread == b.thread:
+        return False
+    if not (a.is_write or b.is_write):
+        return False
+    if a.atomic and b.atomic:
+        return False
+    return True
+
+
+def _check_pair(earlier: _Access, later: _Access, var: str, report: Report) -> None:
+    if not _conflicting(earlier, later):
+        return
+    if earlier.clock.concurrent_with(later.clock):
+        kinds = (
+            ("write" if earlier.is_write else "read"),
+            ("write" if later.is_write else "read"),
+        )
+        report.add(
+            Finding(
+                kind=FindingKind.DATA_RACE,
+                detector=HappensBeforeDetector.name,
+                description=(
+                    f"{kinds[0]} by {earlier.thread} and {kinds[1]} by "
+                    f"{later.thread} on {var!r} are unordered"
+                ),
+                threads=tuple(sorted({earlier.thread, later.thread})),
+                variables=(var,),
+                events=(earlier.seq, later.seq),
             )
-            report.add(
-                Finding(
-                    kind=FindingKind.DATA_RACE,
-                    detector=HappensBeforeDetector.name,
-                    description=(
-                        f"{kinds[0]} by {earlier.thread} and {kinds[1]} by "
-                        f"{later.thread} on {var!r} are unordered"
-                    ),
-                    threads=tuple(sorted({earlier.thread, later.thread})),
-                    variables=(var,),
-                    events=(earlier.seq, later.seq),
-                )
-            )
+        )

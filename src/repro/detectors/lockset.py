@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Any, Dict, Optional, Set
 
 from repro.detectors.base import Detector, Finding, FindingKind, Report
 from repro.sim import events as ev
-from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.detectors.pipeline import AnalysisState
 
 __all__ = ["LocksetDetector", "VariableState"]
 
@@ -59,45 +61,42 @@ class LocksetDetector(Detector):
     """Locking-discipline checker (Eraser)."""
 
     name = "lockset"
+    requires = frozenset({"locks"})
 
-    def analyse(self, trace: Trace) -> Report:
-        report = Report(detector=self.name)
-        held: Dict[str, Set[str]] = {}
-        tracking: Dict[str, _VarTracking] = {}
-        for event in trace:
-            self._track_locks(event, held)
-            # Hardware-atomic read-modify-writes are exempt from the locking
-            # discipline (as in Eraser): they synchronise by themselves.
-            if event.is_memory_access and not isinstance(event, ev.AtomicUpdateEvent):
-                self._track_access(event, held, tracking, report)
-        return report
+    def begin(self) -> Dict[str, _VarTracking]:
+        """Fresh per-variable state machines."""
+        return {}
 
-    # -- lock tracking ----------------------------------------------------
+    def copy_state(self, local: Dict[str, _VarTracking]) -> Dict[str, _VarTracking]:
+        """Structural copy of every variable's tracking record."""
+        return {
+            var: _VarTracking(
+                state=info.state,
+                owner=info.owner,
+                candidates=(
+                    None if info.candidates is None else set(info.candidates)
+                ),
+                reported=info.reported,
+                first_seq=info.first_seq,
+            )
+            for var, info in local.items()
+        }
 
-    @staticmethod
-    def _track_locks(event: ev.Event, held: Dict[str, Set[str]]) -> None:
-        locks = held.setdefault(event.thread, set())
-        if isinstance(event, ev.AcquireEvent):
-            locks.add(event.lock)
-        elif isinstance(event, ev.TryAcquireEvent) and event.success:
-            locks.add(event.lock)
-        elif isinstance(event, ev.ReleaseEvent):
-            locks.discard(event.lock)
-        elif isinstance(event, ev.WaitParkEvent):
-            locks.discard(event.lock)
-        elif isinstance(event, ev.WaitResumeEvent):
-            locks.add(event.lock)
-        elif isinstance(event, ev.RWAcquireEvent):
-            locks.add(event.rwlock)
-        elif isinstance(event, ev.RWReleaseEvent):
-            locks.discard(event.rwlock)
+    def on_event(
+        self, event: ev.Event, state: "AnalysisState", local: Any, report: Report
+    ) -> None:
+        """Refine each accessed variable's candidate lockset."""
+        # Hardware-atomic read-modify-writes are exempt from the locking
+        # discipline (as in Eraser): they synchronise by themselves.
+        if event.is_memory_access and not isinstance(event, ev.AtomicUpdateEvent):
+            self._track_access(event, state, local, report)
 
     # -- access tracking -----------------------------------------------------
 
     def _track_access(
         self,
         event: ev.Event,
-        held: Dict[str, Set[str]],
+        state: "AnalysisState",
         tracking: Dict[str, _VarTracking],
         report: Report,
     ) -> None:
@@ -116,7 +115,7 @@ class LocksetDetector(Detector):
             if thread == info.owner:
                 return
             # Second thread arrives: start refining from its lockset.
-            info.candidates = set(held.get(thread, ()))
+            info.candidates = set(state.locks.held_by(thread))
             info.state = (
                 VariableState.SHARED_MODIFIED if is_write else VariableState.SHARED
             )
@@ -124,7 +123,7 @@ class LocksetDetector(Detector):
             return
         # SHARED or SHARED_MODIFIED: refine on every access.
         assert info.candidates is not None
-        info.candidates &= held.get(thread, set())
+        info.candidates &= state.locks.held_by(thread)
         if is_write:
             info.state = VariableState.SHARED_MODIFIED
         self._maybe_report(event, info, report)

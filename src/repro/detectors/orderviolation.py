@@ -29,6 +29,11 @@ that cover the study's order-violation examples:
    finding with the conditions involved (complementary to the deadlock
    detector, which owns cyclic lock waits).
 
+All three signatures need whole-trace evidence ("the write came later",
+"no resume ever arrived"), so the streaming observer records candidate
+events during the pass and reports from :meth:`Detector.finish`.  Lock
+protection of reads comes from the pipeline's shared lock tracker.
+
 Initial values are needed for signature 1, so the detector takes the
 program's ``initial`` mapping at construction; callers created from a
 :class:`~repro.sim.Program` can use :meth:`OrderViolationDetector.for_program`.
@@ -36,20 +41,60 @@ program's ``initial`` mapping at construction; callers created from a
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.detectors.base import Detector, Finding, FindingKind, Report
 from repro.sim import events as ev
 from repro.sim.program import Program
-from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.detectors.pipeline import AnalysisState
 
 __all__ = ["OrderViolationDetector"]
+
+
+class _OrderLocal:
+    """Per-pass evidence records (events are immutable, lists copy shallow)."""
+
+    __slots__ = (
+        "first_write",
+        "crash_seq",
+        "last_touch",
+        "reads",
+        "notifies",
+        "parks",
+        "resumes",
+    )
+
+    def __init__(self) -> None:
+        # var -> first initialising write; thread -> crash seq.
+        self.first_write: Dict[str, ev.Event] = {}
+        self.crash_seq: Dict[str, int] = {}
+        # (thread, var) -> seq of the thread's last access to var.
+        self.last_touch: Dict[Tuple[str, str], int] = {}
+        # Reads of declared-initial variables, with lock-protection flag.
+        self.reads: List[Tuple[ev.ReadEvent, bool]] = []
+        self.notifies: List[ev.NotifyEvent] = []
+        self.parks: List[ev.WaitParkEvent] = []
+        self.resumes: List[ev.WaitResumeEvent] = []
+
+    def copy(self) -> "_OrderLocal":
+        dup = _OrderLocal.__new__(_OrderLocal)
+        dup.first_write = dict(self.first_write)
+        dup.crash_seq = dict(self.crash_seq)
+        dup.last_touch = dict(self.last_touch)
+        dup.reads = list(self.reads)
+        dup.notifies = list(self.notifies)
+        dup.parks = list(self.parks)
+        dup.resumes = list(self.resumes)
+        return dup
 
 
 class OrderViolationDetector(Detector):
     """Use-before-init, lost-notification, and hang signatures."""
 
     name = "order-violation"
+    requires = frozenset({"locks"})
 
     def __init__(self, initial: Optional[Mapping[str, Any]] = None):
         self.initial: Dict[str, Any] = dict(initial or {})
@@ -59,46 +104,47 @@ class OrderViolationDetector(Detector):
         """Detector wired with ``program``'s declared initial values."""
         return cls(initial=program.initial)
 
-    def analyse(self, trace: Trace) -> Report:
-        report = Report(detector=self.name)
-        self._use_before_init(trace, report)
-        self._lost_notifications(trace, report)
-        self._terminal_hang(trace, report)
-        return report
+    def begin(self) -> _OrderLocal:
+        """Fresh per-pass evidence records."""
+        return _OrderLocal()
+
+    def copy_state(self, local: _OrderLocal) -> _OrderLocal:
+        """Structural copy of the evidence records."""
+        return local.copy()
+
+    def on_event(
+        self, event: ev.Event, state: "AnalysisState", local: Any, report: Report
+    ) -> None:
+        """Record the evidence each signature needs at finish time."""
+        if isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent)):
+            local.first_write.setdefault(event.var, event)
+            local.last_touch[(event.thread, event.var)] = event.seq
+        elif isinstance(event, ev.ReadEvent):
+            local.last_touch[(event.thread, event.var)] = event.seq
+            if event.var in self.initial:
+                protected = bool(state.locks.mutexes_held(event.thread))
+                local.reads.append((event, protected))
+        elif isinstance(event, ev.ThreadCrashEvent):
+            local.crash_seq[event.thread] = event.seq
+        elif isinstance(event, ev.NotifyEvent):
+            if not event.woken:
+                local.notifies.append(event)
+        elif isinstance(event, ev.WaitParkEvent):
+            local.parks.append(event)
+        elif isinstance(event, ev.WaitResumeEvent):
+            local.resumes.append(event)
+
+    def finish(self, state: "AnalysisState", local: Any, report: Report) -> None:
+        """Run the three signatures over the recorded evidence."""
+        self._use_before_init(local, report)
+        self._lost_notifications(local, report)
+        self._terminal_hang(state.deadlock, report)
 
     # -- signature 1 ---------------------------------------------------------
 
-    def _use_before_init(self, trace: Trace, report: Report) -> None:
-        first_write: Dict[str, ev.Event] = {}
-        crash_seq: Dict[str, int] = {}
-        locks_held: Dict[str, set] = {}
-        read_protection: Dict[int, bool] = {}
-        last_touch: Dict[tuple, int] = {}
-        for event in trace:
-            held = locks_held.setdefault(event.thread, set())
-            if isinstance(event, ev.AcquireEvent):
-                held.add(event.lock)
-            elif isinstance(event, ev.TryAcquireEvent) and event.success:
-                held.add(event.lock)
-            elif isinstance(event, (ev.ReleaseEvent, ev.WaitParkEvent)):
-                held.discard(event.lock)
-            elif isinstance(event, ev.WaitResumeEvent):
-                held.add(event.lock)
-            elif isinstance(event, (ev.WriteEvent, ev.AtomicUpdateEvent)):
-                first_write.setdefault(event.var, event)
-                last_touch[(event.thread, event.var)] = event.seq
-            elif isinstance(event, ev.ReadEvent):
-                read_protection[event.seq] = bool(held)
-                last_touch[(event.thread, event.var)] = event.seq
-            elif isinstance(event, ev.ThreadCrashEvent):
-                crash_seq[event.thread] = event.seq
-
-        for event in trace:
-            if not isinstance(event, ev.ReadEvent):
-                continue
+    def _use_before_init(self, local: _OrderLocal, report: Report) -> None:
+        for event, protected in local.reads:
             var = event.var
-            if var not in self.initial:
-                continue
             if not _same_value(event.value, self.initial[var]):
                 continue
             # Only sentinel-like initial values (None/False) read as
@@ -107,15 +153,15 @@ class OrderViolationDetector(Detector):
             # the intended order, not a violation.
             if self.initial[var] is not None and self.initial[var] is not False:
                 continue
-            writer = first_write.get(var)
+            writer = local.first_write.get(var)
             if writer is not None and writer.thread == event.thread:
                 continue
-            crashed_after = crash_seq.get(event.thread, -1) > event.seq
+            crashed_after = local.crash_seq.get(event.thread, -1) > event.seq
             write_is_later = writer is not None and event.seq < writer.seq
             consumed_and_left = (
                 write_is_later
-                and not read_protection.get(event.seq, False)
-                and last_touch.get((event.thread, var)) == event.seq
+                and not protected
+                and local.last_touch.get((event.thread, var)) == event.seq
             )
             if not (crashed_after or consumed_and_left):
                 continue
@@ -145,24 +191,16 @@ class OrderViolationDetector(Detector):
 
     # -- signature 2 -----------------------------------------------------------
 
-    def _lost_notifications(self, trace: Trace, report: Report) -> None:
-        for event in trace:
-            if not isinstance(event, ev.NotifyEvent) or event.woken:
-                continue
-            later_parks = [
-                e
-                for e in trace
-                if isinstance(e, ev.WaitParkEvent)
-                and e.cond == event.cond
-                and e.seq > event.seq
-            ]
-            for park in later_parks:
+    def _lost_notifications(self, local: _OrderLocal, report: Report) -> None:
+        for event in local.notifies:
+            for park in local.parks:
+                if park.cond != event.cond or park.seq <= event.seq:
+                    continue
                 resumed = any(
-                    isinstance(e, ev.WaitResumeEvent)
-                    and e.thread == park.thread
-                    and e.cond == park.cond
-                    and e.seq > park.seq
-                    for e in trace
+                    resume.thread == park.thread
+                    and resume.cond == park.cond
+                    and resume.seq > park.seq
+                    for resume in local.resumes
                 )
                 if not resumed:
                     report.add(
@@ -182,8 +220,9 @@ class OrderViolationDetector(Detector):
 
     # -- signature 3 ----------------------------------------------------------------
 
-    def _terminal_hang(self, trace: Trace, report: Report) -> None:
-        deadlock = trace.deadlock()
+    def _terminal_hang(
+        self, deadlock: Optional[ev.DeadlockEvent], report: Report
+    ) -> None:
         if deadlock is None:
             return
         cond_blocked = [

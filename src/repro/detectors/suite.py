@@ -7,22 +7,34 @@ miss order violations and multi-variable bugs, and deadlock detection is a
 separate analysis entirely.  :class:`DetectorSuite` makes those statements
 measurable on our executable kernels: give it traces, get a per-detector
 report and a coverage map.
+
+Two execution modes share one API:
+
+* ``streaming=True`` runs the whole battery through a single shared
+  :class:`~repro.detectors.pipeline.DetectorPipeline` pass per trace —
+  each event is dispatched once, not once per detector.
+* :meth:`DetectorSuite.analyse_online` goes further and analyses *during*
+  exploration: the explorer feeds events to the pipeline as the engine
+  executes, reusing analysis state along shared schedule prefixes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.detectors.atomicity import AtomicityDetector
 from repro.obs import metrics as obs_metrics
+from repro.obs import runlog as obs_runlog
 from repro.detectors.base import Detector, FindingKind, Report
 from repro.detectors.deadlock import DeadlockDetector
 from repro.detectors.happensbefore import HappensBeforeDetector
 from repro.detectors.lockset import LocksetDetector
 from repro.detectors.orderviolation import OrderViolationDetector
+from repro.detectors.pipeline import DetectorPipeline
 from repro.sim.engine import RunResult, run_program
-from repro.sim.explorer import _make_explorer
+from repro.sim.explorer import ExplorationResult, make_explorer
 from repro.sim.program import Program
 from repro.sim.scheduler import CooperativeScheduler
 from repro.sim.trace import Trace
@@ -51,6 +63,10 @@ class SuiteResult:
     """Per-detector reports for one set of traces."""
 
     reports: Dict[str, Report] = field(default_factory=dict)
+    #: For :meth:`DetectorSuite.analyse_online`: the exploration result
+    #: the findings came from (pipeline counters live on
+    #: ``exploration.pipeline_stats``).  ``None`` for trace-based modes.
+    exploration: Optional[ExplorationResult] = None
 
     def report(self, detector: str) -> Report:
         """The report of one detector by name."""
@@ -102,27 +118,47 @@ def _record_suite(result: SuiteResult) -> SuiteResult:
 
 
 class DetectorSuite:
-    """A battery of detectors applied to one or more traces."""
+    """A battery of detectors applied to one or more traces.
 
-    def __init__(self, detectors: Optional[Iterable[Detector]] = None):
+    ``streaming=True`` analyses each trace in one shared pipeline pass
+    (one event dispatch feeds every detector) instead of one pass per
+    detector; findings are identical either way.
+    """
+
+    def __init__(
+        self,
+        detectors: Optional[Iterable[Detector]] = None,
+        streaming: bool = False,
+    ):
         self.detectors: List[Detector] = (
             list(detectors) if detectors is not None else default_detectors()
         )
+        self.streaming = streaming
 
     @classmethod
-    def for_program(cls, program: Program) -> "DetectorSuite":
+    def for_program(
+        cls, program: Program, streaming: bool = False
+    ) -> "DetectorSuite":
         """Suite with program-aware detectors wired up."""
-        return cls(default_detectors(program))
+        return cls(default_detectors(program), streaming=streaming)
+
+    def _pipeline(self) -> DetectorPipeline:
+        """A fresh shared pipeline over this suite's detectors."""
+        return DetectorPipeline(self.detectors)
 
     def analyse(self, trace: Trace) -> SuiteResult:
         """Run every detector on one trace."""
-        return _record_suite(SuiteResult(
-            reports={d.name: d.analyse(trace) for d in self.detectors}
-        ))
+        return self.analyse_many([trace])
 
     def analyse_many(self, traces: Iterable[Trace]) -> SuiteResult:
         """Run every detector across several traces, merging findings."""
         trace_list = list(traces)
+        if self.streaming:
+            pipeline = self._pipeline()
+            for trace in trace_list:
+                pipeline.run_trace(trace)
+            pipeline.record_metrics()
+            return _record_suite(SuiteResult(reports=dict(pipeline.reports)))
         return _record_suite(SuiteResult(
             reports={d.name: d.analyse_many(trace_list) for d in self.detectors}
         ))
@@ -144,7 +180,7 @@ class DetectorSuite:
         no run matches, analyses the single cooperative-schedule baseline
         run instead, so detectors still see one representative trace.
         """
-        explorer = _make_explorer(
+        explorer = make_explorer(
             program, max_schedules, 5000, None, workers, False,
             keep_matches=keep_matches,
         )
@@ -154,3 +190,67 @@ class DetectorSuite:
             baseline = run_program(program, CooperativeScheduler())
             traces = [baseline.trace]
         return self.analyse_many(traces)
+
+    def analyse_online(
+        self,
+        program: Program,
+        predicate: Optional[Callable[[RunResult], bool]] = None,
+        max_schedules: int = 20000,
+        max_steps: int = 5000,
+        preemption_bound: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> SuiteResult:
+        """Analyse *while* exploring: one streamed pass over every schedule.
+
+        A shared detector pipeline rides along with the exploration
+        (sharded across processes when ``workers > 1``), observing every
+        executed event; analysis state is snapshotted at branch points
+        and restored for sibling schedules, so shared prefixes are
+        analysed once instead of once per schedule.  Unlike
+        :meth:`analyse_program` this covers **every** explored
+        interleaving, not just the ``keep_matches`` retained ones —
+        without retaining any traces.
+
+        ``predicate`` only controls the exploration's match bookkeeping
+        (default: nothing matches); detection does not depend on it.
+        """
+        start = perf_counter()
+        explorer = make_explorer(
+            program,
+            max_schedules,
+            max_steps,
+            preemption_bound,
+            workers,
+            False,
+            keep_matches=0,
+            pipeline_factory=self._pipeline,
+        )
+        exploration = explorer.explore(
+            predicate=predicate if predicate is not None else (lambda run: False)
+        )
+        reports = dict(exploration.detector_reports or {})
+        for detector in self.detectors:
+            reports.setdefault(detector.name, Report(detector=detector.name))
+        result = _record_suite(
+            SuiteResult(reports=reports, exploration=exploration)
+        )
+        if obs_runlog.active_runlog() is not None:
+            args = {
+                "max_schedules": max_schedules,
+                "max_steps": max_steps,
+                "preemption_bound": preemption_bound,
+                "workers": workers,
+                "memoize": False,
+                "online": True,
+            }
+            stats = exploration.pipeline_stats or {}
+            obs_runlog.emit(
+                "suite.analyse_online",
+                **obs_runlog.exploration_record(
+                    exploration, args, perf_counter() - start
+                ),
+                pipeline=stats,
+                findings={name: len(report) for name, report in reports.items()},
+                first_finding_step=stats.get("first_finding_step"),
+            )
+        return result

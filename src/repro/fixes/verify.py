@@ -17,7 +17,7 @@ from repro.bugdb.schema import FixStrategy
 from repro.fixes.strategies import bad_patches, fixes_for
 from repro.kernels.base import BugKernel
 from repro.sim import Program
-from repro.sim.explorer import _make_explorer
+from repro.sim.explorer import make_explorer
 
 __all__ = ["FixVerification", "verify_fix", "verify_all_fixes", "audit_bad_patches"]
 
@@ -58,7 +58,7 @@ def verify_fix(
     ``workers > 1`` shards the exploration across a process pool; the
     verdict and counterexample are identical to the serial search.
     """
-    explorer = _make_explorer(
+    explorer = make_explorer(
         patched, max_schedules, 5000, None, workers, False, keep_matches=1,
     )
     result = explorer.explore(predicate=kernel.failure, stop_on_first=True)

@@ -29,7 +29,7 @@ from typing import Callable, Optional, Tuple
 
 from repro.bugdb.schema import BugCategory, FixStrategy
 from repro.sim.engine import RunResult
-from repro.sim.explorer import _emit_exploration_runlog, _make_explorer
+from repro.sim.explorer import _emit_exploration_runlog, make_explorer
 from repro.sim.program import Program
 
 __all__ = ["BugKernel", "Oracle"]
@@ -71,7 +71,7 @@ class BugKernel:
         inspects terminal state, not the schedule/trace — the bundled
         kernels' oracles do, but it stays opt-in.
         """
-        explorer = _make_explorer(
+        explorer = make_explorer(
             self.buggy, max_schedules, 5000, None, workers, memoize,
         )
         start = perf_counter()
@@ -89,7 +89,7 @@ class BugKernel:
 
         No ``memoize`` option: pruned subtrees would skew the rate.
         """
-        explorer = _make_explorer(
+        explorer = make_explorer(
             self.buggy, max_schedules, 5000, None, workers, False,
         )
         start = perf_counter()
@@ -107,7 +107,7 @@ class BugKernel:
         memoize: bool = False,
     ) -> bool:
         """Exhaustively check that no schedule of the fixed program fails."""
-        explorer = _make_explorer(
+        explorer = make_explorer(
             self.fixed, max_schedules, 5000, None, workers, memoize,
             keep_matches=1,
         )

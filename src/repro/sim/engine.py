@@ -98,11 +98,15 @@ class Engine:
         scheduler: Scheduler,
         max_steps: int = 20000,
         enabled_filter: Optional[EnabledFilter] = None,
+        event_hook: Optional[Callable[[ev.Event], None]] = None,
     ):
         self.program = program
         self.scheduler = scheduler
         self.max_steps = max_steps
         self.enabled_filter = enabled_filter
+        # Called with each event right after it is appended to the trace;
+        # this is how streaming detector pipelines observe a run live.
+        self._event_hook = event_hook
         self.memory = program.make_memory()
         self.sync = program.make_sync()
         self.threads: Dict[str, VirtualThread] = program.make_threads()
@@ -501,6 +505,8 @@ class Engine:
         event = klass(seq=self._seq, thread=thread, label=label, **payload)
         self._seq += 1
         self.trace.append(event)
+        if self._event_hook is not None:
+            self._event_hook(event)
 
 
 def _has_cycle(edges: Dict[str, List[str]]) -> bool:

@@ -41,10 +41,11 @@ shards this same search by prefix across a process pool; the
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExplorationError
 from repro.obs import metrics as obs_metrics
@@ -55,12 +56,21 @@ from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
 from repro.sim.statecache import MemoHit, StateCache, state_fingerprint
 
-__all__ = ["Explorer", "ExplorationResult", "find_schedule", "enumerate_outcomes"]
+__all__ = [
+    "Explorer",
+    "ExplorationResult",
+    "find_schedule",
+    "enumerate_outcomes",
+    "make_explorer",
+]
 
 Predicate = Callable[[RunResult], bool]
 
-#: A DFS stack entry: (schedule prefix, preemptions already paid inside it).
-Seed = Tuple[List[str], int]
+#: A DFS stack entry: (schedule prefix, preemptions already paid inside
+#: it, detector-pipeline snapshot taken at the branch point — or ``None``
+#: when no pipeline is attached).  The snapshot is what lets a sibling
+#: run resume analysis from the shared prefix instead of re-analysing it.
+Seed = Tuple[List[str], int, Optional[Any]]
 
 
 class _RecordingScheduler(Scheduler):
@@ -76,13 +86,18 @@ class _RecordingScheduler(Scheduler):
         prefix: Sequence[str],
         cache: Optional[StateCache] = None,
         preemption_bound: Optional[int] = None,
+        pipeline: Optional[Any] = None,
     ):
         self.prefix = list(prefix)
         self.cache = cache
         self.preemption_bound = preemption_bound
+        self.pipeline = pipeline
         self.engine: Optional[Engine] = None
         self.enabled_sets: List[List[str]] = []
         self.choices: List[str] = []
+        # Pipeline snapshots per decision beyond the prefix (None entries
+        # for decisions with a single enabled thread — no siblings there).
+        self.node_snapshots: List[Optional[Any]] = []
         self._last: Optional[str] = None
         self._preemptions = 0
         # Hoisted once per run: fingerprinting is the per-decision hot
@@ -127,6 +142,12 @@ class _RecordingScheduler(Scheduler):
             if self.cache.seen(fingerprint):
                 raise MemoHit()
         self.enabled_sets.append(ordered)
+        if self.pipeline is not None and index >= len(self.prefix):
+            # Snapshot only at real branch points: a single-choice
+            # decision spawns no siblings, so nothing ever restores there.
+            self.node_snapshots.append(
+                self.pipeline.snapshot() if len(ordered) > 1 else None
+            )
         if index < len(self.prefix):
             choice = self.prefix[index]
             if choice not in enabled:
@@ -147,6 +168,7 @@ class _RecordingScheduler(Scheduler):
     def reset(self) -> None:
         self.enabled_sets = []
         self.choices = []
+        self.node_snapshots = []
         self._last = None
         self._preemptions = 0
 
@@ -180,6 +202,13 @@ class ExplorationResult:
     cache_states: int = 0
     #: Wall-clock of the exploration (for a shard: that shard's search).
     wall_seconds: float = 0.0
+    #: Detector reports accumulated by an attached streaming pipeline,
+    #: keyed by detector name (``None`` when exploring without one).
+    #: Typed loosely because the sim layer never imports detector types.
+    detector_reports: Optional[Dict[str, Any]] = None
+    #: Counter dict from the attached pipeline's
+    #: ``PipelineStats.as_dict()`` (``None`` without a pipeline).
+    pipeline_stats: Optional[Dict[str, Any]] = None
 
     @property
     def found(self) -> bool:
@@ -229,6 +258,7 @@ class Explorer:
         enabled_filter: Optional[EnabledFilter] = None,
         keep_matches: int = 16,
         memoize: bool = False,
+        pipeline: Optional[Any] = None,
     ):
         if memoize and enabled_filter is not None:
             raise ExplorationError(
@@ -243,6 +273,13 @@ class Explorer:
         self.enabled_filter = enabled_filter
         self.keep_matches = keep_matches
         self.memoize = memoize
+        #: Streaming detector pipeline observing every executed event
+        #: (duck-typed — e.g. :class:`repro.detectors.pipeline.DetectorPipeline`;
+        #: the sim layer never imports detector code).  Shared DFS
+        #: prefixes are analysed once via snapshot/restore.  Combined
+        #: with ``memoize=True``, pruned subtrees are never observed, so
+        #: path-dependent findings below a cache hit can be missed.
+        self.pipeline = pipeline
         #: The state cache of the most recent exploration (None unless
         #: ``memoize=True``); exposes hit/size statistics.
         self.cache: Optional[StateCache] = None
@@ -260,10 +297,12 @@ class Explorer:
         :param stop_on_first: end the search at the first match.
         """
         start = perf_counter()
-        result, _ = self._search([([], 0)], predicate, stop_on_first, None)
+        result, _ = self._search([([], 0, None)], predicate, stop_on_first, None)
         result.wall_seconds = perf_counter() - start
         if self.cache is not None:
             self.cache.record_metrics(program=self.program.name)
+        if result.pipeline_stats is not None:
+            _record_pipeline_stats(result.pipeline_stats, self.program.name)
         _record_exploration(result, "dfs")
         return result
 
@@ -302,9 +341,9 @@ class Explorer:
             if attempts >= self.max_schedules:
                 result.complete = False
                 break
-            prefix, paid = stack.pop()
+            prefix, paid, snapshot = stack.pop()
             attempts += 1
-            run, recorder = self._run_once(prefix, cache)
+            run, recorder = self._run_once(prefix, cache, snapshot)
             if len(recorder.choices) > len(prefix):
                 result.states_expanded += len(recorder.choices) - len(prefix)
             result.preemptions_spent += recorder.preemptions
@@ -324,28 +363,53 @@ class Explorer:
                     if stop_on_first:
                         result.complete = False
                         _fill_cache_stats(result, cache)
+                        _fill_pipeline(result, self.pipeline)
                         return result, stack
             self._push_siblings(stack, recorder, prefix, paid)
         _fill_cache_stats(result, cache)
+        _fill_pipeline(result, self.pipeline)
         return result, stack
 
     def _run_once(
-        self, prefix: List[str], cache: Optional[StateCache]
+        self,
+        prefix: List[str],
+        cache: Optional[StateCache],
+        snapshot: Optional[Any] = None,
     ) -> Tuple[Optional[RunResult], _RecordingScheduler]:
+        pipeline = self.pipeline
+        hook = None
+        if pipeline is not None:
+            # Resume analysis from the branch-point snapshot when one was
+            # taken: the replayed prefix's events are then skipped instead
+            # of re-analysed (the root seed has no snapshot — full pass).
+            if snapshot is not None:
+                pipeline.restore(snapshot)
+            else:
+                pipeline.begin_pass()
+            hook = pipeline.feed
         recorder = _RecordingScheduler(
-            prefix, cache=cache, preemption_bound=self.preemption_bound
+            prefix,
+            cache=cache,
+            preemption_bound=self.preemption_bound,
+            pipeline=pipeline,
         )
         engine = Engine(
             self.program,
             recorder,
             max_steps=self.max_steps,
             enabled_filter=self.enabled_filter,
+            event_hook=hook,
         )
         recorder.attach(engine)
         try:
-            return engine.run(), recorder
+            run = engine.run()
         except MemoHit:
+            # Events fed before the hit did execute, so the pipeline state
+            # is sound; end-of-trace analyses are skipped for aborted runs.
             return None, recorder
+        if pipeline is not None:
+            pipeline.finish_pass()
+        return run, recorder
 
     def _push_siblings(
         self,
@@ -356,12 +420,15 @@ class Explorer:
     ) -> None:
         choices = recorder.choices
         enabled_sets = recorder.enabled_sets
+        snapshots = recorder.node_snapshots
         # Preemption cost of each executed step beyond the prefix.
         preemptions = paid
         for i in range(len(prefix), len(choices)):
             previous = choices[i - 1] if i > 0 else None
             chosen = choices[i]
             cost_chosen = _preemption_cost(previous, chosen, enabled_sets[i])
+            # node_snapshots holds only post-prefix decisions.
+            snapshot = snapshots[i - len(prefix)] if snapshots else None
             for alt in enabled_sets[i]:
                 if alt == chosen:
                     continue
@@ -371,7 +438,9 @@ class Explorer:
                     and preemptions + cost_alt > self.preemption_bound
                 ):
                     continue
-                stack.append((choices[:i] + [alt], preemptions + cost_alt))
+                stack.append(
+                    (choices[:i] + [alt], preemptions + cost_alt, snapshot)
+                )
             preemptions += cost_chosen
 
 
@@ -380,6 +449,63 @@ def _fill_cache_stats(result: ExplorationResult, cache: Optional[StateCache]) ->
     if cache is not None:
         result.cache_lookups = cache.lookups
         result.cache_states = len(cache)
+
+
+def _fill_pipeline(result: ExplorationResult, pipeline: Optional[Any]) -> None:
+    """Copy an attached pipeline's reports and counters into the result.
+
+    Reports travel on the result (picklable) so parallel shards can send
+    them back to the parent for merging.
+    """
+    if pipeline is not None:
+        result.detector_reports = dict(pipeline.reports)
+        result.pipeline_stats = pipeline.stats.as_dict()
+
+
+def _merge_pipeline_stats(
+    into: Optional[Dict[str, Any]], add: Optional[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """Fold one shard's pipeline counter dict into an accumulated one."""
+    if add is None:
+        return into
+    if into is None:
+        return dict(add)
+    merged = dict(into)
+    for key in (
+        "events_dispatched", "events_reused", "snapshots", "restores", "passes",
+    ):
+        merged[key] = merged.get(key, 0) + add.get(key, 0)
+    firsts = [
+        stats.get("first_finding_step")
+        for stats in (into, add)
+        if stats.get("first_finding_step") is not None
+    ]
+    merged["first_finding_step"] = min(firsts) if firsts else None
+    analysed = merged["events_dispatched"] + merged["events_reused"]
+    merged["reuse_ratio"] = (
+        merged["events_reused"] / analysed if analysed else 0.0
+    )
+    return merged
+
+
+def _record_pipeline_stats(stats: Dict[str, Any], program: str) -> None:
+    """Publish one exploration's pipeline counters to the metrics registry.
+
+    Mirrors :func:`repro.detectors.pipeline.record_pipeline_metrics` for
+    counter dicts — the sim layer cannot import detector code, and merged
+    parallel results only carry the dict anyway.  No-op while metrics are
+    disabled.
+    """
+    registry = obs_metrics.active()
+    if registry is None:
+        return
+    for key in (
+        "events_dispatched", "events_reused", "snapshots", "restores", "passes",
+    ):
+        registry.inc(f"pipeline.{key}", stats.get(key, 0), program=program)
+    registry.set_gauge(
+        "pipeline.reuse_ratio", stats.get("reuse_ratio", 0.0), program=program
+    )
 
 
 def _record_exploration(result: ExplorationResult, explorer: str) -> None:
@@ -461,16 +587,28 @@ def _outcome_key(run: RunResult) -> Tuple:
     return (run.status.value, tuple(items))
 
 
-def _make_explorer(
+def make_explorer(
     program: Program,
-    max_schedules: int,
-    max_steps: int,
-    preemption_bound: Optional[int],
-    workers: Optional[int],
-    memoize: bool,
+    max_schedules: int = 20000,
+    max_steps: int = 5000,
+    preemption_bound: Optional[int] = None,
+    workers: Optional[int] = None,
+    memoize: bool = False,
     keep_matches: int = 16,
+    pipeline_factory: Optional[Callable[[], Any]] = None,
 ):
-    """Serial or parallel explorer, by ``workers`` (shared factory)."""
+    """Serial or parallel explorer, selected by ``workers`` (shared factory).
+
+    This is the one place that knows how to turn "how many workers?" into
+    the right explorer class; the detector suite, kernels, and fix
+    verification all build explorers through it.
+
+    :param pipeline_factory: zero-argument callable returning a fresh
+        streaming detector pipeline (e.g.
+        ``lambda: DetectorPipeline(detectors)``).  A factory rather than an
+        instance because the parallel explorer needs an independent
+        pipeline per shard process.
+    """
     if workers is not None and workers > 1:
         from repro.sim.parallel import ParallelExplorer
 
@@ -482,6 +620,7 @@ def _make_explorer(
             preemption_bound=preemption_bound,
             keep_matches=keep_matches,
             memoize=memoize,
+            pipeline_factory=pipeline_factory,
         )
     return Explorer(
         program,
@@ -490,7 +629,18 @@ def _make_explorer(
         preemption_bound=preemption_bound,
         keep_matches=keep_matches,
         memoize=memoize,
+        pipeline=pipeline_factory() if pipeline_factory is not None else None,
     )
+
+
+def _make_explorer(*args, **kwargs):
+    """Deprecated alias of :func:`make_explorer` (was private API)."""
+    warnings.warn(
+        "_make_explorer is deprecated; use repro.sim.explorer.make_explorer",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_explorer(*args, **kwargs)
 
 
 def find_schedule(
@@ -508,7 +658,7 @@ def find_schedule(
     ``memoize=True`` prunes revisited states (sound for predicates over
     terminal state only — see :mod:`repro.sim.statecache`).
     """
-    explorer = _make_explorer(
+    explorer = make_explorer(
         program, max_schedules, max_steps, preemption_bound, workers, memoize,
         keep_matches=1,
     )
@@ -538,7 +688,7 @@ def enumerate_outcomes(
     ``workers > 1`` and a complete search, counts match the serial
     search exactly.
     """
-    explorer = _make_explorer(
+    explorer = make_explorer(
         program, max_schedules, max_steps, preemption_bound, workers, memoize
     )
     start = perf_counter()

@@ -53,7 +53,9 @@ from repro.sim.explorer import (
     Explorer,
     Predicate,
     Seed,
+    _merge_pipeline_stats,
     _record_exploration,
+    _record_pipeline_stats,
 )
 from repro.sim.program import Program
 
@@ -73,6 +75,7 @@ def _init_worker(program: Program, predicate: Optional[Predicate], options: Dict
 def _explore_shard(seed: Seed) -> ExplorationResult:
     """Explore one prefix subtree to completion; runs inside a worker."""
     options = _WORKER["options"]
+    factory = options["pipeline_factory"]
     explorer = Explorer(
         _WORKER["program"],
         max_schedules=options["max_schedules"],
@@ -81,11 +84,14 @@ def _explore_shard(seed: Seed) -> ExplorationResult:
         enabled_filter=options["enabled_filter"],
         keep_matches=options["keep_matches"],
         memoize=options["memoize"],
+        # Fresh pipeline per shard: the seed's snapshot re-seeds its
+        # analysis state, and its reports travel back on the result.
+        pipeline=factory() if factory is not None else None,
     )
-    prefix, paid = seed
+    prefix, paid, snapshot = seed
     start = perf_counter()
     result, _ = explorer._search(
-        [(list(prefix), paid)],
+        [(list(prefix), paid, snapshot)],
         _WORKER["predicate"],
         options["stop_on_first"],
         None,
@@ -116,6 +122,7 @@ class ParallelExplorer:
         memoize: bool = False,
         shard_factor: int = 4,
         pool: str = "auto",
+        pipeline_factory: Optional[Any] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -137,6 +144,10 @@ class ParallelExplorer:
         self.memoize = memoize
         self.shard_factor = shard_factor
         self.pool = pool
+        #: Zero-argument callable building a fresh streaming detector
+        #: pipeline; called once for the root phase and once per shard
+        #: (pipelines are stateful, so shards cannot share an instance).
+        self.pipeline_factory = pipeline_factory
 
     def explore(
         self,
@@ -145,6 +156,7 @@ class ParallelExplorer:
     ) -> ExplorationResult:
         """Run the sharded search; result fields as in :class:`Explorer`."""
         start = perf_counter()
+        factory = self.pipeline_factory
         serial = Explorer(
             self.program,
             max_schedules=self.max_schedules,
@@ -153,9 +165,12 @@ class ParallelExplorer:
             enabled_filter=self.enabled_filter,
             keep_matches=self.keep_matches,
             memoize=self.memoize,
+            pipeline=factory() if factory is not None else None,
         )
         target = max(2, self.workers * self.shard_factor)
-        root, frontier = serial._search([([], 0)], predicate, stop_on_first, target)
+        root, frontier = serial._search(
+            [([], 0, None)], predicate, stop_on_first, target
+        )
         # Root phase finished the whole tree, exhausted the budget, or
         # matched with stop_on_first: nothing left to shard.
         if not frontier or not root.complete or (stop_on_first and root.found):
@@ -228,6 +243,8 @@ class ParallelExplorer:
                 registry.set_gauge(
                     "statecache.size", merged.cache_states, program=program
                 )
+        if merged.pipeline_stats is not None:
+            _record_pipeline_stats(merged.pipeline_stats, self.program.name)
         _record_exploration(merged, "parallel")
 
     def _run_shards(
@@ -245,6 +262,7 @@ class ParallelExplorer:
             "keep_matches": self.keep_matches,
             "memoize": self.memoize,
             "stop_on_first": stop_on_first,
+            "pipeline_factory": self.pipeline_factory,
         }
         if self._use_pool():
             context = multiprocessing.get_context("fork")
@@ -301,6 +319,24 @@ def _merge(
         if merged.first_match_schedule is None and shard.first_match_schedule:
             merged.first_match_schedule = list(shard.first_match_schedule)
         merged.complete = merged.complete and shard.complete
+        if shard.detector_reports:
+            # Prefix findings already live in the root result's reports
+            # (reports are append-only along the serial root phase); the
+            # shard contributes the findings of its subtree.  ``add``
+            # de-duplicates, so overlap is harmless.
+            if merged.detector_reports is None:
+                merged.detector_reports = dict(shard.detector_reports)
+            else:
+                for name, report in shard.detector_reports.items():
+                    target = merged.detector_reports.get(name)
+                    if target is None:
+                        merged.detector_reports[name] = report
+                    else:
+                        for finding in report:
+                            target.add(finding)
+        merged.pipeline_stats = _merge_pipeline_stats(
+            merged.pipeline_stats, shard.pipeline_stats
+        )
         if stop_on_first and shard.match_count:
             # Serial search would have stopped inside this shard; the
             # remaining shards' results are redundant work, not part of

@@ -28,7 +28,7 @@ ones.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
@@ -39,8 +39,10 @@ from repro.sim.explorer import (
     ExplorationResult,
     Predicate,
     _default_predicate,
+    _fill_pipeline,
     _outcome_key,
     _record_exploration,
+    _record_pipeline_stats,
 )
 from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
@@ -130,16 +132,21 @@ class _SleepScheduler(Scheduler):
         prefix: Sequence[str],
         initial_sleep: FrozenSet[str],
         cache: Optional[StateCache] = None,
+        pipeline: Optional[Any] = None,
     ):
         self.prefix = list(prefix)
         self.initial_sleep = initial_sleep
         self.cache = cache
+        self.pipeline = pipeline
         self.engine: Optional[Engine] = None
         self.cond_locks: Dict[str, str] = {}
         self.choices: List[str] = []
         self.enabled_sets: List[List[str]] = []
         self.sleep_sets: List[FrozenSet[str]] = []
         self.footprints: List[Dict[str, FrozenSet[Token]]] = []
+        # Pipeline snapshots per recorded decision (None where at most
+        # one awake thread means no sibling branches).
+        self.node_snapshots: List[Optional[Any]] = []
         self._sleep: FrozenSet[str] = frozenset()
         self._last: Optional[str] = None
         self.pruned = False
@@ -199,6 +206,13 @@ class _SleepScheduler(Scheduler):
         self.sleep_sets.append(self._sleep)
         self.footprints.append(footprints)
         awake = [name for name in ordered if name not in self._sleep]
+        if self.pipeline is not None:
+            # Appended before the pruned-node raise so the snapshot list
+            # stays aligned with enabled_sets; siblings only branch where
+            # more than one thread is awake.
+            self.node_snapshots.append(
+                self.pipeline.snapshot() if len(awake) > 1 else None
+            )
         if not awake:
             self.pruned = True
             raise _SleepPruned("all enabled threads are asleep")
@@ -223,6 +237,7 @@ class _SleepScheduler(Scheduler):
         self.enabled_sets = []
         self.sleep_sets = []
         self.footprints = []
+        self.node_snapshots = []
         self._sleep = frozenset()
         self._last = None
         self.pruned = False
@@ -238,12 +253,18 @@ class SleepSetExplorer:
         max_steps: int = 5000,
         keep_matches: int = 16,
         memoize: bool = False,
+        pipeline: Optional[Any] = None,
     ):
         self.program = program
         self.max_schedules = max_schedules
         self.max_steps = max_steps
         self.keep_matches = keep_matches
         self.memoize = memoize
+        #: Streaming detector pipeline (duck-typed, as in
+        #: :class:`~repro.sim.explorer.Explorer`); note that reduction
+        #: already skips interleavings, so pipeline findings cover only
+        #: the non-pruned representative schedules.
+        self.pipeline = pipeline
         #: Redundant branches pruned in the last exploration.
         self.pruned_runs = 0
         #: The state cache of the most recent exploration (None unless
@@ -264,15 +285,17 @@ class SleepSetExplorer:
         self.pruned_runs = 0
         cache = StateCache() if self.memoize else None
         self.cache = cache
-        stack: List[Tuple[List[str], FrozenSet[str]]] = [([], frozenset())]
+        stack: List[Tuple[List[str], FrozenSet[str], Optional[Any]]] = [
+            ([], frozenset(), None)
+        ]
         attempts = 0
         while stack:
             if attempts >= self.max_schedules:
                 result.complete = False
                 break
-            prefix, sleep = stack.pop()
+            prefix, sleep, snapshot = stack.pop()
             attempts += 1
-            run, scheduler = self._run_once(prefix, sleep, cache)
+            run, scheduler = self._run_once(prefix, sleep, cache, snapshot)
             if len(scheduler.choices) > len(prefix):
                 result.states_expanded += len(scheduler.choices) - len(prefix)
             if run is not None:
@@ -309,6 +332,9 @@ class SleepSetExplorer:
             result.cache_lookups = cache.lookups
             result.cache_states = len(cache)
             cache.record_metrics(program=self.program.name)
+        _fill_pipeline(result, self.pipeline)
+        if result.pipeline_stats is not None:
+            _record_pipeline_stats(result.pipeline_stats, self.program.name)
         result.wall_seconds = perf_counter() - start
         obs_metrics.inc(
             "explorer.pruned_runs", self.pruned_runs,
@@ -323,18 +349,36 @@ class SleepSetExplorer:
         prefix: List[str],
         sleep: FrozenSet[str],
         cache: Optional[StateCache],
+        snapshot: Optional[Any] = None,
     ) -> Tuple[Optional[RunResult], _SleepScheduler]:
-        scheduler = _SleepScheduler(prefix, sleep, cache=cache)
-        engine = Engine(self.program, scheduler, max_steps=self.max_steps)
+        pipeline = self.pipeline
+        hook = None
+        if pipeline is not None:
+            if snapshot is not None:
+                pipeline.restore(snapshot)
+            else:
+                pipeline.begin_pass()
+            hook = pipeline.feed
+        scheduler = _SleepScheduler(
+            prefix, sleep, cache=cache, pipeline=pipeline
+        )
+        engine = Engine(
+            self.program, scheduler, max_steps=self.max_steps, event_hook=hook
+        )
         scheduler.attach(engine)
         try:
-            return engine.run(), scheduler
+            run = engine.run()
         except (_SleepPruned, MemoHit):
+            # Already-fed events did execute; end-of-trace analyses are
+            # skipped for aborted runs.
             return None, scheduler
+        if pipeline is not None:
+            pipeline.finish_pass()
+        return run, scheduler
 
     def _push_siblings(
         self,
-        stack: List[Tuple[List[str], FrozenSet[str]]],
+        stack: List[Tuple[List[str], FrozenSet[str], Optional[Any]]],
         scheduler: _SleepScheduler,
         prefix: List[str],
         run: Optional[RunResult],
@@ -353,6 +397,11 @@ class SleepSetExplorer:
             if step >= len(choices):
                 break  # the pruned node itself has no explored choice
             chosen = choices[step]
+            snapshot = (
+                scheduler.node_snapshots[node]
+                if scheduler.node_snapshots
+                else None
+            )
             explored: List[str] = [chosen]
             for alt in enabled:
                 if alt == chosen or alt in node_sleep:
@@ -365,5 +414,5 @@ class SleepSetExplorer:
                         for name in (node_sleep | set(explored))
                         if not ops_dependent(footprints[name], footprints[alt])
                     )
-                stack.append((choices[:step] + [alt], alt_sleep))
+                stack.append((choices[:step] + [alt], alt_sleep, snapshot))
                 explored.append(alt)

@@ -46,8 +46,12 @@ class Trace:
     # -- queries ------------------------------------------------------------
 
     def events(self) -> Sequence[ev.Event]:
-        """The full event list (read-only view by convention)."""
-        return self._events
+        """The full event sequence as an immutable snapshot.
+
+        Returns a tuple so callers cannot mutate the trace through the
+        view (appends after the call are likewise not reflected).
+        """
+        return tuple(self._events)
 
     def memory_accesses(self, var: Optional[str] = None) -> List[ev.Event]:
         """All read/write/atomic events, optionally restricted to ``var``."""
