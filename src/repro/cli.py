@@ -18,6 +18,12 @@ Commands:
     instead (every interleaving analysed, shared prefixes once).
 ``estimate NAME [--runs N] [--workers N]``
     Manifestation rates under cooperative/random/PCT/enforced testing.
+``static [NAME] [--json] [--direct] [--workers N]``
+    Static analysis of kernel NAME (default: every kernel), zero
+    schedules, cross-checked against dynamic exploration for a
+    precision/recall report; ``--direct`` additionally compares
+    race-directed vs undirected schedules-to-first-manifestation,
+    ``--json`` emits the machine-readable report.
 ``bug BUG_ID``
     Show one bug record (try ``mysql-nd-binlog-rotate``).
 ``validate``
@@ -128,6 +134,26 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--runs", type=int, default=100)
     estimate.add_argument("--workers", type=_worker_count, default=None,
                           help="split the seeded runs across N worker processes")
+
+    static = commands.add_parser(
+        "static",
+        help="static analysis + precision/recall vs dynamic findings",
+        parents=[obs_flags],
+    )
+    static.add_argument(
+        "name", nargs="?", default=None,
+        help="kernel name (default: every registered kernel)",
+    )
+    static.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    static.add_argument(
+        "--direct", action="store_true",
+        help="also compare race-directed vs undirected exploration "
+             "(schedules to first manifestation)",
+    )
+    static.add_argument("--workers", type=_worker_count, default=None,
+                        help=workers_help)
 
     bug = commands.add_parser(
         "bug", help="show one bug record", parents=[obs_flags]
@@ -283,6 +309,73 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _measure_directed(kernel, workers) -> dict:
+    """Schedules to first manifestation, undirected DFS vs race-directed."""
+    from repro.sim.explorer import make_explorer
+
+    counts = {}
+    for mode, targets in (
+        ("undirected", None),
+        ("directed", kernel.static_targets()),
+    ):
+        explorer = make_explorer(
+            kernel.buggy, 20000, 5000, None, workers, False,
+            keep_matches=1, targets=targets,
+        )
+        result = explorer.explore(predicate=kernel.failure, stop_on_first=True)
+        counts[mode] = result.schedules_run if result.found else None
+    return counts
+
+
+def _cmd_static(args) -> int:
+    import json
+
+    from repro.detectors import DetectorSuite
+    from repro.kernels import all_kernels
+
+    if args.name is not None:
+        kernel = _get_kernel_or_fail(args.name)
+        if kernel is None:
+            return 2
+        kernels = [kernel]
+    else:
+        kernels = list(all_kernels())
+
+    payload = []
+    all_sound = True
+    for kernel in kernels:
+        suite = DetectorSuite.for_program(kernel.buggy, streaming=True)
+        comparison = suite.analyse_static(
+            kernel.buggy, predicate=kernel.failure, workers=args.workers,
+        )
+        all_sound = all_sound and comparison.sound
+        directed = _measure_directed(kernel, args.workers) if args.direct else None
+        if args.json:
+            record = comparison.to_json()
+            if directed is not None:
+                record["schedules_to_first"] = directed
+            payload.append(record)
+            continue
+        print(comparison.static.format())
+        print(comparison.format())
+        if directed is not None:
+            print(
+                "  schedules to first manifestation: "
+                f"undirected {directed['undirected']}, "
+                f"directed {directed['directed']}"
+            )
+        print()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif len(kernels) > 1:
+        print(
+            "soundness over kernel corpus: "
+            + ("every confirmed dynamic finding statically predicted"
+               if all_sound else "FAILED — see MISSED lines above")
+        )
+    return 0 if all_sound else 1
+
+
 def _cmd_bug(args) -> int:
     db = BugDatabase.load()
     if args.bug_id not in db:
@@ -361,6 +454,7 @@ _HANDLERS = {
     "kernel": _cmd_kernel,
     "detect": _cmd_detect,
     "estimate": _cmd_estimate,
+    "static": _cmd_static,
     "bug": _cmd_bug,
     "validate": _cmd_validate,
     "fuzz": _cmd_fuzz,

@@ -18,7 +18,12 @@ from repro.detectors.happensbefore import HappensBeforeDetector
 from repro.detectors.lockset import LocksetDetector, VariableState
 from repro.detectors.orderviolation import OrderViolationDetector
 from repro.detectors.pipeline import AnalysisState, DetectorPipeline
-from repro.detectors.suite import DetectorSuite, SuiteResult, default_detectors
+from repro.detectors.suite import (
+    DetectorSuite,
+    StaticComparison,
+    SuiteResult,
+    default_detectors,
+)
 from repro.detectors.vectorclock import VectorClock
 
 __all__ = [
@@ -40,6 +45,7 @@ __all__ = [
     "AnalysisState",
     "DetectorPipeline",
     "DetectorSuite",
+    "StaticComparison",
     "SuiteResult",
     "default_detectors",
 ]

@@ -16,13 +16,28 @@ Two execution modes share one API:
 * :meth:`DetectorSuite.analyse_online` goes further and analyses *during*
   exploration: the explorer feeds events to the pipeline as the engine
   executes, reusing analysis state along shared schedule prefixes.
+
+:meth:`DetectorSuite.analyse_static` closes the loop with the static
+layer: it runs :func:`repro.static.analyse` (zero schedules) next to a
+dynamic exploration of the same program and scores the static
+predictions against the dynamically confirmed findings — the
+precision/recall evidence behind ``repro static``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.detectors.atomicity import AtomicityDetector
 from repro.obs import metrics as obs_metrics
@@ -39,7 +54,16 @@ from repro.sim.program import Program
 from repro.sim.scheduler import CooperativeScheduler
 from repro.sim.trace import Trace
 
-__all__ = ["DetectorSuite", "SuiteResult", "default_detectors"]
+if TYPE_CHECKING:  # pragma: no cover - layering: static imports stay lazy
+    from repro.static.lockset import StaticCandidate
+    from repro.static.report import StaticReport
+
+__all__ = [
+    "DetectorSuite",
+    "StaticComparison",
+    "SuiteResult",
+    "default_detectors",
+]
 
 
 def default_detectors(program: Optional[Program] = None) -> List[Detector]:
@@ -93,6 +117,157 @@ class SuiteResult:
         )
 
 
+#: Static candidate kinds a dynamic finding kind may be matched against.
+#: Deliberately same-class: a dynamic race only counts as predicted by a
+#: static *race* candidate, never by e.g. an atomicity candidate on the
+#: same variable — agreement must hold per bug class, as in the study's
+#: per-tool coverage tables.
+_STATIC_KINDS = {
+    FindingKind.DATA_RACE: frozenset({"data-race"}),
+    FindingKind.ATOMICITY_VIOLATION: frozenset({"atomicity-violation"}),
+    FindingKind.ORDER_VIOLATION: frozenset({"order-violation"}),
+    FindingKind.DEADLOCK: frozenset({"deadlock"}),
+    FindingKind.POTENTIAL_DEADLOCK: frozenset({"deadlock"}),
+}
+
+
+def _static_scope(finding) -> bool:
+    """Whether a dynamic finding is in the static analyzer's scope.
+
+    Races, atomicity violations, and order violations are matched by
+    shared variable, so they need one; deadlocks are matched by resource
+    set.  Out of scope stay (a) ``HANG`` — a liveness verdict about one
+    executed schedule, which no zero-schedule analysis can phrase — and
+    (b) order findings without variables (the lost-notification shape is
+    reported against a condvar resource; statically it surfaces as a
+    race/order candidate on the guarded *variable* instead).
+    """
+    kinds = _STATIC_KINDS.get(finding.kind)
+    if kinds is None:
+        return False
+    if finding.kind in (FindingKind.DEADLOCK, FindingKind.POTENTIAL_DEADLOCK):
+        return bool(finding.resources)
+    return bool(finding.variables)
+
+
+def _predicts(candidate: "StaticCandidate", finding) -> bool:
+    """Whether one active static candidate predicts one dynamic finding."""
+    if candidate.kind not in _STATIC_KINDS[finding.kind]:
+        return False
+    if finding.kind in (FindingKind.DEADLOCK, FindingKind.POTENTIAL_DEADLOCK):
+        found = frozenset(finding.resources)
+        predicted = frozenset(candidate.resources)
+        # Subset either way: a dynamic deadlock names the cycle actually
+        # hit, a static candidate the cycle in the graph — a three-lock
+        # static cycle covers the two-lock deadlock a schedule realises.
+        return bool(predicted) and (predicted <= found or found <= predicted)
+    return bool(set(candidate.variables) & set(finding.variables))
+
+
+@dataclass
+class StaticComparison:
+    """Static predictions scored against dynamically confirmed findings.
+
+    ``confirmed`` holds the in-scope dynamic findings (de-duplicated on
+    ``(kind, variables, resources)`` across detectors); ``out_of_scope``
+    the rest.  ``recalled``/``missed`` partition ``confirmed`` by whether
+    an active static candidate of the same bug class predicts them;
+    ``confirmed_candidates``/``unconfirmed_candidates`` partition the
+    active static candidates the other way around.
+    """
+
+    program: str
+    static: "StaticReport"
+    dynamic: SuiteResult
+    confirmed: List[Any] = field(default_factory=list)
+    out_of_scope: List[Any] = field(default_factory=list)
+    recalled: List[Any] = field(default_factory=list)
+    missed: List[Any] = field(default_factory=list)
+    confirmed_candidates: List["StaticCandidate"] = field(default_factory=list)
+    unconfirmed_candidates: List["StaticCandidate"] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of active static candidates dynamically confirmed."""
+        predicted = len(self.confirmed_candidates) + len(self.unconfirmed_candidates)
+        return len(self.confirmed_candidates) / predicted if predicted else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of confirmed dynamic findings statically predicted."""
+        return len(self.recalled) / len(self.confirmed) if self.confirmed else 1.0
+
+    @property
+    def sound(self) -> bool:
+        """Every confirmed dynamic finding was statically predicted."""
+        return not self.missed
+
+    def format(self) -> str:
+        """Console-ready rendering of the cross-check."""
+        lines = [
+            f"static vs dynamic on {self.program!r}: "
+            f"precision {self.precision:.0%}, recall {self.recall:.0%} "
+            f"({len(self.confirmed)} confirmed, "
+            f"{len(self.confirmed_candidates)}/"
+            f"{len(self.confirmed_candidates) + len(self.unconfirmed_candidates)}"
+            " predictions confirmed)"
+        ]
+        for finding in self.recalled:
+            lines.append(f"  predicted+confirmed: {finding.summary()}")
+        for finding in self.missed:
+            lines.append(f"  MISSED statically:   {finding.summary()}")
+        for cand in self.unconfirmed_candidates:
+            lines.append(
+                f"  unconfirmed prediction: [{cand.kind}] {cand.description}"
+            )
+        for finding in self.out_of_scope:
+            lines.append(f"  out of static scope: {finding.summary()}")
+        if self.static.approximate:
+            lines.append("  note: static summaries are approximate")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready dict (CLI ``--json`` and the runlog record body)."""
+        def finding_dict(finding) -> Dict[str, Any]:
+            return {
+                "kind": finding.kind.value,
+                "detector": finding.detector,
+                "variables": list(finding.variables),
+                "resources": list(finding.resources),
+            }
+
+        return {
+            "program": self.program,
+            "precision": self.precision,
+            "recall": self.recall,
+            "sound": self.sound,
+            "confirmed": [finding_dict(f) for f in self.confirmed],
+            "missed": [finding_dict(f) for f in self.missed],
+            "out_of_scope": [finding_dict(f) for f in self.out_of_scope],
+            "unconfirmed_candidates": [
+                {"kind": c.kind, "description": c.description}
+                for c in self.unconfirmed_candidates
+            ],
+            "static": self.static.to_json(),
+        }
+
+
+def _dedup_findings(result: SuiteResult) -> List[Any]:
+    """All findings across detectors, one per (kind, variables, resources).
+
+    The battery reports the same underlying problem through several
+    detectors (happens-before and lockset both flag a race); scoring
+    recall per *problem* rather than per *report* keeps one miss from
+    counting twice.
+    """
+    seen: Dict[Tuple[Any, ...], Any] = {}
+    for name in sorted(result.reports):
+        for finding in result.reports[name]:
+            key = (finding.kind, finding.variables, finding.resources)
+            seen.setdefault(key, finding)
+    return list(seen.values())
+
+
 def _record_suite(result: SuiteResult) -> SuiteResult:
     """Tally per-detector verdicts and findings into the metrics registry.
 
@@ -115,6 +290,35 @@ def _record_suite(result: SuiteResult) -> SuiteResult:
                     kind=finding.kind.value,
                 )
     return result
+
+
+def _record_static_comparison(
+    comparison: StaticComparison, wall_seconds: float
+) -> None:
+    """Metrics + runlog record for one static-vs-dynamic cross-check."""
+    registry = obs_metrics.active()
+    if registry is not None:
+        registry.inc("static.compare.runs", 1)
+        registry.inc("static.compare.confirmed", len(comparison.confirmed))
+        registry.inc("static.compare.recalled", len(comparison.recalled))
+        registry.inc("static.compare.missed", len(comparison.missed))
+        registry.inc(
+            "static.compare.unconfirmed",
+            len(comparison.unconfirmed_candidates),
+        )
+    if obs_runlog.active_runlog() is not None:
+        obs_runlog.emit(
+            "suite.analyse_static",
+            program=comparison.program,
+            precision=comparison.precision,
+            recall=comparison.recall,
+            sound=comparison.sound,
+            confirmed=len(comparison.confirmed),
+            missed=len(comparison.missed),
+            out_of_scope=len(comparison.out_of_scope),
+            unconfirmed=len(comparison.unconfirmed_candidates),
+            wall_seconds=wall_seconds,
+        )
 
 
 class DetectorSuite:
@@ -190,6 +394,61 @@ class DetectorSuite:
             baseline = run_program(program, CooperativeScheduler())
             traces = [baseline.trace]
         return self.analyse_many(traces)
+
+    def analyse_static(
+        self,
+        program: Program,
+        predicate: Optional[Callable[[RunResult], bool]] = None,
+        max_schedules: int = 20000,
+        workers: Optional[int] = None,
+        keep_matches: int = 16,
+    ) -> StaticComparison:
+        """Score static predictions against dynamically confirmed findings.
+
+        Runs :func:`repro.static.analyse` over the program (zero
+        schedules), then a dynamic :meth:`analyse_program` pass, and
+        matches each confirmed dynamic finding against the active static
+        candidates of the *same* bug class — by shared variable for
+        races / atomicity / order violations, by resource-set inclusion
+        for deadlocks.  The result carries both error directions:
+        ``missed`` (dynamic findings no static candidate predicts —
+        unsoundness over this program) and ``unconfirmed_candidates``
+        (static predictions exploration never confirmed — imprecision).
+        """
+        from repro.static import analyse as static_analyse
+
+        start = perf_counter()
+        static = static_analyse(program)
+        dynamic = self.analyse_program(
+            program,
+            predicate=predicate,
+            max_schedules=max_schedules,
+            workers=workers,
+            keep_matches=keep_matches,
+        )
+        comparison = StaticComparison(
+            program=program.name, static=static, dynamic=dynamic,
+        )
+        for finding in _dedup_findings(dynamic):
+            if not _static_scope(finding):
+                comparison.out_of_scope.append(finding)
+                continue
+            comparison.confirmed.append(finding)
+            predicted = any(
+                _predicts(cand, finding) for cand in static.active()
+            )
+            (comparison.recalled if predicted else comparison.missed).append(
+                finding
+            )
+        for cand in static.active():
+            bucket = (
+                comparison.confirmed_candidates
+                if any(_predicts(cand, f) for f in comparison.confirmed)
+                else comparison.unconfirmed_candidates
+            )
+            bucket.append(cand)
+        _record_static_comparison(comparison, perf_counter() - start)
+        return comparison
 
     def analyse_online(
         self,

@@ -63,6 +63,7 @@ class BugKernel:
         max_schedules: int = 20000,
         workers: Optional[int] = None,
         memoize: bool = False,
+        directed: bool = False,
     ) -> Optional[RunResult]:
         """A failing run of the buggy program, or ``None`` if unreachable.
 
@@ -70,17 +71,33 @@ class BugKernel:
         ``memoize=True`` is sound here only if the kernel's failure oracle
         inspects terminal state, not the schedule/trace — the bundled
         kernels' oracles do, but it stays opt-in.
+        ``directed=True`` runs the static analyzer first and biases the
+        visit order toward its predicted access pairs (race-directed
+        exploration); the searched tree is unchanged, so a manifestation
+        reachable undirected is reachable directed — usually sooner.
         """
+        targets = self.static_targets() if directed else None
         explorer = make_explorer(
             self.buggy, max_schedules, 5000, None, workers, memoize,
+            targets=targets,
         )
         start = perf_counter()
         result = explorer.explore(predicate=self.failure, stop_on_first=True)
         _emit_exploration_runlog(
             "kernel.find_manifestation", result, max_schedules, 5000, None,
-            workers, memoize, perf_counter() - start,
+            workers, memoize, perf_counter() - start, directed=directed,
         )
         return result.matching[0] if result.matching else None
+
+    def static_targets(self):
+        """Ranked target pairs predicted by the static analyzer.
+
+        Imported lazily: the static package layers *above* the kernels'
+        sim dependencies, and most kernel uses never need it.
+        """
+        from repro.static import analyse
+
+        return analyse(self.buggy).pairs
 
     def manifestation_rate(
         self, max_schedules: int = 20000, workers: Optional[int] = None

@@ -66,6 +66,47 @@ __all__ = [
 
 Predicate = Callable[[RunResult], bool]
 
+
+class _DirectedPolicy:
+    """Rank pending operations against an ordered list of target pairs.
+
+    ``targets`` is a best-first sequence of pair objects with ``first``
+    and ``second`` sites exposing ``matches(thread, op) -> bool`` (the
+    shape of :class:`repro.static.pairs.TargetPair`; duck-typed because
+    the sim layer never imports static-analysis code).  The rank of a
+    pending op is the index of the best pair it advances — first sites
+    rank ahead of every second site so "run the first access of the best
+    pair, then its second" falls out of a plain min() — and non-matching
+    ops rank last.  The policy is stateless: ranking depends only on the
+    pending ops, so replayed prefixes and sibling subtrees see identical
+    orderings and the exploration *tree* is unchanged, only the order in
+    which DFS visits it.
+    """
+
+    __slots__ = ("targets", "_worst")
+
+    def __init__(self, targets: Sequence[Any]):
+        self.targets = list(targets)
+        self._worst = 2 * len(self.targets)
+
+    def rank(self, thread: str, op: Any) -> int:
+        best = self._worst
+        for index, pair in enumerate(self.targets):
+            if index >= best:
+                break  # later pairs can only rank worse
+            if pair.first.matches(thread, op):
+                best = index
+            elif pair.second.matches(thread, op) and len(self.targets) + index < best:
+                best = len(self.targets) + index
+        return best
+
+    def rank_enabled(self, engine: Engine, enabled: Sequence[str]) -> Dict[str, int]:
+        """Rank every enabled thread by its pending operation."""
+        return {
+            name: self.rank(name, engine.threads[name].pending)
+            for name in enabled
+        }
+
 #: A DFS stack entry: (schedule prefix, preemptions already paid inside
 #: it, detector-pipeline snapshot taken at the branch point — or ``None``
 #: when no pipeline is attached).  The snapshot is what lets a sibling
@@ -87,14 +128,20 @@ class _RecordingScheduler(Scheduler):
         cache: Optional[StateCache] = None,
         preemption_bound: Optional[int] = None,
         pipeline: Optional[Any] = None,
+        directed: Optional[_DirectedPolicy] = None,
     ):
         self.prefix = list(prefix)
         self.cache = cache
         self.preemption_bound = preemption_bound
         self.pipeline = pipeline
+        self.directed = directed
         self.engine: Optional[Engine] = None
         self.enabled_sets: List[List[str]] = []
         self.choices: List[str] = []
+        # Per-decision thread ranks under the directed policy, aligned
+        # with enabled_sets (None entries for replayed-prefix decisions —
+        # no siblings are cut there).  Stays empty when undirected.
+        self.rank_sets: List[Optional[Dict[str, int]]] = []
         # Pipeline snapshots per decision beyond the prefix (None entries
         # for decisions with a single enabled thread — no siblings there).
         self.node_snapshots: List[Optional[Any]] = []
@@ -142,6 +189,12 @@ class _RecordingScheduler(Scheduler):
             if self.cache.seen(fingerprint):
                 raise MemoHit()
         self.enabled_sets.append(ordered)
+        if self.directed is not None:
+            self.rank_sets.append(
+                self.directed.rank_enabled(self.engine, ordered)
+                if index >= len(self.prefix)
+                else None
+            )
         if self.pipeline is not None and index >= len(self.prefix):
             # Snapshot only at real branch points: a single-choice
             # decision spawns no siblings, so nothing ever restores there.
@@ -156,6 +209,9 @@ class _RecordingScheduler(Scheduler):
                     f"not enabled in {ordered} — the program is "
                     f"non-deterministic beyond scheduling"
                 )
+        elif self.directed is not None:
+            ranks = self.rank_sets[-1]
+            choice = min(ordered, key=lambda name: _directed_key(ranks, name, self._last))
         elif self._last is not None and self._last in enabled:
             choice = self._last
         else:
@@ -168,9 +224,17 @@ class _RecordingScheduler(Scheduler):
     def reset(self) -> None:
         self.enabled_sets = []
         self.choices = []
+        self.rank_sets = []
         self.node_snapshots = []
         self._last = None
         self._preemptions = 0
+
+
+def _directed_key(
+    ranks: Dict[str, int], name: str, previous: Optional[str]
+) -> Tuple[int, int, str]:
+    """Sort key for directed choice: best rank, then stay non-preemptive."""
+    return (ranks[name], 0 if name == previous else 1, name)
 
 
 @dataclass
@@ -259,6 +323,7 @@ class Explorer:
         keep_matches: int = 16,
         memoize: bool = False,
         pipeline: Optional[Any] = None,
+        targets: Optional[Sequence[Any]] = None,
     ):
         if memoize and enabled_filter is not None:
             raise ExplorationError(
@@ -273,6 +338,16 @@ class Explorer:
         self.enabled_filter = enabled_filter
         self.keep_matches = keep_matches
         self.memoize = memoize
+        #: Race-directed exploration: an ordered sequence of target pairs
+        #: (e.g. :class:`repro.static.pairs.TargetPair`) biasing both the
+        #: default extension policy and the sibling visit order toward
+        #: schedules that realise the pairs.  Every node is still visited
+        #: at most once — the search tree is identical to the undirected
+        #: one, only its traversal order changes, so completeness and
+        #: outcome sets are unaffected.
+        self.directed = (
+            _DirectedPolicy(targets) if targets else None
+        )
         #: Streaming detector pipeline observing every executed event
         #: (duck-typed — e.g. :class:`repro.detectors.pipeline.DetectorPipeline`;
         #: the sim layer never imports detector code).  Shared DFS
@@ -392,6 +467,7 @@ class Explorer:
             cache=cache,
             preemption_bound=self.preemption_bound,
             pipeline=pipeline,
+            directed=self.directed,
         )
         engine = Engine(
             self.program,
@@ -420,6 +496,7 @@ class Explorer:
     ) -> None:
         choices = recorder.choices
         enabled_sets = recorder.enabled_sets
+        rank_sets = recorder.rank_sets
         snapshots = recorder.node_snapshots
         # Preemption cost of each executed step beyond the prefix.
         preemptions = paid
@@ -429,7 +506,17 @@ class Explorer:
             cost_chosen = _preemption_cost(previous, chosen, enabled_sets[i])
             # node_snapshots holds only post-prefix decisions.
             snapshot = snapshots[i - len(prefix)] if snapshots else None
-            for alt in enabled_sets[i]:
+            alternatives = enabled_sets[i]
+            if rank_sets and rank_sets[i] is not None:
+                # Push worst-ranked first so the LIFO stack pops the
+                # best-directed sibling before any other.
+                ranks = rank_sets[i]
+                alternatives = sorted(
+                    alternatives,
+                    key=lambda name: _directed_key(ranks, name, previous),
+                    reverse=True,
+                )
+            for alt in alternatives:
                 if alt == chosen:
                     continue
                 cost_alt = _preemption_cost(previous, alt, enabled_sets[i])
@@ -547,6 +634,7 @@ def _emit_exploration_runlog(
     workers: Optional[int],
     memoize: bool,
     wall_seconds: float,
+    directed: bool = False,
 ) -> None:
     """Append one run record for an exploration entry point (if active)."""
     if obs_runlog.active_runlog() is None:
@@ -557,6 +645,7 @@ def _emit_exploration_runlog(
         "preemption_bound": preemption_bound,
         "workers": workers,
         "memoize": memoize,
+        "directed": directed,
     }
     obs_runlog.emit(
         event, **obs_runlog.exploration_record(result, args, wall_seconds)
@@ -596,6 +685,7 @@ def make_explorer(
     memoize: bool = False,
     keep_matches: int = 16,
     pipeline_factory: Optional[Callable[[], Any]] = None,
+    targets: Optional[Sequence[Any]] = None,
 ):
     """Serial or parallel explorer, selected by ``workers`` (shared factory).
 
@@ -608,6 +698,9 @@ def make_explorer(
         ``lambda: DetectorPipeline(detectors)``).  A factory rather than an
         instance because the parallel explorer needs an independent
         pipeline per shard process.
+    :param targets: ordered target pairs for race-directed exploration
+        (see :class:`Explorer`); typically the ``pairs`` of a
+        :class:`repro.static.report.StaticReport`.
     """
     if workers is not None and workers > 1:
         from repro.sim.parallel import ParallelExplorer
@@ -621,6 +714,7 @@ def make_explorer(
             keep_matches=keep_matches,
             memoize=memoize,
             pipeline_factory=pipeline_factory,
+            targets=targets,
         )
     return Explorer(
         program,
@@ -630,6 +724,7 @@ def make_explorer(
         keep_matches=keep_matches,
         memoize=memoize,
         pipeline=pipeline_factory() if pipeline_factory is not None else None,
+        targets=targets,
     )
 
 
@@ -651,22 +746,25 @@ def find_schedule(
     preemption_bound: Optional[int] = None,
     workers: Optional[int] = None,
     memoize: bool = False,
+    targets: Optional[Sequence[Any]] = None,
 ) -> Optional[RunResult]:
     """First run satisfying ``predicate`` (default: any failure), or ``None``.
 
     ``workers > 1`` shards the search across a process pool;
     ``memoize=True`` prunes revisited states (sound for predicates over
-    terminal state only — see :mod:`repro.sim.statecache`).
+    terminal state only — see :mod:`repro.sim.statecache`);
+    ``targets`` biases the visit order toward predicted access pairs
+    (race-directed exploration) without changing the searched tree.
     """
     explorer = make_explorer(
         program, max_schedules, max_steps, preemption_bound, workers, memoize,
-        keep_matches=1,
+        keep_matches=1, targets=targets,
     )
     start = perf_counter()
     result = explorer.explore(predicate=predicate, stop_on_first=True)
     _emit_exploration_runlog(
         "find_schedule", result, max_schedules, max_steps, preemption_bound,
-        workers, memoize, perf_counter() - start,
+        workers, memoize, perf_counter() - start, directed=bool(targets),
     )
     return result.matching[0] if result.matching else None
 

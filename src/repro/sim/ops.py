@@ -30,6 +30,7 @@ from typing import Any, Callable, Optional
 __all__ = [
     "Op",
     "MemoryOp",
+    "op_kind",
     "Read",
     "Write",
     "AtomicUpdate",
@@ -320,6 +321,52 @@ class Sleep(Op):
 
     def describe(self) -> str:
         return f"Sleep({self.ticks})"
+
+
+#: Canonical (kind, resource-attribute) per operation class.  The kind
+#: strings are the shared vocabulary between the simulator's directed
+#: exploration (:mod:`repro.sim.explorer` ``targets=``) and the static
+#: analyzer's operation summaries (:mod:`repro.static.summary`): a static
+#: target site matches a pending operation iff their kinds and resource
+#: names agree.
+OP_KINDS = {
+    Read: ("read", "var"),
+    Write: ("write", "var"),
+    AtomicUpdate: ("atomic", "var"),
+    Acquire: ("acquire", "lock"),
+    Release: ("release", "lock"),
+    TryAcquire: ("tryacquire", "lock"),
+    AcquireRead: ("acquire_read", "rwlock"),
+    AcquireWrite: ("acquire_write", "rwlock"),
+    ReleaseRead: ("release_read", "rwlock"),
+    ReleaseWrite: ("release_write", "rwlock"),
+    Wait: ("wait", "cond"),
+    Notify: ("notify", "cond"),
+    NotifyAll: ("notify_all", "cond"),
+    SemAcquire: ("sem_acquire", "sem"),
+    SemRelease: ("sem_release", "sem"),
+    BarrierWait: ("barrier_wait", "barrier"),
+    Spawn: ("spawn", "thread"),
+    Join: ("join", "thread"),
+    Yield: ("yield", None),
+    Sleep: ("sleep", None),
+}
+
+
+def op_kind(op: Op) -> tuple:
+    """``(kind, resource)`` of an operation instance.
+
+    ``kind`` is the canonical lower-case kind string from :data:`OP_KINDS`;
+    ``resource`` is the shared object the operation touches (variable,
+    lock, rwlock, condition, semaphore, barrier, or thread name) or
+    ``None`` for pure scheduling points.  Unknown operation types (the
+    engine-internal reacquire pseudo-op) map to ``("internal", None)``.
+    """
+    entry = OP_KINDS.get(type(op))
+    if entry is None:
+        return ("internal", None)
+    kind, attr = entry
+    return (kind, getattr(op, attr) if attr is not None else None)
 
 
 # Internal pseudo-op: a thread that executed ``Wait`` and has been notified

@@ -87,6 +87,7 @@ def _explore_shard(seed: Seed) -> ExplorationResult:
         # Fresh pipeline per shard: the seed's snapshot re-seeds its
         # analysis state, and its reports travel back on the result.
         pipeline=factory() if factory is not None else None,
+        targets=options["targets"],
     )
     prefix, paid, snapshot = seed
     start = perf_counter()
@@ -123,6 +124,7 @@ class ParallelExplorer:
         shard_factor: int = 4,
         pool: str = "auto",
         pipeline_factory: Optional[Any] = None,
+        targets: Optional[List[Any]] = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -148,6 +150,12 @@ class ParallelExplorer:
         #: pipeline; called once for the root phase and once per shard
         #: (pipelines are stateful, so shards cannot share an instance).
         self.pipeline_factory = pipeline_factory
+        #: Target pairs for race-directed exploration, shared by the
+        #: root phase and every shard (pairs are immutable value objects,
+        #: so one list crosses the fork safely).  Directed ordering only
+        #: permutes each node's sibling pushes, so shard *contents* are
+        #: unchanged — shard order on the stack is what shifts.
+        self.targets = list(targets) if targets else None
 
     def explore(
         self,
@@ -166,6 +174,7 @@ class ParallelExplorer:
             keep_matches=self.keep_matches,
             memoize=self.memoize,
             pipeline=factory() if factory is not None else None,
+            targets=self.targets,
         )
         target = max(2, self.workers * self.shard_factor)
         root, frontier = serial._search(
@@ -263,6 +272,7 @@ class ParallelExplorer:
             "memoize": self.memoize,
             "stop_on_first": stop_on_first,
             "pipeline_factory": self.pipeline_factory,
+            "targets": self.targets,
         }
         if self._use_pool():
             context = multiprocessing.get_context("fork")

@@ -39,6 +39,8 @@ from repro.sim.explorer import (
     ExplorationResult,
     Predicate,
     _default_predicate,
+    _DirectedPolicy,
+    _directed_key,
     _fill_pipeline,
     _outcome_key,
     _record_exploration,
@@ -133,17 +135,22 @@ class _SleepScheduler(Scheduler):
         initial_sleep: FrozenSet[str],
         cache: Optional[StateCache] = None,
         pipeline: Optional[Any] = None,
+        directed: Optional[_DirectedPolicy] = None,
     ):
         self.prefix = list(prefix)
         self.initial_sleep = initial_sleep
         self.cache = cache
         self.pipeline = pipeline
+        self.directed = directed
         self.engine: Optional[Engine] = None
         self.cond_locks: Dict[str, str] = {}
         self.choices: List[str] = []
         self.enabled_sets: List[List[str]] = []
         self.sleep_sets: List[FrozenSet[str]] = []
         self.footprints: List[Dict[str, FrozenSet[Token]]] = []
+        # Per-node thread ranks under the directed policy (aligned with
+        # enabled_sets; empty when undirected).
+        self.rank_sets: List[Dict[str, int]] = []
         # Pipeline snapshots per recorded decision (None where at most
         # one awake thread means no sibling branches).
         self.node_snapshots: List[Optional[Any]] = []
@@ -205,6 +212,8 @@ class _SleepScheduler(Scheduler):
         self.enabled_sets.append(ordered)
         self.sleep_sets.append(self._sleep)
         self.footprints.append(footprints)
+        if self.directed is not None:
+            self.rank_sets.append(self.directed.rank_enabled(self.engine, ordered))
         awake = [name for name in ordered if name not in self._sleep]
         if self.pipeline is not None:
             # Appended before the pruned-node raise so the snapshot list
@@ -216,7 +225,10 @@ class _SleepScheduler(Scheduler):
         if not awake:
             self.pruned = True
             raise _SleepPruned("all enabled threads are asleep")
-        if self._last in awake:
+        if self.directed is not None:
+            ranks = self.rank_sets[-1]
+            choice = min(awake, key=lambda name: _directed_key(ranks, name, self._last))
+        elif self._last in awake:
             choice = self._last
         else:
             choice = awake[0]
@@ -237,6 +249,7 @@ class _SleepScheduler(Scheduler):
         self.enabled_sets = []
         self.sleep_sets = []
         self.footprints = []
+        self.rank_sets = []
         self.node_snapshots = []
         self._sleep = frozenset()
         self._last = None
@@ -254,12 +267,19 @@ class SleepSetExplorer:
         keep_matches: int = 16,
         memoize: bool = False,
         pipeline: Optional[Any] = None,
+        targets: Optional[Sequence[Any]] = None,
     ):
         self.program = program
         self.max_schedules = max_schedules
         self.max_steps = max_steps
         self.keep_matches = keep_matches
         self.memoize = memoize
+        #: Race-directed visit ordering (see
+        #: :class:`~repro.sim.explorer.Explorer`).  Reordering sibling
+        #: pushes is sound for sleep sets: a sibling's sleep set only
+        #: needs each sleeping thread to own another branch at the same
+        #: node, which holds for any enumeration order.
+        self.directed = _DirectedPolicy(targets) if targets else None
         #: Streaming detector pipeline (duck-typed, as in
         #: :class:`~repro.sim.explorer.Explorer`); note that reduction
         #: already skips interleavings, so pipeline findings cover only
@@ -360,7 +380,8 @@ class SleepSetExplorer:
                 pipeline.begin_pass()
             hook = pipeline.feed
         scheduler = _SleepScheduler(
-            prefix, sleep, cache=cache, pipeline=pipeline
+            prefix, sleep, cache=cache, pipeline=pipeline,
+            directed=self.directed,
         )
         engine = Engine(
             self.program, scheduler, max_steps=self.max_steps, event_hook=hook
@@ -402,8 +423,21 @@ class SleepSetExplorer:
                 if scheduler.node_snapshots
                 else None
             )
+            alternatives = enabled
+            if scheduler.rank_sets:
+                # Worst-ranked pushed first: the LIFO stack then pops the
+                # best-directed sibling first.  Sleep-set soundness only
+                # needs the triangular explored-set structure, which any
+                # enumeration order provides.
+                ranks = scheduler.rank_sets[node]
+                previous = choices[step - 1] if step > 0 else None
+                alternatives = sorted(
+                    enabled,
+                    key=lambda name: _directed_key(ranks, name, previous),
+                    reverse=True,
+                )
             explored: List[str] = [chosen]
-            for alt in enabled:
+            for alt in alternatives:
                 if alt == chosen or alt in node_sleep:
                     continue
                 if truncated:

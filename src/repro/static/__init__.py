@@ -1,0 +1,66 @@
+"""Static concurrency analysis: predict the study's bug patterns from source.
+
+The dynamic layers (:mod:`repro.sim`, :mod:`repro.detectors`) answer
+"which schedule manifests the bug" by exploring interleavings.  This
+package answers a cheaper question first — *which accesses even matter* —
+without running a single schedule:
+
+* :mod:`repro.static.summary` — per-thread operation summaries extracted
+  from the generator AST (dynamic fallback for sourceless bodies);
+* :mod:`repro.static.lockset` — must-hold lockset walk producing race,
+  atomicity, and order candidates;
+* :mod:`repro.static.lockorder` — static acquisition graph producing
+  deadlock candidates;
+* :mod:`repro.static.pairs` — candidates compiled to ranked target pairs
+  for race-directed exploration (``Explorer(targets=...)``);
+* :mod:`repro.static.report` — the :func:`analyse` entry point tying the
+  passes together with ``static.*`` observability.
+
+Layering: this package imports only :mod:`repro.sim`, :mod:`repro.obs`,
+and :mod:`repro.errors`; the detector suite imports *it* for the
+static-vs-dynamic cross-check, never the other way around.
+"""
+
+from repro.static.lockorder import build_static_lock_order, deadlock_candidates
+from repro.static.lockset import (
+    SiteContext,
+    StaticCandidate,
+    atomicity_candidates,
+    order_candidates,
+    race_candidates,
+    site_contexts,
+)
+from repro.static.pairs import TargetPair, TargetSite, target_pairs
+from repro.static.report import StaticReport, analyse
+from repro.static.summary import (
+    OpSite,
+    ProgramSummary,
+    StaticExtractionError,
+    ThreadSummary,
+    exclusive,
+    summarize_program,
+    summarize_thread,
+)
+
+__all__ = [
+    "analyse",
+    "StaticReport",
+    "StaticCandidate",
+    "TargetPair",
+    "TargetSite",
+    "target_pairs",
+    "OpSite",
+    "exclusive",
+    "ProgramSummary",
+    "ThreadSummary",
+    "StaticExtractionError",
+    "summarize_program",
+    "summarize_thread",
+    "SiteContext",
+    "site_contexts",
+    "race_candidates",
+    "atomicity_candidates",
+    "order_candidates",
+    "deadlock_candidates",
+    "build_static_lock_order",
+]

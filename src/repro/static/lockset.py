@@ -1,0 +1,615 @@
+"""Static lockset analysis: must-hold locksets and discipline candidates.
+
+The dynamic :mod:`repro.detectors.lockset` pass refines Eraser candidate
+sets along one observed trace.  This module computes the same discipline
+judgement from the :mod:`repro.static.summary` tree alone — *which locks
+are provably held at each operation site* — and flags the patterns the
+ASPLOS'08 study says dominate:
+
+* **race candidates** — a variable with cross-thread conflicting accesses
+  where some pair shares no mutex, follows no reader-writer discipline,
+  and is not ordered by the program's spawn/join structure;
+* **atomicity candidates** — a thread touching a variable in *different*
+  critical sections of the same lock (split-section shape: race-free yet
+  unserializable, the Apache refcount class dynamic race detectors
+  structurally miss), or multiple accesses to an already-racy variable
+  (the classic check-then-act / read-then-write shapes);
+* **order candidates** — a sentinel-initialised variable (``None`` /
+  ``False``) read by a consumer thread and written by a producer with no
+  spawn/join ordering and no correct condition-variable protocol between
+  them — the use-before-init and lost-wakeup signatures.
+
+The walk is a *must* analysis: branch arms are merged by intersection,
+loops contribute the zero-iteration path, so a lock is reported held only
+when every path to the site holds it.  Under-approximating held sets can
+only add candidates, never hide one, which is the soundness direction the
+cross-check in :meth:`repro.detectors.suite.DetectorSuite.analyse_static`
+requires: every dynamically confirmed finding must appear here.
+
+Acquisition *generations* distinguish re-acquisitions of the same lock:
+two sites holding ``(L, gen 0)`` and ``(L, gen 1)`` are in different
+critical sections even though both "hold L" — the split-section evidence.
+A ``Wait`` bumps its associated mutex's generation, because parking
+releases and re-acquires the lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.static.summary import (
+    MEMORY_KINDS,
+    OpSite,
+    ProgramSummary,
+    SummaryBranch,
+    SummaryLoop,
+    SummaryNode,
+    SummaryOp,
+    SummaryReturn,
+    exclusive,
+)
+
+__all__ = [
+    "SiteContext",
+    "StaticCandidate",
+    "site_contexts",
+    "race_candidates",
+    "atomicity_candidates",
+    "order_candidates",
+]
+
+#: Sentinel initial values whose pre-write observation reads as
+#: "uninitialised" (mirrors the dynamic order-violation heuristic).
+_SENTINELS = (None, False)
+
+
+@dataclass(frozen=True)
+class SiteContext:
+    """One operation site plus the synchronisation provably held *at* it.
+
+    ``mutexes`` holds ``(lock, generation)`` pairs; ``rw_modes`` holds
+    ``(rwlock, mode, generation)`` triples with mode ``"read"`` or
+    ``"write"``.  For acquisition sites the context is the state *before*
+    the acquisition — exactly the held-set a lock-order edge needs.
+    """
+
+    site: OpSite
+    mutexes: FrozenSet[Tuple[str, int]] = frozenset()
+    rw_modes: FrozenSet[Tuple[str, str, int]] = frozenset()
+
+    @property
+    def mutex_names(self) -> FrozenSet[str]:
+        return frozenset(lock for lock, _ in self.mutexes)
+
+    @property
+    def rw_names(self) -> FrozenSet[str]:
+        return frozenset(rw for rw, _, _ in self.rw_modes)
+
+    @property
+    def rw_write_names(self) -> FrozenSet[str]:
+        return frozenset(rw for rw, mode, _ in self.rw_modes if mode == "write")
+
+
+@dataclass(frozen=True)
+class StaticCandidate:
+    """One predicted bug pattern, phrased like a dynamic finding.
+
+    ``kind`` uses the dynamic vocabulary (``data-race``,
+    ``atomicity-violation``, ``order-violation``, ``deadlock``) so the
+    suite cross-check can match by ``(kind-group, variable/resource)``.
+    ``suppressed`` candidates are patterns the analysis recognised and
+    then *discharged* (spawn/join ordering, condvar protocol); they are
+    kept so precision reports can show what a naive pass would have
+    flagged.
+    """
+
+    kind: str
+    description: str
+    threads: Tuple[str, ...]
+    variables: Tuple[str, ...] = ()
+    resources: Tuple[str, ...] = ()
+    sites: Tuple[str, ...] = ()
+    suppressed: bool = False
+    reason: str = ""
+
+
+# -- the must-hold walk ------------------------------------------------------
+
+
+class _Held:
+    """Mutable held-lock state along one walk path."""
+
+    __slots__ = ("mutexes", "rw")
+
+    def __init__(self) -> None:
+        self.mutexes: Dict[str, int] = {}
+        self.rw: Dict[str, Dict[str, int]] = {}
+
+    def copy(self) -> "_Held":
+        dup = _Held.__new__(_Held)
+        dup.mutexes = dict(self.mutexes)
+        dup.rw = {name: dict(modes) for name, modes in self.rw.items()}
+        return dup
+
+    def snapshot(self) -> Tuple[FrozenSet[Tuple[str, int]], FrozenSet[Tuple[str, str, int]]]:
+        return (
+            frozenset(self.mutexes.items()),
+            frozenset(
+                (name, mode, gen)
+                for name, modes in self.rw.items()
+                for mode, gen in modes.items()
+            ),
+        )
+
+    def merge(self, others: Sequence["_Held"]) -> None:
+        """Intersect this state with ``others`` in place (must-hold join)."""
+        for other in others:
+            self.mutexes = {
+                lock: gen
+                for lock, gen in self.mutexes.items()
+                if other.mutexes.get(lock) == gen
+            }
+            self.rw = {
+                name: kept
+                for name, modes in self.rw.items()
+                if (
+                    kept := {
+                        mode: gen
+                        for mode, gen in modes.items()
+                        if other.rw.get(name, {}).get(mode) == gen
+                    }
+                )
+            }
+
+
+class _Walker:
+    """Pre-order walk assigning a held-state context to every site."""
+
+    def __init__(self, conditions: Dict[str, str]):
+        self.conditions = conditions
+        self.generations: Dict[str, int] = {}
+        self.contexts: List[SiteContext] = []
+
+    def _next_gen(self, key: str) -> int:
+        gen = self.generations.get(key, 0)
+        self.generations[key] = gen + 1
+        return gen
+
+    def _apply(self, site: OpSite, state: _Held) -> None:
+        kind, obj = site.kind, site.obj
+        if obj is None:
+            return
+        if kind in ("acquire", "tryacquire"):
+            state.mutexes[obj] = self._next_gen(f"lock:{obj}")
+        elif kind == "release":
+            state.mutexes.pop(obj, None)
+        elif kind == "acquire_read":
+            state.rw.setdefault(obj, {})["read"] = self._next_gen(f"rw:{obj}")
+        elif kind == "acquire_write":
+            state.rw.setdefault(obj, {})["write"] = self._next_gen(f"rw:{obj}")
+        elif kind == "release_read":
+            modes = state.rw.get(obj)
+            if modes is not None:
+                modes.pop("read", None)
+                if not modes:
+                    del state.rw[obj]
+        elif kind == "release_write":
+            modes = state.rw.get(obj)
+            if modes is not None:
+                modes.pop("write", None)
+                if not modes:
+                    del state.rw[obj]
+        elif kind == "wait":
+            # Parking releases and re-acquires the condition's mutex: the
+            # hold after the wait is a *different* critical section.
+            mutex = self.conditions.get(obj)
+            if mutex is not None and mutex in state.mutexes:
+                state.mutexes[mutex] = self._next_gen(f"lock:{mutex}")
+
+    def walk(self, nodes: Sequence[SummaryNode], state: _Held) -> bool:
+        """Walk ``nodes`` mutating ``state``; True if the path returned."""
+        for node in nodes:
+            if isinstance(node, SummaryOp):
+                mutexes, rw_modes = state.snapshot()
+                self.contexts.append(
+                    SiteContext(site=node.site, mutexes=mutexes, rw_modes=rw_modes)
+                )
+                self._apply(node.site, state)
+            elif isinstance(node, SummaryBranch):
+                exits: List[_Held] = []
+                for arm in node.arms:
+                    arm_state = state.copy()
+                    if not self.walk(arm, arm_state):
+                        exits.append(arm_state)
+                if not exits:
+                    return True  # every arm returned
+                first, rest = exits[0], exits[1:]
+                state.mutexes = first.mutexes
+                state.rw = first.rw
+                state.merge(rest)
+            elif isinstance(node, SummaryLoop):
+                body_state = state.copy()
+                returned = self.walk(node.body, body_state)
+                # Zero-or-more iterations: keep only what survives both the
+                # skip path and (unless the body always returns) the exit.
+                if not returned:
+                    state.merge([body_state])
+            elif isinstance(node, SummaryReturn):
+                return True
+        return False
+
+
+def site_contexts(summary: ProgramSummary) -> Dict[str, List[SiteContext]]:
+    """Per-thread site contexts: every site with its must-hold locksets."""
+    out: Dict[str, List[SiteContext]] = {}
+    for name, thread in summary.threads.items():
+        walker = _Walker(summary.conditions)
+        walker.walk(thread.nodes, _Held())
+        out[name] = walker.contexts
+    return out
+
+
+# -- spawn/join ordering refinement -----------------------------------------
+
+
+def _spawn_entries(summary: ProgramSummary) -> Dict[str, List[Tuple[str, int]]]:
+    """child thread -> every ``(parent, spawn-site index)`` spawning it."""
+    entries: Dict[str, List[Tuple[str, int]]] = {}
+    for parent, thread in summary.threads.items():
+        for site in thread.sites_of_kind("spawn"):
+            if site.obj is not None:
+                entries.setdefault(site.obj, []).append((parent, site.index))
+    return entries
+
+
+def _site_before_thread(
+    site: OpSite,
+    child: str,
+    spawns: Dict[str, List[Tuple[str, int]]],
+    start: Tuple[str, ...],
+    _seen: Optional[Set[str]] = None,
+) -> bool:
+    """True when ``site`` happens-before *every* operation of ``child``.
+
+    Holds when the child is (transitively) spawned only at sites after
+    ``site`` in program order.  A spawn in a branch arm exclusive with
+    ``site`` is fine: on that path the site never executed, so the
+    ordering claim is vacuous — pre-order index comparison is sound.
+    """
+    if child == site.thread or child in start:
+        return False
+    entries = spawns.get(child)
+    if not entries:
+        return False  # never spawned: the thread never runs at all
+    seen = _seen if _seen is not None else set()
+    if child in seen:
+        return False
+    seen.add(child)
+    for parent, index in entries:
+        if parent == site.thread and site.index < index:
+            continue
+        if _site_before_thread(site, parent, spawns, start, seen):
+            continue  # site precedes the whole spawning thread
+        return False
+    return True
+
+
+def _thread_before_site(thread: str, site: OpSite, summary: ProgramSummary) -> bool:
+    """True when every operation of ``thread`` happens-before ``site``.
+
+    Requires an *unconditional* join of ``thread`` earlier in ``site``'s
+    own thread: a join inside a branch arm might not execute, so it
+    orders nothing.
+    """
+    owner = summary.threads.get(site.thread)
+    if owner is None or thread == site.thread:
+        return False
+    return any(
+        join.obj == thread and not join.conditional and join.index < site.index
+        for join in owner.sites_of_kind("join")
+    )
+
+
+def _ordered(
+    a: SiteContext,
+    b: SiteContext,
+    summary: ProgramSummary,
+    spawns: Dict[str, List[Tuple[str, int]]],
+) -> Optional[str]:
+    """Why the two sites cannot overlap, or ``None`` if they can."""
+    start = tuple(summary.start)
+    if _site_before_thread(a.site, b.site.thread, spawns, start):
+        return f"{a.site.describe()} precedes spawn of {b.site.thread}"
+    if _site_before_thread(b.site, a.site.thread, spawns, start):
+        return f"{b.site.describe()} precedes spawn of {a.site.thread}"
+    if _thread_before_site(a.site.thread, b.site, summary):
+        return f"{a.site.thread} joined before {b.site.describe()}"
+    if _thread_before_site(b.site.thread, a.site, summary):
+        return f"{b.site.thread} joined before {a.site.describe()}"
+    return None
+
+
+# -- candidate extraction ----------------------------------------------------
+
+
+def _memory_contexts(
+    contexts: Dict[str, List[SiteContext]],
+) -> Dict[str, List[SiteContext]]:
+    """Non-atomic memory-access contexts grouped by variable.
+
+    ``AtomicUpdate`` sites are exempt from the locking discipline (they
+    synchronise by themselves), exactly as the dynamic Eraser pass skips
+    ``AtomicUpdateEvent``.
+    """
+    by_var: Dict[str, List[SiteContext]] = {}
+    for ctxs in contexts.values():
+        for ctx in ctxs:
+            if ctx.site.kind in ("read", "write") and ctx.site.obj is not None:
+                by_var.setdefault(ctx.site.obj, []).append(ctx)
+    return by_var
+
+
+def _pair_protected(a: SiteContext, b: SiteContext) -> Optional[str]:
+    """The discipline making the pair mutually exclusive, if any."""
+    common = a.mutex_names & b.mutex_names
+    if common:
+        return f"mutex {sorted(common)[0]!r}"
+    for rwlock in sorted(a.rw_names & b.rw_names):
+        disciplined = all(
+            ctx.site.kind != "write" or rwlock in ctx.rw_write_names
+            for ctx in (a, b)
+        )
+        if disciplined:
+            return f"rwlock {rwlock!r}"
+    return None
+
+
+def race_candidates(
+    summary: ProgramSummary, contexts: Dict[str, List[SiteContext]]
+) -> List[StaticCandidate]:
+    """Variables with an unprotected, unordered cross-thread conflict."""
+    spawns = _spawn_entries(summary)
+    out: List[StaticCandidate] = []
+    for var, ctxs in sorted(_memory_contexts(contexts).items()):
+        threads = {ctx.site.thread for ctx in ctxs}
+        if len(threads) < 2 or not any(c.site.kind == "write" for c in ctxs):
+            continue
+        racy: List[Tuple[SiteContext, SiteContext]] = []
+        discharged: List[str] = []
+        for a, b in combinations(ctxs, 2):
+            if a.site.thread == b.site.thread:
+                continue
+            if a.site.kind != "write" and b.site.kind != "write":
+                continue
+            if _pair_protected(a, b) is not None:
+                continue
+            why = _ordered(a, b, summary, spawns)
+            if why is not None:
+                discharged.append(why)
+            else:
+                racy.append((a, b))
+        if racy:
+            sites = sorted({s.site.describe() for pair in racy for s in pair})
+            involved = sorted({s.site.thread for pair in racy for s in pair})
+            out.append(
+                StaticCandidate(
+                    kind="data-race",
+                    description=(
+                        f"no common lock protects {var!r}: "
+                        f"{len(racy)} conflicting cross-thread access pair(s) "
+                        f"can overlap"
+                    ),
+                    threads=tuple(involved),
+                    variables=(var,),
+                    sites=tuple(sites),
+                )
+            )
+        elif discharged:
+            out.append(
+                StaticCandidate(
+                    kind="data-race",
+                    description=(
+                        f"conflicting accesses to {var!r} share no lock but "
+                        f"cannot overlap"
+                    ),
+                    threads=tuple(sorted(threads)),
+                    variables=(var,),
+                    suppressed=True,
+                    reason="; ".join(sorted(set(discharged))),
+                )
+            )
+    return out
+
+
+def atomicity_candidates(
+    summary: ProgramSummary,
+    contexts: Dict[str, List[SiteContext]],
+    races: Sequence[StaticCandidate],
+) -> List[StaticCandidate]:
+    """Split-section and multi-access atomicity shapes, one per variable."""
+    race_vars = {
+        var
+        for cand in races
+        if not cand.suppressed
+        for var in cand.variables
+    }
+    by_var = _memory_contexts(contexts)
+    out: List[StaticCandidate] = []
+    for var, ctxs in sorted(by_var.items()):
+        by_thread: Dict[str, List[SiteContext]] = {}
+        for ctx in ctxs:
+            by_thread.setdefault(ctx.site.thread, []).append(ctx)
+        reasons: List[str] = []
+        involved: Set[str] = set()
+        sites: Set[str] = set()
+        for thread, local in sorted(by_thread.items()):
+            if len(local) < 2:
+                continue
+            split = _split_sections(summary, local)
+            if split is not None:
+                lock, first, second = split
+                remote = [
+                    r
+                    for t, rs in by_thread.items()
+                    if t != thread
+                    for r in rs
+                    if r.site.kind == "write"
+                    or first.site.kind == "write"
+                    or second.site.kind == "write"
+                ]
+                if remote:
+                    reasons.append(
+                        f"{thread} touches {var!r} in two critical sections "
+                        f"of {lock!r} ({first.site.describe()} / "
+                        f"{second.site.describe()}): race-free but not atomic"
+                    )
+                    involved.update({thread, *(r.site.thread for r in remote)})
+                    sites.update(
+                        {first.site.describe(), second.site.describe()}
+                        | {r.site.describe() for r in remote}
+                    )
+            co_occurring = any(
+                not exclusive(summary, a.site, b.site)
+                for a, b in combinations(local, 2)
+            )
+            if var in race_vars and co_occurring:
+                reasons.append(
+                    f"{thread} makes {len(local)} unsynchronised accesses to "
+                    f"racy {var!r}: a remote write can land between them"
+                )
+                involved.update(by_thread)
+                sites.update(c.site.describe() for c in local)
+        if reasons:
+            out.append(
+                StaticCandidate(
+                    kind="atomicity-violation",
+                    description=reasons[0],
+                    threads=tuple(sorted(involved)),
+                    variables=(var,),
+                    sites=tuple(sorted(sites)),
+                    reason="; ".join(reasons),
+                )
+            )
+    return out
+
+
+def _split_sections(
+    summary: ProgramSummary, local: Sequence[SiteContext]
+) -> Optional[Tuple[str, SiteContext, SiteContext]]:
+    """Two same-thread accesses under different generations of one lock.
+
+    Mutually exclusive accesses never co-occur in one execution, so they
+    cannot form a split critical section (the "give up and retry"
+    deadlock fix writes once on an early-exit path and once after it —
+    only one of the two runs).
+    """
+    for a, b in combinations(local, 2):
+        if exclusive(summary, a.site, b.site):
+            continue
+        for lock, gen_a in a.mutexes:
+            for other, gen_b in b.mutexes:
+                if lock == other and gen_a != gen_b:
+                    return lock, a, b
+    return None
+
+
+def order_candidates(
+    summary: ProgramSummary, contexts: Dict[str, List[SiteContext]]
+) -> List[StaticCandidate]:
+    """Sentinel-initialised variables consumable before their producer runs."""
+    spawns = _spawn_entries(summary)
+    by_var = _memory_contexts(contexts)
+    out: List[StaticCandidate] = []
+    for var, ctxs in sorted(by_var.items()):
+        if var not in summary.initial:
+            continue
+        if not any(summary.initial[var] is sentinel for sentinel in _SENTINELS):
+            continue
+        reads = [c for c in ctxs if c.site.kind == "read"]
+        writes = [c for c in ctxs if c.site.kind == "write"]
+        racy: List[Tuple[SiteContext, SiteContext]] = []
+        discharged: List[str] = []
+        for read in reads:
+            for write in writes:
+                if read.site.thread == write.site.thread:
+                    continue
+                why = _ordered(read, write, summary, spawns)
+                if why is None and _condvar_protocol(read, write, summary):
+                    why = "correct condition-variable protocol"
+                if why is None:
+                    protection = _pair_protected(read, write)
+                    if protection is not None:
+                        # Mirrors the dynamic heuristic: a sentinel read
+                        # under a lock the writer also holds is reported
+                        # only with crash evidence, which no static pass
+                        # can supply.
+                        why = f"read and write both hold {protection}"
+                if why is not None:
+                    discharged.append(why)
+                else:
+                    racy.append((read, write))
+        if racy:
+            sites = sorted({s.site.describe() for pair in racy for s in pair})
+            involved = sorted({s.site.thread for pair in racy for s in pair})
+            out.append(
+                StaticCandidate(
+                    kind="order-violation",
+                    description=(
+                        f"{var!r} starts as the sentinel "
+                        f"{summary.initial[var]!r} and nothing orders its "
+                        f"initialising write before the remote read"
+                    ),
+                    threads=tuple(involved),
+                    variables=(var,),
+                    sites=tuple(sites),
+                )
+            )
+        elif discharged:
+            out.append(
+                StaticCandidate(
+                    kind="order-violation",
+                    description=(
+                        f"reads of sentinel-initialised {var!r} are ordered "
+                        f"after its initialising write"
+                    ),
+                    threads=tuple(sorted({c.site.thread for c in ctxs})),
+                    variables=(var,),
+                    suppressed=True,
+                    reason="; ".join(sorted(set(discharged))),
+                )
+            )
+    return out
+
+
+def _condvar_protocol(
+    read: SiteContext, write: SiteContext, summary: ProgramSummary
+) -> bool:
+    """True when the read/write pair follows the correct condvar protocol.
+
+    The consumer checks the flag *under* a mutex and waits on a condition
+    of that same mutex later in program order; the producer writes under
+    the same mutex and notifies that condition afterwards.  Under that
+    shape the notification cannot fall between check and wait (the lock
+    is held across them), which is precisely what separates the fixed
+    lost-wakeup kernel from the buggy one.
+    """
+    reader = summary.threads.get(read.site.thread)
+    writer = summary.threads.get(write.site.thread)
+    if reader is None or writer is None:
+        return False
+    for cond, mutex in summary.conditions.items():
+        if mutex not in read.mutex_names or mutex not in write.mutex_names:
+            continue
+        consumer_waits = any(
+            site.obj == cond and site.index > read.site.index
+            for site in reader.sites_of_kind("wait")
+        )
+        producer_notifies = any(
+            site.obj == cond and site.index > write.site.index
+            for site in writer.sites_of_kind("notify", "notify_all")
+        )
+        if consumer_waits and producer_notifies:
+            return True
+    return False

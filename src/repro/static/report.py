@@ -1,0 +1,190 @@
+"""The static analysis entry point: one call, zero schedules.
+
+:func:`analyse` runs the whole static battery over a program — thread
+summaries, must-hold locksets, lock-order graph, candidate extraction,
+target-pair compilation — and packages the result as a
+:class:`StaticReport`.  Everything downstream consumes this one object:
+the CLI renders it, :meth:`repro.detectors.suite.DetectorSuite.analyse_static`
+cross-checks it against dynamic findings, and directed exploration takes
+its ``pairs``.
+
+Observability mirrors the dynamic layers: ``static.*`` metrics count
+analyses, candidates (labelled by kind and suppression), and pairs, with
+the pass wall time in a histogram; a ``static.analyse`` runlog record
+captures the same numbers per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog as obs_runlog
+from repro.sim.program import Program
+from repro.static.lockorder import deadlock_candidates
+from repro.static.lockset import (
+    StaticCandidate,
+    atomicity_candidates,
+    order_candidates,
+    race_candidates,
+    site_contexts,
+)
+from repro.static.pairs import TargetPair, target_pairs
+from repro.static.summary import ProgramSummary, summarize_program
+
+__all__ = ["StaticReport", "analyse"]
+
+#: Rendering / grouping order for candidate kinds.
+_KIND_ORDER = ("data-race", "atomicity-violation", "order-violation", "deadlock")
+
+
+@dataclass
+class StaticReport:
+    """Everything the static battery predicted about one program."""
+
+    program: str
+    summary: ProgramSummary
+    candidates: List[StaticCandidate] = field(default_factory=list)
+    pairs: List[TargetPair] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def active(self) -> List[StaticCandidate]:
+        """Candidates standing after every refinement (the predictions)."""
+        return [c for c in self.candidates if not c.suppressed]
+
+    def suppressed(self) -> List[StaticCandidate]:
+        """Patterns recognised and then discharged (would-be false alarms)."""
+        return [c for c in self.candidates if c.suppressed]
+
+    def by_kind(self, *kinds: str) -> List[StaticCandidate]:
+        """Active candidates of the given kinds."""
+        wanted = frozenset(kinds)
+        return [c for c in self.active() if c.kind in wanted]
+
+    def variables(self, *kinds: str) -> frozenset:
+        """Variables named by active candidates of the given kinds."""
+        return frozenset(
+            var for cand in self.by_kind(*kinds) for var in cand.variables
+        )
+
+    def resource_sets(self) -> List[frozenset]:
+        """Resource sets of active deadlock candidates."""
+        return [frozenset(c.resources) for c in self.by_kind("deadlock")]
+
+    @property
+    def clean(self) -> bool:
+        """No active candidate of any kind."""
+        return not self.active()
+
+    @property
+    def approximate(self) -> bool:
+        """Some thread needed the dynamic fallback or dropped a construct."""
+        return self.summary.approximate
+
+    def format(self) -> str:
+        """Console-ready rendering of candidates and top pairs."""
+        lines = [f"static analysis of {self.program!r}"]
+        active = self.active()
+        if not active:
+            lines.append("  no candidates: locking discipline holds statically")
+        for kind in _KIND_ORDER:
+            for cand in (c for c in active if c.kind == kind):
+                lines.append(f"  [{cand.kind}] {cand.description}")
+                if cand.sites:
+                    lines.append(f"      sites: {', '.join(cand.sites)}")
+        for cand in self.suppressed():
+            lines.append(
+                f"  (suppressed {cand.kind} on "
+                f"{', '.join(cand.variables or cand.resources)}: {cand.reason})"
+            )
+        if self.pairs:
+            lines.append(f"  target pairs ({len(self.pairs)}):")
+            for pair in self.pairs[:8]:
+                lines.append(f"    {pair.describe()}")
+            if len(self.pairs) > 8:
+                lines.append(f"    ... and {len(self.pairs) - 8} more")
+        if self.approximate:
+            lines.append("  note: summaries are approximate (dynamic fallback)")
+        lines.append(f"  wall time: {self.wall_seconds * 1e3:.2f} ms, 0 schedules")
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready dict (CLI ``--json`` and the runlog record body)."""
+        return {
+            "program": self.program,
+            "approximate": self.approximate,
+            "wall_seconds": self.wall_seconds,
+            "candidates": [
+                {
+                    "kind": c.kind,
+                    "description": c.description,
+                    "threads": list(c.threads),
+                    "variables": list(c.variables),
+                    "resources": list(c.resources),
+                    "sites": list(c.sites),
+                    "suppressed": c.suppressed,
+                    "reason": c.reason,
+                }
+                for c in self.candidates
+            ],
+            "pairs": [
+                {
+                    "first": pair.first.describe(),
+                    "second": pair.second.describe(),
+                    "score": pair.score,
+                    "reason": pair.reason,
+                }
+                for pair in self.pairs
+            ],
+        }
+
+
+def analyse(program: Program) -> StaticReport:
+    """Run the full static battery over ``program`` without executing it."""
+    start = perf_counter()
+    summary = summarize_program(program)
+    contexts = site_contexts(summary)
+    races = race_candidates(summary, contexts)
+    candidates: List[StaticCandidate] = list(races)
+    candidates.extend(atomicity_candidates(summary, contexts, races))
+    candidates.extend(order_candidates(summary, contexts))
+    candidates.extend(deadlock_candidates(summary, contexts))
+    pairs = target_pairs(summary, contexts, candidates)
+    report = StaticReport(
+        program=program.name,
+        summary=summary,
+        candidates=candidates,
+        pairs=pairs,
+        wall_seconds=perf_counter() - start,
+    )
+    _record(report)
+    return report
+
+
+def _record(report: StaticReport) -> None:
+    registry = obs_metrics.active()
+    if registry is not None:
+        registry.inc("static.analyses", 1)
+        for cand in report.candidates:
+            registry.inc(
+                "static.candidates", 1,
+                kind=cand.kind,
+                suppressed=str(cand.suppressed).lower(),
+            )
+        registry.inc("static.pairs", len(report.pairs))
+        registry.observe("static.wall_seconds", report.wall_seconds)
+    if obs_runlog.active_runlog() is not None:
+        counts: Dict[str, int] = {}
+        for cand in report.active():
+            counts[cand.kind] = counts.get(cand.kind, 0) + 1
+        obs_runlog.emit(
+            "static.analyse",
+            program=report.program,
+            wall_seconds=report.wall_seconds,
+            approximate=report.approximate,
+            candidates=counts,
+            suppressed=len(report.suppressed()),
+            pairs=len(report.pairs),
+        )

@@ -1,0 +1,179 @@
+"""Lockset / lock-order / order-candidate passes on known programs."""
+
+import pytest
+
+from repro.sim import Acquire, Program, Read, Release, Write
+from repro.static import (
+    atomicity_candidates,
+    deadlock_candidates,
+    order_candidates,
+    race_candidates,
+    site_contexts,
+    summarize_program,
+)
+from tests.helpers import (
+    abba_deadlock,
+    locked_counter,
+    lost_wakeup,
+    null_deref_race,
+    racy_counter,
+    self_deadlock,
+    semaphore_pingpong,
+    spawn_join_chain,
+)
+
+
+def passes(program):
+    summary = summarize_program(program)
+    contexts = site_contexts(summary)
+    races = race_candidates(summary, contexts)
+    return summary, contexts, races
+
+
+class TestRaceCandidates:
+    def test_unlocked_counter_flags_race(self):
+        _, _, races = passes(racy_counter())
+        active = [c for c in races if not c.suppressed]
+        assert [c.variables for c in active] == [("counter",)]
+        assert all(c.kind == "data-race" for c in active)
+
+    def test_locked_counter_is_clean(self):
+        _, _, races = passes(locked_counter())
+        assert not [c for c in races if not c.suppressed]
+
+    def test_pairwise_not_global_lockset(self):
+        # x is touched under L by T1/T2 and with no lock by a thread that
+        # only ever reads — the read/read pair is not a race, so only the
+        # cross pairs with the unlocked *writer* matter.
+        def locked_writer():
+            yield Acquire("L")
+            yield Write("x", 1)
+            yield Release("L")
+
+        def unlocked_reader():
+            yield Read("x")
+
+        program = Program(
+            "pairwise",
+            threads={"W1": locked_writer, "W2": locked_writer, "R": unlocked_reader},
+            initial={"x": 0},
+            locks=["L"],
+        )
+        _, _, races = passes(program)
+        active = [c for c in races if not c.suppressed]
+        assert len(active) == 1
+        (candidate,) = active
+        assert "R" in candidate.threads
+
+    def test_join_ordering_discharges_candidate(self):
+        _, _, races = passes(spawn_join_chain())
+        assert not [c for c in races if not c.suppressed]
+        suppressed = [c for c in races if c.suppressed]
+        assert suppressed and "joined" in suppressed[0].reason
+
+
+class TestAtomicityCandidates:
+    def test_read_check_use_pair_flagged(self):
+        summary, contexts, races = passes(racy_counter())
+        atomicity = [
+            c for c in atomicity_candidates(summary, contexts, races)
+            if not c.suppressed
+        ]
+        assert atomicity and atomicity[0].variables == ("counter",)
+
+    def test_semaphore_alternation_is_static_imprecision(self):
+        # Semaphore hand-offs order the accesses dynamically, but the
+        # lockset abstraction cannot see that: the candidate survives.
+        # analyse_static() scores exactly this as imprecision.
+        summary, contexts, races = passes(semaphore_pingpong())
+        atomicity = [
+            c for c in atomicity_candidates(summary, contexts, races)
+            if not c.suppressed
+        ]
+        assert atomicity
+
+
+class TestOrderCandidates:
+    def test_use_before_init_flagged(self):
+        summary, contexts, _ = passes(null_deref_race())
+        active = [c for c in order_candidates(summary, contexts) if not c.suppressed]
+        assert [c.variables for c in active] == [("ptr",)]
+
+    def test_lost_wakeup_flag_read_flagged(self):
+        summary, contexts, _ = passes(lost_wakeup())
+        active = [c for c in order_candidates(summary, contexts) if not c.suppressed]
+        assert [c.variables for c in active] == [("done",)]
+
+    def test_mutually_locked_sentinel_is_discharged(self):
+        # Reader and writer both hold L around the sentinel: the dynamic
+        # order heuristic only reports that shape with crash evidence, so
+        # the static pass discharges it too.
+        def writer():
+            yield Acquire("L")
+            yield Write("ready", True)
+            yield Release("L")
+
+        def reader():
+            yield Acquire("L")
+            yield Read("ready")
+            yield Release("L")
+
+        program = Program(
+            "locked-sentinel",
+            threads={"W": writer, "R": reader},
+            initial={"ready": None},
+            locks=["L"],
+        )
+        summary, contexts, _ = passes(program)
+        candidates = order_candidates(summary, contexts)
+        assert not [c for c in candidates if not c.suppressed]
+
+
+class TestDeadlockCandidates:
+    def test_abba_cycle_flagged(self):
+        summary, contexts, _ = passes(abba_deadlock())
+        active = [c for c in deadlock_candidates(summary, contexts) if not c.suppressed]
+        assert len(active) == 1
+        assert set(active[0].resources) == {"A", "B"}
+
+    def test_self_reacquisition_flagged(self):
+        summary, contexts, _ = passes(self_deadlock())
+        active = [c for c in deadlock_candidates(summary, contexts) if not c.suppressed]
+        assert [tuple(c.resources) for c in active] == [("L",)]
+
+    def test_consistent_order_is_clean(self):
+        def body():
+            yield Acquire("A")
+            yield Acquire("B")
+            yield Release("B")
+            yield Release("A")
+
+        program = Program("consistent", threads={"T1": body, "T2": body},
+                          locks=["A", "B"])
+        summary, contexts, _ = passes(program)
+        assert not deadlock_candidates(summary, contexts)
+
+    def test_trylock_never_closes_a_cycle(self):
+        # TryAcquire cannot block, so an inverted order through it is not
+        # a deadlock — mirrors the dynamic detector's treatment.
+        from repro.sim import TryAcquire
+
+        def forward():
+            yield Acquire("A")
+            yield Acquire("B")
+            yield Release("B")
+            yield Release("A")
+
+        def backward():
+            yield Acquire("B")
+            got = yield TryAcquire("A")
+            if got:
+                yield Release("A")
+            yield Release("B")
+
+        program = Program("try-inverted",
+                          threads={"T1": forward, "T2": backward},
+                          locks=["A", "B"])
+        summary, contexts, _ = passes(program)
+        assert not [c for c in deadlock_candidates(summary, contexts)
+                    if not c.suppressed]

@@ -1,0 +1,74 @@
+"""The analyse() entry point: report shape, pairs, observability."""
+
+import json
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog as obs_runlog
+from repro.static import analyse
+from tests.helpers import (
+    abba_deadlock,
+    locked_counter,
+    null_deref_race,
+    racy_counter,
+)
+
+
+class TestReport:
+    def test_clean_program_reports_clean(self):
+        report = analyse(locked_counter())
+        assert report.clean
+        assert report.pairs == []
+        assert "locking discipline holds statically" in report.format()
+
+    def test_racy_program_reports_candidates_and_pairs(self):
+        report = analyse(racy_counter())
+        assert not report.clean
+        assert report.variables("data-race") == {"counter"}
+        assert report.pairs
+        # Atomicity wedges outrank generic race pairs.
+        assert report.pairs[0].score >= report.pairs[-1].score
+
+    def test_deadlock_resource_sets(self):
+        report = analyse(abba_deadlock())
+        assert report.resource_sets() == [frozenset({"A", "B"})]
+
+    def test_pairs_never_pair_a_thread_with_itself(self):
+        for builder in (racy_counter, abba_deadlock, null_deref_race):
+            for pair in analyse(builder()).pairs:
+                assert pair.first.thread != pair.second.thread
+
+    def test_to_json_is_json_serialisable(self):
+        blob = json.dumps(analyse(racy_counter()).to_json())
+        decoded = json.loads(blob)
+        assert decoded["program"] == "racy-counter"
+        assert decoded["candidates"] and decoded["pairs"]
+
+    def test_zero_schedules_claim(self):
+        # The report's whole point: wall time recorded, no exploration.
+        report = analyse(racy_counter())
+        assert report.wall_seconds > 0
+        assert "0 schedules" in report.format()
+
+
+class TestObservability:
+    def test_metrics_and_runlog_recorded(self, tmp_path):
+        path = tmp_path / "runlog.jsonl"
+        registry = obs_metrics.enable()
+        obs_runlog.set_runlog(str(path))
+        try:
+            analyse(racy_counter())
+            snapshot = registry.snapshot()
+        finally:
+            obs_runlog.clear_runlog()
+            obs_metrics.disable()
+        flat = json.dumps(snapshot)
+        assert "static.analyses" in flat
+        assert "static.candidates" in flat
+        assert "static.pairs" in flat
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        static_records = [r for r in records if r["event"] == "static.analyse"]
+        assert static_records
+        record = static_records[0]
+        assert record["program"] == "racy-counter"
+        assert record["pairs"] >= 1
+        assert record["candidates"].get("data-race", 0) >= 1

@@ -1,0 +1,166 @@
+"""Thread-summary extraction: AST path, fallback path, exclusivity."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Program,
+    Read,
+    Release,
+    Write,
+)
+from repro.static import exclusive, summarize_program
+from tests.helpers import (
+    abba_deadlock,
+    corpus_program,
+    locked_counter,
+    lost_wakeup,
+    racy_counter,
+    spawn_join_chain,
+)
+
+
+def sites_by_kind(summary, thread, kind):
+    return [s for s in summary.threads[thread].sites if s.kind == kind]
+
+
+class TestAstExtraction:
+    def test_locked_counter_sites_in_program_order(self):
+        summary = summarize_program(locked_counter())
+        assert not summary.approximate
+        kinds = [s.kind for s in summary.threads["T1"].sites]
+        assert kinds == ["acquire", "read", "write", "release"]
+
+    def test_resource_names_resolved_through_closures(self):
+        summary = summarize_program(abba_deadlock())
+        assert summary.used_objects("acquire") == {"A", "B"}
+
+    def test_site_indexes_are_preorder_positions(self):
+        summary = summarize_program(racy_counter())
+        for thread in summary.threads.values():
+            assert [s.index for s in thread.sites] == list(range(len(thread.sites)))
+
+    def test_labels_survive_extraction(self):
+        def body():
+            yield Write("x", 1, label="w.x")
+
+        program = Program("labelled", threads={"T": body}, initial={"x": 0})
+        summary = summarize_program(program)
+        (site,) = summary.threads["T"].sites
+        assert site.label == "w.x"
+
+    def test_branch_sites_are_conditional(self):
+        summary = summarize_program(lost_wakeup())
+        waits = sites_by_kind(summary, "Waiter", "wait")
+        assert waits and all(s.conditional for s in waits)
+
+    def test_spawn_join_sites_extracted(self):
+        summary = summarize_program(spawn_join_chain())
+        kinds = [s.kind for s in summary.threads["Main"].sites]
+        assert kinds[:2] == ["spawn", "join"]
+
+
+class TestDynamicFallback:
+    def test_data_driven_body_is_approximate(self):
+        program = corpus_program(
+            [(True, (("read", "x"),), False), (False, (("write", "x"),), False)]
+        )
+        summary = summarize_program(program)
+        # The spec-driven bodies read their op list from a closure the
+        # extractor cannot evaluate: the summary must say so rather than
+        # silently pretend precision.
+        assert summary.approximate
+        assert any(
+            site.obj is None
+            for site in summary.all_sites()
+            if site.kind in ("read", "write")
+        )
+
+    def test_fallback_reports_no_exclusive_pairs(self):
+        program = corpus_program(
+            [(False, (("read", "x"), ("read", "y")), True)]
+        )
+        summary = summarize_program(program)
+        for thread in summary.threads.values():
+            assert thread.exclusive_pairs == frozenset()
+
+
+class TestExclusivity:
+    def make_program(self, body):
+        return Program(
+            "exclusivity", threads={"T": body},
+            initial={"x": 0, "y": 0}, locks=["L"],
+        )
+
+    def test_divergent_branch_arms_are_exclusive(self):
+        def body():
+            flag = yield Read("x")
+            if flag:
+                yield Write("x", 1)
+            else:
+                yield Write("y", 1)
+
+        summary = summarize_program(self.make_program(body))
+        sites = summary.threads["T"].sites
+        write_x = next(s for s in sites if s.kind == "write" and s.obj == "x")
+        write_y = next(s for s in sites if s.kind == "write" and s.obj == "y")
+        assert exclusive(summary, write_x, write_y)
+        assert exclusive(summary, write_y, write_x)
+
+    def test_return_cuts_off_the_rest_of_the_body(self):
+        def body():
+            flag = yield Read("x")
+            if flag:
+                yield Write("x", 1)
+                return
+            yield Write("y", 1)
+
+        summary = summarize_program(self.make_program(body))
+        sites = summary.threads["T"].sites
+        write_x = next(s for s in sites if s.kind == "write" and s.obj == "x")
+        write_y = next(s for s in sites if s.kind == "write" and s.obj == "y")
+        assert exclusive(summary, write_x, write_y)
+
+    def test_sequential_sites_are_not_exclusive(self):
+        def body():
+            yield Write("x", 1)
+            yield Write("y", 1)
+
+        summary = summarize_program(self.make_program(body))
+        a, b = summary.threads["T"].sites
+        assert not exclusive(summary, a, b)
+
+    def test_loop_iterations_allow_cross_arm_co_occurrence(self):
+        # Different arms of a branch *inside a loop* can both run — one
+        # arm per iteration — so they must not be exclusive.
+        def body():
+            for _ in range(2):
+                flag = yield Read("x")
+                if flag:
+                    yield Write("x", 1)
+                else:
+                    yield Write("y", 1)
+
+        summary = summarize_program(self.make_program(body))
+        sites = summary.threads["T"].sites
+        write_x = next(s for s in sites if s.kind == "write" and s.obj == "x")
+        write_y = next(s for s in sites if s.kind == "write" and s.obj == "y")
+        assert not exclusive(summary, write_x, write_y)
+
+    def test_cross_thread_sites_never_exclusive(self):
+        summary = summarize_program(racy_counter())
+        t1 = summary.threads["T1"].sites[0]
+        t2 = summary.threads["T2"].sites[0]
+        assert not exclusive(summary, t1, t2)
+
+
+class TestDeclarations:
+    def test_program_declarations_carried_over(self):
+        summary = summarize_program(lost_wakeup())
+        assert summary.locks == ("L",)
+        assert summary.conditions == {"cv": "L"}
+        assert set(summary.initial) == {"done"}
+
+    @pytest.mark.parametrize("builder", [racy_counter, locked_counter, abba_deadlock])
+    def test_helper_programs_extract_exactly(self, builder):
+        assert not summarize_program(builder()).approximate

@@ -117,3 +117,39 @@ class TestTablesCsv:
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("Application,")
         assert "Total,74,31,105" in out
+
+
+class TestStatic:
+    def test_single_kernel_report(self, capsys):
+        assert main(["static", "deadlock_abba"]) == 0
+        out = capsys.readouterr().out
+        assert "static analysis of" in out
+        assert "lock-order cycle" in out
+        assert "precision" in out and "recall" in out
+
+    def test_all_kernels_soundness_summary(self, capsys):
+        assert main(["static"]) == 0
+        out = capsys.readouterr().out
+        assert "soundness over kernel corpus" in out
+        assert "every confirmed dynamic finding statically predicted" in out
+        assert "MISSED" not in out
+
+    def test_json_output_parses(self, capsys):
+        import json
+
+        assert main(["static", "atomicity_single_var", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        record = payload[0]
+        assert record["sound"] is True
+        assert record["static"]["candidates"]
+
+    def test_direct_compares_schedule_counts(self, capsys):
+        assert main(["static", "deadlock_three_way", "--direct"]) == 0
+        out = capsys.readouterr().out
+        assert "schedules to first manifestation" in out
+        assert "undirected" in out and "directed" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["static", "nope"]) == 2
+        assert "unknown kernel" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""The kernel/bugdb lint: drift detection on synthetic programs + the
+live check over the real registry (what CI runs)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import Acquire, Program, Read, Release, Write
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location(
+        "lint_repro", TOOLS / "lint_repro.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def well_declared():
+    def body():
+        yield Acquire("L")
+        value = yield Read("x")
+        yield Write("x", value + 1)
+        yield Release("L")
+
+    return Program("ok", threads={"T": body}, initial={"x": 0}, locks=["L"])
+
+
+class TestDeclarationDrift:
+    def test_clean_program_has_no_problems(self, lint):
+        assert lint.declaration_problems("ok", [("buggy", well_declared())]) == []
+
+    def test_undeclared_lock_use_is_flagged(self, lint):
+        def body():
+            yield Acquire("M")
+            yield Release("M")
+
+        program = Program("drift", threads={"T": body}, locks=["M"])
+        # Simulate drift by lying about the declaration set post-hoc.
+        program.locks = []
+        problems = lint.declaration_problems("drift", [("buggy", program)])
+        assert any("uses lock 'M'" in p for p in problems)
+
+    def test_undeclared_variable_use_is_flagged(self, lint):
+        def body():
+            yield Write("ghost", 1)
+
+        program = Program("drift", threads={"T": body}, initial={"ghost": 0})
+        program.initial = {}
+        problems = lint.declaration_problems("drift", [("buggy", program)])
+        assert any("uses variable 'ghost'" in p for p in problems)
+
+    def test_declared_but_unused_lock_is_flagged(self, lint):
+        def body():
+            yield Write("x", 1)
+
+        program = Program("unused", threads={"T": body},
+                          initial={"x": 0}, locks=["L"])
+        problems = lint.declaration_problems("unused", [("buggy", program)])
+        assert any("declared lock 'L' is used by no variant" in p
+                   for p in problems)
+
+    def test_unused_in_buggy_but_used_in_fix_is_fine(self, lint):
+        # Lock-addition fixes share the buggy program's declarations:
+        # only the union across variants must use every declaration.
+        def racy():
+            yield Write("x", 1)
+
+        def fixed():
+            yield Acquire("L")
+            yield Write("x", 1)
+            yield Release("L")
+
+        declarations = dict(initial={"x": 0}, locks=["L"])
+        problems = lint.declaration_problems("fixpair", [
+            ("buggy", Program("b", threads={"T": racy}, **declarations)),
+            ("fixed", Program("f", threads={"T": fixed}, **declarations)),
+        ])
+        assert problems == []
+
+
+class TestLiveRegistry:
+    def test_real_kernels_and_bugdb_are_clean(self, lint):
+        problems = []
+        lint.check_declarations(problems)
+        lint.check_bugdb_links(problems)
+        assert problems == []
+
+    def test_allowlist_entries_are_real_kernels(self, lint):
+        from repro.kernels import kernel_names
+
+        assert lint.UNLINKED_KERNELS <= set(kernel_names())

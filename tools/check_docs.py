@@ -7,7 +7,9 @@ Three checks, all against the working tree:
    be mentioned by filename in ``docs/architecture.md`` (the one-page
    tour promises completeness).  Generated record modules under
    ``bugdb/records/`` are covered by mentioning the ``records/``
-   directory itself.
+   directory itself.  Modules of the static-analysis subsystem
+   (``src/repro/static/``) must additionally be mentioned in
+   ``docs/static.md``, the subsystem's own page.
 2. **CLI flag coverage** — every ``--flag`` defined in
    ``src/repro/cli.py`` must appear in at least one docs page
    (``docs/*.md`` or ``README.md``).
@@ -27,6 +29,7 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 DOCS = REPO / "docs"
 ARCHITECTURE = DOCS / "architecture.md"
+STATIC_DOC = DOCS / "static.md"
 
 #: Markdown inline links: [text](target), ignoring images and code spans.
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -45,6 +48,19 @@ def check_modules(problems: list) -> None:
             problems.append(
                 f"{ARCHITECTURE.relative_to(REPO)}: module "
                 f"src/repro/{relative} is not mentioned"
+            )
+    # The static subsystem promises a per-module tour of its own.
+    if not STATIC_DOC.exists():
+        problems.append("docs/static.md: missing (static subsystem page)")
+        return
+    static_tour = STATIC_DOC.read_text(encoding="utf-8")
+    for path in sorted((SRC / "static").rglob("*.py")):
+        if path.name == "__init__.py":
+            continue  # the page documents the functional modules
+        if path.name not in static_tour:
+            problems.append(
+                f"{STATIC_DOC.relative_to(REPO)}: static module "
+                f"src/repro/{path.relative_to(SRC)} is not mentioned"
             )
 
 

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Kernel/bugdb consistency lint (run in CI).
+
+Static checks over every registered bug kernel, powered by the
+``repro.static`` summaries (no schedule is executed):
+
+1. **Declaration drift, use side** — every resource an operation site
+   actually touches (mutexes, rwlocks, condvars, semaphores, barriers)
+   and every shared variable read or written must be declared on the
+   kernel's :class:`~repro.sim.program.Program`.  Checked per program
+   variant (buggy, fixed, every alternative fix).
+2. **Declaration drift, declare side** — every declared lock, rwlock,
+   and shared variable must be used by *some* variant of the kernel.
+   Checked against the union of variants because fixes share the buggy
+   program's declarations (``Program.with_threads``): a lock-addition
+   fix legitimately leaves the lock unused in the buggy variant.
+3. **Bugdb linkage** — every ``kernel:`` reference in the bug database
+   must resolve to a registered kernel, and every registered kernel must
+   be referenced by at least one bug record, unless listed in
+   :data:`UNLINKED_KERNELS` (kernels that generalise a bug *pattern*
+   from the study rather than reproduce one catalogued report).
+
+Exit status 0 when clean; 1 with one line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bugdb import BugDatabase
+from repro.kernels import all_kernels
+from repro.sim.program import Program
+from repro.static.summary import summarize_program
+
+#: Kernels that demonstrate a bug *pattern* from the study's taxonomy
+#: without reproducing one specific catalogued report — they legitimately
+#: have no ``kernel:`` reference in the bug database.
+UNLINKED_KERNELS = frozenset({
+    "atomicity_lost_update",
+    "multivar_torn_invariant",
+    "order_teardown_use",
+    "deadlock_rwlock_upgrade",
+})
+
+#: Site kind -> which Program declaration namespace the resource lives in.
+_NAMESPACE_OF_KIND = {
+    "acquire": "locks",
+    "release": "locks",
+    "tryacquire": "locks",
+    "acquire_read": "rwlocks",
+    "acquire_write": "rwlocks",
+    "release_read": "rwlocks",
+    "release_write": "rwlocks",
+    "wait": "conditions",
+    "notify": "conditions",
+    "notify_all": "conditions",
+    "sem_acquire": "semaphores",
+    "sem_release": "semaphores",
+    "barrier_wait": "barriers",
+    "read": "variables",
+    "write": "variables",
+}
+
+
+def _declared(program: Program) -> Dict[str, Set[str]]:
+    return {
+        "locks": set(program.locks),
+        "rwlocks": set(program.rwlocks),
+        "conditions": set(program.conditions),
+        "semaphores": set(program.semaphores),
+        "barriers": set(program.barriers),
+        "variables": set(program.initial),
+    }
+
+
+def _used(program: Program) -> Tuple[Dict[str, Set[str]], bool]:
+    """Resources/variables each namespace's sites actually touch.
+
+    Returns ``(usage, approximate)``; an approximate summary (dynamic
+    fallback) still lists every site the symbolic drive reached, but may
+    miss branches, so only the use-side check is safe on it.
+    """
+    summary = summarize_program(program)
+    usage: Dict[str, Set[str]] = {ns: set() for ns in
+                                  ("locks", "rwlocks", "conditions",
+                                   "semaphores", "barriers", "variables")}
+    for thread in summary.threads.values():
+        for site in thread.sites:
+            namespace = _NAMESPACE_OF_KIND.get(site.kind)
+            if namespace is not None and site.obj is not None:
+                usage[namespace].add(site.obj)
+    return usage, summary.approximate
+
+
+def _variants(kernel) -> List[Tuple[str, Program]]:
+    variants = [("buggy", kernel.buggy), ("fixed", kernel.fixed)]
+    variants.extend(
+        (f"alt:{strategy.value}", program)
+        for strategy, program in kernel.alternative_fixes
+    )
+    return variants
+
+
+def declaration_problems(
+    name: str, variants: List[Tuple[str, Program]]
+) -> List[str]:
+    """Both drift directions for one kernel's program variants."""
+    problems: List[str] = []
+    union_used: Dict[str, Set[str]] = {}
+    any_approximate = False
+    for variant, program in variants:
+        usage, approximate = _used(program)
+        any_approximate = any_approximate or approximate
+        declared = _declared(program)
+        for namespace, used in usage.items():
+            union_used.setdefault(namespace, set()).update(used)
+            for resource in sorted(used - declared[namespace]):
+                problems.append(
+                    f"{name} [{variant}]: body uses {namespace[:-1]} "
+                    f"{resource!r} which the program does not declare"
+                )
+    if any_approximate:
+        return problems  # fallback summaries may miss branches: skip unused check
+    declared = _declared(variants[0][1])  # variants share declarations
+    for namespace in ("locks", "rwlocks", "variables"):
+        for resource in sorted(declared[namespace] - union_used[namespace]):
+            problems.append(
+                f"{name}: declared {namespace[:-1]} {resource!r} is used by "
+                f"no variant (buggy, fixed, or alternative fix)"
+            )
+    return problems
+
+
+def check_declarations(problems: List[str]) -> None:
+    for kernel in all_kernels():
+        problems.extend(declaration_problems(kernel.name, _variants(kernel)))
+
+
+def check_bugdb_links(problems: List[str]) -> None:
+    db = BugDatabase.load()
+    kernel_names = {kernel.name for kernel in all_kernels()}
+    referenced: Set[str] = set()
+    for record in db:
+        if record.kernel is None:
+            continue
+        referenced.add(record.kernel)
+        if record.kernel not in kernel_names:
+            problems.append(
+                f"bugdb {record.bug_id}: kernel reference "
+                f"{record.kernel!r} resolves to no registered kernel"
+            )
+    for name in sorted(kernel_names - referenced - UNLINKED_KERNELS):
+        problems.append(
+            f"kernel {name!r} is referenced by no bugdb record and is not "
+            f"in UNLINKED_KERNELS"
+        )
+    for name in sorted(UNLINKED_KERNELS & referenced):
+        problems.append(
+            f"kernel {name!r} is in UNLINKED_KERNELS but a bugdb record "
+            f"references it — drop it from the allowlist"
+        )
+    for name in sorted(UNLINKED_KERNELS - kernel_names):
+        problems.append(
+            f"UNLINKED_KERNELS entry {name!r} is not a registered kernel"
+        )
+
+
+def main() -> int:
+    problems: List[str] = []
+    check_declarations(problems)
+    check_bugdb_links(problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    count = len(list(all_kernels()))
+    print(f"lint_repro: {count} kernels consistent with their declarations "
+          f"and the bug database")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
