@@ -10,20 +10,23 @@ Commands:
     Re-derive findings F1-F10 and print pass/fail.
 ``kernels``
     List the executable bug kernels.
-``kernel NAME [--workers N]``
+``kernel NAME [--workers N] [--reduction R]``
     Drive one kernel end to end: manifest, minimal witness, fix check.
-``detect NAME [--workers N] [--online]``
+``detect NAME [--workers N] [--reduction R] [--online]``
     Run the detector battery on a manifesting trace of kernel NAME;
     ``--online`` streams the detectors along the whole exploration
     instead (every interleaving analysed, shared prefixes once).
-``estimate NAME [--runs N] [--workers N]``
+``estimate NAME [--runs N] [--workers N] [--reduction R]``
     Manifestation rates under cooperative/random/PCT/enforced testing.
-``static [NAME] [--json] [--direct] [--workers N]``
+``static [NAME] [--json] [--direct] [--workers N] [--reduction R]``
     Static analysis of kernel NAME (default: every kernel), zero
     schedules, cross-checked against dynamic exploration for a
     precision/recall report; ``--direct`` additionally compares
     race-directed vs undirected schedules-to-first-manifestation,
-    ``--json`` emits the machine-readable report.
+    ``--json`` emits the machine-readable report.  Everywhere it
+    appears, ``--reduction {none,sleepset,dpor}`` selects the
+    partial-order reduction the underlying exploration runs under
+    (``docs/simulator.md``).
 ``bug BUG_ID``
     Show one bug record (try ``mysql-nd-binlog-rotate``).
 ``validate``
@@ -67,6 +70,8 @@ def _worker_count(text: str) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``repro`` command."""
+    from repro.sim.explorer import REDUCTIONS
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -108,12 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     workers_help = "shard exploration across N worker processes"
+    reduction_help = ("partial-order reduction for the exploration: "
+                      "none (default), sleepset, or dpor")
     kernel = commands.add_parser(
         "kernel", help="drive one kernel end to end", parents=[obs_flags]
     )
     kernel.add_argument("name")
     kernel.add_argument("--workers", type=_worker_count, default=None,
                         help=workers_help)
+    kernel.add_argument("--reduction", choices=REDUCTIONS, default=None,
+                        help=reduction_help)
 
     detect = commands.add_parser(
         "detect", help="detectors on a manifesting trace", parents=[obs_flags]
@@ -126,6 +135,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream detectors along the exploration (analyse every "
              "interleaving, sharing work across schedule prefixes)",
     )
+    detect.add_argument("--reduction", choices=REDUCTIONS, default=None,
+                        help=reduction_help)
 
     estimate = commands.add_parser(
         "estimate", help="manifestation-rate estimates", parents=[obs_flags]
@@ -134,6 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--runs", type=int, default=100)
     estimate.add_argument("--workers", type=_worker_count, default=None,
                           help="split the seeded runs across N worker processes")
+    estimate.add_argument("--reduction", choices=REDUCTIONS, default=None,
+                          help=reduction_help + " (exhaustive row)")
 
     static = commands.add_parser(
         "static",
@@ -154,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     static.add_argument("--workers", type=_worker_count, default=None,
                         help=workers_help)
+    static.add_argument("--reduction", choices=REDUCTIONS, default=None,
+                        help=reduction_help + " (dynamic cross-check)")
 
     bug = commands.add_parser(
         "bug", help="show one bug record", parents=[obs_flags]
@@ -251,7 +266,7 @@ def _cmd_kernel(args) -> int:
     print(f"  minimal witness: {witness.preemptions} preemption(s), "
           f"schedule {witness.run.schedule}")
     print(f"  outcome: {witness.run.summary()}")
-    clean = kernel.verify_fixed(workers=args.workers)
+    clean = kernel.verify_fixed(workers=args.workers, reduction=args.reduction)
     print(f"  fix '{kernel.fix_strategy.value}': "
           f"{'verified clean over every schedule' if clean else 'STILL BUGGY'}")
     return 0 if clean else 1
@@ -265,7 +280,9 @@ def _cmd_detect(args) -> int:
         return 2
     if args.online:
         suite = DetectorSuite.for_program(kernel.buggy)
-        result = suite.analyse_online(kernel.buggy, workers=args.workers)
+        result = suite.analyse_online(
+            kernel.buggy, workers=args.workers, reduction=args.reduction
+        )
         exploration = result.exploration
         assert exploration is not None
         print(exploration.summary())
@@ -286,7 +303,9 @@ def _cmd_detect(args) -> int:
         print()
         print(result.format())
         return 0
-    failing = kernel.find_manifestation(workers=args.workers)
+    failing = kernel.find_manifestation(
+        workers=args.workers, reduction=args.reduction
+    )
     if failing is None:
         print("kernel did not manifest", file=sys.stderr)
         return 1
@@ -303,13 +322,15 @@ def _cmd_estimate(args) -> int:
     kernel = _get_kernel_or_fail(args.name)
     if kernel is None:
         return 2
-    estimates = compare_strategies(kernel, runs=args.runs, workers=args.workers)
+    estimates = compare_strategies(
+        kernel, runs=args.runs, workers=args.workers, reduction=args.reduction
+    )
     for estimate in estimates.values():
         print(estimate.summary())
     return 0
 
 
-def _measure_directed(kernel, workers) -> dict:
+def _measure_directed(kernel, workers, reduction=None) -> dict:
     """Schedules to first manifestation, undirected DFS vs race-directed."""
     from repro.sim.explorer import make_explorer
 
@@ -320,7 +341,7 @@ def _measure_directed(kernel, workers) -> dict:
     ):
         explorer = make_explorer(
             kernel.buggy, 20000, 5000, None, workers, False,
-            keep_matches=1, targets=targets,
+            keep_matches=1, targets=targets, reduction=reduction,
         )
         result = explorer.explore(predicate=kernel.failure, stop_on_first=True)
         counts[mode] = result.schedules_run if result.found else None
@@ -347,9 +368,13 @@ def _cmd_static(args) -> int:
         suite = DetectorSuite.for_program(kernel.buggy, streaming=True)
         comparison = suite.analyse_static(
             kernel.buggy, predicate=kernel.failure, workers=args.workers,
+            reduction=args.reduction,
         )
         all_sound = all_sound and comparison.sound
-        directed = _measure_directed(kernel, args.workers) if args.direct else None
+        directed = (
+            _measure_directed(kernel, args.workers, args.reduction)
+            if args.direct else None
+        )
         if args.json:
             record = comparison.to_json()
             if directed is not None:

@@ -374,6 +374,7 @@ class DetectorSuite:
         max_schedules: int = 20000,
         workers: Optional[int] = None,
         keep_matches: int = 16,
+        reduction: Optional[str] = None,
     ) -> SuiteResult:
         """Explore the program's schedules, then analyse the interesting runs.
 
@@ -383,10 +384,14 @@ class DetectorSuite:
         ``keep_matches``, and feeds them through :meth:`analyse_many`.  If
         no run matches, analyses the single cooperative-schedule baseline
         run instead, so detectors still see one representative trace.
+        ``reduction`` prunes schedules equivalent up to swapping
+        independent operations (see
+        :func:`~repro.sim.explorer.make_explorer`) — sound here because
+        at least one representative of every outcome still runs.
         """
         explorer = make_explorer(
             program, max_schedules, 5000, None, workers, False,
-            keep_matches=keep_matches,
+            keep_matches=keep_matches, reduction=reduction,
         )
         result = explorer.explore(predicate=predicate)
         traces = [run.trace for run in result.matching]
@@ -402,6 +407,7 @@ class DetectorSuite:
         max_schedules: int = 20000,
         workers: Optional[int] = None,
         keep_matches: int = 16,
+        reduction: Optional[str] = None,
     ) -> StaticComparison:
         """Score static predictions against dynamically confirmed findings.
 
@@ -425,6 +431,7 @@ class DetectorSuite:
             max_schedules=max_schedules,
             workers=workers,
             keep_matches=keep_matches,
+            reduction=reduction,
         )
         comparison = StaticComparison(
             program=program.name, static=static, dynamic=dynamic,
@@ -458,6 +465,7 @@ class DetectorSuite:
         max_steps: int = 5000,
         preemption_bound: Optional[int] = None,
         workers: Optional[int] = None,
+        reduction: Optional[str] = None,
     ) -> SuiteResult:
         """Analyse *while* exploring: one streamed pass over every schedule.
 
@@ -472,6 +480,10 @@ class DetectorSuite:
 
         ``predicate`` only controls the exploration's match bookkeeping
         (default: nothing matches); detection does not depend on it.
+        With ``reduction`` the pipeline observes one representative per
+        equivalence class of schedules instead of every interleaving:
+        the outcome set and the findings reachable from it are
+        preserved, but per-interleaving tallies shrink.
         """
         start = perf_counter()
         explorer = make_explorer(
@@ -483,6 +495,7 @@ class DetectorSuite:
             False,
             keep_matches=0,
             pipeline_factory=self._pipeline,
+            reduction=reduction,
         )
         exploration = explorer.explore(
             predicate=predicate if predicate is not None else (lambda run: False)
@@ -501,6 +514,7 @@ class DetectorSuite:
                 "workers": workers,
                 "memoize": False,
                 "online": True,
+                "reduction": reduction or "none",
             }
             stats = exploration.pipeline_stats or {}
             obs_runlog.emit(

@@ -64,6 +64,7 @@ class BugKernel:
         workers: Optional[int] = None,
         memoize: bool = False,
         directed: bool = False,
+        reduction: Optional[str] = None,
     ) -> Optional[RunResult]:
         """A failing run of the buggy program, or ``None`` if unreachable.
 
@@ -75,17 +76,22 @@ class BugKernel:
         visit order toward its predicted access pairs (race-directed
         exploration); the searched tree is unchanged, so a manifestation
         reachable undirected is reachable directed — usually sooner.
+        ``reduction`` skips schedules equivalent to one already run —
+        sound for the same oracles ``memoize`` is sound for (every
+        terminal state keeps a representative), and composable with
+        ``directed``.
         """
         targets = self.static_targets() if directed else None
         explorer = make_explorer(
             self.buggy, max_schedules, 5000, None, workers, memoize,
-            targets=targets,
+            targets=targets, reduction=reduction,
         )
         start = perf_counter()
         result = explorer.explore(predicate=self.failure, stop_on_first=True)
         _emit_exploration_runlog(
             "kernel.find_manifestation", result, max_schedules, 5000, None,
             workers, memoize, perf_counter() - start, directed=directed,
+            reduction=reduction,
         )
         return result.matching[0] if result.matching else None
 
@@ -104,7 +110,9 @@ class BugKernel:
     ) -> float:
         """Fraction of all schedules of the buggy program that manifest.
 
-        No ``memoize`` option: pruned subtrees would skew the rate.
+        No ``memoize`` or ``reduction`` option: the rate is a ratio
+        over *all* interleavings, and anything that prunes or collapses
+        schedules skews it.
         """
         explorer = make_explorer(
             self.buggy, max_schedules, 5000, None, workers, False,
@@ -122,17 +130,23 @@ class BugKernel:
         max_schedules: int = 50000,
         workers: Optional[int] = None,
         memoize: bool = False,
+        reduction: Optional[str] = None,
     ) -> bool:
-        """Exhaustively check that no schedule of the fixed program fails."""
+        """Exhaustively check that no schedule of the fixed program fails.
+
+        ``reduction`` keeps the verdict exact — a failure outcome, were
+        one reachable, would keep a representative schedule — while
+        checking far fewer interleavings.
+        """
         explorer = make_explorer(
             self.fixed, max_schedules, 5000, None, workers, memoize,
-            keep_matches=1,
+            keep_matches=1, reduction=reduction,
         )
         start = perf_counter()
         outcome = explorer.explore(predicate=self.failure, stop_on_first=True)
         _emit_exploration_runlog(
             "kernel.verify_fixed", outcome, max_schedules, 5000, None,
-            workers, memoize, perf_counter() - start,
+            workers, memoize, perf_counter() - start, reduction=reduction,
         )
         return outcome.complete and not outcome.found
 

@@ -179,13 +179,17 @@ def compare_strategies(
     pct_depth: int = 3,
     pct_horizon: Optional[int] = None,
     workers: Optional[int] = None,
+    reduction: Optional[str] = None,
 ) -> Dict[str, ManifestationEstimate]:
     """Manifestation rates of one kernel under the standard strategies.
 
     Returns estimates for: ``cooperative`` (non-preemptive — typically
-    0%), ``random`` stress, ``pct`` (depth-bounded priority testing), and
-    ``enforced`` (the kernel's recorded ≤4-access partial order — the
-    Finding 8 guarantee, typically 100%).
+    0%), ``random`` stress, ``pct`` (depth-bounded priority testing),
+    ``exhaustive`` (systematic DFS, stopping at the first failing
+    schedule; ``reduction`` selects the partial-order reduction it
+    searches under, so its ``runs`` is the schedules-to-first-failure
+    of that search), and ``enforced`` (the kernel's recorded ≤4-access
+    partial order — the Finding 8 guarantee, typically 100%).
 
     Note on PCT: its per-run probability is a *guaranteed lower bound*
     (~1/(n·k^(d-1))) that holds however deep or adversarial the bug; on
@@ -214,6 +218,30 @@ def compare_strategies(
             runs=runs, strategy="pct", workers=workers,
         ),
     }
+    # Systematic-search row: a bounded exhaustive hunt for the first
+    # failing schedule.  Its "rate" is 1 / schedules-to-first-failure —
+    # the systematic counterpart of the samplers' hit probability.
+    from repro.sim.explorer import make_explorer
+
+    exhaustive_start = perf_counter()
+    explorer = make_explorer(kernel.buggy, reduction=reduction)
+    exploration = explorer.explore(
+        predicate=kernel.failure, stop_on_first=True
+    )
+    probes = (
+        exploration.schedules_to_first_finding
+        if exploration.schedules_to_first_finding is not None
+        else exploration.schedules_run
+    )
+    estimates["exhaustive"] = ManifestationEstimate(
+        strategy=f"exhaustive[{reduction or 'none'}]",
+        runs=probes,
+        manifested=1 if exploration.match_count else 0,
+    )
+    _record_estimate(
+        kernel.buggy.name, estimates["exhaustive"], workers,
+        perf_counter() - exhaustive_start,
+    )
     enforced = 0
     enforced_start = perf_counter()
     for seed in range(runs):

@@ -165,6 +165,10 @@ def exploration_record(result: Any, args: Dict[str, Any], wall_seconds: float) -
                 )
             },
             "distinct_outcomes": len(result.outcomes),
+            "schedules_to_first_finding": result.schedules_to_first_finding,
+            "steal_donations": result.steal_donations,
+            "stolen_prefixes": result.stolen_prefixes,
+            "idle_seconds": result.idle_seconds,
         },
         "outcome_digest": outcome_digest(result.outcomes),
         "wall_seconds": wall_seconds,

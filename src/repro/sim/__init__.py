@@ -10,14 +10,18 @@ C/C++ executions of the ASPLOS'08 study.  It provides:
 * pluggable schedulers, from random stress to PCT
   (:mod:`repro.sim.scheduler`),
 * exhaustive bounded interleaving exploration
-  (:mod:`repro.sim.explorer`), sharded across processes by
-  :mod:`repro.sim.parallel` and pruned by the state-fingerprint
-  memoization of :mod:`repro.sim.statecache`, and
+  (:mod:`repro.sim.explorer`), spread across processes with work
+  stealing by :mod:`repro.sim.parallel` and cut down by the
+  partial-order reductions of :mod:`repro.sim.reduction` (sleep sets)
+  and :mod:`repro.sim.dpor` (dynamic POR with source sets) and the
+  state-fingerprint memoization of :mod:`repro.sim.statecache`, and
 * record/replay of interleavings (:mod:`repro.sim.replay`).
 """
 
+from repro.sim.dpor import DPORExplorer
 from repro.sim.engine import Engine, RunResult, RunStatus, run_program
 from repro.sim.explorer import (
+    REDUCTIONS,
     ExplorationResult,
     Explorer,
     enumerate_outcomes,
@@ -85,6 +89,8 @@ __all__ = [
     "minimize_preemptions",
     "preemption_count",
     "SleepSetExplorer",
+    "DPORExplorer",
+    "REDUCTIONS",
     "ParallelExplorer",
     "StateCache",
     "state_fingerprint",

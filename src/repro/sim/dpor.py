@@ -1,0 +1,738 @@
+"""Dynamic partial-order reduction (Flanagan–Godefroid) for exploration.
+
+Sleep sets (:mod:`repro.sim.reduction`) prune branches the DFS has
+already committed to visiting: every awake sibling at every node is
+pushed, and only later filtered.  DPOR inverts the commitment: a node
+starts with a *single* branch (the one the run actually took), and other
+branches are added **only where a race is observed** — two dependent
+operations of different threads, unordered by happens-before, that could
+have executed in the opposite order.  One representative schedule per
+Mazurkiewicz trace survives; interleavings that merely permute
+independent operations are never run at all.
+
+The algorithm is the classic stateless one (Flanagan & Godefroid,
+POPL'05), combined with sleep sets as in the paper's section 5:
+
+* every executed run is swept once to compute the **happens-before
+  relation** over its steps (program order + dependence, transitively
+  closed), using the same conservative footprints as sleep sets
+  (:func:`~repro.sim.reduction.op_footprint` /
+  :func:`~repro.sim.reduction.ops_dependent`);
+* at every fresh node, each enabled thread's pending operation is
+  checked against the **last** dependent, possibly-co-enabled, earlier
+  step not already ordered before it; a race adds the thread (or, via
+  the paper's ``E``-set refinement, the threads that causally lead to
+  it) to the *backtrack set* of the node before that step;
+* the next run branches at the **deepest** node whose backtrack set
+  holds an unexplored, awake thread, with the sleep-set discipline of
+  :class:`~repro.sim.reduction.SleepSetExplorer` deciding who is awake.
+
+Two honest conservatisms, mirroring the sleep-set explorer:
+
+* **co-enabledness** is approximated: pairs that provably cannot be
+  simultaneously enabled (a blocking acquire and a release of the same
+  mutex, two releases, spawn/join against the target thread's own
+  steps) are excluded from race detection; every other dependent pair
+  counts as a race.  Extra backtrack points cost schedules, never
+  outcomes.
+* a run truncated by a **simulated crash** (process death) or the step
+  budget breaks the maximal-execution assumption: operations that were
+  pending when the run died never executed, so commuting arguments do
+  not apply.  Every fresh node of a truncated run gets its full awake
+  set as backtrack points and re-branches with an empty sleep set —
+  exactly the credit the sleep-set explorer refuses for such runs.
+
+Unsound combinations are rejected at construction with
+:class:`ValueError` rather than silently degrading:
+
+* ``memoize=True`` — state memoization aborts runs at revisited states,
+  hiding exactly the races DPOR needs to observe to schedule backtrack
+  points;
+* ``preemption_bound`` — a backtrack point presumes the reversed branch
+  is explorable, which a preemption budget can forbid;
+* ``workers > 1`` (enforced by :func:`~repro.sim.explorer.make_explorer`)
+  — backtrack sets are discovered from earlier runs, which sharded
+  workers cannot see across processes.
+
+``targets=`` race-directed bias composes: it only reorders which awake
+thread extends a run and which backtrack candidate is taken first, and
+DPOR's correctness is independent of visit order.
+
+The differential tests in ``tests/sim/test_dpor.py`` check outcome-set
+equality against plain DFS and the sleep-set explorer over randomly
+generated programs (crashing ones included) and every bug kernel;
+``benchmarks/bench_dpor.py`` records the schedule counts next to the
+sleep-set explorer's.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.sim import ops
+from repro.sim.engine import Engine, RunResult, RunStatus
+from repro.sim.explorer import (
+    ExplorationResult,
+    Predicate,
+    _default_predicate,
+    _DirectedPolicy,
+    _fill_pipeline,
+    _outcome_key,
+    _record_exploration,
+    _record_pipeline_stats,
+)
+from repro.sim.program import Program
+from repro.sim.reduction import Token, op_footprint, ops_dependent
+from repro.sim.scheduler import Scheduler
+from repro.sim.thread import ThreadState
+
+__all__ = ["DPORExplorer"]
+
+#: Acquire-shaped operations that block while the mutex is held.
+_BLOCKING_ACQUIRE = (ops.Acquire, ops._ReacquireAfterWait)
+
+
+def _may_be_coenabled(
+    thread_a: str, op_a: ops.Op, thread_b: str, op_b: ops.Op
+) -> bool:
+    """Whether two pending operations could be enabled simultaneously.
+
+    Conservative: ``True`` unless provably impossible.  A race between
+    never-co-enabled operations is not a race — and filtering these
+    pairs matters beyond schedule counts: a blocked acquire's real race
+    partner is the *earlier acquire* of the same mutex (reversing whole
+    critical sections), which only becomes the most recent candidate
+    once the release in between is excluded.
+    """
+    for x, y in ((op_a, op_b), (op_b, op_a)):
+        if (
+            isinstance(x, _BLOCKING_ACQUIRE)
+            and isinstance(y, ops.Release)
+            and x.lock == y.lock
+        ):
+            # The acquire is enabled only while the lock is free; a
+            # pending release means it is held.
+            return False
+    if (
+        isinstance(op_a, ops.Release)
+        and isinstance(op_b, ops.Release)
+        and op_a.lock == op_b.lock
+    ):
+        return False  # one holder, one pending release
+    for op, other in ((op_a, thread_b), (op_b, thread_a)):
+        if isinstance(op, (ops.Spawn, ops.Join)) and op.thread == other:
+            # Spawn pends while the target has no steps yet; join is
+            # enabled only once the target has none left.
+            return False
+    return True
+
+
+def _live_pending(engine: Engine) -> Dict[str, ops.Op]:
+    """Pending operation of every started, unfinished thread.
+
+    Includes threads blocked on a lock or semaphore (``RUNNABLE`` but not
+    enabled); excludes unstarted threads (their first operation cannot
+    run before the spawn executes, and any race it participates in is
+    still pending — and detected — at every later node) and parked
+    threads (a condition/barrier wait has already executed as a step;
+    the engine-driven wakeup is not a schedulable transition).
+    """
+    return {
+        name: thread.pending
+        for name, thread in engine.threads.items()
+        if thread.state is ThreadState.RUNNABLE and thread.pending is not None
+    }
+
+
+def _causal_pasts(
+    steps: Sequence[Tuple[str, FrozenSet[Token]]]
+) -> List[Set[int]]:
+    """``pasts[i]``: indices of steps that happen-before step ``i``.
+
+    Happens-before is program order plus dependence between executed
+    steps, transitively closed.  Quadratic in the run length, which is
+    bounded by the tiny kernel programs this simulator targets; the
+    sweep runs once per executed schedule.
+    """
+    pasts: List[Set[int]] = []
+    last: Dict[str, int] = {}
+    for i, (thread, footprint) in enumerate(steps):
+        past: Set[int] = set()
+        previous = last.get(thread)
+        if previous is not None:
+            past |= pasts[previous]
+            past.add(previous)
+        for j in range(i):
+            if j in past:
+                continue
+            if ops_dependent(steps[j][1], footprint):
+                past |= pasts[j]
+                past.add(j)
+        pasts.append(past)
+        last[thread] = i
+    return pasts
+
+
+class _DPORPruned(ReproError):
+    """Raised by the scheduler when every enabled thread is asleep."""
+
+
+class _Node:
+    """One decision point along the current execution path.
+
+    Nodes persist across re-executions: when the search backtracks to a
+    node, everything above it (and the node's own enabled set, pending
+    footprints, and sleep context) is unchanged — only the branches
+    below vary.
+    """
+
+    __slots__ = (
+        "enabled", "footprints", "pending", "sleep", "backtrack", "done",
+        "chosen", "truncated", "snapshot",
+    )
+
+    def __init__(
+        self,
+        enabled: List[str],
+        footprints: Dict[str, FrozenSet[Token]],
+        pending: Dict[str, ops.Op],
+        sleep: FrozenSet[str],
+        snapshot: Optional[Any],
+    ):
+        self.enabled = enabled
+        self.footprints = footprints
+        self.pending = pending
+        #: Sleep set in effect when the node was first reached on the
+        #: current branch of its ancestors (fixed for the node's
+        #: lifetime: changing any ancestor's branch discards the node).
+        self.sleep = sleep
+        self.backtrack: Set[str] = set()
+        self.done: Set[str] = set()
+        self.chosen: Optional[str] = None
+        #: A run through this node crashed or hit the step budget; later
+        #: branches here start with an empty sleep set (no reduction
+        #: credit from truncated runs).
+        self.truncated = False
+        self.snapshot = snapshot
+
+
+class _DPORScheduler(Scheduler):
+    """Replay a prefix, then extend while recording fresh decisions.
+
+    Identical extension discipline to the sleep-set scheduler: threads
+    asleep at a node are never chosen, sleepers wake when a dependent
+    operation executes, and a node whose enabled threads are all asleep
+    prunes the run.  Beyond the prefix it records, per decision, the
+    enabled set, every enabled thread's pending op and footprint, the
+    running sleep set, and (with a pipeline) a branch-point snapshot.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[str],
+        initial_sleep: FrozenSet[str],
+        pipeline: Optional[Any] = None,
+        directed: Optional[_DirectedPolicy] = None,
+    ):
+        self.prefix = list(prefix)
+        self.initial_sleep = initial_sleep
+        self.pipeline = pipeline
+        self.directed = directed
+        self.engine: Optional[Engine] = None
+        self.cond_locks: Dict[str, str] = {}
+        self.choices: List[str] = []
+        self.enabled_sets: List[List[str]] = []
+        self.sleep_sets: List[FrozenSet[str]] = []
+        self.footprints: List[Dict[str, FrozenSet[Token]]] = []
+        self.pending_ops: List[Dict[str, ops.Op]] = []
+        self.node_snapshots: List[Optional[Any]] = []
+        self._sleep: FrozenSet[str] = frozenset()
+        self._last: Optional[str] = None
+        self.pruned = False
+
+    def attach(self, engine: Engine) -> None:
+        self.engine = engine
+        self.cond_locks = dict(engine.program.conditions)
+
+    def choose(self, enabled: Sequence[str], step: int) -> str:
+        ordered = sorted(enabled)
+        index = len(self.choices)
+        if index < len(self.prefix):
+            choice = self.prefix[index]
+            if choice not in enabled:
+                raise ReproError(
+                    f"DPOR prefix diverged at step {index}: {choice!r} not "
+                    f"enabled in {ordered}"
+                )
+            self.choices.append(choice)
+            self._last = choice
+            return choice
+
+        if index == len(self.prefix):
+            self._sleep = self.initial_sleep
+        assert self.engine is not None
+        # Footprints and pending ops of every *live* thread, not just the
+        # enabled ones: race detection must see the next transition of a
+        # thread blocked on a lock (its acquire races with the earlier
+        # acquire that blocked it — the deadlock-producing reversal).
+        pending = _live_pending(self.engine)
+        footprints = {
+            name: op_footprint(op, name, self.cond_locks)
+            for name, op in pending.items()
+        }
+        self.enabled_sets.append(ordered)
+        self.sleep_sets.append(self._sleep)
+        self.footprints.append(footprints)
+        self.pending_ops.append(pending)
+        awake = [name for name in ordered if name not in self._sleep]
+        if self.pipeline is not None:
+            # Aligned with enabled_sets even for the pruned node; only
+            # nodes with two awake threads can ever branch.
+            self.node_snapshots.append(
+                self.pipeline.snapshot() if len(awake) > 1 else None
+            )
+        if not awake:
+            self.pruned = True
+            raise _DPORPruned("all enabled threads are asleep")
+        if self.directed is not None:
+            keys = self.directed.key_enabled(self.engine, awake, self._last)
+            choice = min(awake, key=keys.__getitem__)
+        elif self._last in awake:
+            choice = self._last
+        else:
+            choice = awake[0]
+        chosen_footprint = footprints[choice]
+        self._sleep = frozenset(
+            name
+            for name in self._sleep
+            if name in footprints
+            and not ops_dependent(footprints[name], chosen_footprint)
+        )
+        self.choices.append(choice)
+        self._last = choice
+        return choice
+
+    def reset(self) -> None:
+        self.choices = []
+        self.enabled_sets = []
+        self.sleep_sets = []
+        self.footprints = []
+        self.pending_ops = []
+        self.node_snapshots = []
+        self._sleep = frozenset()
+        self._last = None
+        self.pruned = False
+
+
+class DPORExplorer:
+    """Stateless exploration with dynamic partial-order reduction."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_schedules: int = 20000,
+        max_steps: int = 5000,
+        keep_matches: int = 16,
+        memoize: bool = False,
+        preemption_bound: Optional[int] = None,
+        pipeline: Optional[Any] = None,
+        targets: Optional[Sequence[Any]] = None,
+    ):
+        if memoize:
+            raise ValueError(
+                "DPORExplorer cannot be combined with memoize=True: state "
+                "memoization aborts runs at revisited states, hiding the "
+                "races DPOR needs to observe to place backtrack points; "
+                "use reduction='sleepset' (whose subtrees are "
+                "state-determined) if memoization is required"
+            )
+        if preemption_bound is not None:
+            raise ValueError(
+                "DPORExplorer cannot be combined with a preemption bound: "
+                "a backtrack point presumes the reversed branch is "
+                "explorable, which a preemption budget can forbid — the "
+                "outcome-set guarantee would silently break"
+            )
+        self.program = program
+        self.max_schedules = max_schedules
+        self.max_steps = max_steps
+        self.keep_matches = keep_matches
+        #: Race-directed visit ordering (see
+        #: :class:`~repro.sim.explorer.Explorer`): biases which awake
+        #: thread extends a run and which backtrack candidate is taken
+        #: first.  DPOR's coverage is independent of visit order, so the
+        #: bias composes freely.
+        self.directed = _DirectedPolicy(targets) if targets else None
+        #: Streaming detector pipeline (duck-typed); findings cover only
+        #: the representative schedules DPOR actually runs.
+        self.pipeline = pipeline
+        #: Telemetry of the most recent exploration.
+        self.pruned_runs = 0
+        self.races_detected = 0
+        self.backtrack_points = 0
+
+    def explore(
+        self,
+        predicate: Optional[Predicate] = None,
+        stop_on_first: bool = False,
+    ) -> ExplorationResult:
+        """Explore with reduction; result fields as in :class:`Explorer`."""
+        start = perf_counter()
+        match = predicate if predicate is not None else _default_predicate
+        result = ExplorationResult(
+            program=self.program.name, schedules_run=0, complete=True
+        )
+        self.pruned_runs = 0
+        self.races_detected = 0
+        self.backtrack_points = 0
+        path: List[_Node] = []
+        prefix: List[str] = []
+        sleep: FrozenSet[str] = frozenset()
+        snapshot: Optional[Any] = None
+        attempts = 0
+        while True:
+            if attempts >= self.max_schedules:
+                result.complete = False
+                break
+            attempts += 1
+            run, scheduler, final_tail = self._run_once(prefix, sleep, snapshot)
+            base = len(prefix)
+            pruned_tail = self._extend_path(path, scheduler, base)
+            result.states_expanded += len(scheduler.choices) - base
+            self._detect_races(
+                path, base, pruned_tail if pruned_tail is not None else final_tail
+            )
+            if run is None:
+                self.pruned_runs += 1
+            else:
+                result.schedules_run += 1
+                result.statuses[run.status] += 1
+                key = _outcome_key(run)
+                result.outcomes[key] = result.outcomes.get(key, 0) + 1
+                if match(run):
+                    result.match_count += 1
+                    if len(result.matching) < self.keep_matches:
+                        result.matching.append(run)
+                    if result.first_match_schedule is None:
+                        result.first_match_schedule = list(run.schedule)
+                        result.schedules_to_first_finding = result.schedules_run
+                    if stop_on_first:
+                        result.complete = False
+                        break
+                if run.status in (RunStatus.CRASH, RunStatus.ABORTED):
+                    self._handle_truncated(path, scheduler, base)
+                    self._truncation_races(path)
+            selected = self._select_next(path)
+            if selected is None:
+                break
+            prefix, sleep, snapshot = selected
+        self._finish(result, start)
+        return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _run_once(
+        self,
+        prefix: List[str],
+        sleep: FrozenSet[str],
+        snapshot: Optional[Any],
+    ) -> Tuple[Optional[RunResult], _DPORScheduler, Optional["_Node"]]:
+        pipeline = self.pipeline
+        hook = None
+        if pipeline is not None:
+            if snapshot is not None:
+                pipeline.restore(snapshot)
+            else:
+                pipeline.begin_pass()
+            hook = pipeline.feed
+        scheduler = _DPORScheduler(
+            prefix, sleep, pipeline=pipeline, directed=self.directed
+        )
+        engine = Engine(
+            self.program, scheduler, max_steps=self.max_steps, event_hook=hook
+        )
+        scheduler.attach(engine)
+        try:
+            run = engine.run()
+        except _DPORPruned:
+            return None, scheduler, None
+        if pipeline is not None:
+            pipeline.finish_pass()
+        # A run can end with transitions still pending — deadlocked
+        # threads, or survivors of a crash.  The engine never asks the
+        # scheduler at such a state, so synthesize a terminal node for
+        # race detection: a blocked acquire still races with the earlier
+        # step that blocked it.  The node never branches (no enabled
+        # threads), so backtrack points land at ancestors only.
+        tail: Optional[_Node] = None
+        final_pending = _live_pending(engine)
+        if final_pending:
+            footprints = {
+                name: op_footprint(op, name, scheduler.cond_locks)
+                for name, op in final_pending.items()
+            }
+            tail = _Node([], footprints, final_pending, frozenset(), None)
+        return run, scheduler, tail
+
+    def _extend_path(
+        self, path: List[_Node], scheduler: _DPORScheduler, base: int
+    ) -> Optional[_Node]:
+        """Append this run's fresh decisions as nodes; return the pruned
+        tail node (recorded but never executed from), if any."""
+        tail: Optional[_Node] = None
+        snapshots = scheduler.node_snapshots
+        for k in range(len(scheduler.enabled_sets)):
+            node = _Node(
+                enabled=scheduler.enabled_sets[k],
+                footprints=scheduler.footprints[k],
+                pending=scheduler.pending_ops[k],
+                sleep=scheduler.sleep_sets[k],
+                snapshot=snapshots[k] if snapshots else None,
+            )
+            depth = base + k
+            if depth < len(scheduler.choices):
+                node.chosen = scheduler.choices[depth]
+                node.done.add(node.chosen)
+                node.backtrack.add(node.chosen)
+                path.append(node)
+            else:
+                # The all-asleep node a pruned run stopped at: it can
+                # never branch (selection skips sleepers), but its
+                # pending operations still participate in race
+                # detection against the prefix.
+                tail = node
+        return tail
+
+    def _detect_races(
+        self, path: List[_Node], base: int, tail: Optional[_Node]
+    ) -> None:
+        """One FG race sweep over the current execution.
+
+        For every *fresh* node (depth ≥ ``base``) and every thread
+        enabled there, find the most recent earlier step that is
+        dependent with the thread's pending operation, possibly
+        co-enabled with it, and not already ordered before it by
+        happens-before — and add backtrack points at the node that step
+        executed from.  Older nodes were swept when they were fresh;
+        re-sweeping them could only repeat the same additions.
+        """
+        steps = [
+            (node.chosen, node.footprints[node.chosen]) for node in path
+        ]
+        step_ops = [node.pending[node.chosen] for node in path]
+        pasts = _causal_pasts(steps)
+        last: Dict[str, int] = {}
+        total = len(path) + (1 if tail is not None else 0)
+        for depth in range(total):
+            node = path[depth] if depth < len(path) else tail
+            if depth >= base:
+                for thread in sorted(node.pending):
+                    previous = last.get(thread)
+                    if previous is None:
+                        thread_past: Set[int] = set()
+                    else:
+                        thread_past = pasts[previous] | {previous}
+                    footprint = node.footprints[thread]
+                    pending = node.pending[thread]
+                    for i in range(depth - 1, -1, -1):
+                        if i in thread_past:
+                            continue  # ordered before the pending op
+                        if not ops_dependent(steps[i][1], footprint):
+                            continue
+                        if not _may_be_coenabled(
+                            steps[i][0], step_ops[i], thread, pending
+                        ):
+                            continue
+                        self.races_detected += 1
+                        self._add_backtrack(
+                            path[i], thread, i, depth, steps, pasts, footprint
+                        )
+                        break  # only the most recent such step (FG)
+            if depth < len(path):
+                last[steps[depth][0]] = depth
+
+    def _add_backtrack(
+        self,
+        pre: _Node,
+        thread: str,
+        i: int,
+        depth: int,
+        steps: List[Tuple[str, FrozenSet[Token]]],
+        pasts: List[Set[int]],
+        pending_fp: Optional[FrozenSet[Token]],
+    ) -> None:
+        """Schedule the reversal of a race at the node before step ``i``.
+
+        The source-set rule (Abdulla et al., POPL'14).  Build the
+        reversal witness ``v``: the steps after ``i`` that are *not*
+        happens-after it, followed by the racing pending operation.  Its
+        *initials* are the threads whose first event in ``v`` has no
+        dependent predecessor within ``v`` — the threads that can lead
+        the reversed execution from ``pre``.  If any initial is already
+        scheduled at ``pre`` (explored, or awaiting selection outside
+        the sleep set) the reversal is covered and nothing is added;
+        otherwise one initial suffices.
+
+        This subsumes Flanagan–Godefroid's "add the racing thread"
+        rule, which loses reversals when that thread is sleep-blocked at
+        ``pre`` and the commutation path into the covering sibling
+        crosses a dependent step — an initial of ``v`` other than the
+        racing thread is awake exactly there.  ``pending_fp`` is
+        ``None`` for truncation races, whose final step is dependent
+        with everything and hence an initial only when ``v`` has no
+        other element.
+        """
+        witness: List[Tuple[str, Optional[FrozenSet[Token]]]] = [
+            steps[j] for j in range(i + 1, depth) if i not in pasts[j]
+        ]
+        witness.append((thread, pending_fp))
+        initials: Set[str] = set()
+        seen: Set[str] = set()
+        for k, (name, footprint) in enumerate(witness):
+            if name in seen:
+                continue
+            seen.add(name)
+            if footprint is None:
+                if k == 0:
+                    initials.add(name)
+                continue
+            if all(
+                witness[m][1] is not None
+                and not ops_dependent(witness[m][1], footprint)
+                for m in range(k)
+            ):
+                initials.add(name)
+        covered = pre.done | (pre.backtrack - set(pre.sleep))
+        if covered & initials:
+            return
+        enabled = set(pre.enabled)
+        candidates = initials & enabled
+        awake = candidates - set(pre.sleep)
+        if awake:
+            additions = {min(awake)}
+        elif candidates:
+            additions = {min(candidates)}
+        else:
+            # No initial is enabled at ``pre`` (a lock held across the
+            # witness window, or similar): branch over everything.
+            additions = enabled
+        before = len(pre.backtrack)
+        pre.backtrack |= additions
+        self.backtrack_points += len(pre.backtrack) - before
+
+    def _handle_truncated(
+        self, path: List[_Node], scheduler: _DPORScheduler, base: int
+    ) -> None:
+        """Withdraw reduction credit below a crashed / step-aborted run.
+
+        The run's tail never executed, so independence-based commuting
+        arguments do not apply: every fresh node re-branches over its
+        full awake set and subsequent branches there start with an empty
+        sleep set — mirroring the sleep-set explorer, which pushes the
+        siblings of truncated runs with empty sleep sets.
+        """
+        for k in range(len(scheduler.enabled_sets)):
+            depth = base + k
+            if depth >= len(path):
+                break
+            node = path[depth]
+            node.truncated = True
+            asleep = scheduler.sleep_sets[k]
+            node.backtrack.update(
+                name for name in node.enabled if name not in asleep
+            )
+
+    def _truncation_races(self, path: List[_Node]) -> None:
+        """Reverse a truncated run's final step with earlier steps.
+
+        The step that kills a run (a simulated crash, or the step-budget
+        boundary) is dependent with *everything*: it decides which of
+        the other threads' operations ever execute, which footprint
+        dependence cannot see.  Example: in ``U1 U1 U2 U2 U2 C C†`` the
+        crashed checker read must also be reversed with U2's
+        footprint-independent ``read version`` at step 4 — the
+        truncated trace where U2 dies before that read is distinct, and
+        no footprint race ever requests it.  Walk the final step up past
+        the most recent earlier step of another thread not ordered
+        before it; if the reversed run is also truncated, its own sweep
+        walks one step further.
+        """
+        if not path:
+            return
+        last = len(path) - 1
+        steps = [
+            (node.chosen, node.footprints[node.chosen]) for node in path
+        ]
+        pasts = _causal_pasts(steps)
+        thread = steps[last][0]
+        thread_past = pasts[last] | {last}
+        for i in range(last - 1, -1, -1):
+            if i in thread_past or steps[i][0] == thread:
+                continue
+            self.races_detected += 1
+            self._add_backtrack(path[i], thread, i, last, steps, pasts, None)
+            break
+
+    def _select_next(
+        self, path: List[_Node]
+    ) -> Optional[Tuple[List[str], FrozenSet[str], Optional[Any]]]:
+        """Deepest node with an unexplored awake backtrack thread.
+
+        Truncates the path there, marks the branch done, and returns the
+        (prefix, initial sleep, pipeline snapshot) of the next run.
+        ``None`` means the whole reduced tree is explored.
+        """
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            candidates = node.backtrack - node.done - set(node.sleep)
+            if not candidates:
+                continue
+            if self.directed is not None:
+                choice = min(
+                    candidates,
+                    key=lambda name: (
+                        self.directed.rank(name, node.pending[name]), name
+                    ),
+                )
+            else:
+                choice = min(candidates)
+            if node.truncated:
+                new_sleep: FrozenSet[str] = frozenset()
+            else:
+                chosen_footprint = node.footprints[choice]
+                new_sleep = frozenset(
+                    name
+                    for name in (node.sleep | node.done)
+                    if name != choice
+                    and name in node.footprints
+                    and not ops_dependent(
+                        node.footprints[name], chosen_footprint
+                    )
+                )
+            node.done.add(choice)
+            node.chosen = choice
+            del path[depth + 1:]
+            prefix = [n.chosen for n in path]
+            return prefix, new_sleep, node.snapshot
+        return None
+
+    def _finish(self, result: ExplorationResult, start: float) -> None:
+        """Close out one exploration: pipeline copy, wall-clock, metrics."""
+        _fill_pipeline(result, self.pipeline)
+        if result.pipeline_stats is not None:
+            _record_pipeline_stats(result.pipeline_stats, self.program.name)
+        result.wall_seconds = perf_counter() - start
+        labels = {"program": self.program.name}
+        obs_metrics.inc(
+            "explorer.pruned_runs", self.pruned_runs,
+            explorer="dpor", **labels,
+        )
+        obs_metrics.inc("dpor.races_detected", self.races_detected, **labels)
+        obs_metrics.inc(
+            "dpor.backtrack_points", self.backtrack_points, **labels
+        )
+        obs_metrics.inc("dpor.pruned_runs", self.pruned_runs, **labels)
+        _record_exploration(result, "dpor")

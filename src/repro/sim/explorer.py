@@ -59,6 +59,7 @@ from repro.sim.statecache import MemoHit, StateCache, state_fingerprint
 __all__ = [
     "Explorer",
     "ExplorationResult",
+    "REDUCTIONS",
     "find_schedule",
     "enumerate_outcomes",
     "make_explorer",
@@ -77,19 +78,33 @@ class _DirectedPolicy:
     pending op is the index of the best pair it advances — first sites
     rank ahead of every second site so "run the first access of the best
     pair, then its second" falls out of a plain min() — and non-matching
-    ops rank last.  The policy is stateless: ranking depends only on the
-    pending ops, so replayed prefixes and sibling subtrees see identical
-    orderings and the exploration *tree* is unchanged, only the order in
-    which DFS visits it.
+    ops rank last.  Ranking depends only on the pending ops, so replayed
+    prefixes and sibling subtrees see identical orderings and the
+    exploration *tree* is unchanged, only the order in which DFS visits
+    it.  Ranks are memoized by ``(thread, op)`` — ops are frozen
+    dataclasses, so the cache is content-keyed and bounded by the
+    program's static operation sites, and a thread's pending op is
+    re-ranked in O(1) at every node it stays pending instead of
+    re-scanning the target list.
     """
 
-    __slots__ = ("targets", "_worst")
+    __slots__ = ("targets", "_worst", "_rank_cache")
 
     def __init__(self, targets: Sequence[Any]):
         self.targets = list(targets)
         self._worst = 2 * len(self.targets)
+        self._rank_cache: Dict[Any, int] = {}
 
     def rank(self, thread: str, op: Any) -> int:
+        try:
+            cached = self._rank_cache.get((thread, op))
+        except TypeError:  # unhashable op payload: rank uncached
+            return self._rank(thread, op)
+        if cached is None:
+            cached = self._rank_cache[(thread, op)] = self._rank(thread, op)
+        return cached
+
+    def _rank(self, thread: str, op: Any) -> int:
         best = self._worst
         for index, pair in enumerate(self.targets):
             if index >= best:
@@ -100,10 +115,24 @@ class _DirectedPolicy:
                 best = len(self.targets) + index
         return best
 
-    def rank_enabled(self, engine: Engine, enabled: Sequence[str]) -> Dict[str, int]:
-        """Rank every enabled thread by its pending operation."""
+    def key_enabled(
+        self, engine: Engine, enabled: Sequence[str], previous: Optional[str]
+    ) -> Dict[str, Tuple[int, int, str]]:
+        """Final directed sort keys for every enabled thread at one node.
+
+        Computed once per node and reused for both the extension choice
+        and the sibling-push ordering (``previous`` is the same thread in
+        both places), instead of rebuilding a key tuple per comparison —
+        the fix for directed exploration costing more wall-clock than it
+        saved in schedules (key: best rank, then stay non-preemptive,
+        then thread name for determinism).
+        """
         return {
-            name: self.rank(name, engine.threads[name].pending)
+            name: (
+                self.rank(name, engine.threads[name].pending),
+                0 if name == previous else 1,
+                name,
+            )
             for name in enabled
         }
 
@@ -138,10 +167,11 @@ class _RecordingScheduler(Scheduler):
         self.engine: Optional[Engine] = None
         self.enabled_sets: List[List[str]] = []
         self.choices: List[str] = []
-        # Per-decision thread ranks under the directed policy, aligned
-        # with enabled_sets (None entries for replayed-prefix decisions —
+        # Per-decision directed sort keys (one dict per node, computed
+        # once and reused at sibling-push time), aligned with
+        # enabled_sets (None entries for replayed-prefix decisions —
         # no siblings are cut there).  Stays empty when undirected.
-        self.rank_sets: List[Optional[Dict[str, int]]] = []
+        self.directed_keys: List[Optional[Dict[str, Tuple[int, int, str]]]] = []
         # Pipeline snapshots per decision beyond the prefix (None entries
         # for decisions with a single enabled thread — no siblings there).
         self.node_snapshots: List[Optional[Any]] = []
@@ -190,8 +220,8 @@ class _RecordingScheduler(Scheduler):
                 raise MemoHit()
         self.enabled_sets.append(ordered)
         if self.directed is not None:
-            self.rank_sets.append(
-                self.directed.rank_enabled(self.engine, ordered)
+            self.directed_keys.append(
+                self.directed.key_enabled(self.engine, ordered, self._last)
                 if index >= len(self.prefix)
                 else None
             )
@@ -210,8 +240,7 @@ class _RecordingScheduler(Scheduler):
                     f"non-deterministic beyond scheduling"
                 )
         elif self.directed is not None:
-            ranks = self.rank_sets[-1]
-            choice = min(ordered, key=lambda name: _directed_key(ranks, name, self._last))
+            choice = min(ordered, key=self.directed_keys[-1].__getitem__)
         elif self._last is not None and self._last in enabled:
             choice = self._last
         else:
@@ -224,17 +253,10 @@ class _RecordingScheduler(Scheduler):
     def reset(self) -> None:
         self.enabled_sets = []
         self.choices = []
-        self.rank_sets = []
+        self.directed_keys = []
         self.node_snapshots = []
         self._last = None
         self._preemptions = 0
-
-
-def _directed_key(
-    ranks: Dict[str, int], name: str, previous: Optional[str]
-) -> Tuple[int, int, str]:
-    """Sort key for directed choice: best rank, then stay non-preemptive."""
-    return (ranks[name], 0 if name == previous else 1, name)
 
 
 @dataclass
@@ -249,6 +271,11 @@ class ExplorationResult:
     matching: List[RunResult] = field(default_factory=list)
     match_count: int = 0
     first_match_schedule: Optional[List[str]] = None
+    #: Completed schedules up to and including the first predicate match
+    #: (``None`` when nothing matched).  Counts in *serial DFS order*
+    #: even for merged parallel searches, so it is comparable across
+    #: worker counts; memoized aborts and pruned runs are excluded.
+    schedules_to_first_finding: Optional[int] = None
     #: Runs aborted because they reached an already-expanded state.
     cache_hits: int = 0
     #: Subtree shards merged into this result (0 for a serial search).
@@ -266,6 +293,13 @@ class ExplorationResult:
     cache_states: int = 0
     #: Wall-clock of the exploration (for a shard: that shard's search).
     wall_seconds: float = 0.0
+    #: Work-stealing telemetry (all zero for serial searches and for the
+    #: legacy prefix-sharding strategy): donation batches made by busy
+    #: workers, total prefixes donated, and the summed wall-clock the
+    #: workers spent idle waiting for work.
+    steal_donations: int = 0
+    stolen_prefixes: int = 0
+    idle_seconds: float = 0.0
     #: Detector reports accumulated by an attached streaming pipeline,
     #: keyed by detector name (``None`` when exploring without one).
     #: Typed loosely because the sim layer never imports detector types.
@@ -389,6 +423,7 @@ class Explorer:
         predicate: Optional[Predicate],
         stop_on_first: bool,
         frontier_target: Optional[int],
+        steal_hook: Optional[Callable[[List[Seed]], None]] = None,
     ) -> Tuple[ExplorationResult, List[Seed]]:
         """The DFS loop over a seeded stack; returns (result, leftover stack).
 
@@ -400,6 +435,13 @@ class Explorer:
         distribute.  The stack is LIFO, so the serial exploration order is
         exactly: the runs executed here, then the popped entries' subtrees
         from the top of the leftover stack downward.
+
+        ``steal_hook`` is the work-stealing hook: called once per loop
+        iteration with the live stack, it may remove entries from the
+        *bottom* (the serially-last subtrees) to donate them to idle
+        workers.  Everything this search still runs precedes any donated
+        entry in serial order, which is what keeps the parallel merge
+        deterministic.
         """
         match = predicate if predicate is not None else _default_predicate
         cache = StateCache() if self.memoize else None
@@ -409,6 +451,10 @@ class Explorer:
         )
         attempts = 0
         while stack:
+            if steal_hook is not None:
+                steal_hook(stack)
+            if not stack:
+                break
             if frontier_target is not None and (
                 len(stack) >= frontier_target or attempts >= frontier_target
             ):
@@ -435,6 +481,7 @@ class Explorer:
                         result.matching.append(run)
                     if result.first_match_schedule is None:
                         result.first_match_schedule = list(run.schedule)
+                        result.schedules_to_first_finding = result.schedules_run
                     if stop_on_first:
                         result.complete = False
                         _fill_cache_stats(result, cache)
@@ -496,7 +543,7 @@ class Explorer:
     ) -> None:
         choices = recorder.choices
         enabled_sets = recorder.enabled_sets
-        rank_sets = recorder.rank_sets
+        directed_keys = recorder.directed_keys
         snapshots = recorder.node_snapshots
         # Preemption cost of each executed step beyond the prefix.
         preemptions = paid
@@ -507,13 +554,13 @@ class Explorer:
             # node_snapshots holds only post-prefix decisions.
             snapshot = snapshots[i - len(prefix)] if snapshots else None
             alternatives = enabled_sets[i]
-            if rank_sets and rank_sets[i] is not None:
+            if directed_keys and directed_keys[i] is not None:
                 # Push worst-ranked first so the LIFO stack pops the
-                # best-directed sibling before any other.
-                ranks = rank_sets[i]
+                # best-directed sibling before any other (keys were
+                # computed once when the node was visited).
                 alternatives = sorted(
                     alternatives,
-                    key=lambda name: _directed_key(ranks, name, previous),
+                    key=directed_keys[i].__getitem__,
                     reverse=True,
                 )
             for alt in alternatives:
@@ -635,6 +682,7 @@ def _emit_exploration_runlog(
     memoize: bool,
     wall_seconds: float,
     directed: bool = False,
+    reduction: Optional[str] = None,
 ) -> None:
     """Append one run record for an exploration entry point (if active)."""
     if obs_runlog.active_runlog() is None:
@@ -646,6 +694,7 @@ def _emit_exploration_runlog(
         "workers": workers,
         "memoize": memoize,
         "directed": directed,
+        "reduction": reduction or "none",
     }
     obs_runlog.emit(
         event, **obs_runlog.exploration_record(result, args, wall_seconds)
@@ -676,6 +725,11 @@ def _outcome_key(run: RunResult) -> Tuple:
     return (run.status.value, tuple(items))
 
 
+#: Valid values of the ``reduction=`` selector shared by
+#: :func:`make_explorer` and the CLI ``--reduction`` flag.
+REDUCTIONS = ("none", "sleepset", "dpor")
+
+
 def make_explorer(
     program: Program,
     max_schedules: int = 20000,
@@ -686,6 +740,7 @@ def make_explorer(
     keep_matches: int = 16,
     pipeline_factory: Optional[Callable[[], Any]] = None,
     targets: Optional[Sequence[Any]] = None,
+    reduction: Optional[str] = None,
 ):
     """Serial or parallel explorer, selected by ``workers`` (shared factory).
 
@@ -701,7 +756,59 @@ def make_explorer(
     :param targets: ordered target pairs for race-directed exploration
         (see :class:`Explorer`); typically the ``pairs`` of a
         :class:`repro.static.report.StaticReport`.
+    :param reduction: partial-order reduction to apply: ``None``/"none"
+        (plain DFS), ``"sleepset"``
+        (:class:`~repro.sim.reduction.SleepSetExplorer`), or ``"dpor"``
+        (:class:`~repro.sim.dpor.DPORExplorer`).  Reduced searches are
+        serial — combining a reduction with ``workers > 1`` raises
+        :class:`ValueError`, as do the unsound combinations documented
+        on each explorer (``dpor`` rejects ``memoize`` and
+        ``preemption_bound``; ``sleepset`` rejects ``preemption_bound``).
     """
+    kind = reduction if reduction is not None else "none"
+    if kind not in REDUCTIONS:
+        raise ValueError(
+            f"reduction must be one of {', '.join(REDUCTIONS)}; got {reduction!r}"
+        )
+    if kind != "none":
+        if workers is not None and workers > 1:
+            raise ValueError(
+                f"reduction={kind!r} cannot be combined with workers={workers}: "
+                "partial-order reduction decides which branches to explore "
+                "from what earlier runs observed, which a prefix-sharded or "
+                "work-stealing search cannot see across workers"
+            )
+        pipeline = pipeline_factory() if pipeline_factory is not None else None
+        if kind == "sleepset":
+            if preemption_bound is not None:
+                raise ValueError(
+                    "reduction='sleepset' cannot be combined with a "
+                    "preemption bound: sleep sets assume every sibling "
+                    "branch is explorable, which the bound violates"
+                )
+            from repro.sim.reduction import SleepSetExplorer
+
+            return SleepSetExplorer(
+                program,
+                max_schedules=max_schedules,
+                max_steps=max_steps,
+                keep_matches=keep_matches,
+                memoize=memoize,
+                pipeline=pipeline,
+                targets=targets,
+            )
+        from repro.sim.dpor import DPORExplorer
+
+        return DPORExplorer(
+            program,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            keep_matches=keep_matches,
+            memoize=memoize,
+            preemption_bound=preemption_bound,
+            pipeline=pipeline,
+            targets=targets,
+        )
     if workers is not None and workers > 1:
         from repro.sim.parallel import ParallelExplorer
 
@@ -747,6 +854,7 @@ def find_schedule(
     workers: Optional[int] = None,
     memoize: bool = False,
     targets: Optional[Sequence[Any]] = None,
+    reduction: Optional[str] = None,
 ) -> Optional[RunResult]:
     """First run satisfying ``predicate`` (default: any failure), or ``None``.
 
@@ -754,17 +862,21 @@ def find_schedule(
     ``memoize=True`` prunes revisited states (sound for predicates over
     terminal state only — see :mod:`repro.sim.statecache`);
     ``targets`` biases the visit order toward predicted access pairs
-    (race-directed exploration) without changing the searched tree.
+    (race-directed exploration) without changing the searched tree;
+    ``reduction`` selects a partial-order reduction (sound for
+    predicates over terminal state — reduced searches skip schedules
+    equivalent up to swapping independent operations).
     """
     explorer = make_explorer(
         program, max_schedules, max_steps, preemption_bound, workers, memoize,
-        keep_matches=1, targets=targets,
+        keep_matches=1, targets=targets, reduction=reduction,
     )
     start = perf_counter()
     result = explorer.explore(predicate=predicate, stop_on_first=True)
     _emit_exploration_runlog(
         "find_schedule", result, max_schedules, max_steps, preemption_bound,
         workers, memoize, perf_counter() - start, directed=bool(targets),
+        reduction=reduction,
     )
     return result.matching[0] if result.matching else None
 
@@ -777,6 +889,7 @@ def enumerate_outcomes(
     require_complete: bool = False,
     workers: Optional[int] = None,
     memoize: bool = False,
+    reduction: Optional[str] = None,
 ) -> ExplorationResult:
     """Explore every schedule (within bounds) and tally terminal outcomes.
 
@@ -784,16 +897,20 @@ def enumerate_outcomes(
     counts are not (pruned subtrees are never run), and cache-hit aborts
     consume ``max_schedules`` budget alongside completed runs; with
     ``workers > 1`` and a complete search, counts match the serial
-    search exactly.
+    search exactly.  ``reduction`` preserves the outcome set while
+    skipping interleavings that only permute independent operations
+    (per-outcome counts shrink accordingly).
     """
     explorer = make_explorer(
-        program, max_schedules, max_steps, preemption_bound, workers, memoize
+        program, max_schedules, max_steps, preemption_bound, workers, memoize,
+        reduction=reduction,
     )
     start = perf_counter()
     result = explorer.explore(predicate=lambda run: False)
     _emit_exploration_runlog(
         "enumerate_outcomes", result, max_schedules, max_steps,
         preemption_bound, workers, memoize, perf_counter() - start,
+        reduction=reduction,
     )
     if require_complete and not result.complete:
         raise ExplorationError(

@@ -40,7 +40,6 @@ from repro.sim.explorer import (
     Predicate,
     _default_predicate,
     _DirectedPolicy,
-    _directed_key,
     _fill_pipeline,
     _outcome_key,
     _record_exploration,
@@ -148,9 +147,10 @@ class _SleepScheduler(Scheduler):
         self.enabled_sets: List[List[str]] = []
         self.sleep_sets: List[FrozenSet[str]] = []
         self.footprints: List[Dict[str, FrozenSet[Token]]] = []
-        # Per-node thread ranks under the directed policy (aligned with
-        # enabled_sets; empty when undirected).
-        self.rank_sets: List[Dict[str, int]] = []
+        # Per-node directed sort keys (computed once per node, reused at
+        # sibling-push time; aligned with enabled_sets, empty when
+        # undirected).
+        self.directed_keys: List[Dict[str, Tuple[int, int, str]]] = []
         # Pipeline snapshots per recorded decision (None where at most
         # one awake thread means no sibling branches).
         self.node_snapshots: List[Optional[Any]] = []
@@ -213,7 +213,9 @@ class _SleepScheduler(Scheduler):
         self.sleep_sets.append(self._sleep)
         self.footprints.append(footprints)
         if self.directed is not None:
-            self.rank_sets.append(self.directed.rank_enabled(self.engine, ordered))
+            self.directed_keys.append(
+                self.directed.key_enabled(self.engine, ordered, self._last)
+            )
         awake = [name for name in ordered if name not in self._sleep]
         if self.pipeline is not None:
             # Appended before the pruned-node raise so the snapshot list
@@ -226,8 +228,7 @@ class _SleepScheduler(Scheduler):
             self.pruned = True
             raise _SleepPruned("all enabled threads are asleep")
         if self.directed is not None:
-            ranks = self.rank_sets[-1]
-            choice = min(awake, key=lambda name: _directed_key(ranks, name, self._last))
+            choice = min(awake, key=self.directed_keys[-1].__getitem__)
         elif self._last in awake:
             choice = self._last
         else:
@@ -249,7 +250,7 @@ class _SleepScheduler(Scheduler):
         self.enabled_sets = []
         self.sleep_sets = []
         self.footprints = []
-        self.rank_sets = []
+        self.directed_keys = []
         self.node_snapshots = []
         self._sleep = frozenset()
         self._last = None
@@ -329,6 +330,7 @@ class SleepSetExplorer:
                         result.matching.append(run)
                     if result.first_match_schedule is None:
                         result.first_match_schedule = list(run.schedule)
+                        result.schedules_to_first_finding = result.schedules_run
                     if stop_on_first:
                         result.complete = False
                         self._finish(result, cache, start)
@@ -424,16 +426,14 @@ class SleepSetExplorer:
                 else None
             )
             alternatives = enabled
-            if scheduler.rank_sets:
+            if scheduler.directed_keys:
                 # Worst-ranked pushed first: the LIFO stack then pops the
                 # best-directed sibling first.  Sleep-set soundness only
                 # needs the triangular explored-set structure, which any
                 # enumeration order provides.
-                ranks = scheduler.rank_sets[node]
-                previous = choices[step - 1] if step > 0 else None
                 alternatives = sorted(
                     enabled,
-                    key=lambda name: _directed_key(ranks, name, previous),
+                    key=scheduler.directed_keys[node].__getitem__,
                     reverse=True,
                 )
             explored: List[str] = [chosen]

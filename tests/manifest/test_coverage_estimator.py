@@ -123,11 +123,24 @@ class TestEstimator:
     def test_compare_strategies_shape(self):
         kernel = get_kernel("atomicity_single_var")
         estimates = compare_strategies(kernel, runs=40)
-        assert set(estimates) == {"cooperative", "random", "pct", "enforced"}
+        assert set(estimates) == {
+            "cooperative", "random", "pct", "exhaustive", "enforced",
+        }
         # The study's testing implication, quantified:
         assert estimates["cooperative"].rate == 0.0
         assert 0.0 < estimates["random"].rate < 1.0
         assert estimates["enforced"].rate == 1.0
+        # The systematic row: one hit after schedules-to-first-failure
+        # probes, reduction-tagged in the strategy name.
+        assert estimates["exhaustive"].manifested == 1
+        assert estimates["exhaustive"].runs >= 1
+        assert estimates["exhaustive"].strategy == "exhaustive[none]"
+
+    def test_compare_strategies_reduction_tags_exhaustive_row(self):
+        kernel = get_kernel("atomicity_single_var")
+        estimates = compare_strategies(kernel, runs=10, reduction="dpor")
+        assert estimates["exhaustive"].strategy == "exhaustive[dpor]"
+        assert estimates["exhaustive"].manifested == 1
 
     def test_enforced_guarantees_all_kernels(self):
         from repro.kernels import all_kernels

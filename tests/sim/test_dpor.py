@@ -1,0 +1,221 @@
+"""Differential harness for dynamic partial-order reduction.
+
+The trusted baseline is the plain serial :class:`Explorer`.  A complete
+:class:`DPORExplorer` search of the same program must reach exactly the
+same terminal outcome set (status + final memory) and the same failure
+verdict — while *launching* no more engine runs than the sleep-set
+explorer it supersedes.  "Launched" counts every run the engine starts,
+completed or pruned mid-flight (``schedules_run + pruned_runs``): that
+is the cost-proportional metric, because a pruned sleep-set run still
+executes its shared prefix.
+
+The matrix dimensions the seed harness already covers for the other
+explorers (memoize, preemption bound, workers) show up here as the
+documented *incompatibilities*: DPOR rejects each with a ``ValueError``
+explaining why the combination would be unsound, and the valid
+neighbours (sleepset x memoize, bounded plain search) are cross-checked
+against DPOR's outcome set instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.kernels import all_kernels
+from repro.sim import Explorer, Program, Write
+from repro.sim.dpor import DPORExplorer
+from repro.sim.explorer import enumerate_outcomes, find_schedule, make_explorer
+from repro.sim.reduction import SleepSetExplorer
+from tests import helpers
+from tests.helpers import corpus_programs
+
+BUDGET = 60000
+
+
+def _launched(explorer, result):
+    """Engine runs started: completed schedules plus mid-run prunes."""
+    return result.schedules_run + explorer.pruned_runs
+
+
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(corpus_programs())
+def test_outcome_sets_match_plain_dfs(program):
+    full = Explorer(program, max_schedules=BUDGET).explore(
+        predicate=lambda run: False
+    )
+    assume(full.complete)  # outsized programs carry no comparison value
+    reducer = DPORExplorer(program, max_schedules=BUDGET)
+    reduced = reducer.explore(predicate=lambda run: False)
+    assert reduced.complete
+    assert set(reduced.outcomes) == set(full.outcomes)
+    assert reduced.schedules_run <= full.schedules_run
+
+
+@settings(max_examples=12, deadline=None, derandomize=True)
+@given(corpus_programs())
+def test_launches_no_more_runs_than_sleep_sets(program):
+    sleep = SleepSetExplorer(program, max_schedules=BUDGET)
+    sleep_result = sleep.explore(predicate=lambda run: False)
+    assume(sleep_result.complete)
+    dpor = DPORExplorer(program, max_schedules=BUDGET)
+    dpor_result = dpor.explore(predicate=lambda run: False)
+    assert dpor_result.complete
+    assert set(dpor_result.outcomes) == set(sleep_result.outcomes)
+    assert dpor_result.schedules_run <= sleep_result.schedules_run
+    assert _launched(dpor, dpor_result) <= _launched(sleep, sleep_result)
+
+
+@settings(max_examples=12, deadline=None, derandomize=True)
+@given(corpus_programs())
+def test_failure_verdicts_match(program):
+    full = Explorer(program, max_schedules=BUDGET).explore()
+    assume(full.complete)
+    reduced = DPORExplorer(program, max_schedules=BUDGET).explore()
+    assert full.found == reduced.found
+    assert set(full.statuses) == set(reduced.statuses)
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(corpus_programs())
+def test_valid_matrix_neighbours_agree(program):
+    # The seed matrix (memoize x bound x reduction) restricted to its
+    # sound cells: every complete search variant lands on one outcome set.
+    full = Explorer(program, max_schedules=BUDGET).explore()
+    assume(full.complete)
+    outcomes = set(full.outcomes)
+    dpor = DPORExplorer(program, max_schedules=BUDGET).explore()
+    assert set(dpor.outcomes) == outcomes
+    for memoize in (False, True):
+        sleep = SleepSetExplorer(
+            program, max_schedules=BUDGET, memoize=memoize
+        ).explore()
+        assert set(sleep.outcomes) == outcomes, memoize
+    memoized = Explorer(program, max_schedules=BUDGET, memoize=True).explore()
+    assert set(memoized.outcomes) == outcomes
+    # A bounded search explores a subtree: its outcomes are a subset of
+    # what DPOR (which covers the whole space) reports.
+    bounded = Explorer(
+        program, max_schedules=BUDGET, preemption_bound=1
+    ).explore()
+    assert set(bounded.outcomes) <= set(dpor.outcomes)
+
+
+class TestOnKnownPrograms:
+    def test_racy_counter_keeps_both_outcomes(self):
+        reduced = DPORExplorer(helpers.racy_counter()).explore(
+            predicate=lambda run: False
+        )
+        finals = {key[1][0][1] for key in reduced.outcomes}
+        assert finals == {1, 2}
+
+    def test_every_kernel_verdict_and_outcomes_preserved(self):
+        for kernel in all_kernels():
+            full = Explorer(kernel.buggy, max_schedules=100000).explore(
+                predicate=kernel.failure
+            )
+            reduced = DPORExplorer(kernel.buggy, max_schedules=100000).explore(
+                predicate=kernel.failure
+            )
+            assert reduced.found == full.found, kernel.name
+            assert set(reduced.outcomes) == set(full.outcomes), kernel.name
+            assert reduced.schedules_run <= full.schedules_run, kernel.name
+
+    def test_every_kernel_launches_no_more_than_sleep_sets(self):
+        for kernel in all_kernels():
+            sleep = SleepSetExplorer(kernel.buggy, max_schedules=100000)
+            sleep_result = sleep.explore(predicate=kernel.failure)
+            dpor = DPORExplorer(kernel.buggy, max_schedules=100000)
+            dpor_result = dpor.explore(predicate=kernel.failure)
+            assert dpor_result.schedules_run <= sleep_result.schedules_run, (
+                kernel.name
+            )
+            assert _launched(dpor, dpor_result) <= _launched(
+                sleep, sleep_result
+            ), kernel.name
+
+    def test_independent_threads_collapse_to_one_schedule(self):
+        def writer(var):
+            def body():
+                yield Write(var, 1)
+                yield Write(var, 2)
+
+            return body
+
+        program = Program(
+            "independent",
+            threads={"A": writer("x"), "B": writer("y")},
+            initial={"x": 0, "y": 0},
+        )
+        explorer = DPORExplorer(program)
+        reduced = explorer.explore(predicate=lambda run: False)
+        assert reduced.schedules_run == 1
+        assert explorer.backtrack_points == 0
+
+    def test_reduction_beats_sleep_sets_on_three_way_deadlock(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "deadlock_three_way"
+        )
+        sleep = SleepSetExplorer(kernel.buggy, max_schedules=100000)
+        sleep_result = sleep.explore(predicate=kernel.failure)
+        dpor = DPORExplorer(kernel.buggy, max_schedules=100000)
+        dpor_result = dpor.explore(predicate=kernel.failure)
+        assert _launched(dpor, dpor_result) < _launched(sleep, sleep_result)
+
+
+class TestDirectedComposition:
+    def test_targets_bias_composes_with_dpor(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "atomicity_single_var"
+        )
+        plain = DPORExplorer(kernel.buggy, max_schedules=BUDGET).explore(
+            predicate=kernel.failure
+        )
+        directed = make_explorer(
+            kernel.buggy, targets=kernel.static_targets(), reduction="dpor"
+        ).explore(predicate=kernel.failure)
+        assert set(directed.outcomes) == set(plain.outcomes)
+        assert directed.found == plain.found
+
+
+class TestDocumentedIncompatibilities:
+    def test_memoize_raises(self):
+        with pytest.raises(ValueError, match="memoize"):
+            DPORExplorer(helpers.racy_counter(), memoize=True)
+
+    def test_preemption_bound_raises(self):
+        with pytest.raises(ValueError, match="preemption bound"):
+            DPORExplorer(helpers.racy_counter(), preemption_bound=1)
+
+    def test_make_explorer_rejects_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_explorer(helpers.racy_counter(), workers=2, reduction="dpor")
+
+    def test_make_explorer_rejects_unknown_reduction(self):
+        with pytest.raises(ValueError, match="reduction"):
+            make_explorer(helpers.racy_counter(), reduction="odpor")
+
+    def test_make_explorer_sleepset_rejects_bound(self):
+        with pytest.raises(ValueError, match="preemption"):
+            make_explorer(
+                helpers.racy_counter(), preemption_bound=1,
+                reduction="sleepset",
+            )
+
+
+class TestEntryPoints:
+    def test_find_schedule_reduction_agrees(self):
+        program = helpers.racy_counter()
+        serial = find_schedule(program)
+        reduced = find_schedule(program, reduction="dpor")
+        assert (serial is None) == (reduced is None)
+
+    def test_enumerate_outcomes_reduction_agrees(self):
+        program = helpers.racy_counter()
+        serial = enumerate_outcomes(program, max_schedules=BUDGET)
+        reduced = enumerate_outcomes(
+            program, max_schedules=BUDGET, reduction="dpor"
+        )
+        assert serial.complete and reduced.complete
+        assert set(reduced.outcomes) == set(serial.outcomes)
+        assert reduced.schedules_run <= serial.schedules_run

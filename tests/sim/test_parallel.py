@@ -210,6 +210,104 @@ def test_forced_fork_pool_matches_serial():
     assert forced.shards > 0
 
 
+class TestWorkStealing:
+    """strategy="steal" must stay observation-equivalent to serial DFS.
+
+    The queue timing decides which worker runs which item and how stacks
+    get split, but the key-sorted merge reconstructs serial order — so
+    every assertion here is exact equality, not set equality.  The fork
+    pool is forced: on single-CPU machines pool="auto" takes the
+    in-process fallback where stealing never happens.
+    """
+
+    def test_steal_matches_serial_exactly(self):
+        program = generate_program(7, CONFIG)
+        serial = _explore(program)
+        assert serial.complete
+        for workers in (2, 4):
+            stolen = ParallelExplorer(
+                program, workers=workers, max_schedules=BUDGET,
+                pool="fork", strategy="steal",
+            ).explore()
+            assert stolen.complete
+            assert stolen.outcomes == serial.outcomes, workers
+            assert stolen.schedules_run == serial.schedules_run, workers
+            assert stolen.statuses == serial.statuses, workers
+            assert [r.schedule for r in stolen.matching] == [
+                r.schedule for r in serial.matching
+            ], workers
+
+    def test_steal_first_finding_position_matches_serial(self):
+        # Pick a generated program whose default predicate (failure)
+        # actually matches, then compare the serial-order position of
+        # the first match under both strategies.
+        for seed in range(64):
+            program = generate_program(seed, CONFIG)
+            serial = _explore(program)
+            if serial.complete and serial.found:
+                break
+        else:
+            pytest.skip("no failing generated program in seed range")
+        for strategy in ("steal", "shard"):
+            parallel = ParallelExplorer(
+                program, workers=2, max_schedules=BUDGET,
+                pool="fork", strategy=strategy,
+            ).explore()
+            assert parallel.first_match_schedule == (
+                serial.first_match_schedule
+            ), strategy
+            assert parallel.schedules_to_first_finding == (
+                serial.schedules_to_first_finding
+            ), strategy
+
+    def test_steal_stop_on_first_matches_serial(self):
+        program = generate_program(7, CONFIG)
+        first_serial = Explorer(program, max_schedules=BUDGET).explore(
+            stop_on_first=True
+        )
+        first_stolen = ParallelExplorer(
+            program, workers=2, max_schedules=BUDGET,
+            pool="fork", strategy="steal",
+        ).explore(stop_on_first=True)
+        assert first_stolen.found == first_serial.found
+        assert (
+            first_stolen.first_match_schedule
+            == first_serial.first_match_schedule
+        )
+
+    def test_shard_strategy_still_available(self):
+        program = generate_program(7, CONFIG)
+        serial = _explore(program)
+        sharded = ParallelExplorer(
+            program, workers=2, max_schedules=BUDGET,
+            pool="fork", strategy="shard",
+        ).explore()
+        assert sharded.outcomes == serial.outcomes
+        assert sharded.schedules_run == serial.schedules_run
+        # The legacy path never donates.
+        assert sharded.steal_donations == 0
+        assert sharded.stolen_prefixes == 0
+
+    def test_in_process_fallback_ignores_strategy(self):
+        program = generate_program(7, CONFIG)
+        results = [
+            ParallelExplorer(
+                program, workers=2, max_schedules=BUDGET,
+                pool="none", strategy=strategy,
+            ).explore()
+            for strategy in ("steal", "shard")
+        ]
+        assert results[0].outcomes == results[1].outcomes
+        assert results[0].schedules_run == results[1].schedules_run
+        assert results[0].steal_donations == 0
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError, match="strategy"):
+            ParallelExplorer(
+                generate_program(7, CONFIG), workers=2, strategy="greedy"
+            )
+
+
 def test_forced_fork_pool_unavailable_raises(monkeypatch):
     # An explicit pool="fork" must fail loudly where fork doesn't exist,
     # not silently degrade to in-process execution.

@@ -9,7 +9,10 @@ Three checks, all against the working tree:
    ``bugdb/records/`` are covered by mentioning the ``records/``
    directory itself.  Modules of the static-analysis subsystem
    (``src/repro/static/``) must additionally be mentioned in
-   ``docs/static.md``, the subsystem's own page.
+   ``docs/static.md``, the subsystem's own page, and the search-layer
+   modules of the simulator (``explorer`` / ``reduction`` / ``dpor`` /
+   ``parallel`` / ``statecache``) in ``docs/simulator.md`` — by
+   filename or dotted ``sim.<module>`` path.
 2. **CLI flag coverage** — every ``--flag`` defined in
    ``src/repro/cli.py`` must appear in at least one docs page
    (``docs/*.md`` or ``README.md``).
@@ -30,6 +33,14 @@ SRC = REPO / "src" / "repro"
 DOCS = REPO / "docs"
 ARCHITECTURE = DOCS / "architecture.md"
 STATIC_DOC = DOCS / "static.md"
+SIMULATOR_DOC = DOCS / "simulator.md"
+
+#: The simulator's search layer: docs/simulator.md is its subsystem page
+#: and must discuss each of these modules (the substrate modules below
+#: them — engine, sync, ops, ... — are covered by the architecture tour).
+SIM_SEARCH_MODULES = (
+    "explorer", "reduction", "dpor", "parallel", "statecache",
+)
 
 #: Markdown inline links: [text](target), ignoring images and code spans.
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -49,6 +60,19 @@ def check_modules(problems: list) -> None:
                 f"{ARCHITECTURE.relative_to(REPO)}: module "
                 f"src/repro/{relative} is not mentioned"
             )
+    # The simulator's subsystem page must cover the search machinery
+    # (a new explorer under src/repro/sim/ without a docs/simulator.md
+    # section should fail here, not ship undocumented).
+    if SIMULATOR_DOC.exists():
+        sim_tour = SIMULATOR_DOC.read_text(encoding="utf-8")
+        for stem in SIM_SEARCH_MODULES:
+            if f"{stem}.py" not in sim_tour and f"sim.{stem}" not in sim_tour:
+                problems.append(
+                    f"{SIMULATOR_DOC.relative_to(REPO)}: search module "
+                    f"src/repro/sim/{stem}.py is not mentioned"
+                )
+    else:
+        problems.append("docs/simulator.md: missing (simulator subsystem page)")
     # The static subsystem promises a per-module tour of its own.
     if not STATIC_DOC.exists():
         problems.append("docs/static.md: missing (static subsystem page)")
