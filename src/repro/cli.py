@@ -112,9 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
         "kernels", help="list executable bug kernels", parents=[obs_flags]
     )
 
-    workers_help = "shard exploration across N worker processes"
+    workers_help = ("run exploration across N worker processes (composes "
+                    "with --reduction dpor via speculative parallel DPOR)")
     reduction_help = ("partial-order reduction for the exploration: "
-                      "none (default), sleepset, or dpor")
+                      "none (default), sleepset, or dpor; dpor composes "
+                      "with --workers and a preemption bound")
     kernel = commands.add_parser(
         "kernel", help="drive one kernel end to end", parents=[obs_flags]
     )

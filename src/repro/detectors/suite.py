@@ -387,7 +387,9 @@ class DetectorSuite:
         ``reduction`` prunes schedules equivalent up to swapping
         independent operations (see
         :func:`~repro.sim.explorer.make_explorer`) — sound here because
-        at least one representative of every outcome still runs.
+        at least one representative of every outcome still runs — and
+        composes with ``workers`` (``reduction="dpor"`` selects the
+        speculative parallel DPOR search).
         """
         explorer = make_explorer(
             program, max_schedules, 5000, None, workers, False,

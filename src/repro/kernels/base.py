@@ -79,7 +79,9 @@ class BugKernel:
         ``reduction`` skips schedules equivalent to one already run —
         sound for the same oracles ``memoize`` is sound for (every
         terminal state keeps a representative), and composable with
-        ``directed``.
+        ``directed``, ``memoize``, and ``workers`` (``reduction="dpor"``
+        with ``workers > 1`` runs the speculative parallel DPOR search,
+        bit-identical to the serial reduced one).
         """
         targets = self.static_targets() if directed else None
         explorer = make_explorer(

@@ -224,7 +224,13 @@ def compare_strategies(
     from repro.sim.explorer import make_explorer
 
     exhaustive_start = perf_counter()
-    explorer = make_explorer(kernel.buggy, reduction=reduction)
+    # Workers ride along wherever the combination is legal (plain DFS
+    # and parallel DPOR); sleep sets stay serial — their pruning needs
+    # the full sibling set in one process.
+    exhaustive_workers = workers if reduction != "sleepset" else None
+    explorer = make_explorer(
+        kernel.buggy, workers=exhaustive_workers, reduction=reduction
+    )
     exploration = explorer.explore(
         predicate=kernel.failure, stop_on_first=True
     )

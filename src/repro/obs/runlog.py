@@ -169,6 +169,7 @@ def exploration_record(result: Any, args: Dict[str, Any], wall_seconds: float) -
             "steal_donations": result.steal_donations,
             "stolen_prefixes": result.stolen_prefixes,
             "idle_seconds": result.idle_seconds,
+            "donate_seconds": result.donate_seconds,
         },
         "outcome_digest": outcome_digest(result.outcomes),
         "wall_seconds": wall_seconds,

@@ -42,17 +42,38 @@ Two honest conservatisms, mirroring the sleep-set explorer:
   set as backtrack points and re-branches with an empty sleep set —
   exactly the credit the sleep-set explorer refuses for such runs.
 
-Unsound combinations are rejected at construction with
-:class:`ValueError` rather than silently degrading:
+The accelerators that used to be construction-time ``ValueError``\\ s
+now compose:
 
-* ``memoize=True`` — state memoization aborts runs at revisited states,
-  hiding exactly the races DPOR needs to observe to schedule backtrack
-  points;
-* ``preemption_bound`` — a backtrack point presumes the reversed branch
-  is explorable, which a preemption budget can forbid;
-* ``workers > 1`` (enforced by :func:`~repro.sim.explorer.make_explorer`)
-  — backtrack sets are discovered from earlier runs, which sharded
-  workers cannot see across processes.
+* ``memoize=True`` — a run aborts when it reaches an already-expanded
+  ``(state, sleep set)`` pair (plus ``(preemptions paid, last thread)``
+  under a bound, exactly as the plain explorer refines its
+  fingerprints).  A memo-aborted run is handled like a crash-truncated
+  one: its unexecuted tail could hide races, so its fresh nodes
+  re-branch over their full awake sets with no sleep credit, and the
+  aborted node's pending operations still join race detection against
+  the prefix.  Outcome sets are preserved; per-outcome counts are not.
+* ``preemption_bound`` — bounded partial-order reduction in the style
+  of Coons, Musuvathi & McKinley (OOPSLA'13).  Extension stays
+  non-preemptive (free), so runs remain maximal and only *branching*
+  spends budget.  Three changes keep the bounded search exact w.r.t.
+  the bounded plain DFS: sleep sets are disabled (commuting a witness
+  past an independent step can change its preemption cost, so sleep
+  credit is unsound under a bound); backtrack additions and branch
+  selection are filtered by budget feasibility (an infeasible waiter
+  must not "cover" a reversal); and every race additionally plants
+  **conservative backtrack points** at the context-switch boundaries at
+  or below its earlier step — at a boundary, every enabled thread costs
+  at most what the explored path itself paid there, so the conservative
+  points are always feasible.  The differential harness asserts
+  outcome-set equality against plain DFS at the same bound.
+* ``workers > 1`` — :class:`repro.sim.dpor_parallel.ParallelDPORExplorer`
+  runs backtrack branches as speculative work items over the shared
+  queue, with per-worker race detection; races targeting frozen
+  ancestor nodes travel back as data and are re-applied by the
+  coordinator in serial order, so the key-sorted merge reproduces the
+  serial search bit-for-bit.  The frozen-ancestor hooks live here
+  (``_explore_item`` and the ``ancestor_races`` record list).
 
 ``targets=`` race-directed bias composes: it only reorders which awake
 thread extends a run and which backtrack candidate is taken first, and
@@ -60,7 +81,8 @@ DPOR's correctness is independent of visit order.
 
 The differential tests in ``tests/sim/test_dpor.py`` check outcome-set
 equality against plain DFS and the sleep-set explorer over randomly
-generated programs (crashing ones included) and every bug kernel;
+generated programs (crashing ones included) and every bug kernel,
+across the full ``memoize x preemption_bound x workers`` matrix;
 ``benchmarks/bench_dpor.py`` records the schedule counts next to the
 sleep-set explorer's.
 """
@@ -79,14 +101,17 @@ from repro.sim.explorer import (
     Predicate,
     _default_predicate,
     _DirectedPolicy,
+    _fill_cache_stats,
     _fill_pipeline,
     _outcome_key,
+    _preemption_cost,
     _record_exploration,
     _record_pipeline_stats,
 )
 from repro.sim.program import Program
 from repro.sim.reduction import Token, op_footprint, ops_dependent
 from repro.sim.scheduler import Scheduler
+from repro.sim.statecache import MemoHit, StateCache, state_fingerprint
 from repro.sim.thread import ThreadState
 
 __all__ = ["DPORExplorer"]
@@ -191,7 +216,7 @@ class _Node:
 
     __slots__ = (
         "enabled", "footprints", "pending", "sleep", "backtrack", "done",
-        "chosen", "truncated", "snapshot",
+        "chosen", "truncated", "snapshot", "paid",
     )
 
     def __init__(
@@ -201,6 +226,7 @@ class _Node:
         pending: Dict[str, ops.Op],
         sleep: FrozenSet[str],
         snapshot: Optional[Any],
+        paid: int = 0,
     ):
         self.enabled = enabled
         self.footprints = footprints
@@ -217,6 +243,9 @@ class _Node:
         #: credit from truncated runs).
         self.truncated = False
         self.snapshot = snapshot
+        #: Preemption cost of the steps above this node (used only under
+        #: a bound — branch feasibility is ``paid + branch cost <= bound``).
+        self.paid = paid
 
 
 class _DPORScheduler(Scheduler):
@@ -227,7 +256,13 @@ class _DPORScheduler(Scheduler):
     operation executes, and a node whose enabled threads are all asleep
     prunes the run.  Beyond the prefix it records, per decision, the
     enabled set, every enabled thread's pending op and footprint, the
-    running sleep set, and (with a pipeline) a branch-point snapshot.
+    running sleep set, the preemption cost paid so far, and (with a
+    pipeline) a branch-point snapshot.
+
+    ``track_sleep=False`` (bounded mode) keeps the sleep set empty for
+    the whole run; ``cache`` aborts the run with :class:`MemoHit` at an
+    already-expanded fingerprint — *after* recording the node, so the
+    aborted node's pending operations still join race detection.
     """
 
     def __init__(
@@ -236,11 +271,17 @@ class _DPORScheduler(Scheduler):
         initial_sleep: FrozenSet[str],
         pipeline: Optional[Any] = None,
         directed: Optional[_DirectedPolicy] = None,
+        track_sleep: bool = True,
+        preemption_bound: Optional[int] = None,
+        cache: Optional[StateCache] = None,
     ):
         self.prefix = list(prefix)
-        self.initial_sleep = initial_sleep
+        self.initial_sleep = initial_sleep if track_sleep else frozenset()
         self.pipeline = pipeline
         self.directed = directed
+        self.track_sleep = track_sleep
+        self.preemption_bound = preemption_bound
+        self.cache = cache
         self.engine: Optional[Engine] = None
         self.cond_locks: Dict[str, str] = {}
         self.choices: List[str] = []
@@ -249,13 +290,21 @@ class _DPORScheduler(Scheduler):
         self.footprints: List[Dict[str, FrozenSet[Token]]] = []
         self.pending_ops: List[Dict[str, ops.Op]] = []
         self.node_snapshots: List[Optional[Any]] = []
+        self.paid_values: List[int] = []
         self._sleep: FrozenSet[str] = frozenset()
         self._last: Optional[str] = None
+        self._paid = 0
         self.pruned = False
+        self.memo_hit = False
 
     def attach(self, engine: Engine) -> None:
         self.engine = engine
         self.cond_locks = dict(engine.program.conditions)
+
+    @property
+    def paid(self) -> int:
+        """Preemption cost paid by this run so far (prefix included)."""
+        return self._paid
 
     def choose(self, enabled: Sequence[str], step: int) -> str:
         ordered = sorted(enabled)
@@ -267,6 +316,7 @@ class _DPORScheduler(Scheduler):
                     f"DPOR prefix diverged at step {index}: {choice!r} not "
                     f"enabled in {ordered}"
                 )
+            self._paid += _preemption_cost(self._last, choice, ordered)
             self.choices.append(choice)
             self._last = choice
             return choice
@@ -287,7 +337,12 @@ class _DPORScheduler(Scheduler):
         self.sleep_sets.append(self._sleep)
         self.footprints.append(footprints)
         self.pending_ops.append(pending)
-        awake = [name for name in ordered if name not in self._sleep]
+        self.paid_values.append(self._paid)
+        awake = (
+            [name for name in ordered if name not in self._sleep]
+            if self.track_sleep
+            else ordered
+        )
         if self.pipeline is not None:
             # Aligned with enabled_sets even for the pruned node; only
             # nodes with two awake threads can ever branch.
@@ -297,20 +352,49 @@ class _DPORScheduler(Scheduler):
         if not awake:
             self.pruned = True
             raise _DPORPruned("all enabled threads are asleep")
+        if self.cache is not None:
+            fingerprint: Any = (
+                state_fingerprint(self.engine),
+                ("sleep", tuple(sorted(self._sleep))),
+            )
+            if self.preemption_bound is not None:
+                # Under a bound the subtree also depends on the budget
+                # spent and on which thread ran last (see the plain
+                # explorer's fingerprint refinement).
+                fingerprint = (
+                    fingerprint,
+                    ("preemptions", self._paid),
+                    ("last", self._last),
+                )
+            if self.cache.seen(fingerprint):
+                self.memo_hit = True
+                raise MemoHit()
         if self.directed is not None:
             keys = self.directed.key_enabled(self.engine, awake, self._last)
             choice = min(awake, key=keys.__getitem__)
+            if (
+                self.preemption_bound is not None
+                and self._paid
+                + _preemption_cost(self._last, choice, ordered)
+                > self.preemption_bound
+                and self._last in awake
+            ):
+                # Directed extension would overdraw the budget: fall
+                # back to the free non-preemptive continuation.
+                choice = self._last
         elif self._last in awake:
             choice = self._last
         else:
             choice = awake[0]
-        chosen_footprint = footprints[choice]
-        self._sleep = frozenset(
-            name
-            for name in self._sleep
-            if name in footprints
-            and not ops_dependent(footprints[name], chosen_footprint)
-        )
+        if self.track_sleep:
+            chosen_footprint = footprints[choice]
+            self._sleep = frozenset(
+                name
+                for name in self._sleep
+                if name in footprints
+                and not ops_dependent(footprints[name], chosen_footprint)
+            )
+        self._paid += _preemption_cost(self._last, choice, ordered)
         self.choices.append(choice)
         self._last = choice
         return choice
@@ -322,13 +406,25 @@ class _DPORScheduler(Scheduler):
         self.footprints = []
         self.pending_ops = []
         self.node_snapshots = []
+        self.paid_values = []
         self._sleep = frozenset()
         self._last = None
+        self._paid = 0
         self.pruned = False
+        self.memo_hit = False
 
 
 class DPORExplorer:
-    """Stateless exploration with dynamic partial-order reduction."""
+    """Stateless exploration with dynamic partial-order reduction.
+
+    Composes with the accelerators of the plain explorer:
+    ``memoize=True`` (memo-aborted runs are handled as truncated runs),
+    ``preemption_bound`` (bounded POR with conservative backtrack points
+    at context-switch boundaries), and — through
+    :func:`~repro.sim.explorer.make_explorer` with ``workers > 1`` —
+    :class:`repro.sim.dpor_parallel.ParallelDPORExplorer`.  See the
+    module docstring for the composed semantics.
+    """
 
     def __init__(
         self,
@@ -341,25 +437,12 @@ class DPORExplorer:
         pipeline: Optional[Any] = None,
         targets: Optional[Sequence[Any]] = None,
     ):
-        if memoize:
-            raise ValueError(
-                "DPORExplorer cannot be combined with memoize=True: state "
-                "memoization aborts runs at revisited states, hiding the "
-                "races DPOR needs to observe to place backtrack points; "
-                "use reduction='sleepset' (whose subtrees are "
-                "state-determined) if memoization is required"
-            )
-        if preemption_bound is not None:
-            raise ValueError(
-                "DPORExplorer cannot be combined with a preemption bound: "
-                "a backtrack point presumes the reversed branch is "
-                "explorable, which a preemption budget can forbid — the "
-                "outcome-set guarantee would silently break"
-            )
         self.program = program
         self.max_schedules = max_schedules
         self.max_steps = max_steps
         self.keep_matches = keep_matches
+        self.memoize = memoize
+        self.preemption_bound = preemption_bound
         #: Race-directed visit ordering (see
         #: :class:`~repro.sim.explorer.Explorer`): biases which awake
         #: thread extends a run and which backtrack candidate is taken
@@ -369,10 +452,26 @@ class DPORExplorer:
         #: Streaming detector pipeline (duck-typed); findings cover only
         #: the representative schedules DPOR actually runs.
         self.pipeline = pipeline
+        #: The state cache of the most recent exploration (``None``
+        #: unless ``memoize=True``).
+        self.cache: Optional[StateCache] = None
         #: Telemetry of the most recent exploration.
         self.pruned_runs = 0
         self.races_detected = 0
         self.backtrack_points = 0
+        #: Races targeting frozen ancestor nodes (parallel items only):
+        #: ``("race" | "boundary", depth, initials, thread)`` records in
+        #: detection order, re-applied live by the coordinator.
+        self.ancestor_races: List[Tuple[str, int, FrozenSet[str], str]] = []
+        # Search state (valid between _begin and _finish).
+        self._path: List[_Node] = []
+        self._frozen = 0
+        self._seed: Optional[
+            Tuple[List[str], FrozenSet[str], Optional[Any]]
+        ] = None
+        self._attempts = 0
+        self._match: Predicate = _default_predicate
+        self._stop_on_first = False
 
     def explore(
         self,
@@ -381,56 +480,125 @@ class DPORExplorer:
     ) -> ExplorationResult:
         """Explore with reduction; result fields as in :class:`Explorer`."""
         start = perf_counter()
-        match = predicate if predicate is not None else _default_predicate
-        result = ExplorationResult(
-            program=self.program.name, schedules_run=0, complete=True
-        )
+        result = self._begin(predicate, stop_on_first)
+        while self._step(result):
+            pass
+        self._finish(result, start)
+        return result
+
+    def _explore_item(
+        self,
+        base: Sequence[_Node],
+        seed: Tuple[List[str], FrozenSet[str], Optional[Any]],
+        predicate: Optional[Predicate] = None,
+        stop_on_first: bool = False,
+    ) -> ExplorationResult:
+        """Explore one parallel work item: a branch below frozen ancestors.
+
+        ``base`` holds the reconstructed ancestor nodes (chosen thread,
+        executed op/footprint, preemptions paid); ``seed`` is the item's
+        committed first schedule.  Races that target an ancestor are
+        recorded on :attr:`ancestor_races` instead of planted — the
+        coordinator replants them against live node state.  Used by
+        :class:`repro.sim.dpor_parallel.ParallelDPORExplorer`.
+        """
+        start = perf_counter()
+        result = self._begin(predicate, stop_on_first, base=base, seed=seed)
+        while self._step(result):
+            pass
+        self._finish(result, start)
+        return result
+
+    # -- search loop ---------------------------------------------------------
+
+    def _begin(
+        self,
+        predicate: Optional[Predicate],
+        stop_on_first: bool,
+        base: Optional[Sequence[_Node]] = None,
+        seed: Optional[
+            Tuple[List[str], FrozenSet[str], Optional[Any]]
+        ] = None,
+    ) -> ExplorationResult:
+        """Reset search state.  ``base`` installs frozen ancestor nodes
+        (a parallel item's context); ``seed`` its first branch."""
+        self._match = predicate if predicate is not None else _default_predicate
+        self._stop_on_first = stop_on_first
         self.pruned_runs = 0
         self.races_detected = 0
         self.backtrack_points = 0
-        path: List[_Node] = []
-        prefix: List[str] = []
-        sleep: FrozenSet[str] = frozenset()
-        snapshot: Optional[Any] = None
-        attempts = 0
-        while True:
-            if attempts >= self.max_schedules:
-                result.complete = False
-                break
-            attempts += 1
-            run, scheduler, final_tail = self._run_once(prefix, sleep, snapshot)
-            base = len(prefix)
-            pruned_tail = self._extend_path(path, scheduler, base)
-            result.states_expanded += len(scheduler.choices) - base
-            self._detect_races(
-                path, base, pruned_tail if pruned_tail is not None else final_tail
-            )
-            if run is None:
-                self.pruned_runs += 1
+        self.ancestor_races = []
+        self.cache = StateCache() if self.memoize else None
+        self._path = list(base) if base else []
+        self._frozen = len(self._path)
+        self._seed = seed if seed is not None else ([], frozenset(), None)
+        self._attempts = 0
+        return ExplorationResult(
+            program=self.program.name, schedules_run=0, complete=True
+        )
+
+    def _step(self, result: ExplorationResult) -> bool:
+        """One run + race sweep + next-branch selection; ``False`` ends."""
+        if self._seed is None:
+            return False
+        if self._attempts >= self.max_schedules:
+            result.complete = False
+            return False
+        self._attempts += 1
+        prefix, sleep, snapshot = self._seed
+        run, scheduler, final_tail = self._run_once(prefix, sleep, snapshot)
+        matched = self._absorb(result, run, scheduler, final_tail, len(prefix))
+        if matched and self._stop_on_first:
+            result.complete = False
+            return False
+        self._seed = self._select_next(self._path)
+        return self._seed is not None
+
+    def _absorb(
+        self,
+        result: ExplorationResult,
+        run: Optional[RunResult],
+        scheduler: _DPORScheduler,
+        final_tail: Optional[_Node],
+        base: int,
+    ) -> bool:
+        """Fold one engine run into the path and the result tallies."""
+        path = self._path
+        pruned_tail = self._extend_path(path, scheduler, base)
+        result.states_expanded += len(scheduler.choices) - base
+        result.preemptions_spent += scheduler.paid
+        self._detect_races(
+            path, base, pruned_tail if pruned_tail is not None else final_tail
+        )
+        matched = False
+        if run is None:
+            if scheduler.memo_hit:
+                result.cache_hits += 1
+                # A memo-aborted run is truncated: the subtree below the
+                # revisited state was explored from its first visit, but
+                # this prefix's own unexecuted tail could hide races —
+                # withdraw reduction credit exactly as for a crash.
+                self._handle_truncated(path, scheduler, base)
+                self._truncation_races(path)
             else:
-                result.schedules_run += 1
-                result.statuses[run.status] += 1
-                key = _outcome_key(run)
-                result.outcomes[key] = result.outcomes.get(key, 0) + 1
-                if match(run):
-                    result.match_count += 1
-                    if len(result.matching) < self.keep_matches:
-                        result.matching.append(run)
-                    if result.first_match_schedule is None:
-                        result.first_match_schedule = list(run.schedule)
-                        result.schedules_to_first_finding = result.schedules_run
-                    if stop_on_first:
-                        result.complete = False
-                        break
-                if run.status in (RunStatus.CRASH, RunStatus.ABORTED):
-                    self._handle_truncated(path, scheduler, base)
-                    self._truncation_races(path)
-            selected = self._select_next(path)
-            if selected is None:
-                break
-            prefix, sleep, snapshot = selected
-        self._finish(result, start)
-        return result
+                self.pruned_runs += 1
+        else:
+            result.schedules_run += 1
+            result.statuses[run.status] += 1
+            key = _outcome_key(run)
+            result.outcomes[key] = result.outcomes.get(key, 0) + 1
+            if self._match(run):
+                matched = True
+                result.match_count += 1
+                if len(result.matching) < self.keep_matches:
+                    result.matching.append(run)
+                if result.first_match_schedule is None:
+                    result.first_match_schedule = list(run.schedule)
+                    result.schedules_to_first_finding = result.schedules_run
+            if run.status in (RunStatus.CRASH, RunStatus.ABORTED):
+                self._handle_truncated(path, scheduler, base)
+                self._truncation_races(path)
+        return matched
 
     # -- internals ----------------------------------------------------------
 
@@ -449,7 +617,13 @@ class DPORExplorer:
                 pipeline.begin_pass()
             hook = pipeline.feed
         scheduler = _DPORScheduler(
-            prefix, sleep, pipeline=pipeline, directed=self.directed
+            prefix,
+            sleep,
+            pipeline=pipeline,
+            directed=self.directed,
+            track_sleep=self.preemption_bound is None,
+            preemption_bound=self.preemption_bound,
+            cache=self.cache,
         )
         engine = Engine(
             self.program, scheduler, max_steps=self.max_steps, event_hook=hook
@@ -458,6 +632,12 @@ class DPORExplorer:
         try:
             run = engine.run()
         except _DPORPruned:
+            return None, scheduler, None
+        except MemoHit:
+            # The hit node was recorded before the abort, so _extend_path
+            # surfaces it as the tail and its pending ops join race
+            # detection; end-of-trace analyses are skipped (as in the
+            # plain explorer).
             return None, scheduler, None
         if pipeline is not None:
             pipeline.finish_pass()
@@ -480,8 +660,9 @@ class DPORExplorer:
     def _extend_path(
         self, path: List[_Node], scheduler: _DPORScheduler, base: int
     ) -> Optional[_Node]:
-        """Append this run's fresh decisions as nodes; return the pruned
-        tail node (recorded but never executed from), if any."""
+        """Append this run's fresh decisions as nodes; return the
+        recorded-but-unexecuted tail node (a sleep-pruned or memo-aborted
+        stop), if any."""
         tail: Optional[_Node] = None
         snapshots = scheduler.node_snapshots
         for k in range(len(scheduler.enabled_sets)):
@@ -490,7 +671,8 @@ class DPORExplorer:
                 footprints=scheduler.footprints[k],
                 pending=scheduler.pending_ops[k],
                 sleep=scheduler.sleep_sets[k],
-                snapshot=snapshots[k] if snapshots else None,
+                snapshot=snapshots[k] if k < len(snapshots) else None,
+                paid=scheduler.paid_values[k],
             )
             depth = base + k
             if depth < len(scheduler.choices):
@@ -499,10 +681,9 @@ class DPORExplorer:
                 node.backtrack.add(node.chosen)
                 path.append(node)
             else:
-                # The all-asleep node a pruned run stopped at: it can
-                # never branch (selection skips sleepers), but its
-                # pending operations still participate in race
-                # detection against the prefix.
+                # The node a pruned or memo-aborted run stopped at: it
+                # can never branch here, but its pending operations
+                # still participate in race detection against the prefix.
                 tail = node
         return tail
 
@@ -548,7 +729,7 @@ class DPORExplorer:
                             continue
                         self.races_detected += 1
                         self._add_backtrack(
-                            path[i], thread, i, depth, steps, pasts, footprint
+                            path, thread, i, depth, steps, pasts, footprint
                         )
                         break  # only the most recent such step (FG)
             if depth < len(path):
@@ -556,7 +737,7 @@ class DPORExplorer:
 
     def _add_backtrack(
         self,
-        pre: _Node,
+        path: List[_Node],
         thread: str,
         i: int,
         depth: int,
@@ -571,14 +752,14 @@ class DPORExplorer:
         happens-after it, followed by the racing pending operation.  Its
         *initials* are the threads whose first event in ``v`` has no
         dependent predecessor within ``v`` — the threads that can lead
-        the reversed execution from ``pre``.  If any initial is already
-        scheduled at ``pre`` (explored, or awaiting selection outside
-        the sleep set) the reversal is covered and nothing is added;
+        the reversed execution from the node.  If any initial is already
+        scheduled there (explored, or awaiting selection outside the
+        sleep set) the reversal is covered and nothing is added;
         otherwise one initial suffices.
 
         This subsumes Flanagan–Godefroid's "add the racing thread"
         rule, which loses reversals when that thread is sleep-blocked at
-        ``pre`` and the commutation path into the covering sibling
+        the node and the commutation path into the covering sibling
         crosses a dependent step — an initial of ``v`` other than the
         racing thread is awake exactly there.  ``pending_fp`` is
         ``None`` for truncation races, whose final step is dependent
@@ -605,34 +786,131 @@ class DPORExplorer:
                 for m in range(k)
             ):
                 initials.add(name)
-        covered = pre.done | (pre.backtrack - set(pre.sleep))
-        if covered & initials:
+        self._plant(path, i, initials, thread, steps)
+
+    def _plant(
+        self,
+        path: List[_Node],
+        i: int,
+        initials: Set[str],
+        thread: str,
+        steps: List[Tuple[str, FrozenSet[Token]]],
+    ) -> None:
+        """Apply the addition decision for a race at node ``i``.
+
+        Frozen ancestor nodes (parallel items) are never mutated: the
+        race travels back as a record and the coordinator replants it
+        with live node state, preserving the serial covered-check.
+        """
+        if i < self._frozen:
+            self.ancestor_races.append(("race", i, frozenset(initials), thread))
             return
-        enabled = set(pre.enabled)
-        candidates = initials & enabled
-        awake = candidates - set(pre.sleep)
-        if awake:
-            additions = {min(awake)}
-        elif candidates:
-            additions = {min(candidates)}
-        else:
-            # No initial is enabled at ``pre`` (a lock held across the
-            # witness window, or similar): branch over everything.
-            additions = enabled
-        before = len(pre.backtrack)
-        pre.backtrack |= additions
-        self.backtrack_points += len(pre.backtrack) - before
+        pre = path[i]
+        bound = self.preemption_bound
+        if bound is None:
+            covered = pre.done | (pre.backtrack - set(pre.sleep))
+            if covered & initials:
+                return
+            enabled = set(pre.enabled)
+            candidates = initials & enabled
+            awake = candidates - set(pre.sleep)
+            if awake:
+                additions = {min(awake)}
+            elif candidates:
+                additions = {min(candidates)}
+            else:
+                # No initial is enabled here (a lock held across the
+                # witness window, or similar): branch over everything.
+                additions = enabled
+            before = len(pre.backtrack)
+            pre.backtrack |= additions
+            self.backtrack_points += len(pre.backtrack) - before
+            return
+        # Bounded mode: an infeasible waiter must not cover a reversal,
+        # and additions that can never be selected are pointless — both
+        # checks use the static branch cost at this node.
+        previous = steps[i - 1][0] if i > 0 else None
+        feasible = {
+            name
+            for name in pre.enabled
+            if pre.paid + _preemption_cost(previous, name, pre.enabled)
+            <= bound
+        }
+        covered = pre.done | (pre.backtrack & feasible)
+        if not covered & initials:
+            candidates = initials & feasible
+            additions = {min(candidates)} if candidates else feasible
+            before = len(pre.backtrack)
+            pre.backtrack |= additions
+            self.backtrack_points += len(pre.backtrack) - before
+        # Conservative points: the budget may forbid the reversal from
+        # this node even when it allows an equivalent one scheduled at a
+        # context-switch boundary, where every enabled thread costs at
+        # most what the explored path paid (Coons et al., OOPSLA'13).
+        self._plant_boundaries(path, i, initials, thread, steps)
+
+    def _plant_boundaries(
+        self,
+        path: List[_Node],
+        i: int,
+        initials: Set[str],
+        thread: str,
+        steps: List[Tuple[str, FrozenSet[Token]]],
+    ) -> None:
+        """Plant conservative bounded-mode points at boundaries ≤ ``i``.
+
+        A boundary is a node where the executed thread changed (plus the
+        root).  Candidates are the racing thread and the witness
+        initials; feasibility-filtered like every bounded addition.
+        """
+        for j in range(i, -1, -1):
+            if j != 0 and steps[j - 1][0] == steps[j][0]:
+                continue
+            if j < self._frozen:
+                self.ancestor_races.append(
+                    ("boundary", j, frozenset(initials), thread)
+                )
+                continue
+            self._plant_boundary(
+                path[j],
+                steps[j - 1][0] if j > 0 else None,
+                initials,
+                thread,
+            )
+
+    def _plant_boundary(
+        self,
+        node: _Node,
+        previous: Optional[str],
+        initials: Set[str],
+        thread: str,
+    ) -> None:
+        bound = self.preemption_bound
+        assert bound is not None
+        additions = {
+            name
+            for name in ({thread} | initials)
+            if name in node.enabled
+            and node.paid + _preemption_cost(previous, name, node.enabled)
+            <= bound
+        }
+        if not additions:
+            return
+        before = len(node.backtrack)
+        node.backtrack |= additions
+        self.backtrack_points += len(node.backtrack) - before
 
     def _handle_truncated(
         self, path: List[_Node], scheduler: _DPORScheduler, base: int
     ) -> None:
-        """Withdraw reduction credit below a crashed / step-aborted run.
+        """Withdraw reduction credit below a truncated run.
 
-        The run's tail never executed, so independence-based commuting
-        arguments do not apply: every fresh node re-branches over its
-        full awake set and subsequent branches there start with an empty
-        sleep set — mirroring the sleep-set explorer, which pushes the
-        siblings of truncated runs with empty sleep sets.
+        A crash, the step budget, or a memo abort leaves the run's tail
+        unexecuted, so independence-based commuting arguments do not
+        apply: every fresh node re-branches over its full awake set and
+        subsequent branches there start with an empty sleep set —
+        mirroring the sleep-set explorer, which pushes the siblings of
+        truncated runs with empty sleep sets.
         """
         for k in range(len(scheduler.enabled_sets)):
             depth = base + k
@@ -673,21 +951,45 @@ class DPORExplorer:
             if i in thread_past or steps[i][0] == thread:
                 continue
             self.races_detected += 1
-            self._add_backtrack(path[i], thread, i, last, steps, pasts, None)
+            self._add_backtrack(path, thread, i, last, steps, pasts, None)
             break
 
-    def _select_next(
-        self, path: List[_Node]
-    ) -> Optional[Tuple[List[str], FrozenSet[str], Optional[Any]]]:
-        """Deepest node with an unexplored awake backtrack thread.
+    def _peek_selection(
+        self,
+        path: List[_Node],
+        done_map: Optional[Dict[int, Set[str]]] = None,
+        length: Optional[int] = None,
+    ) -> Optional[Tuple[int, str, FrozenSet[str]]]:
+        """Next branch — deepest node with an unexplored feasible thread.
 
-        Truncates the path there, marks the branch done, and returns the
-        (prefix, initial sleep, pipeline snapshot) of the next run.
-        ``None`` means the whole reduced tree is explored.
+        Non-mutating except that bounded-infeasible candidates are
+        dropped from backtrack sets (they can never be selected, and
+        leaving them would let them falsely cover later reversals; the
+        drop is identical wherever the peek happens, so speculative
+        peeks stay exact).  ``done_map``/``length`` overlay speculative
+        done-sets and a speculative path truncation — the parallel
+        coordinator's what-if view.
         """
-        for depth in range(len(path) - 1, -1, -1):
+        bound = self.preemption_bound
+        limit = len(path) if length is None else length
+        for depth in range(limit - 1, self._frozen - 1, -1):
             node = path[depth]
-            candidates = node.backtrack - node.done - set(node.sleep)
+            if done_map is None:
+                done = node.done
+            else:
+                done = done_map.setdefault(depth, set(node.done))
+            candidates = node.backtrack - done - set(node.sleep)
+            if candidates and bound is not None:
+                previous = path[depth - 1].chosen if depth > 0 else None
+                infeasible = {
+                    name
+                    for name in candidates
+                    if node.paid
+                    + _preemption_cost(previous, name, node.enabled)
+                    > bound
+                }
+                node.backtrack -= infeasible
+                candidates -= infeasible
             if not candidates:
                 continue
             if self.directed is not None:
@@ -699,29 +1001,57 @@ class DPORExplorer:
                 )
             else:
                 choice = min(candidates)
-            if node.truncated:
+            if node.truncated or bound is not None:
                 new_sleep: FrozenSet[str] = frozenset()
             else:
                 chosen_footprint = node.footprints[choice]
                 new_sleep = frozenset(
                     name
-                    for name in (node.sleep | node.done)
+                    for name in (node.sleep | done)
                     if name != choice
                     and name in node.footprints
                     and not ops_dependent(
                         node.footprints[name], chosen_footprint
                     )
                 )
-            node.done.add(choice)
-            node.chosen = choice
-            del path[depth + 1:]
-            prefix = [n.chosen for n in path]
-            return prefix, new_sleep, node.snapshot
+            return depth, choice, new_sleep
         return None
+
+    def _commit_selection(
+        self,
+        path: List[_Node],
+        depth: int,
+        choice: str,
+        new_sleep: FrozenSet[str],
+    ) -> Tuple[List[str], FrozenSet[str], Optional[Any]]:
+        """Take the branch: mark it done, truncate the path, build seed."""
+        node = path[depth]
+        node.done.add(choice)
+        node.chosen = choice
+        del path[depth + 1:]
+        prefix = [n.chosen for n in path]
+        return prefix, new_sleep, node.snapshot
+
+    def _select_next(
+        self, path: List[_Node]
+    ) -> Optional[Tuple[List[str], FrozenSet[str], Optional[Any]]]:
+        """Deepest node with an unexplored awake backtrack thread.
+
+        Truncates the path there, marks the branch done, and returns the
+        (prefix, initial sleep, pipeline snapshot) of the next run.
+        ``None`` means the whole reduced tree is explored.
+        """
+        selection = self._peek_selection(path)
+        if selection is None:
+            return None
+        return self._commit_selection(path, *selection)
 
     def _finish(self, result: ExplorationResult, start: float) -> None:
         """Close out one exploration: pipeline copy, wall-clock, metrics."""
         _fill_pipeline(result, self.pipeline)
+        _fill_cache_stats(result, self.cache)
+        if self.cache is not None:
+            self.cache.record_metrics(program=self.program.name)
         if result.pipeline_stats is not None:
             _record_pipeline_stats(result.pipeline_stats, self.program.name)
         result.wall_seconds = perf_counter() - start

@@ -1,0 +1,596 @@
+"""Parallel dynamic partial-order reduction: speculative branch items.
+
+Parallelising DPOR is harder than parallelising the plain DFS
+(:mod:`repro.sim.parallel`): the branches a DPOR search explores are
+*discovered from earlier runs* — a subtree's races plant backtrack
+points at ancestor nodes, so which branch runs next depends on every
+branch that ran before it.  A prefix-sharded split would either miss
+reversals or have to over-approximate them.
+
+:class:`ParallelDPORExplorer` keeps the serial search's decisions
+bit-identical by **speculating and validating**:
+
+* a serial coordinator runs the root search exactly like
+  :class:`~repro.sim.dpor.DPORExplorer` until the current path holds
+  several pending backtrack candidates;
+* the pending candidates are snapshotted as speculative **work items**
+  in predicted serial order (deepest node first — the order the serial
+  search would take them), each carrying its frozen ancestor context:
+  per depth, the executed thread, its operation and footprint, plus the
+  branch node's sleep set and detector-pipeline snapshot;
+* items go onto a shared queue; each worker pulls the next free item and
+  explores the confined subtree with per-worker race detection — races
+  within the subtree are planted live (ancestor state is frozen during a
+  serial subtree, so the worker's covered-checks equal the serial
+  ones), races targeting frozen ancestors travel back as
+  ``(kind, depth, initials, thread)`` records;
+* the coordinator accepts results in item-key order: it merges the
+  serially-first item, replants its ancestor races with *live* node
+  state (reproducing the serial covered-check at the serial moment),
+  then recomputes the true next selection.  If it matches the next
+  speculated item, that item is accepted too; if not — a race moved the
+  frontier — the remaining speculative results are discarded as wasted
+  wall-clock (never wrong answers) and a new round is dispatched from
+  the corrected frontier.
+
+The serially-first item of every round is always valid (it *is* the
+true next selection), so every round makes progress and termination is
+inherited from the serial search.  Accepted items merge in key order,
+which is serial order, so a complete parallel exploration reproduces
+the serial ``outcomes`` (with counts), ``matching``,
+``schedules_to_first_finding``, and ``stop_on_first`` behaviour
+bit-for-bit.  Two intentional deviations, shared with
+:class:`~repro.sim.parallel.ParallelExplorer`: the ``max_schedules``
+budget is enforced per item (each gets the budget left when its round
+was dispatched), and with ``memoize=True`` each item prunes against its
+own per-process :class:`~repro.sim.statecache.StateCache` — states
+revisited across items are re-explored (lost hits, never false ones),
+so the outcome *set* is preserved but abort counts may differ from the
+serial memoized search.
+
+Items are indivisible in this version: a worker never donates half of a
+DPOR subtree (its pending candidates reference live local node state),
+so load balance comes from item granularity (``shard_factor`` items per
+worker and round) rather than mid-item stealing.  Workers are forked
+per round — the fork inherits the program's generator closures and the
+item specs for free, and only results cross a queue.
+
+Falls back to the serial :class:`~repro.sim.dpor.DPORExplorer` loop
+(identical results by construction) when ``fork`` is unavailable,
+``workers=1``, or the machine has a single CPU; ``pool="fork"`` forces
+worker processes, ``pool="none"`` forbids them — same semantics as the
+plain parallel explorer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+from time import perf_counter
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.sim.dpor import DPORExplorer, _Node
+from repro.sim.explorer import (
+    ExplorationResult,
+    Predicate,
+    _merge_pipeline_stats,
+)
+from repro.sim.program import Program
+
+__all__ = ["ParallelDPORExplorer"]
+
+#: Frozen ancestor record: (thread, executed footprint, executed op,
+#: preemptions paid above the node).  Everything a worker's race sweep
+#: needs from the steps above its item root.
+AncestorStep = Tuple[str, FrozenSet[Any], Any, int]
+
+
+class _ItemSpec:
+    """One speculative work item: a branch plus its frozen context."""
+
+    __slots__ = (
+        "index", "depth", "choice", "prefix", "sleep", "snapshot", "ancestors",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        depth: int,
+        choice: str,
+        prefix: List[str],
+        sleep: FrozenSet[str],
+        snapshot: Optional[Any],
+        ancestors: List[AncestorStep],
+    ):
+        self.index = index
+        self.depth = depth
+        self.choice = choice
+        self.prefix = prefix
+        self.sleep = sleep
+        self.snapshot = snapshot
+        self.ancestors = ancestors
+
+
+class _ItemPayload:
+    """What a worker sends back for one explored item."""
+
+    __slots__ = (
+        "result", "races", "pruned_runs", "races_detected",
+        "backtrack_points", "attempts",
+    )
+
+    def __init__(
+        self,
+        result: ExplorationResult,
+        races: List[Tuple[str, int, FrozenSet[str], str]],
+        pruned_runs: int,
+        races_detected: int,
+        backtrack_points: int,
+        attempts: int,
+    ):
+        self.result = result
+        self.races = races
+        self.pruned_runs = pruned_runs
+        self.races_detected = races_detected
+        self.backtrack_points = backtrack_points
+        self.attempts = attempts
+
+
+#: Worker-process state inherited via fork (set before the round's
+#: processes start): program, predicate, options, and the round's specs.
+_WORKER: Dict[str, Any] = {}
+
+#: How long (seconds) the parent waits on the result queue before
+#: checking for dead workers instead of blocking forever.
+_RESULT_POLL_SECONDS = 5.0
+
+
+def _base_nodes(ancestors: Sequence[AncestorStep]) -> List[_Node]:
+    """Rebuild frozen ancestor nodes from their picklable records."""
+    base = []
+    for thread, footprint, op, paid in ancestors:
+        node = _Node(
+            enabled=[],
+            footprints={thread: footprint},
+            pending={thread: op},
+            sleep=frozenset(),
+            snapshot=None,
+            paid=paid,
+        )
+        node.chosen = thread
+        node.done.add(thread)
+        base.append(node)
+    return base
+
+
+def _explore_item(spec: _ItemSpec) -> _ItemPayload:
+    options = _WORKER["options"]
+    factory = options["pipeline_factory"]
+    explorer = DPORExplorer(
+        _WORKER["program"],
+        max_schedules=options["budget"],
+        max_steps=options["max_steps"],
+        keep_matches=options["keep_matches"],
+        memoize=options["memoize"],
+        preemption_bound=options["preemption_bound"],
+        pipeline=factory() if factory is not None else None,
+        targets=options["targets"],
+    )
+    start = perf_counter()
+    result = explorer._explore_item(
+        _base_nodes(spec.ancestors),
+        (list(spec.prefix), spec.sleep, spec.snapshot),
+        _WORKER["predicate"],
+        options["stop_on_first"],
+    )
+    result.wall_seconds = perf_counter() - start
+    return _ItemPayload(
+        result,
+        explorer.ancestor_races,
+        explorer.pruned_runs,
+        explorer.races_detected,
+        explorer.backtrack_points,
+        explorer._attempts,
+    )
+
+
+def _round_worker(work: Any, results: Any) -> None:
+    """Worker loop for one round: pull spec indices until the sentinel."""
+    specs = _WORKER["specs"]
+    while True:
+        index = work.get()
+        if index is None:
+            break
+        results.put((index, _explore_item(specs[index])))
+
+
+class ParallelDPORExplorer:
+    """Speculative parallel DPOR over a per-round worker pool.
+
+    Drop-in for :class:`~repro.sim.dpor.DPORExplorer`: same constructor
+    bounds, same ``explore`` signature, same
+    :class:`~repro.sim.explorer.ExplorationResult` — bit-identical to
+    the serial search for complete explorations (see module docstring
+    for the two documented budget/memoization deviations).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        workers: Optional[int] = None,
+        max_schedules: int = 20000,
+        max_steps: int = 5000,
+        keep_matches: int = 16,
+        memoize: bool = False,
+        preemption_bound: Optional[int] = None,
+        shard_factor: int = 2,
+        pool: str = "auto",
+        pipeline_factory: Optional[Any] = None,
+        targets: Optional[Sequence[Any]] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if pool not in ("auto", "fork", "none"):
+            raise ValueError(
+                f"pool must be 'auto', 'fork', or 'none', got {pool!r}"
+            )
+        if pool == "fork" and "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "pool='fork' requested but the 'fork' start method is not "
+                "available on this platform; use pool='auto' to fall back "
+                "to in-process execution"
+            )
+        self.program = program
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.max_schedules = max_schedules
+        self.max_steps = max_steps
+        self.keep_matches = keep_matches
+        self.memoize = memoize
+        self.preemption_bound = preemption_bound
+        self.shard_factor = shard_factor
+        self.pool = pool
+        self.pipeline_factory = pipeline_factory
+        self.targets = list(targets) if targets else None
+        #: Telemetry of the most recent exploration (mirrors the serial
+        #: explorer's counters, summed across the coordinator and every
+        #: accepted item, plus speculation accounting).
+        self.pruned_runs = 0
+        self.races_detected = 0
+        self.backtrack_points = 0
+        self.rounds = 0
+        self.items_dispatched = 0
+        self.items_accepted = 0
+        self.items_wasted = 0
+        #: Per-round schedule counts of the accepted items (benchmarks
+        #: model worker makespans from these deterministic run-units).
+        self.round_sizes: List[List[int]] = []
+
+    def explore(
+        self,
+        predicate: Optional[Predicate] = None,
+        stop_on_first: bool = False,
+    ) -> ExplorationResult:
+        """Run the parallel search; result fields as in :class:`Explorer`."""
+        start = perf_counter()
+        factory = self.pipeline_factory
+        serial = DPORExplorer(
+            self.program,
+            max_schedules=self.max_schedules,
+            max_steps=self.max_steps,
+            keep_matches=self.keep_matches,
+            memoize=self.memoize,
+            preemption_bound=self.preemption_bound,
+            pipeline=factory() if factory is not None else None,
+            targets=self.targets,
+        )
+        self.rounds = 0
+        self.items_dispatched = 0
+        self.items_accepted = 0
+        self.items_wasted = 0
+        self.round_sizes = []
+        result = serial._begin(predicate, stop_on_first)
+        deferred: List[_ItemPayload] = []
+        use_pool = self._use_pool()
+        cap = max(2, self.workers * self.shard_factor)
+        stopped = False
+        while serial._seed is not None and not stopped:
+            if serial._attempts >= self.max_schedules:
+                result.complete = False
+                break
+            specs = self._speculate(serial, cap) if use_pool else []
+            if len(specs) < 2:
+                # Narrow frontier (or no pool): one serial iteration —
+                # run the committed seed, sweep races, select the next.
+                if not serial._step(result):
+                    break
+                continue
+            self.rounds += 1
+            self.items_dispatched += len(specs)
+            budget = max(1, self.max_schedules - serial._attempts)
+            with obs_profile.span("dpor_parallel.dispatch"):
+                payloads = self._dispatch(
+                    specs, predicate, stop_on_first, budget
+                )
+            with obs_profile.span("dpor_parallel.merge"):
+                stopped = not self._accept(
+                    serial, result, specs, payloads, deferred, stop_on_first
+                )
+            if not stopped:
+                serial._seed = serial._select_next(serial._path)
+        serial._finish(result, start)
+        # Fold the per-item fields the serial _finish just overwrote
+        # from the coordinator's own pipeline/cache.
+        for payload in deferred:
+            item = payload.result
+            result.cache_lookups += item.cache_lookups
+            result.cache_states += item.cache_states
+            if item.detector_reports:
+                if result.detector_reports is None:
+                    result.detector_reports = dict(item.detector_reports)
+                else:
+                    for name, report in item.detector_reports.items():
+                        target = result.detector_reports.get(name)
+                        if target is None:
+                            result.detector_reports[name] = report
+                        else:
+                            for finding in report:
+                                target.add(finding)
+            result.pipeline_stats = _merge_pipeline_stats(
+                result.pipeline_stats, item.pipeline_stats
+            )
+        result.shards = self.items_accepted
+        self.pruned_runs = serial.pruned_runs
+        self.races_detected = serial.races_detected
+        self.backtrack_points = serial.backtrack_points
+        self._record()
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _use_pool(self) -> bool:
+        if self.pool == "fork":
+            return True
+        if self.pool == "none" or self.workers <= 1:
+            return False
+        if "fork" not in multiprocessing.get_all_start_methods():
+            return False
+        return (os.cpu_count() or 1) > 1
+
+    def _speculate(
+        self, serial: DPORExplorer, cap: int
+    ) -> List[_ItemSpec]:
+        """Snapshot the pending frontier as items in predicted serial order.
+
+        Item 0 is the already-committed next seed; further items are
+        what-if selections over shadow done-sets (the real nodes are not
+        mutated).  Ancestor contexts are copied now, before acceptance
+        commits truncate the path.
+        """
+        path = serial._path
+        prefix, sleep, snapshot = serial._seed
+        if not prefix:
+            return []  # the root run: nothing to freeze yet
+        depth = len(prefix) - 1
+        specs = [
+            self._spec(0, path, depth, prefix[-1], sleep, snapshot)
+        ]
+        done_map: Dict[int, Any] = {}
+        length = len(path)
+        while len(specs) < cap:
+            selection = serial._peek_selection(path, done_map, length)
+            if selection is None:
+                break
+            depth, choice, new_sleep = selection
+            done_map[depth].add(choice)
+            length = depth + 1
+            specs.append(
+                self._spec(
+                    len(specs), path, depth, choice, new_sleep,
+                    path[depth].snapshot,
+                )
+            )
+        return specs
+
+    def _spec(
+        self,
+        index: int,
+        path: List[_Node],
+        depth: int,
+        choice: str,
+        sleep: FrozenSet[str],
+        snapshot: Optional[Any],
+    ) -> _ItemSpec:
+        ancestors: List[AncestorStep] = [
+            (
+                node.chosen,
+                node.footprints[node.chosen],
+                node.pending[node.chosen],
+                node.paid,
+            )
+            for node in path[:depth]
+        ]
+        branch = path[depth]
+        ancestors.append(
+            (choice, branch.footprints[choice], branch.pending[choice],
+             branch.paid)
+        )
+        prefix = [node.chosen for node in path[:depth]] + [choice]
+        return _ItemSpec(index, depth, choice, prefix, sleep, snapshot, ancestors)
+
+    def _dispatch(
+        self,
+        specs: List[_ItemSpec],
+        predicate: Optional[Predicate],
+        stop_on_first: bool,
+        budget: int,
+    ) -> List[Optional[_ItemPayload]]:
+        """Fork a round of workers over the shared item queue."""
+        options = {
+            "budget": budget,
+            "max_steps": self.max_steps,
+            "keep_matches": self.keep_matches,
+            "memoize": self.memoize,
+            "preemption_bound": self.preemption_bound,
+            "stop_on_first": stop_on_first,
+            "pipeline_factory": self.pipeline_factory,
+            "targets": self.targets,
+        }
+        context = multiprocessing.get_context("fork")
+        work = context.Queue()
+        results = context.Queue()
+        _WORKER.update(
+            program=self.program,
+            predicate=predicate,
+            options=options,
+            specs=specs,
+        )
+        count = min(self.workers, len(specs))
+        try:
+            for index in range(len(specs)):
+                work.put(index)
+            for _ in range(count):
+                work.put(None)
+            procs = [
+                context.Process(target=_round_worker, args=(work, results),
+                                daemon=True)
+                for _ in range(count)
+            ]
+            for proc in procs:
+                proc.start()
+            payloads: List[Optional[_ItemPayload]] = [None] * len(specs)
+            received = 0
+            try:
+                while received < len(specs):
+                    try:
+                        index, payload = results.get(
+                            timeout=_RESULT_POLL_SECONDS
+                        )
+                    except queue_mod.Empty:
+                        if any(not proc.is_alive() for proc in procs):
+                            raise RuntimeError(
+                                "a parallel DPOR worker died before "
+                                "reporting its items"
+                            )
+                        continue
+                    payloads[index] = payload
+                    received += 1
+            finally:
+                for proc in procs:
+                    proc.join()
+            return payloads
+        finally:
+            _WORKER.clear()
+
+    def _accept(
+        self,
+        serial: DPORExplorer,
+        result: ExplorationResult,
+        specs: List[_ItemSpec],
+        payloads: List[Optional[_ItemPayload]],
+        deferred: List[_ItemPayload],
+        stop_on_first: bool,
+    ) -> bool:
+        """Validate and merge one round in serial order.
+
+        Returns ``False`` to end the whole search (``stop_on_first``
+        matched, or the budget ran out mid-round).
+        """
+        sizes: List[int] = []
+        self.round_sizes.append(sizes)
+        for position, (spec, payload) in enumerate(zip(specs, payloads)):
+            if payload is None:
+                self.items_wasted += len(specs) - position
+                return True
+            if position > 0:
+                selection = serial._peek_selection(serial._path)
+                if selection != (spec.depth, spec.choice, spec.sleep):
+                    # A prior item's races moved the frontier: the rest
+                    # of the round was speculated from a stale view.
+                    self.items_wasted += len(specs) - position
+                    return True
+                serial._commit_selection(serial._path, *selection)
+            self.items_accepted += 1
+            sizes.append(payload.result.schedules_run)
+            self._merge_item(serial, result, payload, deferred)
+            if stop_on_first and payload.result.match_count:
+                result.complete = False
+                self.items_wasted += len(specs) - position - 1
+                return False
+            if serial._attempts >= self.max_schedules:
+                result.complete = False
+                self.items_wasted += len(specs) - position - 1
+                return False
+        return True
+
+    def _merge_item(
+        self,
+        serial: DPORExplorer,
+        result: ExplorationResult,
+        payload: _ItemPayload,
+        deferred: List[_ItemPayload],
+    ) -> None:
+        item = payload.result
+        if result.first_match_schedule is None and item.first_match_schedule:
+            result.first_match_schedule = list(item.first_match_schedule)
+            if item.schedules_to_first_finding is not None:
+                # Serial-order position: every run merged so far precedes
+                # this item's subtree.
+                result.schedules_to_first_finding = (
+                    result.schedules_run + item.schedules_to_first_finding
+                )
+        result.schedules_run += item.schedules_run
+        result.states_expanded += item.states_expanded
+        result.preemptions_spent += item.preemptions_spent
+        result.cache_hits += item.cache_hits
+        result.statuses.update(item.statuses)
+        for outcome, count in item.outcomes.items():
+            result.outcomes[outcome] = result.outcomes.get(outcome, 0) + count
+        result.match_count += item.match_count
+        for run in item.matching:
+            if len(result.matching) >= self.keep_matches:
+                break
+            result.matching.append(run)
+        result.complete = result.complete and item.complete
+        deferred.append(payload)
+        serial._attempts += payload.attempts
+        serial.pruned_runs += payload.pruned_runs
+        serial.races_detected += payload.races_detected
+        serial.backtrack_points += payload.backtrack_points
+        # Replant the item's ancestor races with live node state, in
+        # detection order — reproducing exactly the additions (and
+        # covered-check refusals) the serial search would have made.
+        path = serial._path
+        steps = [
+            (node.chosen, node.footprints[node.chosen]) for node in path
+        ]
+        for kind, index, initials, thread in payload.races:
+            if kind == "race":
+                serial._plant(path, index, set(initials), thread, steps)
+            else:  # "boundary": bounded-mode conservative point
+                serial._plant_boundary(
+                    path[index],
+                    steps[index - 1][0] if index > 0 else None,
+                    set(initials),
+                    thread,
+                )
+
+    def _record(self) -> None:
+        registry = obs_metrics.active()
+        if registry is None:
+            return
+        program = self.program.name
+        registry.inc("dpor.parallel.rounds", self.rounds, program=program)
+        registry.inc(
+            "dpor.parallel.items_dispatched", self.items_dispatched,
+            program=program,
+        )
+        registry.inc(
+            "dpor.parallel.items_accepted", self.items_accepted,
+            program=program,
+        )
+        registry.inc(
+            "dpor.parallel.items_wasted", self.items_wasted, program=program
+        )

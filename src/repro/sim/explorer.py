@@ -300,6 +300,11 @@ class ExplorationResult:
     steal_donations: int = 0
     stolen_prefixes: int = 0
     idle_seconds: float = 0.0
+    #: Summed wall-clock the workers spent inside donation events
+    #: (slicing the stack, bumping the shared counter, queueing
+    #: batches) — the serialization cost the steal strategy pays for
+    #: its load balance.
+    donate_seconds: float = 0.0
     #: Detector reports accumulated by an attached streaming pipeline,
     #: keyed by detector name (``None`` when exploring without one).
     #: Typed loosely because the sim layer never imports detector types.
@@ -759,24 +764,43 @@ def make_explorer(
     :param reduction: partial-order reduction to apply: ``None``/"none"
         (plain DFS), ``"sleepset"``
         (:class:`~repro.sim.reduction.SleepSetExplorer`), or ``"dpor"``
-        (:class:`~repro.sim.dpor.DPORExplorer`).  Reduced searches are
-        serial — combining a reduction with ``workers > 1`` raises
-        :class:`ValueError`, as do the unsound combinations documented
-        on each explorer (``dpor`` rejects ``memoize`` and
-        ``preemption_bound``; ``sleepset`` rejects ``preemption_bound``).
+        (:class:`~repro.sim.dpor.DPORExplorer`).  ``dpor`` composes with
+        every accelerator: ``memoize`` prunes revisited states as
+        truncated runs, ``preemption_bound`` switches to bounded DPOR
+        with conservative boundary backtrack points, and ``workers > 1``
+        selects :class:`~repro.sim.dpor_parallel.ParallelDPORExplorer`
+        (speculative parallel DPOR, bit-identical to the serial search).
+        ``sleepset`` stays serial and unbounded: combining it with
+        ``workers > 1`` or ``preemption_bound`` raises
+        :class:`ValueError` (sleep sets assume every sibling branch is
+        explorable and every reversal serially visible).
     """
     kind = reduction if reduction is not None else "none"
     if kind not in REDUCTIONS:
         raise ValueError(
             f"reduction must be one of {', '.join(REDUCTIONS)}; got {reduction!r}"
         )
+    if kind == "dpor" and workers is not None and workers > 1:
+        from repro.sim.dpor_parallel import ParallelDPORExplorer
+
+        return ParallelDPORExplorer(
+            program,
+            workers=workers,
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            keep_matches=keep_matches,
+            memoize=memoize,
+            preemption_bound=preemption_bound,
+            pipeline_factory=pipeline_factory,
+            targets=targets,
+        )
     if kind != "none":
         if workers is not None and workers > 1:
             raise ValueError(
                 f"reduction={kind!r} cannot be combined with workers={workers}: "
-                "partial-order reduction decides which branches to explore "
-                "from what earlier runs observed, which a prefix-sharded or "
-                "work-stealing search cannot see across workers"
+                "sleep sets prune against the full sibling set, which a "
+                "prefix-sharded or work-stealing search cannot see across "
+                "workers; use reduction='dpor' for a parallel reduced search"
             )
         pipeline = pipeline_factory() if pipeline_factory is not None else None
         if kind == "sleepset":

@@ -12,7 +12,12 @@ items explored in worker processes.  Two strategies distribute them:
   another worker is hungry.  Subtree sizes in this codebase vary by
   orders of magnitude (``multivar_torn_invariant`` shards span 1 to
   hundreds of schedules), so static assignment strands all but one
-  worker; stealing keeps them busy to the end.
+  worker; stealing keeps them busy to the end.  The ``donation``
+  policy tunes the donor side: ``"auto"`` (default) donates only when
+  workers actually run concurrently, one donation event feeds every
+  hungry worker with its own chunk, and the shared hunger/queue state
+  is consulted only every ``_DONATE_TICK`` schedules so the per-run
+  hook stays a counter decrement.
 * ``strategy="shard"`` — the legacy static split: each leftover prefix
   is one shard, mapped over a process pool.  Kept for comparison
   benchmarks and as the semantics baseline.
@@ -109,6 +114,15 @@ _RESULT_POLL_SECONDS = 5.0
 _DONATE_MIN_STACK = 4
 _DONATE_COOLDOWN = 16
 
+#: How many schedules a busy worker runs between *looks* at the shared
+#: hunger/queue state.  The steal hook fires after every schedule, so
+#: without this gate every iteration pays two cross-process reads
+#: (``hungry`` and ``work.empty()``) that almost never lead to a
+#: donation — profiling the spans shows the checks, not the donations,
+#: are where steal mode loses wall time to shard mode.  Worst case the
+#: gate delays a donation by ``_DONATE_TICK - 1`` schedules.
+_DONATE_TICK = 8
+
 
 def _init_worker(program: Program, predicate: Optional[Predicate], options: Dict[str, Any]) -> None:
     _WORKER["program"] = program
@@ -160,48 +174,72 @@ def _explore_item(
     explorer = _build_explorer()
     donations = 0
     donated = 0
-    cooldown = 0
+    donate_seconds = 0.0
+    # The hook runs after *every* schedule; keep its common path to a
+    # local counter decrement.  Shared state is only consulted every
+    # ``_DONATE_TICK`` schedules, and the hunger count is read through
+    # the raw shared object — skipping the Value lock is safe because
+    # the read is already heuristic (see below).
+    countdown = _DONATE_TICK
+    hungry_raw = hungry.get_obj()
 
     def steal_hook(stack: List[Seed]) -> None:
-        nonlocal donations, donated, cooldown
+        nonlocal donations, donated, donate_seconds, countdown
+        countdown -= 1
+        if countdown > 0:
+            return
+        countdown = _DONATE_TICK
         # Damping: a donation must be worth its queue crossing, so keep
         # at least ``_DONATE_MIN_STACK`` prefixes and let the last
         # donation be consumed before making another.  Without this an
         # oversubscribed machine (more workers than cores) shreds the
         # stack into single prefixes — the hungry workers hold stolen
         # items but never get CPU to clear their hunger.
-        if cooldown > 0:
-            cooldown -= 1
-            return
         # ``hungry`` and ``empty`` are heuristic reads (racy by
         # design): a false positive donates a batch that queues
-        # briefly, a false negative delays donation one iteration.
+        # briefly, a false negative delays donation one tick.
         # Correctness never depends on them — only load balance does.
         # Gating on an empty queue keeps the granularity adaptive: no
         # donation while undistributed work already exists.
-        if (
-            len(stack) < _DONATE_MIN_STACK
-            or hungry.value <= 0
-            or not work.empty()
-        ):
+        if len(stack) < _DONATE_MIN_STACK:
             return
-        cooldown = _DONATE_COOLDOWN
+        eaters = hungry_raw.value
+        if eaters <= 0 or not work.empty():
+            return
+        begin = perf_counter()
+        # The stack bottom is the serially-last subtree.  One donation
+        # event cuts the bottom half into up to ``eaters`` chunks — one
+        # per hungry worker — so a single look at the shared state can
+        # feed the whole idle pool instead of one worker per cooldown.
+        # Each chunk travels as *one* item keeping its stack order, so
+        # the receiving worker explores it top-first — the same
+        # contiguous serial range the donor would have — and may
+        # re-split it.
         take = len(stack) // 2
-        # The stack bottom is the serially-last subtree.  The batch
-        # travels as *one* item keeping its stack order, so the
-        # receiving worker explores it top-first — the same contiguous
-        # serial range the donor would have — and may re-split it.
-        batch = stack[:take]
+        chunks = max(1, min(eaters, take // 2))
+        size = take // chunks
+        batches = []
+        # Chunks are emitted bottom-first (serially last first); later
+        # emissions get more-negative keys, matching the invariant that
+        # later-donated work sorts serially earlier.
+        for cut in range(chunks):
+            low = cut * size
+            high = take if cut == chunks - 1 else low + size
+            batches.append(stack[low:high])
         del stack[:take]
-        donations += 1
-        # Count the item *before* it is queued so the parent's "all
+        # Count the items *before* they are queued so the parent's "all
         # created items have reported" termination check can never
         # observe a result for an uncounted item.
         with created.get_lock():
-            created.value += 1
-        work.put((key + (-donations,), batch))
-        donated += take
+            created.value += len(batches)
+        for batch in batches:
+            donations += 1
+            work.put((key + (-donations,), batch))
+            donated += len(batch)
+        countdown = _DONATE_COOLDOWN
+        donate_seconds += perf_counter() - begin
 
+    options = _WORKER["options"]
     stack = [
         (list(prefix), paid, snapshot) for prefix, paid, snapshot in seeds
     ]
@@ -209,13 +247,14 @@ def _explore_item(
     result, _ = explorer._search(
         stack,
         _WORKER["predicate"],
-        _WORKER["options"]["stop_on_first"],
+        options["stop_on_first"],
         None,
-        steal_hook=steal_hook,
+        steal_hook=steal_hook if options.get("donate", True) else None,
     )
     result.wall_seconds = perf_counter() - start
     result.steal_donations = donations
     result.stolen_prefixes = donated
+    result.donate_seconds = donate_seconds
     return result
 
 
@@ -232,13 +271,19 @@ def _steal_worker(
     _init_worker(program, predicate, options)
     while True:
         waited_from = perf_counter()
-        with hungry.get_lock():
-            hungry.value += 1
         try:
-            item = work.get()
-        finally:
+            # Fast path: if work is already queued, take it without
+            # advertising hunger — this skips two lock round-trips per
+            # item and keeps busy donors from seeing phantom eaters.
+            item = work.get_nowait()
+        except queue_mod.Empty:
             with hungry.get_lock():
-                hungry.value -= 1
+                hungry.value += 1
+            try:
+                item = work.get()
+            finally:
+                with hungry.get_lock():
+                    hungry.value -= 1
         if item is None:
             break
         key, seeds = item
@@ -273,6 +318,7 @@ class ParallelExplorer:
         shard_factor: int = 4,
         pool: str = "auto",
         strategy: str = "steal",
+        donation: str = "auto",
         pipeline_factory: Optional[Any] = None,
         targets: Optional[List[Any]] = None,
     ):
@@ -283,6 +329,11 @@ class ParallelExplorer:
         if strategy not in ("steal", "shard"):
             raise ValueError(
                 f"strategy must be 'steal' or 'shard', got {strategy!r}"
+            )
+        if donation not in ("auto", "always", "never"):
+            raise ValueError(
+                f"donation must be 'auto', 'always', or 'never', "
+                f"got {donation!r}"
             )
         if pool == "fork" and "fork" not in multiprocessing.get_all_start_methods():
             raise ValueError(
@@ -301,6 +352,14 @@ class ParallelExplorer:
         self.shard_factor = shard_factor
         self.pool = pool
         self.strategy = strategy
+        #: Stack-donation policy under ``strategy="steal"``: ``"auto"``
+        #: donates only when the machine actually runs workers
+        #: concurrently (more than one CPU — on a single core the donor
+        #: and the eater time-share, so splitting work buys nothing and
+        #: the queue crossings are pure overhead), ``"always"`` forces
+        #: donation regardless (benchmarks use this to exercise the
+        #: path), ``"never"`` disables it (items stay indivisible).
+        self.donation = donation
         #: Zero-argument callable building a fresh streaming detector
         #: pipeline; called once for the root phase and once per item
         #: (pipelines are stateful, so items cannot share an instance).
@@ -410,6 +469,10 @@ class ParallelExplorer:
                     "parallel.steal_idle_seconds", merged.idle_seconds,
                     program=program,
                 )
+                registry.observe(
+                    "parallel.steal_donate_seconds", merged.donate_seconds,
+                    program=program,
+                )
             if self.memoize:
                 registry.inc(
                     "statecache.lookups", merged.cache_lookups, program=program
@@ -442,6 +505,7 @@ class ParallelExplorer:
             "stop_on_first": stop_on_first,
             "pipeline_factory": self.pipeline_factory,
             "targets": self.targets,
+            "donate": self._donate_enabled(),
         }
         if not self._use_pool():
             # In-process fallback: identical results, no pool.  Stealing
@@ -517,6 +581,15 @@ class ParallelExplorer:
         collected.sort(key=lambda item: item[0])
         return [result for _, result in collected]
 
+    def _donate_enabled(self) -> bool:
+        if self.donation == "always":
+            return True
+        if self.donation == "never":
+            return False
+        # auto: donation only helps when another worker can actually
+        # run the stolen batch concurrently.
+        return self.workers > 1 and (os.cpu_count() or 1) > 1
+
     def _use_pool(self) -> bool:
         # pool="fork" availability is validated in __init__, so forcing
         # here cannot silently degrade.
@@ -558,6 +631,7 @@ def _merge(
         merged.steal_donations += shard.steal_donations
         merged.stolen_prefixes += shard.stolen_prefixes
         merged.idle_seconds += shard.idle_seconds
+        merged.donate_seconds += shard.donate_seconds
         merged.statuses.update(shard.statuses)
         for outcome, count in shard.outcomes.items():
             merged.outcomes[outcome] = merged.outcomes.get(outcome, 0) + count

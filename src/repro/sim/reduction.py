@@ -23,6 +23,13 @@ or budget-aborted runs are pushed with empty sleep sets.  The property
 tests in ``tests/sim/test_reduction.py`` check outcome-set equivalence
 against plain DFS on randomly generated programs, including crashing
 ones.
+
+Sleep sets remain the one reducer that does **not** compose with a
+preemption bound or with ``workers > 1`` (pruning here presumes every
+sibling branch is explorable and every reversal serially visible);
+:mod:`repro.sim.dpor` composes with both and supersedes this explorer
+wherever those accelerators matter — this module stays as the simplest
+correct reducer and the differential baseline DPOR is tested against.
 """
 
 from __future__ import annotations

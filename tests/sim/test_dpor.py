@@ -9,12 +9,16 @@ completed or pruned mid-flight (``schedules_run + pruned_runs``): that
 is the cost-proportional metric, because a pruned sleep-set run still
 executes its shared prefix.
 
-The matrix dimensions the seed harness already covers for the other
-explorers (memoize, preemption bound, workers) show up here as the
-documented *incompatibilities*: DPOR rejects each with a ``ValueError``
-explaining why the combination would be unsound, and the valid
-neighbours (sleepset x memoize, bounded plain search) are cross-checked
-against DPOR's outcome set instead.
+The matrix dimensions the seed harness covers for the other explorers
+(memoize, preemption bound, workers) all compose with DPOR now:
+``memoize`` prunes revisited states as truncated runs,
+``preemption_bound`` switches to bounded DPOR (conservative backtrack
+points at context-switch boundaries, sleep sets off), and ``workers>1``
+routes through the speculative parallel coordinator.  The full
+``reduction × bound × workers`` matrix is differential-tested here
+against the plain DFS exploring the same (sub)space; the remaining
+``ValueError`` cells are sleep-set-specific (sleepset × bound,
+sleepset × workers) and stay asserted as such.
 """
 
 from __future__ import annotations
@@ -28,9 +32,14 @@ from repro.sim.dpor import DPORExplorer
 from repro.sim.explorer import enumerate_outcomes, find_schedule, make_explorer
 from repro.sim.reduction import SleepSetExplorer
 from tests import helpers
-from tests.helpers import corpus_programs
+from tests.helpers import corpus_programs, worker_counts
 
 BUDGET = 60000
+
+#: The composition matrix (satellite of PR 6): preemption bounds and
+#: worker counts every reduction is differentially tested under.
+BOUNDS = (None, 1, 2)
+WORKERS = worker_counts()
 
 
 def _launched(explorer, result):
@@ -163,6 +172,67 @@ class TestOnKnownPrograms:
         assert _launched(dpor, dpor_result) < _launched(sleep, sleep_result)
 
 
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(corpus_programs())
+def test_full_matrix_agrees_with_plain_dfs(program):
+    """reduction × bound × workers, every cell vs the same-bound DFS.
+
+    The trusted baseline for a bounded cell is the plain DFS under the
+    same bound (both explore exactly the ≤-bound subtree); for
+    unbounded cells it is the exhaustive DFS.  Sleep sets only exist in
+    the serial unbounded cell.  ``workers>1`` cells go through
+    ``make_explorer`` so the parallel coordinator's merge is what's
+    under test (in-process on one CPU, forked on CI's multi-core
+    matrix job).
+    """
+    baselines = {}
+    for bound in BOUNDS:
+        dfs = Explorer(
+            program, max_schedules=BUDGET, preemption_bound=bound
+        ).explore()
+        baselines[bound] = dfs
+    assume(baselines[None].complete)
+    sleep = SleepSetExplorer(program, max_schedules=BUDGET)
+    sleep_result = sleep.explore()
+    assert set(sleep_result.outcomes) == set(baselines[None].outcomes)
+    for bound in BOUNDS:
+        dfs = baselines[bound]
+        for workers in WORKERS:
+            explorer = make_explorer(
+                program, workers=workers, reduction="dpor",
+                preemption_bound=bound, max_schedules=BUDGET,
+            )
+            reduced = explorer.explore()
+            cell = f"bound={bound} workers={workers}"
+            assert set(reduced.outcomes) == set(dfs.outcomes), cell
+            assert reduced.found == dfs.found, cell
+            assert set(reduced.statuses) == set(dfs.statuses), cell
+            assert reduced.schedules_run <= dfs.schedules_run, cell
+            if bound is None and workers == 1:
+                # The launched-runs economy only binds where sleep sets
+                # are comparable: serial, unbounded.
+                assert _launched(explorer, reduced) <= _launched(
+                    sleep, sleep_result
+                )
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(corpus_programs())
+def test_memoized_dpor_matches_plain_dfs(program):
+    full = Explorer(program, max_schedules=BUDGET).explore()
+    assume(full.complete)
+    for bound in (None, 2):
+        dfs = Explorer(
+            program, max_schedules=BUDGET, preemption_bound=bound
+        ).explore()
+        memo = DPORExplorer(
+            program, max_schedules=BUDGET, memoize=True,
+            preemption_bound=bound,
+        ).explore()
+        assert set(memo.outcomes) == set(dfs.outcomes), bound
+        assert memo.found == dfs.found, bound
+
+
 class TestDirectedComposition:
     def test_targets_bias_composes_with_dpor(self):
         kernel = next(
@@ -177,19 +247,108 @@ class TestDirectedComposition:
         assert set(directed.outcomes) == set(plain.outcomes)
         assert directed.found == plain.found
 
+    def test_targets_compose_with_bounded_dpor(self):
+        # Race-directed ordering permutes exploration order, never the
+        # explored set — also under a preemption bound.
+        kernel = next(
+            k for k in all_kernels() if k.name == "atomicity_single_var"
+        )
+        for bound in (1, 2):
+            plain = DPORExplorer(
+                kernel.buggy, max_schedules=BUDGET, preemption_bound=bound
+            ).explore(predicate=kernel.failure)
+            directed = make_explorer(
+                kernel.buggy, targets=kernel.static_targets(),
+                reduction="dpor", preemption_bound=bound,
+            ).explore(predicate=kernel.failure)
+            assert set(directed.outcomes) == set(plain.outcomes), bound
+            assert directed.found == plain.found, bound
 
-class TestDocumentedIncompatibilities:
-    def test_memoize_raises(self):
-        with pytest.raises(ValueError, match="memoize"):
-            DPORExplorer(helpers.racy_counter(), memoize=True)
+    def test_targets_compose_with_parallel_dpor(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "multivar_torn_invariant"
+        )
+        plain = DPORExplorer(kernel.buggy, max_schedules=BUDGET).explore(
+            predicate=kernel.failure
+        )
+        for workers in worker_counts(default=(2,)):
+            directed = make_explorer(
+                kernel.buggy, targets=kernel.static_targets(),
+                reduction="dpor", workers=workers,
+            ).explore(predicate=kernel.failure)
+            assert set(directed.outcomes) == set(plain.outcomes), workers
+            assert directed.found == plain.found, workers
 
-    def test_preemption_bound_raises(self):
-        with pytest.raises(ValueError, match="preemption bound"):
-            DPORExplorer(helpers.racy_counter(), preemption_bound=1)
 
-    def test_make_explorer_rejects_workers(self):
+class TestComposedAccelerators:
+    """The former ValueError cells, now working paths (PR 6)."""
+
+    def test_memoize_accepted_and_equal_on_kernels(self):
+        for kernel in all_kernels():
+            plain = DPORExplorer(
+                kernel.buggy, max_schedules=100000
+            ).explore(predicate=kernel.failure)
+            memo = DPORExplorer(
+                kernel.buggy, max_schedules=100000, memoize=True
+            ).explore(predicate=kernel.failure)
+            assert set(memo.outcomes) == set(plain.outcomes), kernel.name
+            assert memo.found == plain.found, kernel.name
+            assert memo.schedules_run <= plain.schedules_run, kernel.name
+
+    def test_memoize_prunes_revisits_on_torn_kernel(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "multivar_torn_invariant"
+        )
+        plain = DPORExplorer(kernel.buggy, max_schedules=100000).explore(
+            predicate=kernel.failure
+        )
+        memo = DPORExplorer(
+            kernel.buggy, max_schedules=100000, memoize=True
+        ).explore(predicate=kernel.failure)
+        assert memo.cache_hits > 0
+        assert memo.schedules_run < plain.schedules_run
+
+    def test_bounded_dpor_matches_bounded_dfs_on_kernels(self):
+        for kernel in all_kernels():
+            for bound in (0, 1, 2):
+                dfs = Explorer(
+                    kernel.buggy, max_schedules=100000,
+                    preemption_bound=bound,
+                ).explore(predicate=kernel.failure)
+                bounded = DPORExplorer(
+                    kernel.buggy, max_schedules=100000,
+                    preemption_bound=bound,
+                ).explore(predicate=kernel.failure)
+                cell = (kernel.name, bound)
+                assert set(bounded.outcomes) == set(dfs.outcomes), cell
+                assert bounded.found == dfs.found, cell
+                assert bounded.schedules_run <= dfs.schedules_run, cell
+
+    def test_bounded_dpor_reduces_three_way_deadlock(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "deadlock_three_way"
+        )
+        dfs = Explorer(
+            kernel.buggy, max_schedules=100000, preemption_bound=2
+        ).explore(predicate=kernel.failure)
+        bounded = DPORExplorer(
+            kernel.buggy, max_schedules=100000, preemption_bound=2
+        ).explore(predicate=kernel.failure)
+        assert bounded.schedules_run < dfs.schedules_run
+
+    def test_make_explorer_routes_dpor_workers_to_parallel(self):
+        from repro.sim.dpor_parallel import ParallelDPORExplorer
+
+        explorer = make_explorer(
+            helpers.racy_counter(), workers=2, reduction="dpor"
+        )
+        assert isinstance(explorer, ParallelDPORExplorer)
+
+    def test_make_explorer_sleepset_still_rejects_workers(self):
         with pytest.raises(ValueError, match="workers"):
-            make_explorer(helpers.racy_counter(), workers=2, reduction="dpor")
+            make_explorer(
+                helpers.racy_counter(), workers=2, reduction="sleepset"
+            )
 
     def test_make_explorer_rejects_unknown_reduction(self):
         with pytest.raises(ValueError, match="reduction"):

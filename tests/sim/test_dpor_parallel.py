@@ -1,0 +1,202 @@
+"""Determinism regressions for speculative parallel DPOR.
+
+:class:`~repro.sim.dpor_parallel.ParallelDPORExplorer` promises
+*bit-identical* results to the serial :class:`DPORExplorer` for any
+worker count: same ``outcomes`` (with counts), same ``matching`` list,
+same ``schedules_to_first_finding``, same run totals — including under
+``stop_on_first`` and with crash/abort-truncated runs, where the race
+sweep has to treat the item's partial tail correctly.  These tests
+force real worker processes with ``pool="fork"`` (the in-process
+fallback is serial by construction, so it would vacuously pass) and
+use fixed programs rather than hypothesis: a failure here must
+reproduce exactly.
+
+The two documented deviations are pinned too: ``memoize`` guarantees
+outcome-*set* equality only (per-item caches lose cross-item hits,
+never invent them), and the budget is enforced per item.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import all_kernels
+from repro.sim.dpor import DPORExplorer
+from repro.sim.dpor_parallel import ParallelDPORExplorer
+from tests import helpers
+from tests.helpers import corpus_program, worker_counts
+
+BUDGET = 60000
+
+#: Race-heavy kernels where the coordinator actually dispatches rounds
+#: (narrow-frontier kernels just take the serial path end to end).
+DEEP_KERNELS = (
+    "multivar_torn_invariant",
+    "deadlock_three_way",
+    "deadlock_rwlock_upgrade",
+    "order_lost_wakeup",
+)
+
+#: Fixed corpus programs with crashing readers: crash-truncated runs
+#: inside items exercise the truncation-race path across the merge.
+CRASHING_SPECS = [
+    [
+        (False, (("write", "x"), ("write", "x")), False),
+        (False, (("read", "x"), ("write", "x")), True),
+        (False, (("write", "x"),), False),
+    ],
+    [
+        (True, (("write", "y"), ("read", "x")), True),
+        (False, (("write", "x"), ("write", "y")), False),
+        (True, (("read", "y"),), True),
+    ],
+]
+
+
+def _identical(serial, parallel, label=""):
+    assert parallel.outcomes == serial.outcomes, label
+    assert parallel.statuses == serial.statuses, label
+    assert parallel.found == serial.found, label
+    assert parallel.schedules_run == serial.schedules_run, label
+    assert (
+        parallel.schedules_to_first_finding
+        == serial.schedules_to_first_finding
+    ), label
+    assert [run.schedule for run in parallel.matching] == [
+        run.schedule for run in serial.matching
+    ], label
+
+
+class TestBitIdenticalToSerial:
+    def test_kernels_any_worker_count(self):
+        for name in DEEP_KERNELS:
+            kernel = next(k for k in all_kernels() if k.name == name)
+            serial = DPORExplorer(
+                kernel.buggy, max_schedules=BUDGET
+            ).explore(predicate=kernel.failure)
+            for workers in worker_counts(default=(2, 4)):
+                parallel = ParallelDPORExplorer(
+                    kernel.buggy, workers=workers, max_schedules=BUDGET,
+                    pool="fork",
+                ).explore(predicate=kernel.failure)
+                _identical(serial, parallel, f"{name} workers={workers}")
+
+    def test_crash_truncated_corpus_programs(self):
+        for index, specs in enumerate(CRASHING_SPECS):
+            program = corpus_program(specs, name=f"crashing{index}")
+            serial = DPORExplorer(program, max_schedules=BUDGET).explore()
+            parallel = ParallelDPORExplorer(
+                program, workers=2, max_schedules=BUDGET, pool="fork"
+            ).explore()
+            _identical(serial, parallel, f"crashing{index}")
+
+    def test_bounded_parallel_matches_bounded_serial(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "multivar_torn_invariant"
+        )
+        for bound in (1, 2):
+            serial = DPORExplorer(
+                kernel.buggy, max_schedules=BUDGET, preemption_bound=bound
+            ).explore(predicate=kernel.failure)
+            parallel = ParallelDPORExplorer(
+                kernel.buggy, workers=2, max_schedules=BUDGET,
+                preemption_bound=bound, pool="fork",
+            ).explore(predicate=kernel.failure)
+            _identical(serial, parallel, f"bound={bound}")
+
+    def test_stop_on_first_matches_serial(self):
+        for name in DEEP_KERNELS:
+            kernel = next(k for k in all_kernels() if k.name == name)
+            serial = DPORExplorer(
+                kernel.buggy, max_schedules=BUDGET
+            ).explore(predicate=kernel.failure, stop_on_first=True)
+            parallel = ParallelDPORExplorer(
+                kernel.buggy, workers=2, max_schedules=BUDGET, pool="fork"
+            ).explore(predicate=kernel.failure, stop_on_first=True)
+            assert parallel.found == serial.found, name
+            assert (
+                parallel.first_match_schedule == serial.first_match_schedule
+            ), name
+            assert (
+                parallel.schedules_to_first_finding
+                == serial.schedules_to_first_finding
+            ), name
+
+    def test_in_process_fallback_is_serial(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "deadlock_three_way"
+        )
+        serial = DPORExplorer(kernel.buggy, max_schedules=BUDGET).explore(
+            predicate=kernel.failure
+        )
+        explorer = ParallelDPORExplorer(
+            kernel.buggy, workers=2, max_schedules=BUDGET, pool="none"
+        )
+        parallel = explorer.explore(predicate=kernel.failure)
+        _identical(serial, parallel, "pool=none")
+        assert explorer.rounds == 0
+        assert parallel.shards == 0
+
+
+class TestDocumentedDeviations:
+    def test_memoize_preserves_outcome_set(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "multivar_torn_invariant"
+        )
+        serial = DPORExplorer(
+            kernel.buggy, max_schedules=BUDGET, memoize=True
+        ).explore(predicate=kernel.failure)
+        parallel = ParallelDPORExplorer(
+            kernel.buggy, workers=2, max_schedules=BUDGET, memoize=True,
+            pool="fork",
+        ).explore(predicate=kernel.failure)
+        assert set(parallel.outcomes) == set(serial.outcomes)
+        assert parallel.found == serial.found
+
+    def test_exhausted_budget_reports_incomplete(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "multivar_torn_invariant"
+        )
+        parallel = ParallelDPORExplorer(
+            kernel.buggy, workers=2, max_schedules=20, pool="fork"
+        ).explore(predicate=kernel.failure)
+        assert not parallel.complete
+
+
+class TestSpeculationMechanics:
+    def test_deep_kernel_actually_dispatches_rounds(self):
+        kernel = next(
+            k for k in all_kernels() if k.name == "multivar_torn_invariant"
+        )
+        explorer = ParallelDPORExplorer(
+            kernel.buggy, workers=2, max_schedules=BUDGET, pool="fork"
+        )
+        result = explorer.explore(predicate=kernel.failure)
+        assert explorer.rounds > 0
+        assert explorer.items_accepted > 0
+        assert result.shards == explorer.items_accepted
+        assert (
+            explorer.items_accepted + explorer.items_wasted
+            == explorer.items_dispatched
+        )
+
+    def test_telemetry_counters_match_serial(self):
+        # Coordinator + accepted items must account for exactly the
+        # serial search's race detections and plants.
+        kernel = next(
+            k for k in all_kernels() if k.name == "deadlock_three_way"
+        )
+        serial = DPORExplorer(kernel.buggy, max_schedules=BUDGET)
+        serial.explore(predicate=kernel.failure)
+        parallel = ParallelDPORExplorer(
+            kernel.buggy, workers=2, max_schedules=BUDGET, pool="fork"
+        )
+        parallel.explore(predicate=kernel.failure)
+        assert parallel.races_detected == serial.races_detected
+        assert parallel.backtrack_points == serial.backtrack_points
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelDPORExplorer(helpers.racy_counter(), workers=0)
+        with pytest.raises(ValueError, match="pool"):
+            ParallelDPORExplorer(helpers.racy_counter(), pool="threads")

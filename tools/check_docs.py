@@ -39,7 +39,8 @@ SIMULATOR_DOC = DOCS / "simulator.md"
 #: and must discuss each of these modules (the substrate modules below
 #: them — engine, sync, ops, ... — are covered by the architecture tour).
 SIM_SEARCH_MODULES = (
-    "explorer", "reduction", "dpor", "parallel", "statecache",
+    "explorer", "reduction", "dpor", "dpor_parallel", "parallel",
+    "statecache",
 )
 
 #: Markdown inline links: [text](target), ignoring images and code spans.
