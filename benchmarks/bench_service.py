@@ -1,0 +1,116 @@
+"""S1 (extension) — checking-as-a-service economics: dedup pays for itself.
+
+One service session over the kernel corpus, recorded into
+``BENCH_service.json`` (set ``REPRO_BENCH_OUT`` to choose the path).
+Per kernel, two submit-to-verdict latencies:
+
+* **first submission** — the job runs on the worker fleet and pays its
+  engine runs;
+* **duplicate submission** — the identical resubmission is answered
+  from the persistent result cache with **zero** engine runs, orders of
+  magnitude faster.
+
+The session footer records the dashboard's dedup ratio (0.5 by
+construction here: every kernel asked twice), total engine runs paid
+(exactly the first round's), and the cache hit latency distribution.
+The fleet runs inline (``pool="none"``) so the bench measures the
+service machinery — queue, cache, dashboard — not fork start-up noise.
+"""
+
+import asyncio
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.kernels import kernel_names
+from repro.service import Dashboard, ReproService, ResultCache, WorkerFleet
+
+
+def _session(cache_root):
+    """Submit every kernel twice against one live service."""
+
+    async def main():
+        service = ReproService(
+            ResultCache(cache_root), fleet=WorkerFleet(size=2, pool="none")
+        )
+        await service.start()
+        rows = []
+        try:
+            for name in kernel_names():
+                start = perf_counter()
+                job = service.submit("detect", name)
+                await service.wait(job.id, timeout=600)
+                first_wall = perf_counter() - start
+
+                start = perf_counter()
+                duplicate = service.submit("detect", name)
+                cached_wall = perf_counter() - start
+                assert duplicate.cached and duplicate.engine_runs == 0
+                assert duplicate.verdict == job.verdict
+
+                rows.append({
+                    "kernel": name,
+                    "first_wall_seconds": first_wall,
+                    "cached_wall_seconds": cached_wall,
+                    "engine_runs": job.engine_runs,
+                    "speedup": first_wall / cached_wall if cached_wall else None,
+                })
+            totals = Dashboard(service).as_dict()["totals"]
+        finally:
+            await service.close()
+        return rows, totals
+
+    return asyncio.run(main())
+
+
+def collect(tmp_root):
+    rows, totals = _session(tmp_root / "cache")
+    return {
+        "rows": rows,
+        "dedup_ratio": totals["dedup_ratio"],
+        "engine_runs": totals["engine_runs"],
+        "submissions": totals["submissions"],
+        "cache_hits": totals["cache_hits"],
+    }
+
+
+def record_trajectory(payload):
+    path = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_service.json"))
+    path.write_text(json.dumps({"bench": "service", **payload}, indent=2))
+    return path
+
+
+def test_service_dedup_latency(benchmark, tmp_path):
+    payload = benchmark.pedantic(
+        collect, args=(tmp_path,), rounds=1, iterations=1
+    )
+    out = record_trajectory(payload)
+    rows = payload["rows"]
+    print()
+    print(f"  {'kernel':26s} {'first':>9s} {'cached':>9s} {'runs':>5s}")
+    for r in rows:
+        print(
+            f"  {r['kernel']:26s} {r['first_wall_seconds'] * 1e3:>7.1f}ms "
+            f"{r['cached_wall_seconds'] * 1e6:>7.0f}us {r['engine_runs']:>5d}"
+        )
+    print(
+        f"  dedup ratio {payload['dedup_ratio']:.0%}, "
+        f"{payload['engine_runs']} engine runs for "
+        f"{payload['submissions']} submissions"
+    )
+    print(f"  trajectory written to {out}")
+
+    # Every kernel asked twice, answered once: the dashboard proves the
+    # second round was free.
+    assert payload["submissions"] == 2 * len(rows)
+    assert payload["cache_hits"] == len(rows)
+    assert payload["dedup_ratio"] == 0.5
+    assert payload["engine_runs"] == sum(r["engine_runs"] for r in rows)
+
+    # The economics: a cached answer must be much cheaper than the run
+    # it replaces.  Conservative 10x floor on the corpus totals; the
+    # measured gap is orders of magnitude.
+    total_first = sum(r["first_wall_seconds"] for r in rows)
+    total_cached = sum(r["cached_wall_seconds"] for r in rows)
+    assert total_cached < total_first / 10, (total_first, total_cached)

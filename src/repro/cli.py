@@ -35,6 +35,19 @@ Commands:
     Cross-check plain DFS against sleep-set reduction on random programs.
 ``bug-report NAME [--runs N]``
     Emit a complete markdown failure report for one kernel.
+``serve [--socket PATH | --port N] [--fleet N] [--cache-dir DIR]``
+    Run the long-running checking service: accept check/detect/explore/
+    static jobs over a local socket, schedule them onto a process-pool
+    worker fleet, and dedupe identical submissions via the persistent
+    result cache (``docs/service.md``).
+``submit KERNEL [--kind K] [--wait/--no-wait] [--socket PATH | --port N]``
+    Submit one job to a running service and (by default) wait for its
+    verdict; takes the same ``--reduction``/``--workers``/``--bound``/
+    ``--memoize`` knobs as the one-shot subcommands.
+``status [--json] [--shutdown] [--socket PATH | --port N]``
+    The service dashboard: queue depth, fleet, totals (cache hits,
+    dedup ratio, engine runs), and recent jobs; ``--shutdown``
+    additionally asks the service to stop after reporting.
 
 Every subcommand additionally accepts the observability flags
 (``docs/observability.md``):
@@ -200,7 +213,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_cmd.add_argument("name")
     report_cmd.add_argument("--runs", type=int, default=100)
+
+    # Service endpoint flags, shared by submit/status (and serve's bind).
+    endpoint_flags = argparse.ArgumentParser(add_help=False)
+    endpoint_flags.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="Unix socket of the service (default .repro-service.sock)",
+    )
+    endpoint_flags.add_argument(
+        "--port", type=int, default=None,
+        help="loopback TCP port instead of a Unix socket",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the checking service (job queue + worker fleet + cache)",
+        parents=[obs_flags, endpoint_flags],
+    )
+    serve.add_argument(
+        "--fleet", type=_worker_count, default=None,
+        help="worker processes in the fleet (default: one per core, <= 4)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR", default=".repro-cache",
+        help="persistent result-cache directory (default .repro-cache)",
+    )
+    serve.add_argument(
+        "--pool", choices=("auto", "fork", "none"), default="auto",
+        help="worker pool: forked processes (auto/fork) or inline threads "
+             "(none); see docs/service.md",
+    )
+    serve.add_argument(
+        "--max-pending", type=_worker_count, default=256,
+        help="admission control: refuse submissions past this backlog",
+    )
+
+    submit = commands.add_parser(
+        "submit", help="submit one job to a running service",
+        parents=[obs_flags, endpoint_flags],
+    )
+    submit.add_argument("name", help="kernel name")
+    submit.add_argument(
+        "--kind", choices=[k.value for k in _job_kinds()], default="detect",
+        help="what to run (default: detect)",
+    )
+    submit.add_argument("--workers", type=_worker_count, default=None,
+                        help=workers_help)
+    submit.add_argument("--reduction", choices=REDUCTIONS, default=None,
+                        help=reduction_help)
+    submit.add_argument("--bound", type=int, default=None,
+                        help="preemption bound for the exploration")
+    submit.add_argument("--memoize", action="store_true",
+                        help="prune revisited states during the exploration")
+    submit.add_argument("--budget", type=_worker_count, default=None,
+                        help="max schedules for the exploration")
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of waiting for "
+             "the verdict",
+    )
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="seconds to wait for the verdict")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the job record as JSON")
+
+    status = commands.add_parser(
+        "status", help="dashboard of a running service",
+        parents=[obs_flags, endpoint_flags],
+    )
+    status.add_argument("--json", action="store_true",
+                        help="emit the dashboard as JSON")
+    status.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the service to stop after reporting",
+    )
     return parser
+
+
+def _job_kinds():
+    from repro.service.jobs import JobKind
+
+    return list(JobKind)
 
 
 def _cmd_report(args) -> int:
@@ -473,6 +566,146 @@ def _cmd_bug_report(args) -> int:
     return 0
 
 
+#: Default Unix-socket path shared by ``serve`` and its clients.
+DEFAULT_SOCKET = ".repro-service.sock"
+
+
+def _endpoint(args) -> dict:
+    """socket/port keyword arguments from the shared endpoint flags."""
+    if args.port is not None:
+        if args.socket is not None:
+            raise SystemExit("pass --socket or --port, not both")
+        return {"port": args.port}
+    return {"socket_path": args.socket or DEFAULT_SOCKET}
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ReproService, WorkerFleet
+    from repro.service.protocol import serve
+
+    fleet = WorkerFleet(size=args.fleet, pool=args.pool)
+    service = ReproService(
+        cache=args.cache_dir, fleet=fleet, max_pending=args.max_pending
+    )
+    endpoint = _endpoint(args)
+    where = endpoint.get("socket_path") or f"127.0.0.1:{endpoint['port']}"
+    print(
+        f"repro service listening on {where} — fleet {fleet.size} "
+        f"({fleet.mode}), cache {service.cache.root}",
+        file=sys.stderr,
+    )
+    try:
+        asyncio.run(serve(service, **endpoint))
+    except KeyboardInterrupt:
+        pass
+    print("repro service stopped", file=sys.stderr)
+    return 0
+
+
+def _client(args):
+    from repro.service.protocol import ServiceClient
+
+    return ServiceClient(**_endpoint(args), timeout=600.0)
+
+
+def _format_submit_verdict(job: dict) -> str:
+    verdict = job.get("verdict") or {}
+    kind = job.get("kind")
+    source = "cache" if job.get("cached") else "fleet"
+    head = (f"{job['id']} {kind} {job['kernel']}: {job['state']} "
+            f"[{source}, {job.get('engine_runs', 0)} engine run(s)]")
+    if job.get("error"):
+        return f"{head}\n  error: {job['error']}"
+    if kind == "check" and verdict:
+        body = ("verified clean over every schedule" if verdict.get("clean")
+                else "STILL BUGGY")
+    elif kind == "detect" and verdict:
+        body = ("manifested; flagged by " + ", ".join(verdict.get("flagged_by", []))
+                if verdict.get("manifested") else "did not manifest")
+    elif kind == "explore" and verdict:
+        body = (f"{verdict.get('distinct_outcomes')} distinct outcomes, "
+                f"digest {verdict.get('outcome_digest', '')[:12]}")
+    elif kind == "static" and verdict:
+        body = f"{verdict.get('candidates')} active candidates"
+    else:
+        return head
+    return f"{head}\n  {body}"
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    options = {
+        "reduction": args.reduction,
+        "workers": args.workers,
+        "preemption_bound": args.bound,
+        "memoize": args.memoize,
+        "max_schedules": args.budget,
+    }
+    response = _client(args).submit(
+        args.name, kind=args.kind,
+        options={k: v for k, v in options.items() if v not in (None, False)},
+        wait=not args.no_wait, timeout=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(response, indent=2))
+    elif not response.get("ok"):
+        print(f"submit failed: {response.get('error')}", file=sys.stderr)
+    else:
+        print(_format_submit_verdict(response["job"]))
+    if not response.get("ok"):
+        return 1
+    job = response["job"]
+    if job["state"] == "failed":
+        return 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    client = _client(args)
+    response = client.status()
+    if not response.get("ok"):
+        print(f"status failed: {response.get('error')}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response, indent=2))
+    else:
+        totals = response["totals"]
+        fleet = response["fleet"]
+        queue = response["queue"]
+        print(
+            f"repro service — up {response['uptime_seconds']:.0f}s, "
+            f"fleet {fleet['size']} ({fleet['mode']}), "
+            f"queue {queue['depth']} pending / {queue['running']} running"
+        )
+        print(
+            f"  submissions {totals['submissions']}  "
+            f"completed {totals['completed']}  failed {totals['failed']}  "
+            f"cache hits {totals['cache_hits']}  "
+            f"coalesced {totals['coalesced']}  "
+            f"dedup {totals['dedup_ratio']:.0%}  "
+            f"engine runs {totals['engine_runs']}"
+        )
+        cache = response["cache"]
+        print(f"  cache: {cache['entries']} entries at {cache['path']}")
+        for job in response["jobs"]:
+            wall = job.get("wall_seconds")
+            print(
+                f"  {job['id']} {job['kind']:8s} {job['kernel']:26s} "
+                f"{job['state']:8s} "
+                f"{'cache' if job['cached'] else 'fleet':6s} "
+                f"{(f'{wall:.3f}s' if wall is not None else '-'):>9s}"
+            )
+    if args.shutdown:
+        client.shutdown()
+        print("shutdown requested", file=sys.stderr)
+    return 0
+
+
 _HANDLERS = {
     "report": _cmd_report,
     "tables": _cmd_tables,
@@ -486,6 +719,9 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "fuzz": _cmd_fuzz,
     "bug-report": _cmd_bug_report,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
 }
 
 

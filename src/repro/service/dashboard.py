@@ -1,0 +1,118 @@
+"""Status dashboard: one service snapshot, rendered as JSON or text.
+
+The dashboard is a *pure function* of the service state — it owns no
+counters of its own, so ``repro status`` (and the tests, and the CI
+smoke job) see exactly the numbers the scheduler maintains: submissions,
+completions, cache hits, coalesced submissions, the dedup ratio, total
+engine runs paid, queue depth, and the newest jobs with per-job
+submit-to-verdict latency.  ``as_dict`` is the machine surface
+(``repro status --json``); ``format`` is the human one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.service.jobs import Job
+from repro.service.queue import ReproService
+
+__all__ = ["Dashboard"]
+
+SCHEMA = "repro.service.status/v1"
+
+
+class Dashboard:
+    """Snapshot view over one :class:`~repro.service.queue.ReproService`."""
+
+    def __init__(self, service: ReproService, job_limit: int = 50):
+        self.service = service
+        self.job_limit = job_limit
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The ``repro status --json`` payload."""
+        service = self.service
+        return {
+            "schema": SCHEMA,
+            "uptime_seconds": service.uptime_seconds(),
+            "fleet": service.fleet.describe(),
+            "queue": {
+                "depth": len(service.queue),
+                "running": service.queue.running,
+                "max_pending": service.queue.max_pending,
+            },
+            "totals": {
+                "submissions": service.submissions,
+                "completed": service.jobs_completed,
+                "failed": service.jobs_failed,
+                "cache_hits": service.cache_hits,
+                "coalesced": service.coalesced,
+                "dedup_ratio": service.dedup_ratio(),
+                "engine_runs": service.engine_runs,
+            },
+            "cache": service.cache.stats(),
+            "jobs": [job.to_dict() for job in service.recent_jobs(self.job_limit)],
+        }
+
+    def format(self) -> str:
+        """The ``repro status`` text rendering."""
+        service = self.service
+        lines = [
+            f"repro service — up {service.uptime_seconds():.0f}s, "
+            f"fleet {service.fleet.size} ({service.fleet.mode}), "
+            f"queue {len(service.queue)} pending / "
+            f"{service.queue.running} running",
+            f"  submissions {service.submissions}  "
+            f"completed {service.jobs_completed}  "
+            f"failed {service.jobs_failed}  "
+            f"cache hits {service.cache_hits}  "
+            f"coalesced {service.coalesced}  "
+            f"dedup {service.dedup_ratio():.0%}  "
+            f"engine runs {service.engine_runs}",
+            f"  cache: {service.cache.stats()['entries']} entries at "
+            f"{service.cache.root}",
+        ]
+        jobs = service.recent_jobs(self.job_limit)
+        if jobs:
+            lines.append("")
+            lines.append(_jobs_table(jobs))
+        return "\n".join(lines)
+
+
+def _verdict_cell(job: Job) -> str:
+    """One-word verdict summary for the text table."""
+    if job.error is not None:
+        return job.error.split(":", 1)[0]
+    verdict: Optional[Dict[str, Any]] = job.verdict
+    if verdict is None:
+        return "-"
+    kind = verdict.get("kind")
+    if kind == "check":
+        return "clean" if verdict.get("clean") else "STILL-BUGGY"
+    if kind == "detect":
+        if not verdict.get("manifested"):
+            return "no-manifest"
+        return ",".join(verdict.get("flagged_by", [])) or "manifested"
+    if kind == "explore":
+        return f"{verdict.get('distinct_outcomes', 0)} outcomes"
+    if kind == "static":
+        return f"{verdict.get('candidates', 0)} candidates"
+    return "?"
+
+
+def _jobs_table(jobs: List[Job]) -> str:
+    header = (
+        f"  {'id':6s} {'kind':8s} {'kernel':26s} {'state':8s} "
+        f"{'src':7s} {'subs':>4s} {'runs':>6s} {'wall':>8s}  verdict"
+    )
+    rows = [header, "  " + "-" * (len(header) - 2)]
+    for job in jobs:
+        wall = job.wall_seconds()
+        source = "cache" if job.cached else "fleet"
+        rows.append(
+            f"  {job.id:6s} {job.kind.value:8s} {job.kernel:26s} "
+            f"{job.state.value:8s} {source:7s} {job.submissions:>4d} "
+            f"{job.engine_runs:>6d} "
+            f"{(f'{wall:.3f}s' if wall is not None else '-'):>8s}  "
+            f"{_verdict_cell(job)}"
+        )
+    return "\n".join(rows)

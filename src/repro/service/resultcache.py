@@ -1,0 +1,168 @@
+"""Persistent on-disk verdict cache, keyed by canonical cache keys.
+
+One JSON file per entry under a cache directory, named by the submission
+cache key (a SHA-256 hex string from :func:`repro.service.jobs.cache_key`,
+which folds together the content-addressed program fingerprint and every
+verdict-relevant option).  The layout is deliberately primitive:
+
+* **one key = one file** — concurrent services sharing a directory never
+  contend on an index, and a corrupt or truncated entry damages exactly
+  one key;
+* **atomic publication** — entries are written to a temp file and
+  ``os.replace``-d into place, so a reader sees either nothing or a
+  complete entry, never a partial write;
+* **self-describing** — each entry carries the cache schema version,
+  its key, the verdict payload, and provenance (kind, kernel, engine
+  runs paid, wall seconds, creation time), so ``repro status`` can
+  attribute a hit and a schema bump invalidates every old entry on
+  read (stale entries are simply treated as misses).
+
+What invalidates a cached verdict is entirely a property of the *key*
+(see ``docs/service.md``): a program edit, a different reduction /
+preemption bound / worker count / memoization setting, a different
+schedule budget, or a bump of either the key schema or this entry
+schema.  The cache itself never inspects verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["ResultCache"]
+
+#: Entry schema: bump to orphan (ignore) every previously written entry.
+ENTRY_SCHEMA = "repro.service.cache/v1"
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+class ResultCache:
+    """Directory-backed verdict store with hit/miss accounting.
+
+    ``root`` is created on first use.  ``get``/``put`` are safe to call
+    from several service processes sharing the directory; in-process the
+    service serialises them on the event loop.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def _validate_key(key: str) -> str:
+        # Keys become file names: accept only the sha256-hex alphabet so
+        # a malformed wire key can never traverse outside the cache dir.
+        if not key or len(key) != 64 or not set(key) <= _KEY_CHARS:
+            raise ValueError(f"malformed cache key: {key!r}")
+        return key
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{self._validate_key(key)}.json"
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for ``key``, or ``None`` (miss).
+
+        Unreadable, truncated, or schema-mismatched entries count as
+        misses — the job just runs again and overwrites them.
+        """
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != ENTRY_SCHEMA
+            or entry.get("key") != key
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: str,
+        verdict: Dict[str, Any],
+        *,
+        kind: str,
+        kernel: str,
+        engine_runs: int,
+        wall_seconds: float,
+    ) -> Dict[str, Any]:
+        """Atomically publish one verdict entry; returns the stored dict."""
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": self._validate_key(key),
+            "kind": kind,
+            "kernel": kernel,
+            "verdict": verdict,
+            "engine_runs": engine_runs,
+            "wall_seconds": wall_seconds,
+            "created_ts": time.time(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return entry
+
+    # -- reporting ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from disk."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Dashboard-ready counters."""
+        return {
+            "path": str(self.root),
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "hit_rate": self.hit_rate(),
+        }
+
+    def record_metrics(self) -> None:
+        """Publish totals to :mod:`repro.obs.metrics` (no-op when disabled).
+
+        Gauges, not counters: this may be called on every ``status``
+        request, so last-write-wins semantics are the safe choice (the
+        per-event ``service.*`` counters live in the service core).
+        """
+        registry = obs_metrics.active()
+        if registry is None:
+            return
+        registry.set_gauge("service.cache_lookup_total", self.hits + self.misses)
+        registry.set_gauge("service.cache_hit_total", self.hits)
+        registry.set_gauge("service.cache_entries", len(self))

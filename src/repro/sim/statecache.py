@@ -40,32 +40,73 @@ finally ``repr``.  A ``repr`` containing an object address degrades to a
 cache *miss* (safe, just ineffective); a custom ``repr`` that hides
 behavioural state could in principle cause a false hit — the same
 caveat every value-equality cache carries.
+
+Two layers of stability, two entry points:
+
+* :func:`state_fingerprint` keys the **in-process** memoization cache.
+  Its fingerprints are deterministic within one interpreter (no ``id()``
+  or hash-seed dependence — containers are sorted by value, never
+  iterated in hash order), but an address-bearing ``repr`` fallback is
+  deliberately kept distinct per object so unknown values degrade to
+  misses, never false hits.
+* :func:`program_fingerprint` keys the **persistent, cross-process**
+  service result cache (:mod:`repro.service.resultcache`).  It is
+  content-addressed — thread bodies canonicalise to their bytecode,
+  constants, names, closure values and defaults, never to a code
+  *location* — so the same program text produces the same digest in
+  every interpreter run regardless of ``PYTHONHASHSEED``, and editing a
+  thread body (not merely re-running or moving it) changes the digest.
+  ``stable=True`` canonicalisation additionally scrubs memory addresses
+  out of ``repr`` fallbacks so exotic leaf values cannot leak per-run
+  identity into a persisted key.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 import pickle
+import re
 import types
 from typing import Any, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
 
-__all__ = ["MemoHit", "StateCache", "canonical_value", "state_fingerprint"]
+__all__ = [
+    "MemoHit",
+    "StateCache",
+    "canonical_value",
+    "fingerprint_digest",
+    "program_fingerprint",
+    "state_fingerprint",
+]
 
 _ATOMS = (int, float, complex, bool, str, bytes, type(None))
+
+#: CPython's default ``object.__repr__`` embeds the instance address;
+#: ``stable=True`` canonicalisation masks it so cross-run keys never
+#: depend on where the allocator happened to place an object.
+_ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
 
 
 class MemoHit(Exception):
     """Internal control flow: the run reached an already-expanded state."""
 
 
-def canonical_value(value: Any, _seen: Optional[set] = None) -> Any:
+def canonical_value(
+    value: Any, _seen: Optional[set] = None, stable: bool = False
+) -> Any:
     """A hashable, identity-free representation of ``value``.
 
     Equal values canonicalise equally across independent re-executions;
     unequal values are kept distinct wherever the structure allows.
+
+    ``stable=True`` trades the safe-miss property of address-bearing
+    ``repr`` fallbacks for cross-interpreter reproducibility (addresses
+    are scrubbed, so two state-free instances of a class canonicalise
+    equally).  In-process memoization uses the default; only persisted
+    keys (:func:`program_fingerprint`) opt in.
     """
     if isinstance(value, _ATOMS):
         return value
@@ -81,21 +122,26 @@ def canonical_value(value: Any, _seen: Optional[set] = None) -> Any:
         if isinstance(value, (list, tuple)):
             return (
                 type(value).__name__,
-                tuple(canonical_value(v, _seen) for v in value),
+                tuple(canonical_value(v, _seen, stable) for v in value),
             )
         if isinstance(value, (set, frozenset)):
-            items = sorted((canonical_value(v, _seen) for v in value), key=repr)
+            items = sorted(
+                (canonical_value(v, _seen, stable) for v in value), key=repr
+            )
             return ("set", tuple(items))
         if isinstance(value, dict):
             items = sorted(
                 (
-                    (canonical_value(k, _seen), canonical_value(v, _seen))
+                    (canonical_value(k, _seen, stable),
+                     canonical_value(v, _seen, stable))
                     for k, v in value.items()
                 ),
                 key=repr,
             )
             return ("dict", tuple(items))
         if isinstance(value, types.FunctionType):
+            if stable:
+                return _canonical_body(value, _seen)
             return _canonical_function(value, _seen)
         if isinstance(value, types.GeneratorType):
             frame = value.gi_frame
@@ -105,12 +151,15 @@ def canonical_value(value: Any, _seen: Optional[set] = None) -> Any:
                 "gen",
                 value.__qualname__,
                 frame.f_lasti,
-                canonical_value(dict(frame.f_locals), _seen),
+                canonical_value(dict(frame.f_locals), _seen, stable),
             )
         try:
             return ("pickle", pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
         except Exception:
-            return ("repr", type(value).__qualname__, repr(value))
+            text = repr(value)
+            if stable:
+                text = _ADDRESS_RE.sub("0x", text)
+            return ("repr", type(value).__qualname__, text)
     finally:
         _seen.discard(oid)
 
@@ -135,6 +184,105 @@ def _canonical_function(fn: types.FunctionType, _seen: set) -> Tuple:
         defaults,
         tuple(cells),
     )
+
+
+def _canonical_code(code: types.CodeType, _seen: set) -> Tuple:
+    """Content of a code object: bytecode, consts, names — no locations.
+
+    File paths and line numbers are exactly what must *not* key a
+    persistent cache (a checkout at a different path, or an unrelated
+    edit above the function, would spuriously invalidate everything;
+    an in-place edit of the body would spuriously *hit*).  Nested code
+    objects (inner ``def``/``lambda``) recurse.
+    """
+    consts = tuple(
+        _canonical_code(const, _seen)
+        if isinstance(const, types.CodeType)
+        else canonical_value(const, _seen, stable=True)
+        for const in code.co_consts
+    )
+    return (
+        "code",
+        code.co_name,
+        code.co_argcount,
+        code.co_kwonlyargcount,
+        code.co_flags,
+        code.co_code,
+        consts,
+        code.co_names,
+        code.co_varnames,
+        code.co_freevars,
+        code.co_cellvars,
+    )
+
+
+def _canonical_body(fn: types.FunctionType, _seen: set) -> Tuple:
+    """Content-addressed function canonicalisation for persisted keys."""
+    cells = []
+    for cell in fn.__closure__ or ():
+        try:
+            cells.append(canonical_value(cell.cell_contents, _seen, stable=True))
+        except ValueError:  # empty cell
+            cells.append(("<empty-cell>",))
+    defaults = (
+        canonical_value(fn.__defaults__, _seen, stable=True)
+        if fn.__defaults__ else None
+    )
+    return (
+        "body",
+        fn.__qualname__,
+        _canonical_code(fn.__code__, _seen),
+        defaults,
+        tuple(cells),
+    )
+
+
+def fingerprint_digest(fingerprint: Any) -> str:
+    """SHA-256 hex digest of a canonical fingerprint.
+
+    Canonical fingerprints are nested tuples of atoms whose ``repr`` is
+    deterministic, so the digest is a stable, storage-friendly key.
+    """
+    return hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()
+
+
+#: Version tag baked into every program digest: bump it when the
+#: canonicalisation scheme changes so persisted caches invalidate
+#: wholesale instead of serving keys computed under the old scheme.
+_PROGRAM_FINGERPRINT_SCHEMA = "repro.program-fingerprint/v1"
+
+
+def program_fingerprint(program: Any) -> str:
+    """Stable, content-addressed digest of a :class:`~repro.sim.program.Program`.
+
+    Equal across interpreter runs and ``PYTHONHASHSEED`` values for the
+    same program *content* (declarations + thread-body bytecode and
+    captured values); different whenever anything that could change an
+    exploration verdict changes — a thread body edit, an initial value,
+    a sync-object declaration, the start set.  This is the key the
+    persistent service result cache dedupes on
+    (``docs/service.md`` documents the invalidation semantics).
+    """
+    seen: set = set()
+    canonical = (
+        _PROGRAM_FINGERPRINT_SCHEMA,
+        program.name,
+        tuple(sorted(
+            (name, canonical_value(value, seen, stable=True))
+            for name, value in program.initial.items()
+        )),
+        tuple(sorted(program.locks)),
+        tuple(sorted(program.rwlocks)),
+        tuple(sorted(program.semaphores.items())),
+        tuple(sorted(program.conditions.items())),
+        tuple(sorted(program.barriers.items())),
+        tuple(program.start),
+        tuple(sorted(
+            (name, _canonical_body(body, seen))
+            for name, body in program.threads.items()
+        )),
+    )
+    return fingerprint_digest(canonical)
 
 
 def _canonical_op(op: Any) -> Any:

@@ -12,7 +12,9 @@ Three checks, all against the working tree:
    ``docs/static.md``, the subsystem's own page, and the search-layer
    modules of the simulator (``explorer`` / ``reduction`` / ``dpor`` /
    ``parallel`` / ``statecache``) in ``docs/simulator.md`` — by
-   filename or dotted ``sim.<module>`` path.
+   filename or dotted ``sim.<module>`` path — and the service modules
+   (``src/repro/service/``) in ``docs/service.md``, the service
+   handbook.
 2. **CLI flag coverage** — every ``--flag`` defined in
    ``src/repro/cli.py`` must appear in at least one docs page
    (``docs/*.md`` or ``README.md``).
@@ -34,6 +36,7 @@ DOCS = REPO / "docs"
 ARCHITECTURE = DOCS / "architecture.md"
 STATIC_DOC = DOCS / "static.md"
 SIMULATOR_DOC = DOCS / "simulator.md"
+SERVICE_DOC = DOCS / "service.md"
 
 #: The simulator's search layer: docs/simulator.md is its subsystem page
 #: and must discuss each of these modules (the substrate modules below
@@ -74,19 +77,24 @@ def check_modules(problems: list) -> None:
                 )
     else:
         problems.append("docs/simulator.md: missing (simulator subsystem page)")
-    # The static subsystem promises a per-module tour of its own.
-    if not STATIC_DOC.exists():
-        problems.append("docs/static.md: missing (static subsystem page)")
-        return
-    static_tour = STATIC_DOC.read_text(encoding="utf-8")
-    for path in sorted((SRC / "static").rglob("*.py")):
-        if path.name == "__init__.py":
-            continue  # the page documents the functional modules
-        if path.name not in static_tour:
-            problems.append(
-                f"{STATIC_DOC.relative_to(REPO)}: static module "
-                f"src/repro/{path.relative_to(SRC)} is not mentioned"
-            )
+    # Subsystems promising a per-module tour of their own: the static
+    # analyzer page and the service handbook.
+    for doc, package, label in (
+        (STATIC_DOC, "static", "static subsystem page"),
+        (SERVICE_DOC, "service", "service handbook"),
+    ):
+        if not doc.exists():
+            problems.append(f"docs/{doc.name}: missing ({label})")
+            continue
+        tour_text = doc.read_text(encoding="utf-8")
+        for path in sorted((SRC / package).rglob("*.py")):
+            if path.name == "__init__.py":
+                continue  # the pages document the functional modules
+            if path.name not in tour_text:
+                problems.append(
+                    f"{doc.relative_to(REPO)}: {package} module "
+                    f"src/repro/{path.relative_to(SRC)} is not mentioned"
+                )
 
 
 def check_cli_flags(problems: list) -> None:
