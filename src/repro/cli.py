@@ -8,17 +8,20 @@ Commands:
     Render all tables, or just the named ones (e.g. ``T3 T7``).
 ``findings``
     Re-derive findings F1-F10 and print pass/fail.
-``kernels``
-    List the executable bug kernels.
-``kernel NAME [--workers N] [--reduction R]``
+``kernels [--family F]``
+    List the executable bug kernels, optionally one workload family
+    (``sc`` / ``weakmem`` / ``actor``).
+``kernel [NAME] [--family F] [--workers N] [--reduction R] [--memory M]``
     Drive one kernel end to end: manifest, minimal witness, fix check.
-``detect NAME [--workers N] [--reduction R] [--online]``
+    ``--family`` sweeps every kernel of a family instead; ``--memory``
+    re-runs under a different memory model (``sc`` / ``tso``).
+``detect NAME [--workers N] [--reduction R] [--memory M] [--online]``
     Run the detector battery on a manifesting trace of kernel NAME;
     ``--online`` streams the detectors along the whole exploration
     instead (every interleaving analysed, shared prefixes once).
 ``estimate NAME [--runs N] [--workers N] [--reduction R]``
     Manifestation rates under cooperative/random/PCT/enforced testing.
-``static [NAME] [--json] [--direct] [--workers N] [--reduction R]``
+``static [NAME] [--json] [--direct] [--workers N] [--reduction R] [--memory M]``
     Static analysis of kernel NAME (default: every kernel), zero
     schedules, cross-checked against dynamic exploration for a
     precision/recall report; ``--direct`` additionally compares
@@ -43,7 +46,7 @@ Commands:
 ``submit KERNEL [--kind K] [--wait/--no-wait] [--socket PATH | --port N]``
     Submit one job to a running service and (by default) wait for its
     verdict; takes the same ``--reduction``/``--workers``/``--bound``/
-    ``--memoize`` knobs as the one-shot subcommands.
+    ``--memoize``/``--memory`` knobs as the one-shot subcommands.
 ``status [--json] [--shutdown] [--socket PATH | --port N]``
     The service dashboard: queue depth, fleet, totals (cache hits,
     dedup ratio, engine runs), and recent jobs; ``--shutdown``
@@ -84,6 +87,9 @@ def _worker_count(text: str) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for the ``repro`` command."""
     from repro.sim.explorer import REDUCTIONS
+    from repro.sim.memory import MEMORY_MODELS
+
+    memory_choices = sorted(MEMORY_MODELS)
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -121,23 +127,36 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "findings", help="re-derive findings F1-F10", parents=[obs_flags]
     )
-    commands.add_parser(
+    family_help = ("restrict to one kernel family "
+                   "(sc / weakmem / actor; see repro.kernels)")
+    kernels_cmd = commands.add_parser(
         "kernels", help="list executable bug kernels", parents=[obs_flags]
     )
+    kernels_cmd.add_argument("--family", default=None, help=family_help)
 
     workers_help = ("run exploration across N worker processes (composes "
                     "with --reduction dpor via speculative parallel DPOR)")
     reduction_help = ("partial-order reduction for the exploration: "
                       "none (default), sleepset, or dpor; dpor composes "
                       "with --workers and a preemption bound")
+    memory_help = ("memory model to run under: sc (sequential consistency) "
+                   "or tso (per-thread store buffers); default: the "
+                   "kernel's declared model (docs/simulator.md)")
     kernel = commands.add_parser(
         "kernel", help="drive one kernel end to end", parents=[obs_flags]
     )
-    kernel.add_argument("name")
+    kernel.add_argument(
+        "name", nargs="?", default=None,
+        help="kernel name (or pass --family to sweep a whole family)",
+    )
+    kernel.add_argument("--family", default=None,
+                        help=family_help + "; drives every kernel in it")
     kernel.add_argument("--workers", type=_worker_count, default=None,
                         help=workers_help)
     kernel.add_argument("--reduction", choices=REDUCTIONS, default=None,
                         help=reduction_help)
+    kernel.add_argument("--memory", choices=memory_choices, default=None,
+                        help=memory_help)
 
     detect = commands.add_parser(
         "detect", help="detectors on a manifesting trace", parents=[obs_flags]
@@ -152,6 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     detect.add_argument("--reduction", choices=REDUCTIONS, default=None,
                         help=reduction_help)
+    detect.add_argument("--memory", choices=memory_choices, default=None,
+                        help=memory_help)
 
     estimate = commands.add_parser(
         "estimate", help="manifestation-rate estimates", parents=[obs_flags]
@@ -184,6 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help=workers_help)
     static.add_argument("--reduction", choices=REDUCTIONS, default=None,
                         help=reduction_help + " (dynamic cross-check)")
+    static.add_argument("--memory", choices=memory_choices, default=None,
+                        help=memory_help)
 
     bug = commands.add_parser(
         "bug", help="show one bug record", parents=[obs_flags]
@@ -267,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="prune revisited states during the exploration")
     submit.add_argument("--budget", type=_worker_count, default=None,
                         help="max schedules for the exploration")
+    submit.add_argument("--memory", choices=memory_choices, default=None,
+                        help=memory_help)
     submit.add_argument(
         "--no-wait", action="store_true",
         help="return the job id immediately instead of waiting for "
@@ -326,10 +351,27 @@ def _cmd_findings(_args) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
-def _cmd_kernels(_args) -> int:
+def _family_kernels_or_fail(family: str):
+    from repro.kernels import all_kernels, families
+
+    try:
+        return all_kernels(family=family)
+    except KeyError:
+        print(f"unknown kernel family {family!r}; available: "
+              f"{', '.join(families())}", file=sys.stderr)
+        return None
+
+
+def _cmd_kernels(args) -> int:
     from repro.kernels import all_kernels
 
-    for kernel in all_kernels():
+    if args.family is not None:
+        kernels = _family_kernels_or_fail(args.family)
+        if kernels is None:
+            return 2
+    else:
+        kernels = all_kernels()
+    for kernel in kernels:
         print(kernel.summary())
     return 0
 
@@ -346,14 +388,26 @@ def _get_kernel_or_fail(name: str):
         return None
 
 
-def _cmd_kernel(args) -> int:
+def _with_memory(kernel, memory: Optional[str]):
+    """The kernel re-targeted onto ``memory`` (both programs), or as is."""
+    import dataclasses
+
+    if memory is None:
+        return kernel
+    return dataclasses.replace(
+        kernel,
+        buggy=kernel.buggy.with_memory(memory),
+        fixed=kernel.fixed.with_memory(memory),
+    )
+
+
+def _drive_kernel(kernel, args) -> int:
     from repro.sim import minimize_preemptions
 
-    kernel = _get_kernel_or_fail(args.name)
-    if kernel is None:
-        return 2
+    kernel = _with_memory(kernel, getattr(args, "memory", None))
     print(kernel.summary())
     print(f"  {kernel.description}")
+    print(f"  memory model: {kernel.buggy.memory}")
     witness = minimize_preemptions(kernel.buggy, kernel.failure)
     if witness is None:
         print("  no manifesting schedule found")
@@ -367,12 +421,40 @@ def _cmd_kernel(args) -> int:
     return 0 if clean else 1
 
 
+def _cmd_kernel(args) -> int:
+    if args.name is None and args.family is None:
+        print("pass a kernel name or --family FAMILY", file=sys.stderr)
+        return 2
+    if args.family is not None:
+        kernels = _family_kernels_or_fail(args.family)
+        if kernels is None:
+            return 2
+        if args.name is not None:
+            kernels = [k for k in kernels if k.name == args.name]
+            if not kernels:
+                print(f"kernel {args.name!r} is not in family "
+                      f"{args.family!r}", file=sys.stderr)
+                return 2
+    else:
+        kernel = _get_kernel_or_fail(args.name)
+        if kernel is None:
+            return 2
+        kernels = [kernel]
+    worst = 0
+    for i, kernel in enumerate(kernels):
+        if i:
+            print()
+        worst = max(worst, _drive_kernel(kernel, args))
+    return worst
+
+
 def _cmd_detect(args) -> int:
     from repro.detectors import DetectorSuite
 
     kernel = _get_kernel_or_fail(args.name)
     if kernel is None:
         return 2
+    kernel = _with_memory(kernel, args.memory)
     if args.online:
         suite = DetectorSuite.for_program(kernel.buggy)
         result = suite.analyse_online(
@@ -456,6 +538,7 @@ def _cmd_static(args) -> int:
         kernels = [kernel]
     else:
         kernels = list(all_kernels())
+    kernels = [_with_memory(k, args.memory) for k in kernels]
 
     payload = []
     all_sound = True
@@ -643,6 +726,7 @@ def _cmd_submit(args) -> int:
         "preemption_bound": args.bound,
         "memoize": args.memoize,
         "max_schedules": args.budget,
+        "memory": args.memory,
     }
     response = _client(args).submit(
         args.name, kind=args.kind,

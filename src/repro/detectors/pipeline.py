@@ -206,6 +206,25 @@ class ClockTracker:
                 self.barrier_clocks.setdefault(key, []).append(self.clock(thread))
                 self.advance(thread)
             return
+        if isinstance(event, ev.SendEvent):
+            # Message-passing edge: the send happens-before the matching
+            # receive.  The channel clock accumulates every sender (a
+            # FIFO hands values over in order, so folding is sound and
+            # conservative — it may order more than the one matching
+            # pair, never less).
+            self.release_edge(thread, f"chan:{event.chan}")
+            self.advance(thread)
+            return
+        if isinstance(event, (ev.RecvEvent, ev.SelectEvent)):
+            self.acquire_edge(thread, f"chan:{event.chan}")
+            self.advance(thread)
+            return
+        if isinstance(event, (ev.FenceEvent, ev.FlushEvent)):
+            # A fence or store-buffer flush is thread-local for
+            # happens-before purposes (no cross-thread join); the flush
+            # event's thread is the owning thread.
+            self.advance(thread)
+            return
         if isinstance(event, ev.YieldEvent):
             self.advance(thread)
         # Deadlock events carry no ordering information.

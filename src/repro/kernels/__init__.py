@@ -6,6 +6,7 @@ oracle and the recorded manifestation characteristics; see
 :class:`~repro.bugdb.BugRecord.kernel` links point at.
 """
 
+from repro.kernels.actor import actor_lost_message, actor_mailbox_order
 from repro.kernels.atomicity import (
     atomicity_lock_free,
     atomicity_single_var,
@@ -21,9 +22,11 @@ from repro.kernels.extra import (
 from repro.kernels.multivar import multivar_buffer_flag
 from repro.kernels.order import order_lost_wakeup, order_use_before_init
 from repro.kernels.rwlock import deadlock_rwlock_upgrade
+from repro.kernels.weakmem import weakmem_store_buffer
 from repro.kernels.registry import (
     KERNEL_FACTORIES,
     all_kernels,
+    families,
     get_kernel,
     kernel_names,
 )
@@ -35,6 +38,7 @@ __all__ = [
     "kernel_names",
     "get_kernel",
     "all_kernels",
+    "families",
     "atomicity_single_var",
     "atomicity_wwr_log",
     "atomicity_lock_free",
@@ -48,4 +52,7 @@ __all__ = [
     "deadlock_abba",
     "deadlock_three_way",
     "deadlock_rwlock_upgrade",
+    "actor_mailbox_order",
+    "actor_lost_message",
+    "weakmem_store_buffer",
 ]

@@ -55,6 +55,12 @@ class BugKernel:
     variables_involved: Optional[int] = None
     resources_involved: Optional[int] = None
     alternative_fixes: Tuple[Tuple[FixStrategy, Program], ...] = ()
+    #: Workload family: ``"sc"`` (classic shared-memory kernels, the
+    #: default), ``"weakmem"`` (bugs that manifest only under a relaxed
+    #: memory model — their buggy/fixed programs declare ``memory="tso"``),
+    #: or ``"actor"`` (message-passing kernels built on channels).  The
+    #: registry filters on this tag for family sweeps.
+    family: str = "sc"
 
     # -- exploration helpers -------------------------------------------------
 

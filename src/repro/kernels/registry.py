@@ -1,9 +1,16 @@
-"""Registry of all bug kernels, keyed by the names bug records link to."""
+"""Registry of all bug kernels, keyed by the names bug records link to.
+
+Kernels carry a workload-family tag (``"sc"`` / ``"weakmem"`` /
+``"actor"``, see :class:`~repro.kernels.base.BugKernel.family`); the
+listing helpers accept an optional family filter so sweeps can target
+one family at a time (the CLI ``--family`` flag).
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro.kernels.actor import actor_lost_message, actor_mailbox_order
 from repro.kernels.atomicity import (
     atomicity_lock_free,
     atomicity_single_var,
@@ -19,8 +26,15 @@ from repro.kernels.extra import (
 from repro.kernels.multivar import multivar_buffer_flag
 from repro.kernels.order import order_lost_wakeup, order_use_before_init
 from repro.kernels.rwlock import deadlock_rwlock_upgrade
+from repro.kernels.weakmem import weakmem_store_buffer
 
-__all__ = ["KERNEL_FACTORIES", "kernel_names", "get_kernel", "all_kernels"]
+__all__ = [
+    "KERNEL_FACTORIES",
+    "kernel_names",
+    "get_kernel",
+    "all_kernels",
+    "families",
+]
 
 #: Factory per kernel name.  Factories (not instances) are registered so
 #: every caller gets fresh Program objects — programs are stateless, but
@@ -39,12 +53,33 @@ KERNEL_FACTORIES: Dict[str, Callable[[], BugKernel]] = {
     "deadlock_abba": deadlock_abba,
     "deadlock_three_way": deadlock_three_way,
     "deadlock_rwlock_upgrade": deadlock_rwlock_upgrade,
+    "actor_mailbox_order": actor_mailbox_order,
+    "actor_lost_message": actor_lost_message,
+    "weakmem_store_buffer": weakmem_store_buffer,
+}
+
+#: Family per kernel name, materialised once at import (instantiating a
+#: kernel just to read its tag would rebuild its programs every call).
+_KERNEL_FAMILIES: Dict[str, str] = {
+    name: factory().family for name, factory in KERNEL_FACTORIES.items()
 }
 
 
-def kernel_names() -> List[str]:
-    """All registered kernel names, stable order."""
-    return list(KERNEL_FACTORIES)
+def _check_family(family: Optional[str]) -> None:
+    if family is not None and family not in _KERNEL_FAMILIES.values():
+        raise KeyError(
+            f"unknown kernel family {family!r}; registered: {families()}"
+        )
+
+
+def kernel_names(family: Optional[str] = None) -> List[str]:
+    """Registered kernel names, stable order, optionally one family."""
+    _check_family(family)
+    return [
+        name
+        for name in KERNEL_FACTORIES
+        if family is None or _KERNEL_FAMILIES[name] == family
+    ]
 
 
 def get_kernel(name: str) -> BugKernel:
@@ -56,6 +91,11 @@ def get_kernel(name: str) -> BugKernel:
     return KERNEL_FACTORIES[name]()
 
 
-def all_kernels() -> List[BugKernel]:
-    """Fresh instances of every registered kernel."""
-    return [factory() for factory in KERNEL_FACTORIES.values()]
+def all_kernels(family: Optional[str] = None) -> List[BugKernel]:
+    """Fresh instances of every registered kernel, optionally one family."""
+    return [get_kernel(name) for name in kernel_names(family)]
+
+
+def families() -> List[str]:
+    """The registered family tags, sorted."""
+    return sorted(set(_KERNEL_FAMILIES.values()))

@@ -1,0 +1,112 @@
+"""Weak-memory kernels: bugs that need a relaxed memory model to manifest.
+
+The study's bug set is drawn from C/C++ server codebases that ran on
+hardware with store buffers (x86/TSO); a handful of its synchronisation
+bugs — flag-based mutual exclusion without fences — are *invisible*
+under the sequentially consistent interleaving semantics every kernel so
+far assumed.  This module opens that family: its programs declare
+``memory="tso"`` (see :mod:`repro.sim.memory`), so each thread's writes
+sit in a FIFO store buffer until an explicit flush pseudo-step lands
+them, and the classic store-buffering (Dekker) litmus outcome becomes a
+reachable schedule.
+
+* :func:`weakmem_store_buffer` — both threads announce themselves with a
+  flag write, then check the other's flag; with both writes still
+  buffered, both checks read the stale 0 and both threads enter the
+  critical region.  Unreachable under SC (one write is always globally
+  visible before the second read), reachable under TSO.  The canonical
+  fix is a **design change**: a ``Fence`` between the announce and the
+  check, which blocks the checking read until the thread's own buffer
+  drained.
+"""
+
+from __future__ import annotations
+
+from repro.bugdb.schema import BugCategory, FixStrategy
+from repro.kernels.base import BugKernel
+from repro.sim import Fence, Program, Read, RunStatus, Write
+
+__all__ = ["weakmem_store_buffer"]
+
+
+def weakmem_store_buffer() -> BugKernel:
+    """Dekker-style flag protocol broken by store buffering."""
+
+    def t0_buggy():
+        yield Write("flag0", 1, label="t0.announce")
+        other = yield Read("flag1", label="t0.check")
+        if other == 0:
+            yield Write("entered0", True, label="t0.enter")
+
+    def t1_buggy():
+        yield Write("flag1", 1, label="t1.announce")
+        other = yield Read("flag0", label="t1.check")
+        if other == 0:
+            yield Write("entered1", True, label="t1.enter")
+
+    def t0_fixed():
+        # The fence blocks the check until flag0 is globally visible, so
+        # the announce/check pair can no longer reorder: this is exactly
+        # the mfence x86 Dekker implementations need.
+        yield Write("flag0", 1, label="t0.announce")
+        yield Fence(label="t0.fence")
+        other = yield Read("flag1", label="t0.check")
+        if other == 0:
+            yield Write("entered0", True, label="t0.enter")
+
+    def t1_fixed():
+        yield Write("flag1", 1, label="t1.announce")
+        yield Fence(label="t1.fence")
+        other = yield Read("flag0", label="t1.check")
+        if other == 0:
+            yield Write("entered1", True, label="t1.enter")
+
+    declarations = dict(
+        initial={"flag0": 0, "flag1": 0, "entered0": False, "entered1": False},
+        memory="tso",
+    )
+    buggy = Program(
+        "weakmem-store-buffer(buggy)",
+        threads={"T0": t0_buggy, "T1": t1_buggy},
+        **declarations,
+    )
+    fixed = Program(
+        "weakmem-store-buffer(fixed:design-change)",
+        threads={"T0": t0_fixed, "T1": t1_fixed},
+        **declarations,
+    )
+
+    def failure(run):
+        return (
+            run.status is RunStatus.OK
+            and bool(run.memory.get("entered0"))
+            and bool(run.memory.get("entered1"))
+        )
+
+    return BugKernel(
+        name="weakmem_store_buffer",
+        title="store-buffered flag writes let both threads enter",
+        description=(
+            "each thread announces itself by writing a flag and then checks "
+            "the other's; with both writes parked in store buffers, both "
+            "checks read the stale 0 and mutual exclusion silently fails — "
+            "the store-buffering litmus, unreachable under SC"
+        ),
+        category=BugCategory.NON_DEADLOCK,
+        buggy=buggy,
+        fixed=fixed,
+        fix_strategy=FixStrategy.DESIGN_CHANGE,
+        failure=failure,
+        threads_involved=2,
+        variables_involved=2,
+        accesses_to_manifest=4,
+        manifest_order=(
+            # Both checks must read before *either* buffered announce
+            # becomes globally visible: each check precedes the other
+            # thread's flush step (the "~"-prefixed derived label names
+            # the store-visibility point of a labelled write).
+            ("t0.check", "~t1.announce"),
+            ("t1.check", "~t0.announce"),
+        ),
+        family="weakmem",
+    )

@@ -77,7 +77,7 @@ class OrderEnforcer:
         executed = set(engine.executed_labels)
         allowed: List[str] = []
         for name in enabled:
-            pending = engine.threads[name].pending
+            pending = engine.pending_op(name)
             label = getattr(pending, "label", None)
             if label is not None and label in self.predecessors:
                 if not self.predecessors[label] <= executed:

@@ -44,7 +44,7 @@ __all__ = [
 #: Version tag baked into every cache key; bump on any change to the
 #: verdict payloads or option normalisation so stale persisted verdicts
 #: can never be served under a new scheme.
-KEY_SCHEMA = "repro.service.key/v1"
+KEY_SCHEMA = "repro.service.key/v2"
 
 
 class JobError(Exception):
@@ -101,6 +101,9 @@ class JobOptions:
     preemption_bound: Optional[int] = None
     memoize: bool = False
     max_schedules: Optional[int] = None
+    #: Memory model override (``"sc"`` / ``"tso"``); ``None`` runs the
+    #: kernel under its declared model.
+    memory: Optional[str] = None
 
     @classmethod
     def from_dict(cls, raw: Optional[Dict[str, Any]]) -> "JobOptions":
@@ -122,12 +125,20 @@ class JobOptions:
                 raise JobError(
                     f"option reduction must be one of {', '.join(REDUCTIONS)}"
                 )
+        if raw.get("memory") is not None:
+            from repro.sim.memory import MEMORY_MODELS
+
+            if raw["memory"] not in MEMORY_MODELS:
+                raise JobError(
+                    f"option memory must be one of {', '.join(MEMORY_MODELS)}"
+                )
         return cls(
             reduction=raw.get("reduction"),
             workers=raw.get("workers"),
             preemption_bound=raw.get("preemption_bound"),
             memoize=bool(raw.get("memoize", False)),
             max_schedules=raw.get("max_schedules"),
+            memory=raw.get("memory"),
         )
 
     def budget(self, kind: JobKind) -> int:
@@ -144,6 +155,7 @@ class JobOptions:
             ("preemption_bound", self.preemption_bound),
             ("memoize", self.memoize),
             ("max_schedules", self.budget(kind)),
+            ("memory", self.memory or "declared"),
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -154,6 +166,7 @@ class JobOptions:
             "preemption_bound": self.preemption_bound,
             "memoize": self.memoize,
             "max_schedules": self.max_schedules,
+            "memory": self.memory,
         }
 
 
@@ -175,10 +188,17 @@ def cache_key(kind: JobKind, options: JobOptions, *programs: Program) -> str:
     return hashlib.sha256(repr(body).encode("utf-8")).hexdigest()
 
 
+def _target_program(kind: JobKind, kernel: Any, options: JobOptions) -> Program:
+    """The program a job executes, with any memory-model override applied."""
+    program = kernel.fixed if kind is JobKind.CHECK else kernel.buggy
+    if options.memory is not None:
+        program = program.with_memory(options.memory)
+    return program
+
+
 def kernel_cache_key(kind: JobKind, kernel: Any, options: JobOptions) -> str:
     """Cache key for a kernel submission: fingerprint what the job runs."""
-    program = kernel.fixed if kind is JobKind.CHECK else kernel.buggy
-    return cache_key(kind, options, program)
+    return cache_key(kind, options, _target_program(kind, kernel, options))
 
 
 @dataclass
@@ -239,7 +259,8 @@ def _run_check(kernel: Any, options: JobOptions) -> Tuple[Dict[str, Any], int]:
     from repro.sim.explorer import make_explorer
 
     explorer = make_explorer(
-        kernel.fixed, options.budget(JobKind.CHECK), 5000,
+        _target_program(JobKind.CHECK, kernel, options),
+        options.budget(JobKind.CHECK), 5000,
         options.preemption_bound, options.workers, options.memoize,
         keep_matches=1, reduction=options.reduction,
     )
@@ -258,8 +279,9 @@ def _run_detect(kernel: Any, options: JobOptions) -> Tuple[Dict[str, Any], int]:
     from repro.detectors import DetectorSuite
     from repro.sim.explorer import make_explorer
 
+    program = _target_program(JobKind.DETECT, kernel, options)
     explorer = make_explorer(
-        kernel.buggy, options.budget(JobKind.DETECT), 5000,
+        program, options.budget(JobKind.DETECT), 5000,
         options.preemption_bound, options.workers, options.memoize,
         keep_matches=1, reduction=options.reduction,
     )
@@ -272,7 +294,7 @@ def _run_detect(kernel: Any, options: JobOptions) -> Tuple[Dict[str, Any], int]:
     }
     if result.matching:
         failing = result.matching[0]
-        suite_result = DetectorSuite.for_program(kernel.buggy).analyse(
+        suite_result = DetectorSuite.for_program(program).analyse(
             failing.trace
         )
         verdict["flagged_by"] = suite_result.flagged_by()
@@ -287,7 +309,8 @@ def _run_explore(kernel: Any, options: JobOptions) -> Tuple[Dict[str, Any], int]
     from repro.sim.explorer import make_explorer
 
     explorer = make_explorer(
-        kernel.buggy, options.budget(JobKind.EXPLORE), 5000,
+        _target_program(JobKind.EXPLORE, kernel, options),
+        options.budget(JobKind.EXPLORE), 5000,
         options.preemption_bound, options.workers, options.memoize,
         reduction=options.reduction,
     )
@@ -311,7 +334,7 @@ def _run_static(kernel: Any, options: JobOptions) -> Tuple[Dict[str, Any], int]:
     """Zero-schedule static analysis of the buggy program."""
     from repro.static import analyse
 
-    report = analyse(kernel.buggy)
+    report = analyse(_target_program(JobKind.STATIC, kernel, options))
     by_kind: Dict[str, int] = {}
     for candidate in report.active():
         by_kind[candidate.kind] = by_kind.get(candidate.kind, 0) + 1

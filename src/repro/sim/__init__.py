@@ -33,6 +33,14 @@ from repro.sim.generate import (
     fuzz_explorers,
     generate_program,
 )
+from repro.sim.memory import (
+    MEMORY_MODELS,
+    MemoryModel,
+    SCMemory,
+    SharedMemory,
+    TSOMemory,
+    make_memory_model,
+)
 from repro.sim.minimize import MinimalWitness, minimize_preemptions, preemption_count
 from repro.sim.parallel import ParallelExplorer
 from repro.sim.reduction import SleepSetExplorer, op_footprint, ops_dependent
@@ -43,16 +51,20 @@ from repro.sim.ops import (
     AcquireWrite,
     AtomicUpdate,
     BarrierWait,
+    Fence,
     Join,
     Notify,
     NotifyAll,
     Op,
     Read,
+    Recv,
     Release,
     ReleaseRead,
     ReleaseWrite,
+    Select,
     SemAcquire,
     SemRelease,
+    Send,
     Sleep,
     Spawn,
     TryAcquire,
@@ -130,4 +142,14 @@ __all__ = [
     "Join",
     "Yield",
     "Sleep",
+    "Send",
+    "Recv",
+    "Select",
+    "Fence",
+    "MEMORY_MODELS",
+    "MemoryModel",
+    "SCMemory",
+    "TSOMemory",
+    "SharedMemory",
+    "make_memory_model",
 ]

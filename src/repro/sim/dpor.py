@@ -96,6 +96,7 @@ from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
 from repro.sim import ops
 from repro.sim.engine import Engine, RunResult, RunStatus
+from repro.sim.memory import FLUSH_PREFIX
 from repro.sim.explorer import (
     ExplorationResult,
     Predicate,
@@ -164,12 +165,22 @@ def _live_pending(engine: Engine) -> Dict[str, ops.Op]:
     still pending — and detected — at every later node) and parked
     threads (a condition/barrier wait has already executed as a step;
     the engine-driven wakeup is not a schedulable transition).
+
+    Under TSO, each non-empty store buffer contributes a flush
+    pseudo-thread whose pending operation is the (synthesized)
+    head-of-buffer store — flush steps are schedulable transitions, so
+    their reorderings against other threads' reads are races like any
+    other.
     """
-    return {
+    pending = {
         name: thread.pending
         for name, thread in engine.threads.items()
         if thread.state is ThreadState.RUNNABLE and thread.pending is not None
     }
+    for owner in engine.memory.flushable():
+        name = FLUSH_PREFIX + owner
+        pending[name] = engine.pending_op(name)
+    return pending
 
 
 def _causal_pasts(

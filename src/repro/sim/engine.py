@@ -35,12 +35,21 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.sim import events as ev
 from repro.sim import ops
+from repro.sim.memory import FLUSH_PREFIX, flush_label
 from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
 from repro.sim.thread import ThreadState, VirtualThread
 from repro.sim.trace import Trace
 
 __all__ = ["RunStatus", "RunResult", "Engine", "run_program"]
+
+#: Operations that may execute while the issuing thread has unflushed
+#: buffered stores.  Everything else carries an *implicit fence* under
+#: TSO: synchronisation, atomics, spawn/join, and channel operations are
+#: disabled until the thread's store buffer drains — which forces the
+#: explicit flush pseudo-steps into the schedule first, keeping every
+#: visibility transition a first-class scheduling decision.
+_UNFENCED_OPS = (ops.Read, ops.Write, ops.Yield, ops.Sleep)
 
 EnabledFilter = Callable[["Engine", List[str]], List[str]]
 
@@ -139,7 +148,7 @@ class Engine:
                 stop_reason = "simulated crash terminated the process"
                 break
             alive = [t for t in self.threads.values() if t.alive]
-            if not alive:
+            if not alive and not self.memory.has_buffered():
                 break
             enabled = self._enabled_threads()
             if not enabled:
@@ -166,10 +175,10 @@ class Engine:
             self.schedule.append(chosen)
             self.steps += 1
             if profiler is None:
-                self._execute(self.threads[chosen])
+                self._execute_choice(chosen)
             else:
                 started = perf_counter()
-                self._execute(self.threads[chosen])
+                self._execute_choice(chosen)
                 execute_seconds += perf_counter() - started
         if profiler is not None and self.steps:
             profiler.add("engine.execute", execute_seconds, count=self.steps)
@@ -195,16 +204,26 @@ class Engine:
     # -- enabledness ------------------------------------------------------
 
     def _enabled_threads(self) -> List[str]:
-        return [
+        enabled = [
             vt.name
             for vt in self.threads.values()
             if vt.state is ThreadState.RUNNABLE and self._op_enabled(vt)
         ]
+        # One flush pseudo-thread per non-empty store buffer: scheduling
+        # it makes the owner's oldest buffered store globally visible.
+        for owner in self.memory.flushable():
+            enabled.append(FLUSH_PREFIX + owner)
+        return enabled
 
     def _op_enabled(self, vt: VirtualThread) -> bool:
         op = vt.pending
         if op is None:
             raise ProgramError(f"runnable thread {vt.name!r} has no pending op")
+        if not isinstance(op, _UNFENCED_OPS) and self.memory.has_buffered(vt.name):
+            # Implicit fence: the op waits for the thread's own buffered
+            # stores to flush.  Never a deadlock — a non-empty buffer
+            # always has its flush step enabled.
+            return False
         if isinstance(op, ops.Acquire):
             return self.sync.mutex(op.lock).can_acquire(vt.name)
         if isinstance(op, ops._ReacquireAfterWait):
@@ -217,9 +236,50 @@ class Engine:
             return self.sync.semaphore(op.sem).can_acquire(vt.name)
         if isinstance(op, ops.Join):
             return self._target(op.thread).done
+        if isinstance(op, ops.Send):
+            return self.sync.channel(op.chan).can_send(vt.name)
+        if isinstance(op, ops.Recv):
+            return self.sync.channel(op.chan).can_recv(vt.name)
+        if isinstance(op, ops.Select):
+            return any(
+                self.sync.channel(c).can_recv(vt.name) for c in op.chans
+            )
         return True
 
+    def pending_op(self, name: str) -> Optional[ops.Op]:
+        """The operation that scheduling ``name`` would execute.
+
+        For a real thread this is its pending op; for a flush
+        pseudo-thread (``FLUSH_PREFIX + owner``) a synthesised
+        :class:`~repro.sim.ops._FlushStore` naming the owner and the
+        variable at the head of its buffer.  This is the one accessor
+        reduction/DPOR/directed policies should use — indexing
+        ``engine.threads`` directly breaks on flush names.
+        """
+        if name in self.threads:
+            return self.threads[name].pending
+        owner = name[len(FLUSH_PREFIX):]
+        var, _value, label = self.memory.peek(owner)
+        return ops._FlushStore(thread=owner, var=var, label=flush_label(label))
+
     # -- execution --------------------------------------------------------
+
+    def _execute_choice(self, chosen: str) -> None:
+        if chosen in self.threads:
+            self._execute(self.threads[chosen])
+        else:
+            self._execute_flush(chosen)
+
+    def _execute_flush(self, chosen: str) -> None:
+        owner = chosen[len(FLUSH_PREFIX):]
+        var, value, old, label = self.memory.flush_one(owner)
+        derived = flush_label(label)
+        if derived is not None:
+            self.executed_labels.append(derived)
+        self._emit(
+            ev.FlushEvent, thread=owner, label=derived, var=var, value=value,
+            old=old,
+        )
 
     def _execute(self, vt: VirtualThread) -> None:
         op = vt.pending
@@ -231,12 +291,12 @@ class Engine:
         handler(self, vt, op)
 
     def _exec_read(self, vt: VirtualThread, op: ops.Read) -> None:
-        value = self.memory.read(op.var)
+        value = self.memory.read(op.var, vt.name)
         self._emit(ev.ReadEvent, thread=vt.name, label=op.label, var=op.var, value=value)
         self._advance(vt, value)
 
     def _exec_write(self, vt: VirtualThread, op: ops.Write) -> None:
-        old = self.memory.write(op.var, op.value)
+        old = self.memory.write(op.var, op.value, vt.name, label=op.label)
         self._emit(
             ev.WriteEvent, thread=vt.name, label=op.label, var=op.var,
             value=op.value, old=old,
@@ -244,7 +304,9 @@ class Engine:
         self._advance(vt, None)
 
     def _exec_atomic(self, vt: VirtualThread, op: ops.AtomicUpdate) -> None:
-        old, new = self.memory.update(op.var, op.fn)
+        # Enabledness guarantees the thread's buffer is empty here, so
+        # the RMW acts directly on the globally visible value.
+        old, new = self.memory.update(op.var, op.fn, vt.name)
         self._emit(
             ev.AtomicUpdateEvent, thread=vt.name, label=op.label, var=op.var,
             value=new, old=old,
@@ -392,6 +454,43 @@ class Engine:
         if vt.sleep_remaining == 0:
             self._advance(vt, None)
 
+    def _exec_send(self, vt: VirtualThread, op: ops.Send) -> None:
+        depth = self.sync.channel(op.chan).send(vt.name, op.value)
+        self._emit(
+            ev.SendEvent, thread=vt.name, label=op.label, chan=op.chan,
+            value=op.value, depth=depth,
+        )
+        self._advance(vt, None)
+
+    def _exec_recv(self, vt: VirtualThread, op: ops.Recv) -> None:
+        value = self.sync.channel(op.chan).recv(vt.name)
+        self._emit(
+            ev.RecvEvent, thread=vt.name, label=op.label, chan=op.chan,
+            value=value,
+        )
+        self._advance(vt, value)
+
+    def _exec_select(self, vt: VirtualThread, op: ops.Select) -> None:
+        for chan in op.chans:
+            channel = self.sync.channel(chan)
+            if channel.can_recv(vt.name):
+                value = channel.recv(vt.name)
+                self._emit(
+                    ev.SelectEvent, thread=vt.name, label=op.label, chan=chan,
+                    value=value, chans=tuple(op.chans),
+                )
+                self._advance(vt, (chan, value))
+                return
+        raise ProgramError(
+            f"engine bug: select on all-empty channels {op.chans!r} was "
+            f"scheduled"
+        )
+
+    def _exec_fence(self, vt: VirtualThread, op: ops.Fence) -> None:
+        # Enabledness guarantees the buffer already drained.
+        self._emit(ev.FenceEvent, thread=vt.name, label=op.label)
+        self._advance(vt, None)
+
     _HANDLERS = {
         ops.Read: _exec_read,
         ops.Write: _exec_write,
@@ -414,6 +513,10 @@ class Engine:
         ops.Join: _exec_join,
         ops.Yield: _exec_yield,
         ops.Sleep: _exec_sleep,
+        ops.Send: _exec_send,
+        ops.Recv: _exec_recv,
+        ops.Select: _exec_select,
+        ops.Fence: _exec_fence,
     }
 
     # -- thread lifecycle ---------------------------------------------------
@@ -467,6 +570,12 @@ class Engine:
             return f"sem:{op.sem}"
         if isinstance(op, ops.Join):
             return f"join:{op.thread}"
+        if isinstance(op, ops.Send):
+            return f"chan:{op.chan}(full)"
+        if isinstance(op, ops.Recv):
+            return f"chan:{op.chan}(empty)"
+        if isinstance(op, ops.Select):
+            return f"chan:{'|'.join(op.chans)}(all empty)"
         return f"op:{op.describe() if op else '?'}"
 
     def _classify_stall(self) -> RunStatus:

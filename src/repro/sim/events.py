@@ -30,6 +30,11 @@ __all__ = [
     "BarrierEvent",
     "SpawnEvent",
     "JoinEvent",
+    "SendEvent",
+    "RecvEvent",
+    "SelectEvent",
+    "FenceEvent",
+    "FlushEvent",
     "YieldEvent",
     "ThreadStartEvent",
     "ThreadFinishEvent",
@@ -70,6 +75,10 @@ class Event:
                 BarrierEvent,
                 SpawnEvent,
                 JoinEvent,
+                SendEvent,
+                RecvEvent,
+                SelectEvent,
+                FenceEvent,
             ),
         )
 
@@ -259,6 +268,66 @@ class JoinEvent(Event):
 
     def describe(self) -> str:
         return f"join {self.target}"
+
+
+@dataclass(frozen=True)
+class SendEvent(Event):
+    """Thread sent ``value`` into channel ``chan`` (now ``depth`` deep)."""
+
+    chan: str = ""
+    value: Any = None
+    depth: int = 0
+
+    def describe(self) -> str:
+        return f"send {self.chan} <- {self.value!r} (depth {self.depth})"
+
+
+@dataclass(frozen=True)
+class RecvEvent(Event):
+    """Thread received ``value`` from channel ``chan``."""
+
+    chan: str = ""
+    value: Any = None
+
+    def describe(self) -> str:
+        return f"recv {self.chan} -> {self.value!r}"
+
+
+@dataclass(frozen=True)
+class SelectEvent(Event):
+    """Thread selected ``value`` from ``chan``, the first ready of ``chans``."""
+
+    chan: str = ""
+    value: Any = None
+    chans: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        return f"select [{', '.join(self.chans)}] -> {self.chan}: {self.value!r}"
+
+
+@dataclass(frozen=True)
+class FenceEvent(Event):
+    """Thread passed a store fence (its store buffer was empty)."""
+
+    def describe(self) -> str:
+        return "fence"
+
+
+@dataclass(frozen=True)
+class FlushEvent(Event):
+    """A buffered store of ``thread`` became globally visible.
+
+    Emitted by the flush pseudo-step of the TSO memory model; ``thread``
+    is the *owning* thread (the one whose earlier ``Write`` is landing),
+    even though the transition was scheduled as its flush pseudo-thread.
+    """
+
+    var: str = ""
+    value: Any = None
+    old: Any = None
+
+    def describe(self) -> str:
+        return f"flush {self.var} <- {self.value!r}"
 
 
 @dataclass(frozen=True)

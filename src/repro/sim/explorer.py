@@ -129,7 +129,7 @@ class _DirectedPolicy:
         """
         return {
             name: (
-                self.rank(name, engine.threads[name].pending),
+                self.rank(name, engine.pending_op(name)),
                 0 if name == previous else 1,
                 name,
             )

@@ -51,6 +51,10 @@ __all__ = [
     "Join",
     "Yield",
     "Sleep",
+    "Send",
+    "Recv",
+    "Select",
+    "Fence",
 ]
 
 
@@ -323,6 +327,77 @@ class Sleep(Op):
         return f"Sleep({self.ticks})"
 
 
+@dataclass(frozen=True)
+class Send(Op):
+    """Send ``value`` into channel ``chan``.
+
+    Blocks while the channel is at capacity (unbounded channels never
+    block).  Message-passing programs — the actor-style workloads of the
+    Torres Lopez et al. study — express all cross-thread communication
+    with ``Send``/``Recv`` instead of shared variables.
+    """
+
+    chan: str
+    value: Any = None
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Send({self.chan!r}, {self.value!r})"
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    """Receive the oldest message from channel ``chan``.
+
+    Blocks while the channel is empty; the yielded expression evaluates
+    to the received value.  A ``Recv`` that can never be satisfied — the
+    message was lost or consumed by another receiver — leaves the thread
+    blocked forever, and the engine reports the stall as a hang.
+    """
+
+    chan: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Recv({self.chan!r})"
+
+
+@dataclass(frozen=True)
+class Select(Op):
+    """Receive from the first non-empty channel of ``chans``.
+
+    Blocks while *every* listed channel is empty.  On execution the
+    yielded expression evaluates to ``(chan, value)`` — the channels are
+    polled in declaration order, so which message wins depends on the
+    interleaving of the senders.  This is the mailbox-nondeterminism
+    primitive of actor systems.
+    """
+
+    chans: tuple = ()
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"Select({', '.join(repr(c) for c in self.chans)})"
+
+
+@dataclass(frozen=True)
+class Fence(Op):
+    """Full store fence: block until the thread's store buffer is empty.
+
+    Under :class:`~repro.sim.memory.SCMemory` this is a pure scheduling
+    point (there is never anything to drain).  Under
+    :class:`~repro.sim.memory.TSOMemory` the issuing thread is disabled
+    while its buffer holds unflushed stores, so scheduling can only
+    proceed through the explicit flush steps — the fix vocabulary for
+    store-visibility bugs.
+    """
+
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return "Fence()"
+
+
 #: Canonical (kind, resource-attribute) per operation class.  The kind
 #: strings are the shared vocabulary between the simulator's directed
 #: exploration (:mod:`repro.sim.explorer` ``targets=``) and the static
@@ -350,6 +425,10 @@ OP_KINDS = {
     Join: ("join", "thread"),
     Yield: ("yield", None),
     Sleep: ("sleep", None),
+    Send: ("send", "chan"),
+    Recv: ("recv", "chan"),
+    Select: ("select", None),
+    Fence: ("fence", None),
 }
 
 
@@ -380,3 +459,18 @@ class _ReacquireAfterWait(Op):
 
     def describe(self) -> str:
         return f"<reacquire {self.lock!r} after wait on {self.cond!r}>"
+
+
+# Internal pseudo-op: the operation a TSO flush pseudo-thread "pends".
+# Never constructed by user programs and never executed by a generator —
+# the engine synthesises it (via ``Engine.pending_op``) so that sleep-set
+# and DPOR dependence logic can treat a buffered-store flush like any
+# other scheduled write to ``var`` on behalf of ``thread``.
+@dataclass(frozen=True)
+class _FlushStore(Op):
+    thread: str
+    var: str
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        return f"<flush {self.var!r} for {self.thread!r}>"

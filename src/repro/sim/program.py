@@ -28,7 +28,12 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from repro.errors import ProgramError
-from repro.sim.memory import SharedMemory
+from repro.sim.memory import (
+    FLUSH_PREFIX,
+    MEMORY_MODELS,
+    MemoryModel,
+    make_memory_model,
+)
 from repro.sim.sync import SyncObjects
 from repro.sim.thread import Body, VirtualThread
 
@@ -46,8 +51,13 @@ class Program:
     :param semaphores: semaphore name -> initial value.
     :param conditions: condition name -> associated mutex name.
     :param barriers: barrier name -> party size.
+    :param channels: channel name -> capacity (``None`` = unbounded).
     :param start: names of the threads started at time zero; the rest must
         be started via ``Spawn``.  Defaults to all threads.
+    :param memory: memory model the program runs under: ``"sc"``
+        (sequential consistency, the default) or ``"tso"`` (per-thread
+        store buffers with explicit flush steps; see
+        :mod:`repro.sim.memory`).
     """
 
     def __init__(
@@ -60,7 +70,9 @@ class Program:
         semaphores: Optional[Mapping[str, int]] = None,
         conditions: Optional[Mapping[str, str]] = None,
         barriers: Optional[Mapping[str, int]] = None,
+        channels: Optional[Mapping[str, Optional[int]]] = None,
         start: Optional[Iterable[str]] = None,
+        memory: str = "sc",
     ):
         if not threads:
             raise ProgramError(f"program {name!r} declares no threads")
@@ -72,14 +84,16 @@ class Program:
         self.semaphores: Dict[str, int] = dict(semaphores or {})
         self.conditions: Dict[str, str] = dict(conditions or {})
         self.barriers: Dict[str, int] = dict(barriers or {})
+        self.channels: Dict[str, Optional[int]] = dict(channels or {})
         self.start: List[str] = list(start) if start is not None else list(self.threads)
+        self.memory = memory
         self._validate()
 
     # -- run-state factories -------------------------------------------------
 
-    def make_memory(self) -> SharedMemory:
-        """Fresh shared memory for one run."""
-        return SharedMemory(self.initial)
+    def make_memory(self) -> MemoryModel:
+        """Fresh shared memory for one run, under the declared model."""
+        return make_memory_model(self.memory, self.initial)
 
     def make_sync(self) -> SyncObjects:
         """Fresh synchronisation objects for one run."""
@@ -89,6 +103,7 @@ class Program:
             semaphores=self.semaphores,
             conditions=self.conditions,
             barriers=self.barriers,
+            channels=self.channels,
         )
 
     def make_threads(self) -> Dict[str, VirtualThread]:
@@ -116,7 +131,32 @@ class Program:
             semaphores=self.semaphores,
             conditions=self.conditions,
             barriers=self.barriers,
+            channels=self.channels,
             start=[t for t in self.start if t in threads],
+            memory=self.memory,
+        )
+
+    def with_memory(self, model: str, name: Optional[str] = None) -> "Program":
+        """A copy of this program under a different memory model.
+
+        The CLI ``--memory`` flag and the service's ``memory`` job option
+        use this to re-run a kernel under SC or TSO without touching its
+        declarations or bodies.
+        """
+        if model == self.memory and name is None:
+            return self
+        return Program(
+            name=name or self.name,
+            threads=self.threads,
+            initial=self.initial,
+            locks=self.locks,
+            rwlocks=self.rwlocks,
+            semaphores=self.semaphores,
+            conditions=self.conditions,
+            barriers=self.barriers,
+            channels=self.channels,
+            start=self.start,
+            memory=model,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -125,6 +165,17 @@ class Program:
     # -- validation --------------------------------------------------------------
 
     def _validate(self) -> None:
+        if self.memory not in MEMORY_MODELS:
+            raise ProgramError(
+                f"program {self.name!r}: unknown memory model {self.memory!r}; "
+                f"one of {', '.join(MEMORY_MODELS)}"
+            )
+        for t in self.threads:
+            if t.startswith(FLUSH_PREFIX):
+                raise ProgramError(
+                    f"program {self.name!r}: thread name {t!r} collides with "
+                    f"the {FLUSH_PREFIX!r} store-buffer flush prefix"
+                )
         for t in self.start:
             if t not in self.threads:
                 raise ProgramError(

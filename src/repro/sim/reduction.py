@@ -91,7 +91,21 @@ def op_footprint(op: ops.Op, thread: str, cond_locks: Dict[str, str]) -> FrozenS
         tokens.add(("lock", f"rw:{op.rwlock}"))
     elif isinstance(op, (ops.Spawn, ops.Join)):
         tokens.add(("thread", op.thread))
-    # Yield / Sleep: only the self token.
+    elif isinstance(op, (ops.Send, ops.Recv)):
+        tokens.add(("chan", op.chan))
+    elif isinstance(op, ops.Select):
+        for chan in op.chans:
+            tokens.add(("chan", chan))
+    elif isinstance(op, ops._FlushStore):
+        # A flush pseudo-step: a write to ``var`` on behalf of ``thread``
+        # (the self token above carries the pseudo-thread's own name; the
+        # thread token orders every flush with its owner's real steps,
+        # conservatively preserving FIFO order and store forwarding).
+        tokens.add(("write", op.var))
+        tokens.add(("thread", op.thread))
+    # Yield / Sleep / Fence: only the self token (a fence orders the
+    # thread against its *own* flushes, which the thread token on
+    # _FlushStore already captures).
     return frozenset(tokens)
 
 
@@ -111,7 +125,7 @@ def ops_dependent(a: FrozenSet[Token], b: FrozenSet[Token]) -> bool:
             if kind_a == "write" and kind_b == "write" and name_a == name_b:
                 return True
             if kind_a == kind_b and kind_a in (
-                "lock", "cond", "sem", "barrier"
+                "lock", "cond", "sem", "barrier", "chan"
             ) and name_a == name_b:
                 return True
             if (kind_a, kind_b) in (("thread", "self"), ("self", "thread")) and name_a == name_b:
@@ -184,7 +198,7 @@ class _SleepScheduler(Scheduler):
         assert self.engine is not None
         return {
             name: op_footprint(
-                self.engine.threads[name].pending, name, self.cond_locks
+                self.engine.pending_op(name), name, self.cond_locks
             )
             for name in enabled
         }

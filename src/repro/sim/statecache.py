@@ -249,7 +249,7 @@ def fingerprint_digest(fingerprint: Any) -> str:
 #: Version tag baked into every program digest: bump it when the
 #: canonicalisation scheme changes so persisted caches invalidate
 #: wholesale instead of serving keys computed under the old scheme.
-_PROGRAM_FINGERPRINT_SCHEMA = "repro.program-fingerprint/v1"
+_PROGRAM_FINGERPRINT_SCHEMA = "repro.program-fingerprint/v2"
 
 
 def program_fingerprint(program: Any) -> str:
@@ -276,6 +276,8 @@ def program_fingerprint(program: Any) -> str:
         tuple(sorted(program.semaphores.items())),
         tuple(sorted(program.conditions.items())),
         tuple(sorted(program.barriers.items())),
+        tuple(sorted(getattr(program, "channels", {}).items())),
+        getattr(program, "memory", "sc"),
         tuple(program.start),
         tuple(sorted(
             (name, _canonical_body(body, seen))
@@ -317,9 +319,20 @@ def state_fingerprint(engine: Any) -> Tuple:
     """
     memory = engine.memory
     sync = engine.sync
+    # Globally visible values only (``thread=None``); a TSO thread's
+    # forwarded view is implied by the buffers component below.
     mem = tuple(
         (var, canonical_value(memory.read(var)))
         for var in sorted(memory.variables())
+    )
+    buffers = tuple(
+        (
+            owner,
+            tuple(
+                (var, canonical_value(value)) for var, value, _label in entries
+            ),
+        )
+        for owner, entries in sorted(memory.buffers().items())
     )
     mutexes = tuple(
         (name, mutex.owner) for name, mutex in sorted(sync.mutexes.items())
@@ -339,6 +352,10 @@ def state_fingerprint(engine: Any) -> Tuple:
         (name, tuple(barrier.arrived))
         for name, barrier in sorted(sync.barriers.items())
     )
+    channels = tuple(
+        (name, tuple(canonical_value(value) for value in chan.queue))
+        for name, chan in sorted(sync.channels.items())
+    )
     threads = tuple(
         (
             name,
@@ -352,11 +369,13 @@ def state_fingerprint(engine: Any) -> Tuple:
     )
     return (
         mem,
+        buffers,
         mutexes,
         rwlocks,
         semaphores,
         conditions,
         barriers,
+        channels,
         threads,
         engine.steps,
     )

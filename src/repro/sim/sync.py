@@ -15,11 +15,14 @@ non-recursive lock) and report meaningful wait-for edges.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ProgramError
 
-__all__ = ["Mutex", "RWLock", "Semaphore", "Condition", "Barrier", "SyncObjects"]
+__all__ = [
+    "Mutex", "RWLock", "Semaphore", "Condition", "Barrier", "Channel",
+    "SyncObjects",
+]
 
 
 class Mutex:
@@ -203,6 +206,53 @@ class Barrier:
         return released
 
 
+class Channel:
+    """A FIFO message channel (a mailbox, in actor terms).
+
+    ``capacity=None`` means unbounded: sends never block.  A bounded
+    channel disables senders while full.  Receives are disabled while the
+    channel is empty; a message once received is gone, so two receivers
+    racing on one channel model exactly the lost-message bugs of the
+    actor studies.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ProgramError(f"channel {name!r} needs capacity >= 1 (or None)")
+        self.name = name
+        self.capacity = capacity
+        self.queue: List[Any] = []
+
+    def can_send(self, thread: str) -> bool:
+        """Senders are admitted while the channel is below capacity."""
+        return self.capacity is None or len(self.queue) < self.capacity
+
+    def send(self, thread: str, value: Any) -> int:
+        """Append ``value``; returns the new queue depth."""
+        if not self.can_send(thread):
+            raise ProgramError(
+                f"engine bug: send to full channel {self.name!r} was scheduled"
+            )
+        self.queue.append(value)
+        return len(self.queue)
+
+    def can_recv(self, thread: str) -> bool:
+        """Receivers are admitted while the channel holds a message."""
+        return bool(self.queue)
+
+    def recv(self, thread: str) -> Any:
+        """Pop and return the oldest message."""
+        if not self.queue:
+            raise ProgramError(
+                f"engine bug: recv from empty channel {self.name!r} was scheduled"
+            )
+        return self.queue.pop(0)
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """The queued messages, oldest first (for fingerprints)."""
+        return tuple(self.queue)
+
+
 class SyncObjects:
     """The declared synchronisation objects of one program run."""
 
@@ -213,6 +263,7 @@ class SyncObjects:
         semaphores: Dict[str, int],
         conditions: Dict[str, str],
         barriers: Dict[str, int],
+        channels: Optional[Dict[str, Optional[int]]] = None,
     ):
         self.mutexes: Dict[str, Mutex] = {n: Mutex(n) for n in locks}
         self.rwlocks: Dict[str, RWLock] = {n: RWLock(n) for n in rwlocks}
@@ -228,6 +279,9 @@ class SyncObjects:
             self.conditions[name] = Condition(name, lock)
         self.barriers: Dict[str, Barrier] = {
             n: Barrier(n, p) for n, p in barriers.items()
+        }
+        self.channels: Dict[str, Channel] = {
+            n: Channel(n, c) for n, c in (channels or {}).items()
         }
         self._check_disjoint()
 
@@ -251,6 +305,10 @@ class SyncObjects:
         """The declared barrier called ``name``."""
         return self._get(self.barriers, name, "barrier")
 
+    def channel(self, name: str) -> Channel:
+        """The declared channel called ``name``."""
+        return self._get(self.channels, name, "channel")
+
     def held_by(self, thread: str) -> List[str]:
         """Names of all mutexes and rwlocks currently held by ``thread``."""
         held = [m.name for m in self.mutexes.values() if m.owner == thread]
@@ -271,7 +329,10 @@ class SyncObjects:
         return table[name]
 
     def _check_disjoint(self) -> None:
-        groups = [self.mutexes, self.rwlocks, self.semaphores, self.conditions, self.barriers]
+        groups = [
+            self.mutexes, self.rwlocks, self.semaphores, self.conditions,
+            self.barriers, self.channels,
+        ]
         seen: Set[str] = set()
         for group in groups:
             for name in group:

@@ -58,6 +58,8 @@ __all__ = [
     "race_candidates",
     "atomicity_candidates",
     "order_candidates",
+    "message_candidates",
+    "weakmem_candidates",
 ]
 
 #: Sentinel initial values whose pre-write observation reads as
@@ -580,6 +582,225 @@ def order_candidates(
                     reason="; ".join(sorted(set(discharged))),
                 )
             )
+    return out
+
+
+def message_candidates(
+    summary: ProgramSummary, contexts: Dict[str, List[SiteContext]]
+) -> List[StaticCandidate]:
+    """Mailbox-order and lost-message shapes on the channel operations.
+
+    Two protocol bugs phrased against channels instead of variables:
+
+    * **mailbox order** — a thread selects over several channels whose
+      senders are in different threads with no spawn/join ordering:
+      which message wins is a race.  The candidate carries every
+      sentinel-initialised variable the selecting thread initialises
+      *conditionally* (i.e. depending on which message arrived) and
+      also reads — the state a message overtaking another leaves unset.
+    * **lost message** — every send into a channel sits on a conditional
+      path while some other thread receives from it unconditionally; a
+      skipped send strands the receiver on an empty mailbox forever.
+    """
+    spawns = _spawn_entries(summary)
+    ctx_by_site: Dict[Tuple[str, int], SiteContext] = {
+        (c.site.thread, c.site.index): c
+        for ctxs in contexts.values()
+        for c in ctxs
+    }
+    sends: Dict[str, List[OpSite]] = {}
+    recvs: Dict[str, List[OpSite]] = {}
+    for thread in summary.threads.values():
+        for site in thread.sites_of_kind("send"):
+            if site.obj is not None:
+                sends.setdefault(site.obj, []).append(site)
+        for site in thread.sites_of_kind("recv"):
+            if site.obj is not None:
+                recvs.setdefault(site.obj, []).append(site)
+    out: List[StaticCandidate] = []
+    out.extend(_mailbox_order(summary, spawns, ctx_by_site, sends))
+    out.extend(_lost_messages(summary, sends, recvs))
+    return out
+
+
+def _mailbox_order(
+    summary: ProgramSummary,
+    spawns: Dict[str, List[Tuple[str, int]]],
+    ctx_by_site: Dict[Tuple[str, int], SiteContext],
+    sends: Dict[str, List[OpSite]],
+) -> List[StaticCandidate]:
+    out: List[StaticCandidate] = []
+    for name, thread in summary.threads.items():
+        # One select statement = the group of same-line select sites
+        # (the summary emits one site per polled channel).
+        groups: Dict[Tuple[Optional[int], Optional[str]], List[OpSite]] = {}
+        for site in thread.sites_of_kind("select"):
+            if site.obj is not None:
+                groups.setdefault((site.lineno, site.label), []).append(site)
+        for group in groups.values():
+            chans = sorted({site.obj for site in group})
+            if len(chans) < 2:
+                continue
+            racing: List[Tuple[OpSite, OpSite]] = []
+            for i, chan_a in enumerate(chans):
+                for chan_b in chans[i + 1 :]:
+                    for send_a in sends.get(chan_a, ()):
+                        for send_b in sends.get(chan_b, ()):
+                            if name in (send_a.thread, send_b.thread):
+                                continue
+                            if send_a.thread == send_b.thread:
+                                continue  # program order fixes arrival
+                            a = ctx_by_site.get((send_a.thread, send_a.index))
+                            b = ctx_by_site.get((send_b.thread, send_b.index))
+                            if a is None or b is None:
+                                continue
+                            if _ordered(a, b, summary, spawns) is None:
+                                racing.append((send_a, send_b))
+            if not racing:
+                continue
+            # The state a wrong arrival order exposes: variables the
+            # selecting thread initialises only on some message's branch
+            # and reads expecting the initialisation to have happened.
+            exposed = sorted(
+                var
+                for var in summary.initial
+                if any(summary.initial[var] is s for s in _SENTINELS)
+                and any(
+                    s.kind == "write" and s.conditional
+                    for s in thread.sites
+                    if s.obj == var
+                )
+                and any(
+                    s.kind == "read" for s in thread.sites if s.obj == var
+                )
+            )
+            involved = sorted(
+                {name} | {s.thread for pair in racing for s in pair}
+            )
+            sites = sorted(
+                {s.describe() for s in group}
+                | {s.describe() for pair in racing for s in pair}
+            )
+            out.append(
+                StaticCandidate(
+                    kind="order-violation",
+                    description=(
+                        f"{name} selects over {chans} but nothing orders "
+                        f"the senders: whichever message arrives first "
+                        f"wins, and the protocol's intended order is only "
+                        f"an assumption"
+                    ),
+                    threads=tuple(involved),
+                    variables=tuple(exposed),
+                    resources=tuple(chans),
+                    sites=tuple(sites),
+                )
+            )
+    return out
+
+
+def _lost_messages(
+    summary: ProgramSummary,
+    sends: Dict[str, List[OpSite]],
+    recvs: Dict[str, List[OpSite]],
+) -> List[StaticCandidate]:
+    out: List[StaticCandidate] = []
+    for chan in sorted(recvs):
+        waiting = [site for site in recvs[chan] if not site.conditional]
+        senders = sends.get(chan, [])
+        cross = [
+            (r, s)
+            for r in waiting
+            for s in senders
+            if s.thread != r.thread
+        ]
+        if not cross or not all(s.conditional for s in senders):
+            continue
+        involved = sorted({s.thread for pair in cross for s in pair})
+        sites = sorted({s.describe() for pair in cross for s in pair})
+        out.append(
+            StaticCandidate(
+                kind="order-violation",
+                description=(
+                    f"every send into channel {chan!r} is conditional while "
+                    f"a receive waits unconditionally: a skipped send "
+                    f"strands the receiver forever"
+                ),
+                threads=tuple(involved),
+                resources=(chan,),
+                sites=tuple(sites),
+            )
+        )
+    return out
+
+
+#: Operation kinds that do NOT drain a TSO store buffer; every other
+#: kind implicitly fences (the engine disables it while the buffer holds
+#: stores), mirroring ``repro.sim.engine``'s ``_UNFENCED_OPS``.
+_UNFENCED_KINDS = frozenset({"read", "write", "yield", "sleep"})
+
+
+def weakmem_candidates(
+    summary: ProgramSummary, contexts: Dict[str, List[SiteContext]]
+) -> List[StaticCandidate]:
+    """Un-fenced store-visibility shapes; only under ``memory="tso"``.
+
+    The store-buffering litmus shape: a thread stores to a variable some
+    other thread reads, then — with nothing in between that would drain
+    its store buffer — reads a variable some other thread writes.  Under
+    TSO the store may still be buffered at the read, so both threads can
+    observe each other's *old* values, an outcome sequential consistency
+    forbids.  A fencing site between the pair discharges it, but only
+    when unconditional (a fence on one branch arm protects nothing).
+    """
+    if summary.memory != "tso":
+        return []
+    readers: Dict[str, Set[str]] = {}
+    writers: Dict[str, Set[str]] = {}
+    for thread in summary.threads.values():
+        for site in thread.sites:
+            if site.obj is None:
+                continue
+            if site.kind == "read":
+                readers.setdefault(site.obj, set()).add(site.thread)
+            elif site.kind in ("write", "atomic"):
+                writers.setdefault(site.obj, set()).add(site.thread)
+    out: List[StaticCandidate] = []
+    for name, thread in summary.threads.items():
+        flagged: Set[Tuple[str, str]] = set()
+        for store in thread.sites_of_kind("write"):
+            if store.obj is None or not (readers.get(store.obj, set()) - {name}):
+                continue
+            for load in thread.sites_of_kind("read"):
+                if load.index <= store.index or load.obj in (None, store.obj):
+                    continue
+                if not (writers.get(load.obj, set()) - {name}):
+                    continue
+                if exclusive(summary, store, load):
+                    continue
+                fenced = any(
+                    store.index < s.index < load.index
+                    and s.kind not in _UNFENCED_KINDS
+                    and not s.conditional
+                    for s in thread.sites
+                )
+                if fenced or (store.obj, load.obj) in flagged:
+                    continue
+                flagged.add((store.obj, load.obj))
+                out.append(
+                    StaticCandidate(
+                        kind="order-violation",
+                        description=(
+                            f"{name}'s store to {store.obj!r} can still sit "
+                            f"in its TSO store buffer when it reads "
+                            f"{load.obj!r}: no fence between "
+                            f"{store.describe()} and {load.describe()}"
+                        ),
+                        threads=(name,),
+                        variables=(store.obj, load.obj),
+                        sites=(store.describe(), load.describe()),
+                    )
+                )
     return out
 
 

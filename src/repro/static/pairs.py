@@ -293,6 +293,8 @@ def _order_pairs(
     out: List[TargetPair] = []
     for cand in candidates:
         if cand.kind == "order-violation":
+            if not cand.variables:
+                continue  # channel-level shapes carry no memory variable
             # Sentinel start: the read must beat the initialising write.
             var = cand.variables[0]
             for read, write in _cross_pairs(by_var.get(var, ()), "read", "write"):

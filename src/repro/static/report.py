@@ -27,9 +27,11 @@ from repro.static.lockorder import deadlock_candidates
 from repro.static.lockset import (
     StaticCandidate,
     atomicity_candidates,
+    message_candidates,
     order_candidates,
     race_candidates,
     site_contexts,
+    weakmem_candidates,
 )
 from repro.static.pairs import TargetPair, target_pairs
 from repro.static.summary import ProgramSummary, summarize_program
@@ -150,6 +152,8 @@ def analyse(program: Program) -> StaticReport:
     candidates: List[StaticCandidate] = list(races)
     candidates.extend(atomicity_candidates(summary, contexts, races))
     candidates.extend(order_candidates(summary, contexts))
+    candidates.extend(message_candidates(summary, contexts))
+    candidates.extend(weakmem_candidates(summary, contexts))
     candidates.extend(deadlock_candidates(summary, contexts))
     pairs = target_pairs(summary, contexts, candidates)
     report = StaticReport(

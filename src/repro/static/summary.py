@@ -168,7 +168,11 @@ class ProgramSummary:
     semaphores: Tuple[str, ...] = ()
     conditions: Dict[str, str] = field(default_factory=dict)
     barriers: Tuple[str, ...] = ()
+    channels: Dict[str, Optional[int]] = field(default_factory=dict)
     start: Tuple[str, ...] = ()
+    #: Declared memory model (``"sc"`` / ``"tso"``); the weak-memory
+    #: candidate pass only runs when stores can be buffered.
+    memory: str = "sc"
 
     @property
     def approximate(self) -> bool:
@@ -228,7 +232,9 @@ def summarize_program(program: Program) -> ProgramSummary:
         semaphores=tuple(program.semaphores),
         conditions=dict(program.conditions),
         barriers=tuple(program.barriers),
+        channels=dict(program.channels),
         start=tuple(program.start),
+        memory=program.memory,
     )
 
 
@@ -275,6 +281,10 @@ _OP_FIELDS: Dict[str, Tuple[str, ...]] = {
     "Join": ("thread", "label"),
     "Yield": ("label",),
     "Sleep": ("ticks", "label"),
+    "Send": ("chan", "value", "label"),
+    "Recv": ("chan", "label"),
+    "Select": ("chans", "label"),
+    "Fence": ("label",),
 }
 
 _OP_KIND_BY_NAME: Dict[str, str] = {
@@ -298,10 +308,14 @@ _OP_KIND_BY_NAME: Dict[str, str] = {
     "Join": "join",
     "Yield": "yield",
     "Sleep": "sleep",
+    "Send": "send",
+    "Recv": "recv",
+    "Select": "select",
+    "Fence": "fence",
 }
 
 _RESOURCE_FIELDS = frozenset(
-    {"var", "lock", "rwlock", "cond", "sem", "barrier", "thread"}
+    {"var", "lock", "rwlock", "cond", "sem", "barrier", "thread", "chan"}
 )
 
 
@@ -346,18 +360,26 @@ class _Extractor:
             right, ok_r = self._resolve(node.right)
             if ok_l and ok_r and isinstance(left, str) and isinstance(right, str):
                 return left + right, True
+        if isinstance(node, (ast.Tuple, ast.List)):
+            items = []
+            for element in node.elts:
+                value, ok = self._resolve(element)
+                if not ok:
+                    return None, False
+                items.append(value)
+            return tuple(items), True
         return None, False
 
     # -- op construction -------------------------------------------------
 
-    def _op_from_call(self, call: ast.expr, conditional: bool) -> Optional[SummaryOp]:
+    def _op_from_call(self, call: ast.expr, conditional: bool) -> List[SummaryOp]:
         if not isinstance(call, ast.Call):
             self.approximate = True
             self.notes.append(
                 f"line {getattr(call, 'lineno', '?')}: yield of a non-call "
                 f"expression; site skipped"
             )
-            return None
+            return []
         func = call.func
         if isinstance(func, ast.Name):
             op_name = func.id
@@ -371,7 +393,7 @@ class _Extractor:
                 f"line {call.lineno}: unknown operation constructor "
                 f"{ast.dump(func)[:40]}; site skipped"
             )
-            return None
+            return []
         fields = _OP_FIELDS[op_name]
         bound: Dict[str, ast.expr] = {}
         for position, arg in enumerate(call.args):
@@ -380,6 +402,29 @@ class _Extractor:
         for keyword in call.keywords:
             if keyword.arg is not None:
                 bound[keyword.arg] = keyword.value
+        label, label_ok = self._resolve(bound.get("label"))
+        if not label_ok:
+            label = None
+            self.approximate = True
+            self.notes.append(f"line {call.lineno}: unresolved label= of {op_name}")
+        if not isinstance(label, str) and label is not None:
+            label = str(label)
+        if op_name == "Select":
+            # A select touches every listed channel: one site per channel,
+            # sharing the select's label and line, so channel-level passes
+            # (mailbox-order candidates, the lint namespace check) see each
+            # mailbox the statement can commit to.
+            chans, ok = self._resolve(bound.get("chans"))
+            if not ok or not isinstance(chans, tuple):
+                self.approximate = True
+                self.notes.append(
+                    f"line {call.lineno}: unresolved chans= argument of Select"
+                )
+                chans = (None,)
+            return [
+                self._emit_site("select", chan, label, conditional, call.lineno)
+                for chan in chans
+            ]
         obj: Optional[str] = None
         resource_field = next((f for f in fields if f in _RESOURCE_FIELDS), None)
         if resource_field is not None:
@@ -393,19 +438,28 @@ class _Extractor:
                 )
             elif obj is not None and not isinstance(obj, str):
                 obj = str(obj)
-        label, label_ok = self._resolve(bound.get("label"))
-        if not label_ok:
-            label = None
-            self.approximate = True
-            self.notes.append(f"line {call.lineno}: unresolved label= of {op_name}")
+        return [
+            self._emit_site(
+                _OP_KIND_BY_NAME[op_name], obj, label, conditional, call.lineno
+            )
+        ]
+
+    def _emit_site(
+        self,
+        kind: str,
+        obj: Optional[Any],
+        label: Optional[str],
+        conditional: bool,
+        lineno: Optional[int],
+    ) -> SummaryOp:
         site = OpSite(
             thread=self.thread,
             index=self.index,
-            kind=_OP_KIND_BY_NAME[op_name],
-            obj=obj,
-            label=label if isinstance(label, str) or label is None else str(label),
+            kind=kind,
+            obj=obj if isinstance(obj, str) or obj is None else str(obj),
+            label=label,
             conditional=conditional,
-            lineno=call.lineno,
+            lineno=lineno,
         )
         self.index += 1
         self.sites.append(site)
@@ -418,9 +472,7 @@ class _Extractor:
         for stmt in stmts:
             yielded = _yield_expression(stmt)
             if yielded is not None:
-                op = self._op_from_call(yielded, conditional)
-                if op is not None:
-                    nodes.append(op)
+                nodes.extend(self._op_from_call(yielded, conditional))
                 continue
             if isinstance(stmt, ast.If):
                 arms = (
@@ -462,9 +514,7 @@ class _Extractor:
                         f"line {stmt.lineno}: yield inside an unmodelled "
                         f"statement; extracted without structure"
                     )
-                    op = self._op_from_call(inner.value, True)
-                    if op is not None:
-                        nodes.append(op)
+                    nodes.extend(self._op_from_call(inner.value, True))
         return tuple(nodes)
 
 
@@ -632,6 +682,13 @@ def _drive_policy_initial(op: Op, initial: Mapping[str, Any]) -> Any:
                 return _ABSTRACT
     if kind == "tryacquire":
         return True
+    if kind == "recv":
+        return _ABSTRACT
+    if kind == "select":
+        # A select evaluates to (channel, value); answer with the first
+        # declared channel so tuple unpacking in the body keeps working.
+        chans = getattr(op, "chans", ())
+        return (chans[0] if chans else None, _ABSTRACT)
     return None
 
 

@@ -146,6 +146,18 @@ class TestSuiteOnKernels:
                 # cross-section pair that untrained AVIO still flags
                 # (invariant learning whitelists it — see the AVIO tests).
                 allowed |= {"atomicity"}
+            if kernel.name == "actor_lost_message":
+                # The code-switch fix reorders the send before the flag
+                # check but — like most of the studied fixes — adds no
+                # synchronisation, so the now-benign race on the
+                # shutdown flag stays visible to race detectors.
+                allowed |= {"happens-before", "lockset"}
+            if kernel.name == "weakmem_store_buffer":
+                # The Dekker flag protocol is built from intentionally
+                # racy flag accesses; the fence fix orders store
+                # *visibility*, not happens-before, so race detectors
+                # keep flagging the (correct) idiom.
+                allowed |= {"happens-before", "lockset"}
             if kernel.name == "order_teardown_use":
                 # Eraser's classic fork-join false positive: the fix orders
                 # the accesses via Join, which the lockset discipline cannot

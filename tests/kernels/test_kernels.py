@@ -131,8 +131,21 @@ class TestDeadlockKernels:
 
 
 class TestRegistry:
-    def test_thirteen_kernels_registered(self):
-        assert len(kernel_names()) == 13
+    def test_sixteen_kernels_registered(self):
+        assert len(kernel_names()) == 16
+
+    def test_family_filters_partition_the_registry(self):
+        from repro.kernels import families
+
+        assert families() == ["actor", "sc", "weakmem"]
+        by_family = [kernel_names(family=f) for f in families()]
+        assert sorted(sum(by_family, [])) == sorted(kernel_names())
+        assert kernel_names(family="actor") == [
+            "actor_mailbox_order", "actor_lost_message"
+        ]
+        assert kernel_names(family="weakmem") == ["weakmem_store_buffer"]
+        with pytest.raises(KeyError, match="unknown kernel family"):
+            kernel_names(family="gpu")
 
     def test_get_kernel_returns_fresh_instances(self):
         a = get_kernel("deadlock_abba")

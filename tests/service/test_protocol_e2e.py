@@ -73,7 +73,7 @@ def _expected_detect_verdicts(names):
 
 def test_serve_all_kernels_with_dedup_and_shutdown(tmp_path):
     names = kernel_names()
-    assert len(names) == 13
+    assert len(names) == 16
 
     async def main():
         sock = tmp_path / "svc.sock"
@@ -185,17 +185,17 @@ def test_serve_all_kernels_with_dedup_and_shutdown(tmp_path):
 
     # -- dashboard totals ---------------------------------------------------
     totals = out["status"]["totals"]
-    assert totals["submissions"] == 26
-    assert totals["completed"] == 26
+    assert totals["submissions"] == 32
+    assert totals["completed"] == 32
     assert totals["failed"] == 0
-    assert totals["cache_hits"] == 13
+    assert totals["cache_hits"] == 16
     assert totals["dedup_ratio"] == pytest.approx(0.5)
     # Engine runs were paid exactly once per kernel.
     assert totals["engine_runs"] == sum(
         job["engine_runs"] for job in first_by_name.values()
     )
-    assert out["status"]["cache"]["entries"] == 13
-    assert len(out["status"]["jobs"]) == 26
+    assert out["status"]["cache"]["entries"] == 16
+    assert len(out["status"]["jobs"]) == 32
 
     # -- protocol errors ----------------------------------------------------
     errors = out["errors"]

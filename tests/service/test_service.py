@@ -100,6 +100,7 @@ def test_differing_options_miss_the_cache(tmp_path):
                 {"workers": 2},
                 {"memoize": True},
                 {"max_schedules": 500},
+                {"memory": "tso"},
             ):
                 job = service.submit("detect", "atomicity_lost_update", options)
                 assert not job.cached, f"{options} wrongly hit the cache"
@@ -293,3 +294,35 @@ def test_run_job_matches_one_shot_detect():
     )
     assert payload["engine_runs"] >= 1
     assert payload["worker_wall_seconds"] > 0.0
+
+
+def test_memory_option_validated_and_folded_into_cache_key():
+    from repro.service.jobs import kernel_cache_key
+    from repro.kernels import get_kernel
+
+    with pytest.raises(JobError, match="memory must be one of"):
+        JobOptions.from_dict({"memory": "arm"})
+    options = JobOptions.from_dict({"memory": "tso"})
+    assert options.memory == "tso"
+    assert ("memory", "tso") in options.key_items(JobKind.DETECT)
+    assert options.to_dict()["memory"] == "tso"
+    # The declared-model key differs from every explicit override, and
+    # the overrides differ from each other: no verdict crosses models.
+    kernel = get_kernel("atomicity_lost_update")
+    keys = {
+        kernel_cache_key(JobKind.DETECT, kernel, JobOptions.from_dict(raw))
+        for raw in ({}, {"memory": "sc"}, {"memory": "tso"})
+    }
+    assert len(keys) == 3
+
+
+def test_run_job_applies_memory_override():
+    """The weakmem kernel is the observable witness: its bug exists under
+    its declared TSO model and is unreachable once forced to SC."""
+    declared = run_job("detect", "weakmem_store_buffer", {})
+    forced_sc = run_job("detect", "weakmem_store_buffer", {"memory": "sc"})
+    assert declared["verdict"]["manifested"] is True
+    assert forced_sc["verdict"]["manifested"] is False
+    # ... and the fix verifies clean under the weak model itself.
+    check = run_job("check", "weakmem_store_buffer", {"memory": "tso"})
+    assert check["verdict"]["clean"] is True

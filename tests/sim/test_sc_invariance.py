@@ -1,0 +1,111 @@
+"""Refactor-invariance guard: the SC path is bit-identical to pre-refactor.
+
+``tests/data/sc_invariance.json`` was captured (``tools/capture_sc_baseline.py``)
+against commit 5d82cca — the tree where ``SharedMemory`` *was* the memory
+layer, before it became the pluggable ``MemoryModel`` family.  This test
+re-measures every (kernel, explorer config) cell on the current tree and
+asserts the whole row — outcome-set digest, schedules run, states
+expanded, cache hits, status tally, DPOR telemetry — matches the golden
+file exactly.  Not just "same outcomes": the *explored tree itself* must
+be unchanged, which is the ISSUE's definition of the SC path being a
+pure refactor.
+
+If a cell legitimately changes (a new reduction, a scheduler fix), re-run
+the capture tool against the new tree and say why in the commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import all_kernels
+from repro.sim.explorer import make_explorer
+
+GOLDEN = Path(__file__).resolve().parent.parent / "data" / "sc_invariance.json"
+DATA = json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+#: Mirrors tools/capture_sc_baseline.py CONFIGS — keep in lockstep.
+CONFIGS = {
+    "dfs": {"reduction": None},
+    "dfs-bound2": {"reduction": None, "preemption_bound": 2},
+    "dfs-memo": {"reduction": None, "memoize": True},
+    "sleepset": {"reduction": "sleepset"},
+    "dpor": {"reduction": "dpor"},
+    "dpor-memo": {"reduction": "dpor", "memoize": True},
+    "dpor-bound2": {"reduction": "dpor", "preemption_bound": 2},
+}
+
+SC_KERNELS = {k.name: k for k in all_kernels(family="sc")}
+
+
+def _outcome_digest(outcomes) -> str:
+    body = repr(sorted(outcomes, key=repr))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def _measure(program, config, workers=None) -> dict:
+    explorer = make_explorer(
+        program,
+        max_schedules=20000,
+        max_steps=5000,
+        preemption_bound=config.get("preemption_bound"),
+        memoize=config.get("memoize", False),
+        reduction=config.get("reduction"),
+        workers=workers,
+    )
+    result = explorer.explore(predicate=lambda run: False)
+    row = {
+        "outcome_digest": _outcome_digest(result.outcomes),
+        "schedules_run": result.schedules_run,
+        "complete": result.complete,
+        "states_expanded": result.states_expanded,
+        "cache_hits": result.cache_hits,
+        "statuses": {
+            status.value: count for status, count in sorted(
+                result.statuses.items(), key=lambda item: item[0].value
+            )
+        },
+    }
+    if config.get("reduction") == "dpor":
+        row["dpor"] = {
+            "races_detected": explorer.races_detected,
+            "backtrack_points": explorer.backtrack_points,
+            "pruned_runs": explorer.pruned_runs,
+        }
+    return row
+
+
+def test_golden_file_covers_the_sc_family_exactly():
+    assert DATA["schema"] == "repro.sc-invariance/v1"
+    assert set(DATA["kernels"]) == set(SC_KERNELS)
+    for name, rows in DATA["kernels"].items():
+        assert set(rows) == set(CONFIGS), name
+
+
+@pytest.mark.parametrize("name", sorted(SC_KERNELS), ids=str)
+def test_sc_exploration_matches_pre_refactor_baseline(name):
+    kernel = SC_KERNELS[name]
+    golden_rows = DATA["kernels"][name]
+    for config_name, config in CONFIGS.items():
+        measured = _measure(kernel.buggy, config)
+        assert measured == golden_rows[config_name], (
+            f"{name}/{config_name}: SC exploration diverged from the "
+            f"pre-refactor baseline"
+        )
+
+
+@pytest.mark.parametrize("config_name", ["dfs", "dpor"])
+def test_parallel_sc_exploration_matches_baseline(config_name):
+    # Parallel merges are bit-identical to serial by construction; one
+    # kernel per config keeps the fork-pool cost bounded.
+    kernel = SC_KERNELS["atomicity_single_var"]
+    golden = DATA["kernels"]["atomicity_single_var"][config_name]
+    measured = _measure(kernel.buggy, CONFIGS[config_name], workers=2)
+    assert measured["outcome_digest"] == golden["outcome_digest"]
+    assert measured["statuses"] == golden["statuses"]
+    assert measured["complete"] == golden["complete"]
+    assert measured["schedules_run"] == golden["schedules_run"]

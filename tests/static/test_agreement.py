@@ -26,6 +26,14 @@ KNOWN_RESIDUAL_VARIANTS = {
     # cross-thread write/read pair still exists and the lockset
     # abstraction (correctly) still sees it.
     ("atomicity_single_var", "fixed:condition-check"),
+    # The code-switch fix reorders the send before the shutdown check but
+    # adds no synchronisation (like most of the studied fixes), so the
+    # now-benign race on the flag keeps its race and order candidates.
+    ("actor_lost_message", "fixed:code-switch"),
+    # Dekker's flag protocol is intentionally built from racy accesses;
+    # the fence fix orders store *visibility*, which discharges the
+    # weak-memory candidate but not the lockset abstraction's races.
+    ("weakmem_store_buffer", "fixed:design-change"),
 }
 
 

@@ -73,7 +73,7 @@ class TestReport:
 
     def test_full_report_includes_kernel_evidence(self, db):
         report = generate_report(db, quick=False)
-        assert len(report.kernel_evidence) == 13
+        assert len(report.kernel_evidence) == 16
         text = report.format()
         assert "Executable kernel evidence" in text
         assert "order-guarantees=yes" in text

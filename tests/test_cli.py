@@ -36,10 +36,10 @@ class TestFindingsAndValidate:
 
 
 class TestKernelCommands:
-    def test_kernels_lists_thirteen(self, capsys):
+    def test_kernels_lists_all_sixteen(self, capsys):
         assert main(["kernels"]) == 0
         out = capsys.readouterr().out
-        assert len(out.strip().splitlines()) == 13
+        assert len(out.strip().splitlines()) == 16
         assert "deadlock_abba" in out
 
     def test_kernel_drives_end_to_end(self, capsys):
@@ -63,6 +63,46 @@ class TestKernelCommands:
         out = capsys.readouterr().out
         assert "cooperative" in out
         assert "enforced" in out
+
+
+class TestFamilyAndMemoryFlags:
+    def test_kernels_filtered_by_family(self, capsys):
+        assert main(["kernels", "--family", "actor"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 2
+        assert "actor_mailbox_order" in out
+        assert "deadlock_abba" not in out
+
+    def test_kernels_unknown_family(self, capsys):
+        assert main(["kernels", "--family", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown kernel family" in err and "actor" in err
+
+    def test_kernel_requires_name_or_family(self, capsys):
+        assert main(["kernel"]) == 2
+        assert "kernel name or --family" in capsys.readouterr().err
+
+    def test_kernel_family_sweep(self, capsys):
+        assert main(["kernel", "--family", "actor"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("minimal witness") == 2
+        assert out.count("verified clean") == 2
+
+    def test_weakmem_kernel_gated_by_memory_flag(self, capsys):
+        # Declared model (tso): manifests.  Forced to sc: unreachable,
+        # which the driver reports as exit 1.
+        assert main(["kernel", "weakmem_store_buffer"]) == 0
+        out = capsys.readouterr().out
+        assert "memory model: tso" in out
+        assert main(["kernel", "weakmem_store_buffer", "--memory", "sc"]) == 1
+        out = capsys.readouterr().out
+        assert "memory model: sc" in out
+        assert "no manifesting schedule found" in out
+
+    def test_detect_accepts_memory_override(self, capsys):
+        assert main(["detect", "atomicity_lost_update", "--memory", "tso"]) == 0
+        out = capsys.readouterr().out
+        assert "happens-before" in out
 
 
 class TestBugCommand:

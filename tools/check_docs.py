@@ -11,7 +11,7 @@ Three checks, all against the working tree:
    (``src/repro/static/``) must additionally be mentioned in
    ``docs/static.md``, the subsystem's own page, and the search-layer
    modules of the simulator (``explorer`` / ``reduction`` / ``dpor`` /
-   ``parallel`` / ``statecache``) in ``docs/simulator.md`` — by
+   ``parallel`` / ``statecache`` / ``memory``) in ``docs/simulator.md`` — by
    filename or dotted ``sim.<module>`` path — and the service modules
    (``src/repro/service/``) in ``docs/service.md``, the service
    handbook.
@@ -38,12 +38,13 @@ STATIC_DOC = DOCS / "static.md"
 SIMULATOR_DOC = DOCS / "simulator.md"
 SERVICE_DOC = DOCS / "service.md"
 
-#: The simulator's search layer: docs/simulator.md is its subsystem page
-#: and must discuss each of these modules (the substrate modules below
-#: them — engine, sync, ops, ... — are covered by the architecture tour).
+#: The simulator's search layer plus the pluggable memory models:
+#: docs/simulator.md is the subsystem page and must discuss each of these
+#: modules (the remaining substrate modules — engine, sync, ops, ... —
+#: are covered by the architecture tour).
 SIM_SEARCH_MODULES = (
     "explorer", "reduction", "dpor", "dpor_parallel", "parallel",
-    "statecache",
+    "statecache", "memory",
 )
 
 #: Markdown inline links: [text](target), ignoring images and code spans.

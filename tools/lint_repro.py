@@ -5,12 +5,12 @@ Static checks over every registered bug kernel, powered by the
 ``repro.static`` summaries (no schedule is executed):
 
 1. **Declaration drift, use side** — every resource an operation site
-   actually touches (mutexes, rwlocks, condvars, semaphores, barriers)
-   and every shared variable read or written must be declared on the
-   kernel's :class:`~repro.sim.program.Program`.  Checked per program
-   variant (buggy, fixed, every alternative fix).
+   actually touches (mutexes, rwlocks, condvars, semaphores, barriers,
+   channels) and every shared variable read or written must be declared
+   on the kernel's :class:`~repro.sim.program.Program`.  Checked per
+   program variant (buggy, fixed, every alternative fix).
 2. **Declaration drift, declare side** — every declared lock, rwlock,
-   and shared variable must be used by *some* variant of the kernel.
+   channel, and shared variable must be used by *some* variant of the kernel.
    Checked against the union of variants because fixes share the buggy
    program's declarations (``Program.with_threads``): a lock-addition
    fix legitimately leaves the lock unused in the buggy variant.
@@ -44,6 +44,9 @@ UNLINKED_KERNELS = frozenset({
     "multivar_torn_invariant",
     "order_teardown_use",
     "deadlock_rwlock_upgrade",
+    "actor_mailbox_order",
+    "actor_lost_message",
+    "weakmem_store_buffer",
 })
 
 #: Site kind -> which Program declaration namespace the resource lives in.
@@ -63,6 +66,9 @@ _NAMESPACE_OF_KIND = {
     "barrier_wait": "barriers",
     "read": "variables",
     "write": "variables",
+    "send": "channels",
+    "recv": "channels",
+    "select": "channels",
 }
 
 
@@ -73,6 +79,7 @@ def _declared(program: Program) -> Dict[str, Set[str]]:
         "conditions": set(program.conditions),
         "semaphores": set(program.semaphores),
         "barriers": set(program.barriers),
+        "channels": set(program.channels),
         "variables": set(program.initial),
     }
 
@@ -87,7 +94,8 @@ def _used(program: Program) -> Tuple[Dict[str, Set[str]], bool]:
     summary = summarize_program(program)
     usage: Dict[str, Set[str]] = {ns: set() for ns in
                                   ("locks", "rwlocks", "conditions",
-                                   "semaphores", "barriers", "variables")}
+                                   "semaphores", "barriers", "channels",
+                                   "variables")}
     for thread in summary.threads.values():
         for site in thread.sites:
             namespace = _NAMESPACE_OF_KIND.get(site.kind)
@@ -126,7 +134,7 @@ def declaration_problems(
     if any_approximate:
         return problems  # fallback summaries may miss branches: skip unused check
     declared = _declared(variants[0][1])  # variants share declarations
-    for namespace in ("locks", "rwlocks", "variables"):
+    for namespace in ("locks", "rwlocks", "channels", "variables"):
         for resource in sorted(declared[namespace] - union_used[namespace]):
             problems.append(
                 f"{name}: declared {namespace[:-1]} {resource!r} is used by "
