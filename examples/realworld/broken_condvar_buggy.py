@@ -1,0 +1,56 @@
+"""Broken condition-variable protocol: the waiter checks ``ready``
+*outside* the condition's lock before deciding to wait — the publisher
+can set the flag and notify in that window, and the wakeup is lost
+(the study's lost-wakeup order-violation shape)."""
+
+import threading
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "order-violation",
+            "variables": ["box.ready"],
+            "manifestation": "hang",
+            "note": "flag checked outside the condition lock; notify can "
+                    "land before the wait",
+        },
+        {
+            "kind": "data-race",
+            "variables": ["box.ready"],
+            "manifestation": "finding",
+            "note": "the unlocked check races the locked write",
+        },
+    ],
+}
+
+
+class Mailbox:
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.ready = False
+
+    def wait_ready(self):
+        if not self.ready:
+            with self.cond:
+                self.cond.wait()
+
+    def publish(self):
+        with self.cond:
+            self.ready = True
+            self.cond.notify()
+
+
+box = Mailbox()
+
+
+def main():
+    w = threading.Thread(target=box.wait_ready)
+    s = threading.Thread(target=box.publish)
+    w.start()
+    s.start()
+    w.join()
+    s.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Fixed condition-variable protocol: the flag is checked under the
+condition's lock in a ``while`` loop around ``wait()`` — the canonical
+recheck idiom.  The recheck read after ``wait`` releases and reacquires
+the lock is a *tolerated* split section (see the corpus residual table
+in ``tests/static/test_agreement.py``)."""
+
+import threading
+
+REPRO_EXPECT = {
+    "fixed_of": "broken_condvar_buggy",
+    "bugs": [],
+}
+
+
+class Mailbox:
+    def __init__(self):
+        self.cond = threading.Condition()
+        self.ready = False
+
+    def wait_ready(self):
+        with self.cond:
+            while not self.ready:
+                self.cond.wait()
+
+    def publish(self):
+        with self.cond:
+            self.ready = True
+            self.cond.notify()
+
+
+box = Mailbox()
+
+
+def main():
+    w = threading.Thread(target=box.wait_ready)
+    s = threading.Thread(target=box.publish)
+    w.start()
+    s.start()
+    w.join()
+    s.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Double-checked lazy init: the first check of ``initialized`` happens
+outside the lock, racing the initialising write (Mozilla/OpenOffice
+double-checked-locking shape from the study's atomicity table)."""
+
+import threading
+
+lock = threading.Lock()
+initialized = False
+resource = None
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "data-race",
+            "variables": ["initialized"],
+            "manifestation": "finding",
+            "note": "unlocked fast-path check races the locked write",
+        },
+        {
+            "kind": "atomicity-violation",
+            "variables": ["initialized"],
+            "manifestation": "finding",
+            "confirmable": False,
+            "note": "check and act span an unlocked window; dynamically "
+                    "subsumed by the data-race finding on the same pair",
+        },
+        {
+            "kind": "data-race",
+            "variables": ["resource"],
+            "manifestation": "finding",
+            "note": "the fast path returns resource without holding the lock",
+        },
+    ],
+}
+
+
+def make_resource():
+    return object()
+
+
+def get_resource():
+    global initialized, resource
+    if not initialized:
+        lock.acquire()
+        if not initialized:
+            resource = make_resource()
+            initialized = True
+        lock.release()
+    return resource
+
+
+def worker():
+    get_resource()
+
+
+def main():
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Fixed lazy init: check, initialise, and read all happen under the
+lock — no unlocked fast path, no check-then-act window."""
+
+import threading
+
+lock = threading.Lock()
+initialized = False
+resource = None
+
+REPRO_EXPECT = {
+    "fixed_of": "double_checked_flag_buggy",
+    "bugs": [],
+}
+
+
+def make_resource():
+    return object()
+
+
+def get_resource():
+    global initialized, resource
+    lock.acquire()
+    if not initialized:
+        resource = make_resource()
+        initialized = True
+    r = resource
+    lock.release()
+    return r
+
+
+def worker():
+    get_resource()
+
+
+def main():
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+if __name__ == "__main__":
+    main()

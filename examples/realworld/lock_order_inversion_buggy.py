@@ -1,0 +1,50 @@
+"""Lock-order inversion: two transfer paths take the same pair of
+account locks in opposite orders — the classic ABBA deadlock the study
+attributes to most non-deadlock-turned-deadlock fixes."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+balance_a = 100
+balance_b = 100
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "deadlock",
+            "resources": ["lock_a", "lock_b"],
+            "manifestation": "deadlock",
+            "note": "ABBA cycle between the two transfer directions",
+        },
+    ],
+}
+
+
+def transfer_ab():
+    global balance_a, balance_b
+    with lock_a:
+        with lock_b:
+            balance_a = balance_a - 10
+            balance_b = balance_b + 10
+
+
+def transfer_ba():
+    global balance_a, balance_b
+    with lock_b:
+        with lock_a:
+            balance_b = balance_b - 10
+            balance_a = balance_a + 10
+
+
+def main():
+    t1 = threading.Thread(target=transfer_ab)
+    t2 = threading.Thread(target=transfer_ba)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Fixed lock ordering: both transfer directions acquire the account
+locks in one global order (``lock_a`` before ``lock_b``), breaking the
+circular wait."""
+
+import threading
+
+lock_a = threading.Lock()
+lock_b = threading.Lock()
+balance_a = 100
+balance_b = 100
+
+REPRO_EXPECT = {
+    "fixed_of": "lock_order_inversion_buggy",
+    "bugs": [],
+}
+
+
+def transfer_ab():
+    global balance_a, balance_b
+    with lock_a:
+        with lock_b:
+            balance_a = balance_a - 10
+            balance_b = balance_b + 10
+
+
+def transfer_ba():
+    global balance_a, balance_b
+    with lock_a:
+        with lock_b:
+            balance_b = balance_b - 10
+            balance_a = balance_a + 10
+
+
+def main():
+    t1 = threading.Thread(target=transfer_ab)
+    t2 = threading.Thread(target=transfer_ba)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Lost sentinel: the producer's items *and* its end-of-stream sentinel
+are both gated on a failure flag the main thread can raise concurrently
+— if it wins, the sentinel is never enqueued and the consumer's drain
+loop blocks forever on an empty queue."""
+
+import queue
+import threading
+
+inbox = queue.Queue()
+failed = False
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "order-violation",
+            "resources": ["inbox"],
+            "manifestation": "hang",
+            "note": "every send (items and sentinel) is conditional on the "
+                    "failure flag; the drain loop's get starves",
+        },
+    ],
+}
+
+
+def producer():
+    if not failed:
+        inbox.put("item")
+    if not failed:
+        inbox.put(None)
+
+
+def consumer():
+    item = inbox.get()
+    while item is not None:
+        item = inbox.get()
+
+
+def main():
+    global failed
+    p = threading.Thread(target=producer)
+    c = threading.Thread(target=consumer)
+    p.start()
+    c.start()
+    failed = True
+    p.join()
+    c.join()
+
+
+if __name__ == "__main__":
+    main()

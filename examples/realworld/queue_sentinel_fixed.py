@@ -1,0 +1,43 @@
+"""Fixed sentinel protocol: the end-of-stream sentinel is enqueued
+unconditionally, so the consumer's drain loop always terminates no
+matter when the failure flag is raised.  The flag itself stays
+intentionally racy (a monotonic shutdown hint — staleness is tolerated;
+see the corpus residual table in ``tests/static/test_agreement.py``)."""
+
+import queue
+import threading
+
+inbox = queue.Queue()
+failed = False
+
+REPRO_EXPECT = {
+    "fixed_of": "queue_sentinel_buggy",
+    "bugs": [],
+}
+
+
+def producer():
+    if not failed:
+        inbox.put("item")
+    inbox.put(None)
+
+
+def consumer():
+    item = inbox.get()
+    while item is not None:
+        item = inbox.get()
+
+
+def main():
+    global failed
+    p = threading.Thread(target=producer)
+    c = threading.Thread(target=consumer)
+    p.start()
+    c.start()
+    failed = True
+    p.join()
+    c.join()
+
+
+if __name__ == "__main__":
+    main()

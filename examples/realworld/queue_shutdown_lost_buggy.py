@@ -1,0 +1,48 @@
+"""Queue shutdown lost-message: every producer ``put`` is gated on a
+shutdown flag the main thread can raise at any moment, but the consumer
+unconditionally ``get``s a fixed number of items — if shutdown wins the
+race, the consumer blocks forever on an empty queue."""
+
+import queue
+import threading
+
+tasks = queue.Queue()
+stop = False
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "order-violation",
+            "resources": ["tasks"],
+            "manifestation": "hang",
+            "note": "all sends are conditional on the stop flag; the "
+                    "unconditional get starves",
+        },
+    ],
+}
+
+
+def producer():
+    for _ in range(2):
+        if not stop:
+            tasks.put("job")
+
+
+def consumer():
+    tasks.get()
+    tasks.get()
+
+
+def main():
+    global stop
+    p = threading.Thread(target=producer)
+    c = threading.Thread(target=consumer)
+    p.start()
+    c.start()
+    stop = True
+    p.join()
+    c.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Fixed queue shutdown: the producer always enqueues the work the
+consumer is counting on — the stop flag now only gates *new* work
+admission upstream, never items the consumer already expects."""
+
+import queue
+import threading
+
+tasks = queue.Queue()
+stop = False
+
+REPRO_EXPECT = {
+    "fixed_of": "queue_shutdown_lost_buggy",
+    "bugs": [],
+}
+
+
+def producer():
+    tasks.put("job")
+    tasks.put("job")
+
+
+def consumer():
+    tasks.get()
+    tasks.get()
+
+
+def main():
+    global stop
+    p = threading.Thread(target=producer)
+    c = threading.Thread(target=consumer)
+    p.start()
+    c.start()
+    stop = True
+    p.join()
+    c.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Unprotected shared counter: two workers increment a module global
+with no lock — each ``+= 1`` is a read-modify-write whose interleaving
+loses updates (the single-variable atomicity shape that dominates the
+study's non-deadlock table)."""
+
+import threading
+
+counter = 0
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "data-race",
+            "variables": ["counter"],
+            "manifestation": "finding",
+            "note": "no common lock protects the increment",
+        },
+        {
+            "kind": "atomicity-violation",
+            "variables": ["counter"],
+            "manifestation": "finding",
+            "confirmable": False,
+            "note": "the read and write halves of += can be split; "
+                    "dynamically subsumed by the data-race finding",
+        },
+    ],
+}
+
+
+def worker():
+    global counter
+    for _ in range(2):
+        counter += 1
+
+
+def main():
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Fixed shared counter: the increment's read-modify-write runs under a
+lock, making the two halves atomic with respect to the other worker."""
+
+import threading
+
+lock = threading.Lock()
+counter = 0
+
+REPRO_EXPECT = {
+    "fixed_of": "racy_counter_buggy",
+    "bugs": [],
+}
+
+
+def worker():
+    global counter
+    for _ in range(2):
+        with lock:
+            counter += 1
+
+
+def main():
+    t1 = threading.Thread(target=worker)
+    t2 = threading.Thread(target=worker)
+    t1.start()
+    t2.start()
+    t1.join()
+    t2.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Use-after-teardown: the main thread nulls the shared log handle
+while a worker may still be writing through it (Mozilla #61369 shape:
+teardown races in-flight use; dereferencing the cleared handle
+crashes)."""
+
+import threading
+
+
+def connect():
+    return object()
+
+
+log = connect()
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "data-race",
+            "variables": ["log"],
+            "manifestation": "crash",
+            "note": "teardown write races the worker's dereference",
+        },
+    ],
+}
+
+
+def worker():
+    log.write("entry")
+
+
+def main():
+    global log
+    t = threading.Thread(target=worker)
+    t.start()
+    log = None
+    t.join()
+
+
+if __name__ == "__main__":
+    main()

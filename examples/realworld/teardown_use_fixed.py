@@ -1,0 +1,38 @@
+"""Tolerated teardown race: the worker snapshots the handle once and
+null-checks the snapshot before use.  The *race* on ``log`` remains —
+this is the study's "tolerate" fix strategy, which accepts the
+interleaving and makes every outcome safe — so the data-race candidate
+is a pinned residual (see ``tests/static/test_agreement.py``), but no
+schedule can crash."""
+
+import threading
+
+
+def connect():
+    return object()
+
+
+log = connect()
+
+REPRO_EXPECT = {
+    "fixed_of": "teardown_use_buggy",
+    "bugs": [],
+}
+
+
+def worker():
+    handle = log
+    if handle is not None:
+        handle.write("entry")
+
+
+def main():
+    global log
+    t = threading.Thread(target=worker)
+    t.start()
+    log = None
+    t.join()
+
+
+if __name__ == "__main__":
+    main()

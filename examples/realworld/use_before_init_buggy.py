@@ -1,0 +1,47 @@
+"""Use-before-init publish: the worker dereferences a connection handle
+that the parent publishes only *after* spawning it (MySQL #48930 shape:
+a child thread reads ``mThread`` before the creator stores it)."""
+
+import threading
+
+conn = None
+done = False
+
+REPRO_EXPECT = {
+    "bugs": [
+        {
+            "kind": "order-violation",
+            "variables": ["conn"],
+            "manifestation": "crash",
+            "note": "nothing orders the publishing write before the remote read",
+        },
+        {
+            "kind": "data-race",
+            "variables": ["conn"],
+            "manifestation": "crash",
+            "note": "publish and use are also unsynchronised accesses",
+        },
+    ],
+}
+
+
+def make_connection():
+    return object()
+
+
+def worker():
+    global done
+    conn.send("hello")
+    done = True
+
+
+def main():
+    global conn
+    t = threading.Thread(target=worker)
+    t.start()
+    conn = make_connection()
+    t.join()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Fixed use-before-init publish: the handle is published *before* the
+worker is spawned, so program order guarantees initialisation."""
+
+import threading
+
+conn = None
+done = False
+
+REPRO_EXPECT = {
+    "fixed_of": "use_before_init_buggy",
+    "bugs": [],
+}
+
+
+def make_connection():
+    return object()
+
+
+def worker():
+    global done
+    conn.send("hello")
+    done = True
+
+
+def main():
+    global conn
+    conn = make_connection()
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+
+
+if __name__ == "__main__":
+    main()

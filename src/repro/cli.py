@@ -30,6 +30,16 @@ Commands:
     appears, ``--reduction {none,sleepset,dpor}`` selects the
     partial-order reduction the underlying exploration runs under
     (``docs/simulator.md``).
+``static --source PATH [--budget N] [--json]``
+    Analyze real Python ``threading`` source (one module, or a corpus
+    directory such as ``examples/realworld``): the AST frontend extracts
+    static candidates, the lifter compiles each module to a simulator
+    program, and exploration confirms candidates against the module's
+    ``REPRO_EXPECT`` ground-truth annotations (``docs/static.md``).
+``lift PATH [--show] [--budget N] [--json]``
+    Check one real Python module end to end — frontend, lift, explore —
+    and report whether any candidate manifests; ``--show`` prints the
+    generated simulator thread bodies.
 ``bug BUG_ID``
     Show one bug record (try ``mysql-nd-binlog-rotate``).
 ``validate``
@@ -207,6 +217,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help=reduction_help + " (dynamic cross-check)")
     static.add_argument("--memory", choices=memory_choices, default=None,
                         help=memory_help)
+    static.add_argument(
+        "--source", metavar="PATH", default=None,
+        help="analyze a real Python threading module (or a directory of "
+             "them) instead of a DSL kernel: frontend -> candidates -> "
+             "lifted-program confirmation against REPRO_EXPECT annotations",
+    )
+    static.add_argument(
+        "--budget", type=_worker_count, default=800,
+        help="max schedules when confirming lifted source modules "
+             "(default 800)",
+    )
+
+    lift_cmd = commands.add_parser(
+        "lift",
+        help="compile a real Python threading module into a runnable "
+             "simulator program and explore it",
+        parents=[obs_flags],
+    )
+    lift_cmd.add_argument("source", metavar="PATH",
+                          help="path to a Python module using threading")
+    lift_cmd.add_argument(
+        "--show", action="store_true",
+        help="print the generated thread bodies (the lifted DSL source)",
+    )
+    lift_cmd.add_argument(
+        "--budget", type=_worker_count, default=800,
+        help="max schedules for the exploration (default 800)",
+    )
+    lift_cmd.add_argument("--json", action="store_true",
+                          help="emit the lift verdict as JSON")
 
     bug = commands.add_parser(
         "bug", help="show one bug record", parents=[obs_flags]
@@ -275,7 +315,10 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit one job to a running service",
         parents=[obs_flags, endpoint_flags],
     )
-    submit.add_argument("name", help="kernel name")
+    submit.add_argument(
+        "name",
+        help="kernel name (or, with --kind source, a Python module path)",
+    )
     submit.add_argument(
         "--kind", choices=[k.value for k in _job_kinds()], default="detect",
         help="what to run (default: detect)",
@@ -525,12 +568,131 @@ def _measure_directed(kernel, workers, reduction=None) -> dict:
     return counts
 
 
+def _check_source_module(module, budget: int) -> dict:
+    """Frontend -> candidates -> lifted confirmation for one module.
+
+    Returns the machine-readable record; ``record["ok"]`` is the gate:
+    buggy modules must have every annotated bug covered by an active
+    candidate (recall) and every confirmable bug covered by a *confirmed*
+    candidate; fixed modules must explore with no failing terminal
+    status.
+    """
+    from repro.static.lift import confirm
+    from repro.static.pysource import annotation_matches
+    from repro.static.report import analyse_summary
+
+    report = analyse_summary(module.summary)
+    active = report.active()
+    outcome = confirm(module.summary, max_schedules=budget)
+    confirmed_keys = {
+        (o.kind, o.variables, o.resources)
+        for o in outcome.outcomes
+        if o.confirmed
+    }
+    bugs = []
+    ok = True
+    for bug in module.bugs:
+        matched = [c for c in active if annotation_matches(bug, c)]
+        recalled = bool(matched)
+        manifested = any(
+            (c.kind, c.variables, c.resources) in confirmed_keys
+            for c in matched
+        )
+        if not recalled or (bug.confirmable and not manifested):
+            ok = False
+        bugs.append(
+            {
+                "bug": bug.describe(),
+                "recalled": recalled,
+                "confirmed": manifested,
+                "confirmable": bug.confirmable,
+            }
+        )
+    if module.is_fixed and not outcome.clean:
+        ok = False
+    return {
+        "module": module.name,
+        "fixed_of": module.fixed_of,
+        "ok": ok,
+        "approximate": any(
+            t.approximate for t in module.summary.threads.values()
+        ),
+        "candidates": len(active),
+        "confirmed": len(outcome.confirmed),
+        "statuses": outcome.statuses,
+        "clean": outcome.clean,
+        "bugs": bugs,
+        "wall_seconds": outcome.wall_seconds,
+    }
+
+
+def _cmd_static_source(args) -> int:
+    from repro.static.pysource import SourceError, load_corpus
+
+    import json
+
+    try:
+        modules = load_corpus(args.source)
+    except SourceError as exc:
+        print(f"source analysis failed: {exc}", file=sys.stderr)
+        return 2
+    names = {m.name for m in modules}
+    records = []
+    all_ok = True
+    for module in modules:
+        record = _check_source_module(module, args.budget)
+        if module.fixed_of is not None and module.fixed_of not in names:
+            record["ok"] = False
+            record["bugs"].append(
+                {"bug": f"fixed_of {module.fixed_of!r} missing", "recalled": False}
+            )
+        all_ok = all_ok and record["ok"]
+        records.append(record)
+    annotated = sum(len(r["bugs"]) for r in records)
+    recalled = sum(1 for r in records for b in r["bugs"] if b.get("recalled"))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "modules": records,
+                    "recall": (recalled / annotated) if annotated else 1.0,
+                    "ok": all_ok,
+                },
+                indent=2,
+            )
+        )
+        return 0 if all_ok else 1
+    for record in records:
+        verdict = "ok" if record["ok"] else "FAILED"
+        role = (
+            f"fixes {record['fixed_of']}" if record["fixed_of"] else "buggy"
+        )
+        print(
+            f"{record['module']:32s} [{role}] {verdict}: "
+            f"{record['candidates']} candidate(s), "
+            f"{record['confirmed']} confirmed, statuses {record['statuses']}"
+        )
+        for bug in record["bugs"]:
+            mark = "+" if bug.get("confirmed") else ("~" if bug.get("recalled") else "-")
+            print(f"    {mark} {bug['bug']}")
+    print(
+        f"ground-truth recall: {recalled}/{annotated}"
+        + ("" if all_ok else "  — GATE FAILED")
+    )
+    return 0 if all_ok else 1
+
+
 def _cmd_static(args) -> int:
     import json
 
     from repro.detectors import DetectorSuite
     from repro.kernels import all_kernels
 
+    if args.source is not None:
+        if args.name is not None:
+            print("pass a kernel name or --source, not both", file=sys.stderr)
+            return 2
+        return _cmd_static_source(args)
     if args.name is not None:
         kernel = _get_kernel_or_fail(args.name)
         if kernel is None:
@@ -577,6 +739,43 @@ def _cmd_static(args) -> int:
                if all_sound else "FAILED — see MISSED lines above")
         )
     return 0 if all_sound else 1
+
+
+def _cmd_lift(args) -> int:
+    import json
+
+    from repro.static.lift import confirm, lifted_source
+    from repro.static.pysource import SourceError, load_source
+
+    try:
+        module = load_source(args.source)
+    except (OSError, SourceError) as exc:
+        print(f"lift failed: {exc}", file=sys.stderr)
+        return 2
+    if args.show:
+        print(lifted_source(module.summary))
+        print()
+    outcome = confirm(module.summary, max_schedules=args.budget)
+    buggy = bool(outcome.confirmed) or not outcome.clean
+    if args.json:
+        record = outcome.to_json()
+        record["buggy"] = buggy
+        print(json.dumps(record, indent=2))
+        return 1 if buggy else 0
+    print(f"{module.name}: lifted to simulator program "
+          f"({len(module.summary.threads)} thread(s))")
+    print(f"  explored statuses: {dict(outcome.statuses)}")
+    for cand in outcome.outcomes:
+        mark = f"CONFIRMED via {cand.how}" if cand.confirmed else "unconfirmed"
+        print(f"  [{cand.kind}] {cand.description} — {mark}")
+    if not outcome.outcomes:
+        print("  no static candidates")
+    print(
+        "verdict: "
+        + ("bug manifested in the lifted program" if buggy
+           else "clean — no candidate confirmed, no failing status")
+    )
+    return 1 if buggy else 0
 
 
 def _cmd_bug(args) -> int:
@@ -712,6 +911,13 @@ def _format_submit_verdict(job: dict) -> str:
                 f"digest {verdict.get('outcome_digest', '')[:12]}")
     elif kind == "static" and verdict:
         body = f"{verdict.get('candidates')} active candidates"
+    elif kind == "source" and verdict:
+        body = (
+            f"module {verdict.get('module')}: "
+            f"{verdict.get('confirmed', 0)} confirmed candidate(s), "
+            f"statuses {verdict.get('statuses')}"
+            + ("" if verdict.get("clean") else " — NOT CLEAN")
+        )
     else:
         return head
     return f"{head}\n  {body}"
@@ -799,6 +1005,7 @@ _HANDLERS = {
     "detect": _cmd_detect,
     "estimate": _cmd_estimate,
     "static": _cmd_static,
+    "lift": _cmd_lift,
     "bug": _cmd_bug,
     "validate": _cmd_validate,
     "fuzz": _cmd_fuzz,

@@ -2,8 +2,10 @@
 
 A *job* is one unit of checking work the service accepts over the wire:
 run a kernel's detector battery (``detect``), verify its fix (``check``),
-enumerate its outcome set (``explore``), or run the static analyzer
-(``static``).  Everything about a job that can change its verdict is
+enumerate its outcome set (``explore``), run the static analyzer
+(``static``), or analyze a real Python ``threading`` module end to end —
+frontend, lift, confirm (``source``, keyed on the file's content digest
+plus the frontend version rather than a program fingerprint).  Everything about a job that can change its verdict is
 captured in :class:`JobOptions` and folded — together with the
 content-addressed :func:`~repro.sim.statecache.program_fingerprint` of
 the program(s) the job actually executes — into a :func:`cache_key`, so
@@ -39,6 +41,7 @@ __all__ = [
     "cache_key",
     "kernel_cache_key",
     "run_job",
+    "source_cache_key",
 ]
 
 #: Version tag baked into every cache key; bump on any change to the
@@ -58,6 +61,7 @@ class JobKind(enum.Enum):
     DETECT = "detect"    # detector battery on a manifesting trace
     EXPLORE = "explore"  # enumerate the buggy program's outcome set
     STATIC = "static"    # zero-schedule static analysis
+    SOURCE = "source"    # real-Python frontend + lift-to-simulator confirm
 
     @classmethod
     def parse(cls, text: str) -> "JobKind":
@@ -80,8 +84,10 @@ class JobState(enum.Enum):
 
 
 #: Per-kind default exploration budget, matching the one-shot CLI paths
-#: (``verify_fixed`` defaults to 50000 schedules, everything else 20000).
-_DEFAULT_BUDGET = {JobKind.CHECK: 50000}
+#: (``verify_fixed`` defaults to 50000 schedules, ``source`` matches the
+#: CLI ``--budget`` default because lifted exploration is serial,
+#: everything else 20000).
+_DEFAULT_BUDGET = {JobKind.CHECK: 50000, JobKind.SOURCE: 800}
 
 
 @dataclass(frozen=True)
@@ -199,6 +205,29 @@ def _target_program(kind: JobKind, kernel: Any, options: JobOptions) -> Program:
 def kernel_cache_key(kind: JobKind, kernel: Any, options: JobOptions) -> str:
     """Cache key for a kernel submission: fingerprint what the job runs."""
     return cache_key(kind, options, _target_program(kind, kernel, options))
+
+
+def source_cache_key(path: str, options: JobOptions) -> str:
+    """Cache key for a ``source`` submission: digest of the file's bytes.
+
+    The key folds in :data:`~repro.static.pysource.PYSOURCE_VERSION` so
+    any frontend change invalidates every cached source verdict — the
+    source-side analogue of a kernel edit changing its program
+    fingerprint.  Keyed on content, not path: a renamed copy of the
+    same module reuses its verdict.
+    """
+    from repro.static.pysource import PYSOURCE_VERSION
+
+    with open(path, "rb") as handle:
+        digest = hashlib.sha256(handle.read()).hexdigest()
+    body = (
+        KEY_SCHEMA,
+        JobKind.SOURCE.value,
+        PYSOURCE_VERSION,
+        digest,
+        options.key_items(JobKind.SOURCE),
+    )
+    return hashlib.sha256(repr(body).encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -347,6 +376,27 @@ def _run_static(kernel: Any, options: JobOptions) -> Tuple[Dict[str, Any], int]:
     return verdict, 0
 
 
+def _run_source(path: str, options: JobOptions) -> Tuple[Dict[str, Any], int]:
+    """Real-Python frontend + lifted confirmation — ``repro lift PATH``.
+
+    The "kernel" field of a ``source`` job carries the module path.
+    Exploration of the lifted program is always serial: its thread
+    bodies are exec'd functions, which cannot cross a pickle boundary.
+    """
+    from repro.static.lift import confirm
+    from repro.static.pysource import load_source
+
+    module = load_source(path)
+    outcome = confirm(module.summary, max_schedules=options.budget(JobKind.SOURCE))
+    verdict = dict(outcome.to_json())
+    verdict["kind"] = JobKind.SOURCE.value
+    verdict["module"] = module.name
+    verdict["fixed_of"] = module.fixed_of
+    verdict["annotated_bugs"] = [bug.describe() for bug in module.bugs]
+    verdict["confirmed"] = len(outcome.confirmed)
+    return verdict, sum(outcome.statuses.values())
+
+
 _RUNNERS = {
     JobKind.CHECK: _run_check,
     JobKind.DETECT: _run_detect,
@@ -365,10 +415,20 @@ def run_job(
     schedules the underlying exploration launched — the number the
     service's dedup layer proves it saved on cache hits.
     """
-    from repro.kernels import get_kernel
-
     kind = JobKind.parse(kind_value)
     options = JobOptions.from_dict(options_dict)
+    if kind is JobKind.SOURCE:
+        # ``kernel_name`` is a module path for source jobs; no kernel
+        # registry lookup happens on this branch.
+        start = perf_counter()
+        verdict, engine_runs = _run_source(kernel_name, options)
+        return {
+            "verdict": verdict,
+            "engine_runs": engine_runs,
+            "worker_wall_seconds": perf_counter() - start,
+        }
+    from repro.kernels import get_kernel
+
     kernel = get_kernel(kernel_name)
     start = perf_counter()
     verdict, engine_runs = _RUNNERS[kind](kernel, options)

@@ -40,6 +40,7 @@ from repro.service.jobs import (
     JobOptions,
     JobState,
     kernel_cache_key,
+    source_cache_key,
 )
 from repro.service.resultcache import ResultCache
 from repro.service.workers import WorkerFleet
@@ -182,16 +183,24 @@ class ReproService:
         kind = JobKind.parse(kind) if isinstance(kind, str) else kind
         if not isinstance(options, JobOptions):
             options = JobOptions.from_dict(options)
-        try:
-            kernel = get_kernel(kernel_name)
-        except KeyError:
-            raise JobError(
-                f"unknown kernel {kernel_name!r}; available: "
-                + ", ".join(kernel_names())
-            ) from None
+        if kind is JobKind.SOURCE:
+            # ``kernel_name`` is a module path; key on its content
+            # digest + frontend version instead of a kernel fingerprint.
+            try:
+                key = source_cache_key(kernel_name, options)
+            except OSError as exc:
+                raise JobError(f"unreadable source module: {exc}") from None
+        else:
+            try:
+                kernel = get_kernel(kernel_name)
+            except KeyError:
+                raise JobError(
+                    f"unknown kernel {kernel_name!r}; available: "
+                    + ", ".join(kernel_names())
+                ) from None
+            key = kernel_cache_key(kind, kernel, options)
         self.submissions += 1
         obs_metrics.inc("service.submissions", kind=kind.value)
-        key = kernel_cache_key(kind, kernel, options)
 
         entry = self.cache.get(key)
         if entry is not None:

@@ -13,14 +13,22 @@ without running a single schedule:
   deadlock candidates;
 * :mod:`repro.static.pairs` — candidates compiled to ranked target pairs
   for race-directed exploration (``Explorer(targets=...)``);
-* :mod:`repro.static.report` — the :func:`analyse` entry point tying the
-  passes together with ``static.*`` observability.
+* :mod:`repro.static.report` — the :func:`analyse` /
+  :func:`analyse_summary` entry points tying the passes together with
+  ``static.*`` observability;
+* :mod:`repro.static.pysource` — the real-Python frontend: summaries
+  extracted from ordinary ``threading`` source instead of the DSL;
+* :mod:`repro.static.lift` — compiles frontend summaries back into
+  runnable simulator programs so candidates are dynamically confirmed.
 
 Layering: this package imports only :mod:`repro.sim`, :mod:`repro.obs`,
-and :mod:`repro.errors`; the detector suite imports *it* for the
-static-vs-dynamic cross-check, never the other way around.
+and :mod:`repro.errors` (lift's :func:`~repro.static.lift.confirm`
+lazily pulls in the detector suite at call time); the detector suite
+imports *it* for the static-vs-dynamic cross-check, never the other way
+around.
 """
 
+from repro.static.lift import LiftOutcome, lift, lifted_source
 from repro.static.lockorder import build_static_lock_order, deadlock_candidates
 from repro.static.lockset import (
     SiteContext,
@@ -31,7 +39,14 @@ from repro.static.lockset import (
     site_contexts,
 )
 from repro.static.pairs import TargetPair, TargetSite, target_pairs
-from repro.static.report import StaticReport, analyse
+from repro.static.pysource import (
+    GroundTruthBug,
+    SourceModule,
+    frontend,
+    load_corpus,
+    load_source,
+)
+from repro.static.report import StaticReport, analyse, analyse_summary
 from repro.static.summary import (
     OpSite,
     ProgramSummary,
@@ -44,6 +59,15 @@ from repro.static.summary import (
 
 __all__ = [
     "analyse",
+    "analyse_summary",
+    "frontend",
+    "lift",
+    "lifted_source",
+    "load_corpus",
+    "load_source",
+    "GroundTruthBug",
+    "LiftOutcome",
+    "SourceModule",
     "StaticReport",
     "StaticCandidate",
     "TargetPair",

@@ -36,7 +36,7 @@ from repro.static.lockset import (
 from repro.static.pairs import TargetPair, target_pairs
 from repro.static.summary import ProgramSummary, summarize_program
 
-__all__ = ["StaticReport", "analyse"]
+__all__ = ["StaticReport", "analyse", "analyse_summary"]
 
 #: Rendering / grouping order for candidate kinds.
 _KIND_ORDER = ("data-race", "atomicity-violation", "order-violation", "deadlock")
@@ -145,8 +145,18 @@ class StaticReport:
 
 def analyse(program: Program) -> StaticReport:
     """Run the full static battery over ``program`` without executing it."""
+    return analyse_summary(summarize_program(program))
+
+
+def analyse_summary(summary: ProgramSummary) -> StaticReport:
+    """Run the candidate passes over an already-extracted summary.
+
+    This is the entry point for summaries that did not come from a
+    :class:`Program` — the real-Python frontend
+    (:func:`repro.static.pysource.frontend`) produces them straight from
+    source text.  :func:`analyse` is the thin DSL wrapper around it.
+    """
     start = perf_counter()
-    summary = summarize_program(program)
     contexts = site_contexts(summary)
     races = race_candidates(summary, contexts)
     candidates: List[StaticCandidate] = list(races)
@@ -157,7 +167,7 @@ def analyse(program: Program) -> StaticReport:
     candidates.extend(deadlock_candidates(summary, contexts))
     pairs = target_pairs(summary, contexts, candidates)
     report = StaticReport(
-        program=program.name,
+        program=summary.program,
         summary=summary,
         candidates=candidates,
         pairs=pairs,

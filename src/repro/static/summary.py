@@ -46,10 +46,12 @@ from repro.sim.program import Program
 
 __all__ = [
     "OpSite",
+    "SiteGuard",
     "exclusive",
     "SummaryOp",
     "SummaryBranch",
     "SummaryLoop",
+    "SummaryDeref",
     "SummaryReturn",
     "ThreadSummary",
     "ProgramSummary",
@@ -101,25 +103,81 @@ class OpSite:
         return f"{where}:{self.kind}{target}"
 
 
+#: Guard modes a :class:`SiteGuard` can express — the value tests the
+#: real-Python frontend can lift to runnable simulator code and recover
+#: losslessly on re-extraction.
+GUARD_MODES = ("truthy", "falsy", "is-none", "not-none")
+
+
+@dataclass(frozen=True)
+class SiteGuard:
+    """A branch/loop condition phrased as a test of one site's value.
+
+    ``site`` is the :attr:`OpSite.index` of the read/recv whose result is
+    tested; ``mode`` is one of :data:`GUARD_MODES`.  The yield-Op DSL
+    never produces guards (branch conditions are opaque locals there);
+    the real-Python frontend (:mod:`repro.static.pysource`) attaches them
+    so the lifter (:mod:`repro.static.lift`) can regenerate an executable
+    condition instead of an arbitrary arm choice.
+    """
+
+    site: int
+    mode: str
+
+
 @dataclass(frozen=True)
 class SummaryOp:
-    """Leaf node: one operation site."""
+    """Leaf node: one operation site.
+
+    ``value`` carries a statically-resolved write/send payload when the
+    real-Python frontend knows it (the DSL extractor abstracts values
+    away and leaves it ``None``); analyses ignore it, the lifter uses it.
+    """
 
     site: OpSite
+    value: Any = None
 
 
 @dataclass(frozen=True)
 class SummaryBranch:
-    """An ``if``/``elif``/``else`` statement: one arm list per branch."""
+    """An ``if``/``elif``/``else`` statement: one arm list per branch.
+
+    ``guard`` (frontend summaries only) names the tested site and mode;
+    ``None`` means the condition is opaque and either arm may run.
+    """
 
     arms: Tuple[Tuple["SummaryNode", ...], ...]
+    guard: Optional[SiteGuard] = None
 
 
 @dataclass(frozen=True)
 class SummaryLoop:
-    """A ``for``/``while`` body (may execute zero or more times)."""
+    """A ``for``/``while`` body (may execute zero or more times).
+
+    ``guard`` (frontend summaries only) marks a ``while <test>:`` loop
+    desugared to a pre-test site plus a re-test site as the body's last
+    node; ``count`` a statically-known iteration count (``range(N)``).
+    Both default to the DSL extractor's "unknown trip count" reading.
+    """
 
     body: Tuple["SummaryNode", ...]
+    guard: Optional[SiteGuard] = None
+    count: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SummaryDeref:
+    """The value read at ``site`` is dereferenced (attribute call/index).
+
+    Frontend summaries only: marks where real code would raise if the
+    read produced an uninitialised sentinel (``None``/``False``).  The
+    lifter compiles it to a runtime null-check that crashes the simulated
+    thread, giving use-before-init candidates a dynamic manifestation.
+    Analyses and path enumeration skip it — it is not an operation site.
+    """
+
+    site: int
+    obj: str
 
 
 @dataclass(frozen=True)
@@ -127,7 +185,7 @@ class SummaryReturn:
     """An explicit ``return``: the path ends here."""
 
 
-SummaryNode = Union[SummaryOp, SummaryBranch, SummaryLoop, SummaryReturn]
+SummaryNode = Union[SummaryOp, SummaryBranch, SummaryLoop, SummaryDeref, SummaryReturn]
 
 
 @dataclass
@@ -329,6 +387,10 @@ class _Extractor:
         self.sites: List[OpSite] = []
         self.notes: List[str] = []
         self.approximate = False
+        #: >0 while walking the body of an inlined sub-generator; one
+        #: level only, and ``return`` means "end of helper", not "end of
+        #: thread" there.
+        self.inline_depth = 0
 
     # -- expression resolution ------------------------------------------
 
@@ -474,6 +536,10 @@ class _Extractor:
             if yielded is not None:
                 nodes.extend(self._op_from_call(yielded, conditional))
                 continue
+            delegated = _yield_from_expression(stmt)
+            if delegated is not None:
+                nodes.extend(self._inline_yield_from(delegated, conditional))
+                continue
             if isinstance(stmt, ast.If):
                 arms = (
                     self.walk(stmt.body, True),
@@ -488,7 +554,18 @@ class _Extractor:
                     nodes.extend(self.walk(stmt.orelse, conditional))
                 continue
             if isinstance(stmt, ast.Return):
-                nodes.append(SummaryReturn())
+                if self.inline_depth:
+                    # A return inside an inlined sub-generator ends the
+                    # *helper*, not the thread.  Mid-helper returns would
+                    # need helper-local path truncation; dropping the node
+                    # only loses exclusivity (conservative direction).
+                    self.approximate = True
+                    self.notes.append(
+                        f"line {stmt.lineno}: return inside an inlined "
+                        f"sub-generator; helper-local truncation dropped"
+                    )
+                else:
+                    nodes.append(SummaryReturn())
                 continue
             if isinstance(stmt, ast.Try):
                 arms = [self.walk(stmt.body, True)]
@@ -517,6 +594,89 @@ class _Extractor:
                     nodes.extend(self._op_from_call(inner.value, True))
         return tuple(nodes)
 
+    # -- sub-generator inlining -------------------------------------------
+
+    def _inline_yield_from(
+        self, call: ast.expr, conditional: bool
+    ) -> Tuple[SummaryNode, ...]:
+        """Inline one level of ``yield from helper(...)`` exactly.
+
+        The helper is resolved through the closure environment, its
+        source is parsed, constant call arguments are bound to parameter
+        names, and its body is walked with the *helper's* own closure
+        environment — so a factory-built sub-generator summarizes with
+        its concrete labels, just like a top-level body.  Nested
+        ``yield from`` (depth two) falls back to an approximate note.
+        """
+
+        def give_up(why: str) -> Tuple[SummaryNode, ...]:
+            self.approximate = True
+            self.notes.append(
+                f"line {getattr(call, 'lineno', '?')}: yield from {why}; "
+                f"sites dropped"
+            )
+            return ()
+
+        if self.inline_depth >= 1:
+            return give_up("nested beyond one level")
+        if not isinstance(call, ast.Call):
+            return give_up("a non-call expression")
+        func = call.func
+        if not isinstance(func, ast.Name) or func.id not in self.env:
+            return give_up("an unresolvable callee")
+        helper = self.env[func.id]
+        try:
+            source = inspect.getsource(helper)
+            tree = ast.parse(textwrap.dedent(source))
+        except (OSError, TypeError, SyntaxError, IndentationError) as exc:
+            return give_up(f"a sourceless helper ({exc})")
+        helper_def = next(
+            (
+                node
+                for node in ast.walk(tree)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ),
+            None,
+        )
+        if helper_def is None:
+            return give_up("a helper with no function definition")
+        sub_env = _closure_env(helper)
+        params = [arg.arg for arg in helper_def.args.args]
+        defaults = helper_def.args.defaults
+        for param, default in zip(params[len(params) - len(defaults):], defaults):
+            value, ok = self._resolve_in_env(default, sub_env)
+            if ok:
+                sub_env[param] = value
+        for position, arg in enumerate(call.args):
+            if position < len(params):
+                value, ok = self._resolve(arg)
+                if ok:
+                    sub_env[params[position]] = value
+        for keyword in call.keywords:
+            if keyword.arg in params:
+                value, ok = self._resolve(keyword.value)
+                if ok:
+                    sub_env[keyword.arg] = value
+        outer_env = self.env
+        self.env = sub_env
+        self.inline_depth += 1
+        try:
+            return self.walk(helper_def.body, conditional)
+        finally:
+            self.env = outer_env
+            self.inline_depth -= 1
+
+    def _resolve_in_env(
+        self, node: Optional[ast.expr], env: Mapping[str, Any]
+    ) -> Tuple[Any, bool]:
+        """:meth:`_resolve` against a temporary environment."""
+        outer = self.env
+        self.env = env
+        try:
+            return self._resolve(node)
+        finally:
+            self.env = outer
+
 
 def _yield_expression(stmt: ast.stmt) -> Optional[ast.expr]:
     """The yielded expression of ``yield Op(...)`` statement shapes."""
@@ -528,6 +688,18 @@ def _yield_expression(stmt: ast.stmt) -> Optional[ast.expr]:
     elif isinstance(stmt, ast.AnnAssign):
         value = stmt.value
     if isinstance(value, ast.Yield):
+        return value.value
+    return None
+
+
+def _yield_from_expression(stmt: ast.stmt) -> Optional[ast.expr]:
+    """The delegated expression of ``yield from helper(...)`` statements."""
+    value: Optional[ast.expr] = None
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+    elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+        value = stmt.value
+    if isinstance(value, ast.YieldFrom):
         return value.value
     return None
 

@@ -10,6 +10,7 @@ No pytest-asyncio in this repo: each test drives its own event loop via
 from __future__ import annotations
 
 import asyncio
+from pathlib import Path
 
 import pytest
 
@@ -167,6 +168,50 @@ def test_verdicts_persist_across_service_restarts(tmp_path):
     second = asyncio.run(run_again())
     assert second.verdict == first.verdict
     assert second.verdict["candidates"] >= 1
+
+
+def test_source_jobs_key_on_content_digest(tmp_path):
+    """``source`` jobs analyze a real Python module: frontend → lift →
+    confirm, cache-keyed on the file's bytes + frontend version rather
+    than a kernel fingerprint."""
+    corpus = (
+        Path(__file__).resolve().parents[2] / "examples" / "realworld"
+    )
+    buggy = str(corpus / "use_before_init_buggy.py")
+
+    async def main():
+        service = _service(tmp_path)
+        await service.start()
+        try:
+            job = service.submit("source", buggy, {"max_schedules": 200})
+            await _finished(service, job)
+            assert job.state is JobState.DONE
+            assert job.verdict["kind"] == "source"
+            assert job.verdict["module"] == "use_before_init_buggy"
+            assert job.verdict["clean"] is False
+            assert job.verdict["confirmed"] >= 1
+            assert job.engine_runs >= 1
+
+            # Identical bytes → cache hit, even under a different path.
+            copy = tmp_path / "renamed.py"
+            copy.write_bytes(Path(buggy).read_bytes())
+            again = service.submit("source", str(copy), {"max_schedules": 200})
+            assert again.cached and again.finished
+            assert again.verdict == job.verdict
+
+            # A content edit invalidates the key.
+            copy.write_bytes(copy.read_bytes() + b"\n# touched\n")
+            edited = service.submit("source", str(copy), {"max_schedules": 200})
+            assert not edited.cached
+            await _finished(service, edited)
+
+            with pytest.raises(JobError) as excinfo:
+                service.submit("source", str(tmp_path / "missing.py"))
+            assert "unreadable source module" in str(excinfo.value)
+        finally:
+            await service.close()
+
+    asyncio.run(main())
 
 
 def test_admission_control_refuses_when_full(tmp_path):

@@ -1,0 +1,238 @@
+"""Unit tests for the lifter (``repro.static.lift``).
+
+The lifter's contract is the *round-trip invariant*: a lifted program's
+thread bodies are real yield-op generators, so re-extracting them with
+:func:`summarize_program` must reproduce the frontend's summary site for
+site (same kinds, objects, conditionals, branch/loop nesting).  The
+hypothesis sweep at the bottom checks that invariant over generated
+``with``-block / nested-call module shapes; the corpus gate in
+``test_pysource_corpus.py`` checks it over the real-world pairs.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import RunStatus
+from repro.sim.explorer import enumerate_outcomes
+from repro.static.lift import LiftOutcome, confirm, lift, lifted_source, structure
+from repro.static.pysource import frontend
+from repro.static.summary import summarize_program
+
+
+def summarize(src: str, name: str = "mod"):
+    return frontend(textwrap.dedent(src), name=name)
+
+
+def roundtrips(src: str) -> None:
+    summary = summarize(src)
+    program = lift(summary)
+    assert structure(summarize_program(program)) == structure(summary)
+
+
+class TestLift:
+    def test_lifted_program_runs_and_reaches_ok(self):
+        summary = summarize("""
+            import threading
+            lock = threading.Lock()
+            x = 0
+
+            def worker():
+                global x
+                with lock:
+                    x = 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        program = lift(summary)
+        result = enumerate_outcomes(program, max_schedules=200)
+        assert result.statuses[RunStatus.OK] >= 1
+        assert RunStatus.CRASH not in result.statuses
+
+    def test_dereference_of_uninitialised_handle_crashes(self):
+        summary = summarize("""
+            import threading
+            conn = None
+
+            def worker():
+                conn.send("x")
+
+            def main():
+                global conn
+                t = threading.Thread(target=worker)
+                t.start()
+                conn = object()
+                t.join()
+        """)
+        result = enumerate_outcomes(lift(summary), max_schedules=200)
+        # Some schedule reads conn before main publishes it.
+        assert result.statuses[RunStatus.CRASH] >= 1
+        assert result.statuses[RunStatus.OK] >= 1
+
+    def test_lifted_source_is_printable_python(self):
+        summary = summarize("""
+            import threading
+            x = 0
+
+            def worker():
+                global x
+                if not x:
+                    x = 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        text = lifted_source(summary)
+        assert "def _lifted_worker" in text
+        assert "def _lifted_main" in text
+        compile(text, "<lifted>", "exec")
+
+
+class TestConfirm:
+    def test_confirm_reports_crash_route(self):
+        summary = summarize("""
+            import threading
+            conn = None
+
+            def worker():
+                conn.send("x")
+
+            def main():
+                global conn
+                t = threading.Thread(target=worker)
+                t.start()
+                conn = object()
+                t.join()
+        """)
+        outcome = confirm(summary, max_schedules=400)
+        assert isinstance(outcome, LiftOutcome)
+        assert not outcome.clean
+        assert any(c.confirmed for c in outcome.outcomes)
+        payload = outcome.to_json()
+        assert payload["clean"] is False
+        assert payload["statuses"]["crash"] >= 1
+
+    def test_confirm_clean_module(self):
+        summary = summarize("""
+            import threading
+            lock = threading.Lock()
+            n = 0
+
+            def worker():
+                global n
+                with lock:
+                    n += 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        outcome = confirm(summary, max_schedules=400)
+        assert outcome.clean
+        assert not outcome.confirmed
+
+
+class TestRoundTripExamples:
+    def test_nested_with_blocks(self):
+        roundtrips("""
+            import threading
+            a = threading.Lock()
+            b = threading.Lock()
+            x = 0
+
+            def worker():
+                global x
+                with a:
+                    with b:
+                        x = 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+
+    def test_guarded_branch_and_counted_loop(self):
+        roundtrips("""
+            import threading
+            flag = False
+            n = 0
+
+            def worker():
+                global n
+                for _ in range(2):
+                    if not flag:
+                        n += 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+
+
+# -- hypothesis sweep over with/nested-call shapes ---------------------------
+
+_STMTS = {
+    "write": "        x = 1\n",
+    "read": "        y = x\n",
+    "locked_write": "        with lock:\n            x = 2\n",
+    "call": "        helper()\n",
+    "guarded": "        if not x:\n            x = 3\n",
+}
+
+
+def _module(worker_stmts, helper_stmts) -> str:
+    helper_body = "".join(
+        line[4:]  # helper bodies sit one indent level above worker's
+        for stmt in helper_stmts
+        for line in stmt.splitlines(keepends=True)
+    ) or "    pass\n"
+    worker_body = "".join(worker_stmts) or "        pass\n"
+    return (
+        "import threading\n"
+        "lock = threading.Lock()\n"
+        "x = 0\n"
+        "y = 0\n\n"
+        "def helper():\n"
+        "    global x, y\n"
+        f"{helper_body}\n"
+        "def worker():\n"
+        "    global x, y\n"
+        "    with lock:\n"
+        f"{worker_body}\n"
+        "def main():\n"
+        "    t = threading.Thread(target=worker)\n"
+        "    t.start()\n"
+        "    t.join()\n"
+    )
+
+
+@given(
+    worker=st.lists(
+        st.sampled_from(sorted(_STMTS)), min_size=1, max_size=4
+    ),
+    helper=st.lists(
+        st.sampled_from(["write", "read", "locked_write", "guarded"]),
+        min_size=0, max_size=3,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_sweep_with_blocks_and_nested_calls(worker, helper):
+    src = _module(
+        [_STMTS[s] for s in worker], [_STMTS[s] for s in helper]
+    )
+    summary = frontend(src, name="sweep")
+    assert not any(t.approximate for t in summary.threads.values()), src
+    program = lift(summary)
+    assert structure(summarize_program(program)) == structure(summary), src

@@ -1,0 +1,374 @@
+"""Unit tests for the real-Python frontend (``repro.static.pysource``).
+
+Each test feeds a small ordinary ``threading`` module to :func:`frontend`
+and asserts the extracted :class:`ProgramSummary` — sites, resource maps,
+guards, loop shapes, inlining, and the conservative-approximation notes.
+The corpus-level gates (recall, lifted confirmation) live in
+``test_pysource_corpus.py``.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.static.pysource import (
+    GroundTruthBug,
+    SourceError,
+    annotation_matches,
+    frontend,
+    parse_expectations,
+)
+from repro.static.summary import (
+    SummaryBranch,
+    SummaryLoop,
+    SummaryOp,
+)
+
+
+def summarize(src: str, name: str = "mod"):
+    return frontend(textwrap.dedent(src), name=name)
+
+
+def kinds(summary, thread: str):
+    return [(s.kind, s.obj) for s in summary.threads[thread].sites]
+
+
+def exact(summary):
+    return not any(t.approximate for t in summary.threads.values())
+
+
+class TestResources:
+    def test_with_lock_brackets_the_body(self):
+        s = summarize("""
+            import threading
+            lock = threading.Lock()
+            x = 0
+
+            def worker():
+                global x
+                with lock:
+                    x = 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        assert s.locks == ("lock",)
+        assert kinds(s, "worker") == [
+            ("acquire", "lock"), ("write", "x"), ("release", "lock"),
+        ]
+        assert s.initial == {"x": 0}
+        assert exact(s)
+
+    def test_condition_without_mutex_synthesizes_one(self):
+        s = summarize("""
+            import threading
+            cond = threading.Condition()
+
+            def worker():
+                with cond:
+                    cond.notify()
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                with cond:
+                    cond.wait()
+                t.join()
+        """)
+        assert s.conditions == {"cond": "cond.mutex"}
+        assert "cond.mutex" in s.locks
+        # ``with cond:`` acquires the *mutex*; wait/notify target the cond.
+        assert ("acquire", "cond.mutex") in kinds(s, "worker")
+        assert ("notify", "cond") in kinds(s, "worker")
+        assert ("wait", "cond") in kinds(s, "main")
+
+    def test_semaphore_barrier_and_queue_maps(self):
+        s = summarize("""
+            import threading
+            import queue
+            gate = threading.Semaphore(2)
+            bar = threading.Barrier(2)
+            inbox = queue.Queue(maxsize=1)
+
+            def worker():
+                gate.acquire()
+                gate.release()
+                bar.wait()
+                inbox.put("x")
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                bar.wait()
+                inbox.get()
+                t.join()
+        """)
+        assert s.semaphores == ("gate",)
+        assert s.barriers == ("bar",)
+        assert s.channels == {"inbox": 1}
+        assert ("sem_acquire", "gate") in kinds(s, "worker")
+        assert ("barrier_wait", "bar") in kinds(s, "worker")
+        assert ("send", "inbox") in kinds(s, "worker")
+        assert ("recv", "inbox") in kinds(s, "main")
+
+    def test_unbounded_queue_has_no_capacity(self):
+        s = summarize("""
+            import threading
+            import queue
+            q = queue.Queue()
+
+            def worker():
+                q.put(1)
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                q.get()
+                t.join()
+        """)
+        assert s.channels == {"q": None}
+
+    def test_instance_attributes_are_namespaced(self):
+        s = summarize("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.value = None
+
+            box = Box()
+
+            def worker():
+                box.value = 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        assert "box.value" in s.initial
+        assert ("write", "box.value") in kinds(s, "worker")
+
+
+class TestThreads:
+    def test_duplicate_targets_get_deduped_names(self):
+        s = summarize("""
+            import threading
+            n = 0
+
+            def worker():
+                global n
+                n = 1
+
+            def main():
+                t1 = threading.Thread(target=worker)
+                t2 = threading.Thread(target=worker)
+                t1.start()
+                t2.start()
+                t1.join()
+                t2.join()
+        """)
+        assert set(s.threads) == {"main", "worker", "worker-2"}
+        assert [k for k, _ in kinds(s, "main")] == [
+            "spawn", "spawn", "join", "join",
+        ]
+        assert s.start == ("main",)
+
+    def test_module_without_entry_point_is_rejected(self):
+        with pytest.raises(SourceError):
+            summarize("""
+                import threading
+
+                def worker():
+                    pass
+            """)
+
+
+class TestControlFlow:
+    def test_if_guard_binds_to_the_tested_read(self):
+        s = summarize("""
+            import threading
+            flag = False
+            x = 0
+
+            def worker():
+                global x
+                if not flag:
+                    x = 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        t = s.threads["worker"]
+        branch = next(n for n in t.nodes if isinstance(n, SummaryBranch))
+        assert branch.guard is not None
+        assert branch.guard.mode == "falsy"
+        assert t.sites[branch.guard.site].obj == "flag"
+        (write,) = [s_ for s_ in t.sites if s_.kind == "write"]
+        assert write.conditional
+        assert exact(s)
+
+    def test_while_loop_retests_the_guard_site(self):
+        s = summarize("""
+            import threading
+            done = False
+
+            def worker():
+                global done
+                done = True
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                while not done:
+                    pass
+                t.join()
+        """)
+        t = s.threads["main"]
+        loop = next(n for n in t.nodes if isinstance(n, SummaryLoop))
+        assert loop.guard is not None and loop.guard.mode == "falsy"
+        retest = loop.body[-1]
+        assert isinstance(retest, SummaryOp)
+        assert retest.site.obj == "done"
+        assert exact(s)
+
+    def test_constant_range_for_becomes_counted_loop(self):
+        s = summarize("""
+            import threading
+            n = 0
+
+            def worker():
+                global n
+                for _ in range(3):
+                    n += 1
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        loop = next(
+            n for n in s.threads["worker"].nodes if isinstance(n, SummaryLoop)
+        )
+        assert loop.count == 3
+        assert exact(s)
+
+
+class TestInlining:
+    def test_helper_calls_inline_interprocedurally(self):
+        s = summarize("""
+            import threading
+            x = 0
+
+            def bump():
+                global x
+                x = x + 1
+
+            def worker():
+                bump()
+                bump()
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        ops = kinds(s, "worker")
+        assert ops.count(("write", "x")) == 2
+        assert ops.count(("read", "x")) == 2
+        assert exact(s)
+
+    def test_recursion_hits_the_cutoff_conservatively(self):
+        s = summarize("""
+            import threading
+            x = 0
+
+            def spin():
+                global x
+                x = 1
+                spin()
+
+            def main():
+                t = threading.Thread(target=spin)
+                t.start()
+                t.join()
+        """)
+        assert s.threads["spin"].approximate
+
+    def test_unknown_call_marks_approximate_pure_call_does_not(self):
+        unknown = summarize("""
+            import threading
+            import os
+
+            def worker():
+                os.getpid()
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        assert unknown.threads["worker"].approximate
+        pure = summarize("""
+            import threading
+
+            def worker():
+                print("hi")
+
+            def main():
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        """)
+        assert exact(pure)
+
+    def test_method_call_on_shared_handle_is_a_dereference(self):
+        s = summarize("""
+            import threading
+            conn = None
+
+            def worker():
+                conn.send("x")
+
+            def main():
+                global conn
+                t = threading.Thread(target=worker)
+                t.start()
+                conn = object()
+                t.join()
+        """)
+        worker = s.threads["worker"]
+        assert ("read", "conn") in kinds(s, "worker")
+        assert not worker.approximate  # modelled, not punted
+
+
+class TestAnnotations:
+    def test_parse_and_match_round_trip(self):
+        bugs, fixed_of = parse_expectations({
+            "bugs": [
+                {"kind": "data-race", "variables": ["x"],
+                 "manifestation": "finding"},
+            ],
+        })
+        assert fixed_of is None
+        (bug,) = bugs
+        assert isinstance(bug, GroundTruthBug)
+
+        class Cand:
+            kind = "data-race"
+            variables = ("x", "y")
+            resources = ()
+
+        assert annotation_matches(bug, Cand())
+        Cand.kind = "deadlock"
+        assert not annotation_matches(bug, Cand())
+
+    def test_bad_kind_is_rejected(self):
+        with pytest.raises(SourceError):
+            parse_expectations({"bugs": [{"kind": "heisenbug"}]})

@@ -1,0 +1,113 @@
+"""The ``examples/realworld`` acceptance gate.
+
+Three properties over the curated buggy/fixed corpus, mirroring the CLI
+``repro static --source`` verdict:
+
+* **round trip** — re-extracting each lifted program reproduces the
+  frontend summary site for site (the lifter invariant, on real code);
+* **recall 1.0** — every annotated ground-truth bug matches an active
+  static candidate, and every bug marked ``confirmable`` is dynamically
+  manifested by exploring the lifted buggy program;
+* **fixed variants verify clean** — no failing terminal status on any
+  explored schedule.  Residual *candidates* on tolerate-style fixes are
+  pinned in ``test_agreement.py::CORPUS_RESIDUAL_VARIANTS``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.static.lift import confirm, lift, structure
+from repro.static.pysource import annotation_matches, load_corpus
+from repro.static.report import analyse_summary
+from repro.static.summary import summarize_program
+
+CORPUS = Path(__file__).resolve().parents[2] / "examples" / "realworld"
+MODULES = load_corpus(CORPUS)
+BY_NAME = {m.name: m for m in MODULES}
+
+_OUTCOMES = {}
+
+
+def outcome_for(module):
+    if module.name not in _OUTCOMES:
+        _OUTCOMES[module.name] = confirm(module.summary, max_schedules=800)
+    return _OUTCOMES[module.name]
+
+
+def test_corpus_is_the_expected_eight_pairs():
+    buggy = {m.name for m in MODULES if not m.is_fixed}
+    fixed = {m.name for m in MODULES if m.is_fixed}
+    assert len(buggy) == 8 and len(fixed) == 8
+    assert {m.fixed_of for m in MODULES if m.is_fixed} == buggy
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.name)
+class TestPerModule:
+    def test_summary_is_exact(self, module):
+        assert not any(
+            t.approximate for t in module.summary.threads.values()
+        ), [t.notes for t in module.summary.threads.values()]
+
+    def test_lift_round_trips_site_for_site(self, module):
+        program = lift(module.summary)
+        assert structure(summarize_program(program)) == structure(
+            module.summary
+        )
+
+    def test_fixed_of_link_resolves(self, module):
+        if module.is_fixed:
+            twin = BY_NAME[module.fixed_of]
+            assert not twin.is_fixed
+
+
+@pytest.mark.parametrize(
+    "module", [m for m in MODULES if not m.is_fixed], ids=lambda m: m.name
+)
+class TestBuggyModules:
+    def test_every_annotated_bug_is_a_static_candidate(self, module):
+        active = analyse_summary(module.summary).active()
+        for bug in module.bugs:
+            assert any(annotation_matches(bug, c) for c in active), (
+                f"{module.name}: {bug.describe()} not among "
+                f"{[(c.kind, c.variables, c.resources) for c in active]}"
+            )
+
+    def test_confirmable_bugs_manifest_in_the_lifted_program(self, module):
+        outcome = outcome_for(module)
+        confirmed = [c for c in outcome.outcomes if c.confirmed]
+        for bug in module.bugs:
+            if not bug.confirmable:
+                continue
+            assert any(annotation_matches(bug, c) for c in confirmed), (
+                f"{module.name}: {bug.describe()} never manifested; "
+                f"statuses {outcome.statuses}"
+            )
+
+    def test_predicted_status_manifestations_appear(self, module):
+        # A bug annotated to crash/deadlock/hang must drive the lifted
+        # program into that terminal status on some schedule.
+        outcome = outcome_for(module)
+        for bug in module.bugs:
+            if bug.confirmable and bug.manifestation != "finding":
+                assert outcome.statuses.get(bug.manifestation, 0) >= 1, (
+                    f"{module.name}: expected a {bug.manifestation} "
+                    f"schedule, got {outcome.statuses}"
+                )
+
+
+@pytest.mark.parametrize(
+    "module", [m for m in MODULES if m.is_fixed], ids=lambda m: m.name
+)
+class TestFixedModules:
+    def test_annotates_no_bugs(self, module):
+        assert module.bugs == ()
+
+    def test_lifted_program_verifies_clean(self, module):
+        outcome = outcome_for(module)
+        assert outcome.clean, (
+            f"{module.name}: fixed variant still fails — "
+            f"statuses {outcome.statuses}"
+        )

@@ -154,6 +154,63 @@ class TestExclusivity:
         assert not exclusive(summary, t1, t2)
 
 
+class TestYieldFromInlining:
+    def test_factory_built_helper_inlines_one_level_exactly(self):
+        # The common DSL refactor: a shared critical-section helper built
+        # by a factory (resource names resolved through the closure) and
+        # delegated to with ``yield from``.  One level inlines exactly —
+        # no fallback, sites in program order at the delegation point.
+        def make_section(lock, var):
+            def section():
+                yield Acquire(lock)
+                yield Write(var, 1)
+                yield Release(lock)
+            return section
+
+        section = make_section("L", "x")
+
+        def body():
+            yield Read("x")
+            yield from section()
+            yield Read("x")
+
+        program = Program(
+            "yf", threads={"T": body}, initial={"x": 0}, locks=("L",)
+        )
+        summary = summarize_program(program)
+        assert not summary.approximate
+        assert [(s.kind, s.obj) for s in summary.threads["T"].sites] == [
+            ("read", "x"),
+            ("acquire", "L"),
+            ("write", "x"),
+            ("release", "L"),
+            ("read", "x"),
+        ]
+        assert [s.index for s in summary.threads["T"].sites] == list(range(5))
+
+    def test_delegation_beyond_one_level_falls_back_conservatively(self):
+        def inner():
+            yield Write("y", 2)
+
+        def mid():
+            yield Read("y")
+            yield from inner()
+
+        def body():
+            yield from mid()
+
+        program = Program("yf2", threads={"T": body}, initial={"y": 0})
+        summary = summarize_program(program)
+        # mid()'s own sites survive; inner()'s are dropped and the
+        # summary says so instead of silently under-reporting.
+        assert summary.approximate
+        assert [(s.kind, s.obj) for s in summary.threads["T"].sites] == [
+            ("read", "y"),
+        ]
+        assert any("nested beyond one level" in n
+                   for n in summary.threads["T"].notes)
+
+
 class TestDeclarations:
     def test_program_declarations_carried_over(self):
         summary = summarize_program(lost_wakeup())

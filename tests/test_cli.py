@@ -193,3 +193,76 @@ class TestStatic:
     def test_unknown_kernel(self, capsys):
         assert main(["static", "nope"]) == 2
         assert "unknown kernel" in capsys.readouterr().err
+
+
+from pathlib import Path  # noqa: E402
+
+CORPUS = str(Path(__file__).resolve().parents[1] / "examples" / "realworld")
+BUGGY_MODULE = f"{CORPUS}/use_before_init_buggy.py"
+FIXED_MODULE = f"{CORPUS}/use_before_init_fixed.py"
+
+
+class TestStaticSource:
+    def test_corpus_gate_passes(self, capsys):
+        assert main(["static", "--source", CORPUS, "--budget", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "ground-truth recall: 13/13" in out
+        assert "FAILED" not in out
+
+    def test_single_module(self, capsys):
+        # Gate semantics: a buggy module whose annotated bugs are all
+        # recalled and confirmed passes, so a lone buggy file exits 0.
+        assert main(["static", "--source", BUGGY_MODULE]) == 0
+        out = capsys.readouterr().out
+        assert "use_before_init_buggy" in out
+        assert "ground-truth recall: 2/2" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(
+            ["static", "--source", CORPUS, "--budget", "400", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["recall"] == 1.0
+        assert len(payload["modules"]) == 16
+
+    def test_source_and_kernel_name_conflict(self, capsys):
+        assert main(["static", "deadlock_abba", "--source", CORPUS]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_missing_path(self, capsys):
+        assert main(["static", "--source", "nowhere/"]) == 2
+        assert "source analysis failed" in capsys.readouterr().err
+
+
+class TestLift:
+    def test_buggy_module_exits_nonzero(self, capsys):
+        assert main(["lift", BUGGY_MODULE]) == 1
+        out = capsys.readouterr().out
+        assert "lifted to simulator program" in out
+        assert "CONFIRMED" in out
+        assert "bug manifested" in out
+
+    def test_fixed_module_exits_zero(self, capsys):
+        assert main(["lift", FIXED_MODULE]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_show_prints_generated_bodies(self, capsys):
+        assert main(["lift", FIXED_MODULE, "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "def _lifted_main" in out
+        assert "yield " in out
+
+    def test_json_verdict(self, capsys):
+        import json
+
+        assert main(["lift", BUGGY_MODULE, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["buggy"] is True
+        assert payload["statuses"]["crash"] >= 1
+
+    def test_missing_module(self, capsys):
+        assert main(["lift", "no_such_module.py"]) == 2
+        assert "lift failed" in capsys.readouterr().err

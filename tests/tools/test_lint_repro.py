@@ -96,3 +96,52 @@ class TestLiveRegistry:
         from repro.kernels import kernel_names
 
         assert lint.UNLINKED_KERNELS <= set(kernel_names())
+
+    def test_realworld_corpus_is_clean(self, lint):
+        problems = []
+        lint.check_realworld_corpus(problems)
+        assert problems == []
+
+
+class TestCorpusLint:
+    def test_dangling_annotation_variable_is_flagged(self, lint, tmp_path,
+                                                     monkeypatch):
+        (tmp_path / "phantom_buggy.py").write_text(
+            "import threading\n"
+            'REPRO_EXPECT = {"bugs": [{"kind": "data-race",'
+            ' "variables": ["ghost"]}]}\n'
+            "x = 0\n\n"
+            "def worker():\n"
+            "    global x\n"
+            "    x = 1\n\n"
+            "def main():\n"
+            "    t = threading.Thread(target=worker)\n"
+            "    t.start()\n"
+            "    t.join()\n"
+        )
+        monkeypatch.setattr(lint, "CORPUS_DIR", tmp_path)
+        problems = []
+        lint.check_realworld_corpus(problems)
+        assert any("'ghost'" in p and "never extracted" in p
+                   for p in problems)
+        # ... and the missing fixed twin is reported too.
+        assert any("0 fixed twin(s)" in p for p in problems)
+
+    def test_unresolved_fixed_of_is_flagged(self, lint, tmp_path,
+                                            monkeypatch):
+        (tmp_path / "orphan_fixed.py").write_text(
+            "import threading\n"
+            'REPRO_EXPECT = {"fixed_of": "nowhere_buggy", "bugs": []}\n'
+            "x = 0\n\n"
+            "def worker():\n"
+            "    global x\n"
+            "    x = 1\n\n"
+            "def main():\n"
+            "    t = threading.Thread(target=worker)\n"
+            "    t.start()\n"
+            "    t.join()\n"
+        )
+        monkeypatch.setattr(lint, "CORPUS_DIR", tmp_path)
+        problems = []
+        lint.check_realworld_corpus(problems)
+        assert any("resolves to no corpus module" in p for p in problems)

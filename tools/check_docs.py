@@ -47,6 +47,11 @@ SIM_SEARCH_MODULES = (
     "statecache", "memory",
 )
 
+#: The real-code pipeline is the static subsystem's outward-facing
+#: surface: docs/static.md must name both dotted modules explicitly
+#: (a filename mention alone could be a stale cross-reference).
+STATIC_PIPELINE_MODULES = ("static.pysource", "static.lift")
+
 #: Markdown inline links: [text](target), ignoring images and code spans.
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"\"(--[a-z][a-z0-9-]*)\"")
@@ -95,6 +100,14 @@ def check_modules(problems: list) -> None:
                 problems.append(
                     f"{doc.relative_to(REPO)}: {package} module "
                     f"src/repro/{path.relative_to(SRC)} is not mentioned"
+                )
+    if STATIC_DOC.exists():
+        static_text = STATIC_DOC.read_text(encoding="utf-8")
+        for dotted in STATIC_PIPELINE_MODULES:
+            if dotted not in static_text:
+                problems.append(
+                    f"{STATIC_DOC.relative_to(REPO)}: real-code pipeline "
+                    f"module repro.{dotted} is not named"
                 )
 
 

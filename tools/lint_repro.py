@@ -19,6 +19,12 @@ Static checks over every registered bug kernel, powered by the
    be referenced by at least one bug record, unless listed in
    :data:`UNLINKED_KERNELS` (kernels that generalise a bug *pattern*
    from the study rather than reproduce one catalogued report).
+4. **Real-world corpus** (``examples/realworld``) — every module parses
+   through the frontend, every ``REPRO_EXPECT`` annotation uses the
+   candidate-pass kind vocabulary and names variables/resources the
+   frontend actually extracted (no dangling expectations), every
+   ``fixed_of`` link resolves to a buggy corpus module, and every buggy
+   module has exactly one fixed twin.
 
 Exit status 0 when clean; 1 with one line per problem otherwise.
 """
@@ -177,18 +183,111 @@ def check_bugdb_links(problems: List[str]) -> None:
         )
 
 
+#: The curated real-Python corpus the frontend gate runs over.
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "examples" / "realworld"
+
+
+def check_realworld_corpus(problems: List[str]) -> None:
+    """Annotation hygiene for the ``examples/realworld`` corpus."""
+    from repro.static.pysource import SourceError, load_source
+
+    modules = {}
+    for path in sorted(CORPUS_DIR.glob("*.py")):
+        if path.name.startswith("_"):
+            continue
+        try:
+            modules[path.stem] = load_source(path)
+        except SourceError as exc:
+            problems.append(f"corpus {path.name}: {exc}")
+    if not modules:
+        problems.append(f"corpus: no modules found under {CORPUS_DIR}")
+        return
+
+    for name, module in sorted(modules.items()):
+        summary = module.summary
+        known_vars = set(summary.initial)
+        declared_resources = (
+            set(summary.locks) | set(summary.semaphores)
+            | set(summary.barriers) | set(summary.channels)
+            | set(summary.conditions)
+        )
+        for thread in summary.threads.values():
+            for site in thread.sites:
+                if site.obj is None:
+                    continue
+                if site.kind in ("read", "write"):
+                    known_vars.add(site.obj)
+                else:
+                    declared_resources.add(site.obj)
+        for bug in module.bugs:
+            for variable in bug.variables:
+                if variable not in known_vars:
+                    problems.append(
+                        f"corpus {name}: annotation names variable "
+                        f"{variable!r} which the frontend never extracted "
+                        f"(knows {sorted(known_vars)})"
+                    )
+            for resource in bug.resources:
+                if resource not in declared_resources:
+                    problems.append(
+                        f"corpus {name}: annotation names resource "
+                        f"{resource!r} which the frontend never extracted "
+                        f"(knows {sorted(declared_resources)})"
+                    )
+        if module.is_fixed:
+            twin = modules.get(module.fixed_of)
+            if twin is None:
+                problems.append(
+                    f"corpus {name}: fixed_of {module.fixed_of!r} resolves "
+                    f"to no corpus module"
+                )
+            elif twin.is_fixed:
+                problems.append(
+                    f"corpus {name}: fixed_of {module.fixed_of!r} points at "
+                    f"another fixed variant"
+                )
+            if module.bugs:
+                problems.append(
+                    f"corpus {name}: fixed variant annotates bugs"
+                )
+        elif not module.bugs:
+            problems.append(
+                f"corpus {name}: buggy module annotates no bugs"
+            )
+
+    fixed_of_counts: Dict[str, int] = {}
+    for module in modules.values():
+        if module.is_fixed and module.fixed_of:
+            fixed_of_counts[module.fixed_of] = (
+                fixed_of_counts.get(module.fixed_of, 0) + 1
+            )
+    for name, module in sorted(modules.items()):
+        if module.is_fixed:
+            continue
+        twins = fixed_of_counts.get(name, 0)
+        if twins != 1:
+            problems.append(
+                f"corpus {name}: buggy module has {twins} fixed twin(s), "
+                f"expected exactly 1"
+            )
+
+
 def main() -> int:
     problems: List[str] = []
     check_declarations(problems)
     check_bugdb_links(problems)
+    check_realworld_corpus(problems)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
         print(f"lint_repro: {len(problems)} problem(s)", file=sys.stderr)
         return 1
     count = len(list(all_kernels()))
+    corpus = len([p for p in CORPUS_DIR.glob("*.py")
+                  if not p.name.startswith("_")])
     print(f"lint_repro: {count} kernels consistent with their declarations "
-          f"and the bug database")
+          f"and the bug database; {corpus} corpus modules annotated "
+          f"consistently")
     return 0
 
 
