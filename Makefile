@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples report fuzz validate loc
+.PHONY: install test bench bench-timed examples report fuzz validate loc
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,12 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Smoke mode: run every benchmarks/bench_*.py once (no timing repeats)
+# and refresh every BENCH_*.json artifact in one command.
 bench:
+	$(PYTHON) -m pytest benchmarks/ -q --benchmark-disable
+
+bench-timed:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 examples:

@@ -191,6 +191,12 @@ def compare_strategies(
     of that search), and ``enforced`` (the kernel's recorded ≤4-access
     partial order — the Finding 8 guarantee, typically 100%).
 
+    An ``adaptive`` row reports the cost of *not knowing* the right
+    strategy up front: :func:`repro.alloc.adaptive_first_finding` races
+    dfs / sleep-set / random / pct arms under a UCB1 bandit and its
+    ``runs`` is the total schedules spent (across every arm) until the
+    bug first manifested.
+
     Note on PCT: its per-run probability is a *guaranteed lower bound*
     (~1/(n·k^(d-1))) that holds however deep or adversarial the bug; on
     these small two-thread kernels plain uniform random often samples the
@@ -198,9 +204,16 @@ def compare_strategies(
     survives either way: both are orders of magnitude below the enforced
     order's 100%.
     """
-    # Horizon defaults near the kernels' actual step counts; PCT's change
-    # points only matter when they land inside the run.
-    horizon = pct_horizon if pct_horizon is not None else 12
+    from repro.alloc import adaptive_first_finding, derive_horizon
+
+    # Horizon defaults to the kernel's *measured* step count (longest of
+    # a cooperative and a seed-0 random run); PCT's change points only
+    # matter when they land inside the run, so a hardcoded constant
+    # under- or over-shoots kernels whose runs are shorter or longer.
+    horizon = (
+        pct_horizon if pct_horizon is not None
+        else derive_horizon(kernel.buggy)
+    )
     estimates = {
         "cooperative": estimate_manifestation(
             kernel.buggy, kernel.failure,
@@ -247,6 +260,23 @@ def compare_strategies(
     _record_estimate(
         kernel.buggy.name, estimates["exhaustive"], workers,
         perf_counter() - exhaustive_start,
+    )
+    # Adaptive row: schedules-to-first-finding when a UCB1 bandit must
+    # *discover* the right strategy.  ``runs`` is total spend across all
+    # arms, so its "rate" is directly comparable to the exhaustive row.
+    adaptive_start = perf_counter()
+    race = adaptive_first_finding(
+        kernel.buggy, kernel.failure,
+        pct_depth=pct_depth, pct_horizon=horizon,
+    )
+    estimates["adaptive"] = ManifestationEstimate(
+        strategy=f"adaptive[ucb:{race.winner or 'none'}]",
+        runs=race.schedules,
+        manifested=1 if race.found else 0,
+    )
+    _record_estimate(
+        kernel.buggy.name, estimates["adaptive"], None,
+        perf_counter() - adaptive_start,
     )
     enforced = 0
     enforced_start = perf_counter()

@@ -40,6 +40,8 @@ class Dashboard:
                 "running": service.queue.running,
                 "max_pending": service.queue.max_pending,
             },
+            "queue_wait": service.queue_wait.as_dict(),
+            "alloc": self._alloc_dict(),
             "totals": {
                 "submissions": service.submissions,
                 "completed": service.jobs_completed,
@@ -53,12 +55,28 @@ class Dashboard:
             "jobs": [job.to_dict() for job in service.recent_jobs(self.job_limit)],
         }
 
+    def _alloc_dict(self) -> Dict[str, Any]:
+        """The allocation-policy section: policy always, arms under ucb."""
+        service = self.service
+        alloc: Dict[str, Any] = {"policy": service.alloc}
+        if service.alloc == "ucb":
+            summary = service.allocator.summary()
+            alloc["slice_budget"] = service.slice_budget
+            alloc["arms_total"] = summary["arms"]
+            alloc["arms_live"] = summary["live"]
+            alloc["pulls"] = summary["pulls"]
+            alloc["schedules"] = summary["schedules"]
+            alloc["arms"] = service.allocator.stats()
+        return alloc
+
     def format(self) -> str:
         """The ``repro status`` text rendering."""
         service = self.service
+        wait = service.queue_wait
         lines = [
             f"repro service — up {service.uptime_seconds():.0f}s, "
             f"fleet {service.fleet.size} ({service.fleet.mode}), "
+            f"alloc {service.alloc}, "
             f"queue {len(service.queue)} pending / "
             f"{service.queue.running} running",
             f"  submissions {service.submissions}  "
@@ -68,9 +86,15 @@ class Dashboard:
             f"coalesced {service.coalesced}  "
             f"dedup {service.dedup_ratio():.0%}  "
             f"engine runs {service.engine_runs}",
+            f"  queue wait: mean {wait.mean:.3f}s  "
+            f"max {(wait.maximum if wait.count else 0.0):.3f}s  "
+            f"over {wait.count} dispatched job(s)",
             f"  cache: {service.cache.stats()['entries']} entries at "
             f"{service.cache.root}",
         ]
+        if service.alloc == "ucb" and len(service.allocator):
+            lines.append("")
+            lines.append(_arms_table(service.allocator.stats()))
         jobs = service.recent_jobs(self.job_limit)
         if jobs:
             lines.append("")
@@ -97,6 +121,23 @@ def _verdict_cell(job: Job) -> str:
     if kind == "static":
         return f"{verdict.get('candidates', 0)} candidates"
     return "?"
+
+
+def _arms_table(arms: List[Dict[str, Any]]) -> str:
+    """Per-arm allocator stats for the ucb text dashboard."""
+    header = (
+        f"  {'arm':14s} {'strategy':14s} {'pulls':>5s} {'sched':>7s} "
+        f"{'payout':>8s} {'mean':>8s} {'finds':>5s}  state"
+    )
+    rows = [header, "  " + "-" * (len(header) - 2)]
+    for arm in arms:
+        rows.append(
+            f"  {arm['job']:14s} {arm['strategy']:14s} {arm['pulls']:>5d} "
+            f"{arm['schedules']:>7d} {arm['payout']:>8.2f} "
+            f"{arm['mean_payout']:>8.4f} {arm['findings']:>5d}  "
+            f"{'retired' if arm['retired'] else 'live'}"
+        )
+    return "\n".join(rows)
 
 
 def _jobs_table(jobs: List[Job]) -> str:

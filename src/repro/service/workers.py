@@ -120,6 +120,33 @@ class WorkerFleet:
             ),
         )
 
+    async def run_slice(
+        self, job: Job, frontier_hex: Optional[str], slice_budget: int
+    ) -> Dict[str, Any]:
+        """Advance ``job`` by one exploration slice on the fleet.
+
+        Same boundary rules as :meth:`run` — primitives in, a plain dict
+        out — but backed by :func:`repro.service.slices.run_slice`, so
+        the payload is either a checkpointed frontier or the terminal
+        verdict.
+        """
+        from repro.service.slices import run_slice
+
+        self.start()
+        assert self._executor is not None
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor,
+            partial(
+                run_slice,
+                job.kind.value,
+                job.kernel,
+                job.options.to_dict(),
+                frontier_hex or "",
+                slice_budget,
+            ),
+        )
+
     def describe(self) -> Dict[str, Any]:
         """Dashboard-ready fleet description."""
         return {"size": self.size, "mode": self.mode, "pool": self.pool}

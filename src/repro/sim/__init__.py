@@ -27,6 +27,7 @@ from repro.sim.explorer import (
     enumerate_outcomes,
     find_schedule,
 )
+from repro.sim.frontier import ExplorationFrontier
 from repro.sim.generate import (
     FuzzReport,
     GeneratorConfig,
@@ -91,6 +92,7 @@ __all__ = [
     "run_program",
     "Explorer",
     "ExplorationResult",
+    "ExplorationFrontier",
     "enumerate_outcomes",
     "find_schedule",
     "Program",

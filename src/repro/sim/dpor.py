@@ -95,6 +95,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
 from repro.sim import ops
+from repro.sim.frontier import reject_slicing
 from repro.sim.engine import Engine, RunResult, RunStatus
 from repro.sim.memory import FLUSH_PREFIX
 from repro.sim.explorer import (
@@ -488,8 +489,27 @@ class DPORExplorer:
         self,
         predicate: Optional[Predicate] = None,
         stop_on_first: bool = False,
+        *,
+        slice_budget: Optional[int] = None,
+        frontier: Optional[Any] = None,
     ) -> ExplorationResult:
-        """Explore with reduction; result fields as in :class:`Explorer`."""
+        """Explore with reduction; result fields as in :class:`Explorer`.
+
+        DPOR refuses ``slice_budget``/``frontier`` (``ValueError``): its
+        backtrack sets are discovered *behind* the DFS position, so a
+        pending-stack checkpoint under-approximates the remaining work.
+        Callers that need incremental DPOR budgets restart with a larger
+        ``max_schedules`` instead — the search is deterministic, so a
+        restart that reaches the verdict reproduces it bit-for-bit
+        (``docs/allocator.md``).
+        """
+        reject_slicing(
+            "reduction='dpor'",
+            "backtrack sets are discovered behind the DFS position, so a "
+            "pending-stack checkpoint under-approximates the remaining "
+            "work; restart with a larger max_schedules instead",
+            slice_budget, frontier,
+        )
         start = perf_counter()
         result = self._begin(predicate, stop_on_first)
         while self._step(result):

@@ -73,6 +73,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.sim.dpor import DPORExplorer, _Node
+from repro.sim.frontier import reject_slicing
 from repro.sim.explorer import (
     ExplorationResult,
     Predicate,
@@ -272,8 +273,22 @@ class ParallelDPORExplorer:
         self,
         predicate: Optional[Predicate] = None,
         stop_on_first: bool = False,
+        *,
+        slice_budget: Optional[int] = None,
+        frontier: Optional[Any] = None,
     ) -> ExplorationResult:
-        """Run the parallel search; result fields as in :class:`Explorer`."""
+        """Run the parallel search; result fields as in :class:`Explorer`.
+
+        Refuses ``slice_budget``/``frontier`` (``ValueError``), like the
+        serial DPOR search it mirrors.
+        """
+        reject_slicing(
+            "parallel DPOR",
+            "backtrack sets and speculative worker rounds are not serially "
+            "meaningful mid-search; restart with a larger max_schedules "
+            "instead",
+            slice_budget, frontier,
+        )
         start = perf_counter()
         factory = self.pipeline_factory
         serial = DPORExplorer(

@@ -142,6 +142,61 @@ class _DirectedPolicy:
 #: run resume analysis from the shared prefix instead of re-analysing it.
 Seed = Tuple[List[str], int, Optional[Any]]
 
+#: Sentinel for ``_search``'s ``cache=`` parameter: "build a fresh cache
+#: from ``self.memoize``" (the parallel workers' behaviour), as opposed
+#: to an explicit cache (slice resume) or an explicit ``None``.
+_FRESH_CACHE = object()
+
+
+def _result_from_frontier(frontier: Any, program: str) -> ExplorationResult:
+    """Rebuild the cumulative result a paused search had accumulated."""
+    return ExplorationResult(
+        program=program,
+        schedules_run=frontier.schedules_run,
+        complete=True,
+        statuses=Counter(frontier.statuses),
+        outcomes=dict(frontier.outcomes),
+        matching=list(frontier.matching),
+        match_count=frontier.match_count,
+        first_match_schedule=(
+            list(frontier.first_match_schedule)
+            if frontier.first_match_schedule is not None else None
+        ),
+        schedules_to_first_finding=frontier.schedules_to_first_finding,
+        cache_hits=frontier.cache_hits,
+        states_expanded=frontier.states_expanded,
+        preemptions_spent=frontier.preemptions_spent,
+    )
+
+
+def _dfs_frontier(explorer, result, leftover, cache) -> Any:
+    """Checkpoint a paused plain-DFS search (see :mod:`repro.sim.frontier`)."""
+    from repro.sim.frontier import ExplorationFrontier
+
+    frontier = ExplorationFrontier(
+        explorer="dfs",
+        program=explorer.program.name,
+        memoize=explorer.memoize,
+        pending=[(list(prefix), paid) for prefix, paid, _ in leftover],
+        attempts=result.schedules_run + result.cache_hits,
+        schedules_run=result.schedules_run,
+        statuses=Counter(result.statuses),
+        outcomes=dict(result.outcomes),
+        matching=list(result.matching),
+        match_count=result.match_count,
+        first_match_schedule=(
+            list(result.first_match_schedule)
+            if result.first_match_schedule is not None else None
+        ),
+        schedules_to_first_finding=result.schedules_to_first_finding,
+        cache_hits=result.cache_hits,
+        states_expanded=result.states_expanded,
+        preemptions_spent=result.preemptions_spent,
+        wall_seconds=result.wall_seconds,
+        cache_state=cache.export_state() if cache is not None else None,
+    )
+    return frontier
+
 
 class _RecordingScheduler(Scheduler):
     """Follow ``prefix``, then extend non-preemptively; record enabled sets.
@@ -312,6 +367,14 @@ class ExplorationResult:
     #: Counter dict from the attached pipeline's
     #: ``PipelineStats.as_dict()`` (``None`` without a pipeline).
     pipeline_stats: Optional[Dict[str, Any]] = None
+    #: Checkpoint of the paused search when a ``slice_budget`` ran out
+    #: with work left (:class:`repro.sim.frontier.ExplorationFrontier`);
+    #: ``None`` for every *terminal* result — search complete, budget
+    #: exhausted, or stopped on a first match.  A result carrying a
+    #: frontier is provisional: its tallies are cumulative over the
+    #: slices so far, and only the terminal slice's result is comparable
+    #: to an unsliced run.
+    frontier: Optional[Any] = None
 
     @property
     def found(self) -> bool:
@@ -402,6 +465,9 @@ class Explorer:
         self,
         predicate: Optional[Predicate] = None,
         stop_on_first: bool = False,
+        *,
+        slice_budget: Optional[int] = None,
+        frontier: Optional[Any] = None,
     ) -> ExplorationResult:
         """Run the search.
 
@@ -409,16 +475,72 @@ class Explorer:
             in ``matching`` (up to ``keep_matches``); by default failed runs
             (crash / deadlock / hang) match.
         :param stop_on_first: end the search at the first match.
+        :param slice_budget: run at most this many schedule attempts in
+            *this call*; if work remains (and the global ``max_schedules``
+            is not exhausted) the result carries a resumable
+            :class:`~repro.sim.frontier.ExplorationFrontier` on its
+            ``frontier`` field.  Concatenated slices reproduce the
+            unsliced result exactly (``docs/simulator.md``).
+        :param frontier: resume a previously paused search from its
+            checkpoint instead of starting at the root.  The explorer
+            must be configured identically (same program, ``memoize``)
+            or ``ValueError`` is raised.  Incompatible with an attached
+            pipeline (also ``ValueError``).
         """
+        sliced = slice_budget is not None or frontier is not None
+        if sliced:
+            self._check_sliceable(slice_budget)
         start = perf_counter()
-        result, _ = self._search([([], 0, None)], predicate, stop_on_first, None)
-        result.wall_seconds = perf_counter() - start
+        if frontier is not None:
+            frontier.check("dfs", self.program.name, self.memoize)
+            stack: List[Seed] = [
+                (list(prefix), paid, None) for prefix, paid in frontier.pending
+            ]
+            result = _result_from_frontier(frontier, self.program.name)
+            cache = frontier.restore_cache()
+            attempts = frontier.attempts
+        else:
+            stack = [([], 0, None)]
+            result = None
+            cache = StateCache() if self.memoize else None
+            attempts = 0
+        limit = (
+            min(self.max_schedules, attempts + slice_budget)
+            if slice_budget is not None
+            else None
+        )
+        result, leftover = self._search(
+            stack, predicate, stop_on_first, None,
+            result=result, cache=cache, attempts=attempts, attempt_limit=limit,
+        )
+        result.wall_seconds = (
+            (frontier.wall_seconds if frontier is not None else 0.0)
+            + perf_counter() - start
+        )
+        if sliced and leftover and result.complete:
+            # Slice exhausted with pending work: checkpoint instead of
+            # finishing.  Metrics are recorded once, on the terminal slice.
+            result.frontier = _dfs_frontier(self, result, leftover, cache)
+            return result
         if self.cache is not None:
             self.cache.record_metrics(program=self.program.name)
         if result.pipeline_stats is not None:
             _record_pipeline_stats(result.pipeline_stats, self.program.name)
         _record_exploration(result, "dfs")
         return result
+
+    def _check_sliceable(self, slice_budget: Optional[int]) -> None:
+        if self.pipeline is not None:
+            raise ValueError(
+                "sliced exploration cannot be combined with a streaming "
+                "detector pipeline: branch-point snapshots hold live "
+                "analysis state that must not cross a checkpoint boundary"
+            )
+        if slice_budget is not None and slice_budget < 1:
+            raise ValueError(
+                f"slice_budget must be a positive schedule count, got "
+                f"{slice_budget}"
+            )
 
     # -- internals -----------------------------------------------------------
 
@@ -429,6 +551,11 @@ class Explorer:
         stop_on_first: bool,
         frontier_target: Optional[int],
         steal_hook: Optional[Callable[[List[Seed]], None]] = None,
+        *,
+        result: Optional[ExplorationResult] = None,
+        cache: Any = _FRESH_CACHE,
+        attempts: int = 0,
+        attempt_limit: Optional[int] = None,
     ) -> Tuple[ExplorationResult, List[Seed]]:
         """The DFS loop over a seeded stack; returns (result, leftover stack).
 
@@ -449,12 +576,13 @@ class Explorer:
         deterministic.
         """
         match = predicate if predicate is not None else _default_predicate
-        cache = StateCache() if self.memoize else None
+        if cache is _FRESH_CACHE:
+            cache = StateCache() if self.memoize else None
         self.cache = cache
-        result = ExplorationResult(
-            program=self.program.name, schedules_run=0, complete=True
-        )
-        attempts = 0
+        if result is None:
+            result = ExplorationResult(
+                program=self.program.name, schedules_run=0, complete=True
+            )
         while stack:
             if steal_hook is not None:
                 steal_hook(stack)
@@ -467,6 +595,8 @@ class Explorer:
             if attempts >= self.max_schedules:
                 result.complete = False
                 break
+            if attempt_limit is not None and attempts >= attempt_limit:
+                break  # slice exhausted; the caller checkpoints the stack
             prefix, paid, snapshot = stack.pop()
             attempts += 1
             run, recorder = self._run_once(prefix, cache, snapshot)

@@ -76,6 +76,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 from repro.sim.engine import EnabledFilter
+from repro.sim.frontier import reject_slicing
 from repro.sim.explorer import (
     ExplorationResult,
     Explorer,
@@ -375,8 +376,24 @@ class ParallelExplorer:
         self,
         predicate: Optional[Predicate] = None,
         stop_on_first: bool = False,
+        *,
+        slice_budget: Optional[int] = None,
+        frontier: Optional[Any] = None,
     ) -> ExplorationResult:
-        """Run the parallel search; result fields as in :class:`Explorer`."""
+        """Run the parallel search; result fields as in :class:`Explorer`.
+
+        Refuses ``slice_budget``/``frontier`` (``ValueError``): the
+        in-flight worker stacks are not serially meaningful mid-round.
+        Slice a serial search instead, or run the parallel one to
+        completion.
+        """
+        reject_slicing(
+            "workers > 1",
+            "the in-flight worker stacks of a sharded/work-stealing search "
+            "are not serially meaningful mid-round; slice the serial "
+            "explorer or run the parallel search to completion",
+            slice_budget, frontier,
+        )
         start = perf_counter()
         factory = self.pipeline_factory
         serial = Explorer(

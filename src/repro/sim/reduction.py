@@ -34,6 +34,7 @@ correct reducer and the differential baseline DPOR is tested against.
 
 from __future__ import annotations
 
+from collections import Counter
 from time import perf_counter
 from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -51,6 +52,7 @@ from repro.sim.explorer import (
     _outcome_key,
     _record_exploration,
     _record_pipeline_stats,
+    _result_from_frontier,
 )
 from repro.sim.program import Program
 from repro.sim.scheduler import Scheduler
@@ -317,24 +319,65 @@ class SleepSetExplorer:
         self,
         predicate: Optional[Predicate] = None,
         stop_on_first: bool = False,
+        *,
+        slice_budget: Optional[int] = None,
+        frontier: Optional[Any] = None,
     ) -> ExplorationResult:
-        """Explore with reduction; result fields as in :class:`Explorer`."""
+        """Explore with reduction; result fields as in :class:`Explorer`.
+
+        ``slice_budget`` / ``frontier`` give the same sliced-resumable
+        contract as :meth:`Explorer.explore`: a paused search returns a
+        checkpoint on ``result.frontier`` whose pending entries carry
+        their sleep sets, and concatenated slices reproduce the unsliced
+        result exactly.  Incompatible with an attached pipeline
+        (``ValueError``).
+        """
+        sliced = slice_budget is not None or frontier is not None
+        if sliced:
+            if self.pipeline is not None:
+                raise ValueError(
+                    "sliced exploration cannot be combined with a streaming "
+                    "detector pipeline: branch-point snapshots hold live "
+                    "analysis state that must not cross a checkpoint boundary"
+                )
+            if slice_budget is not None and slice_budget < 1:
+                raise ValueError(
+                    f"slice_budget must be a positive schedule count, got "
+                    f"{slice_budget}"
+                )
         start = perf_counter()
+        base_wall = frontier.wall_seconds if frontier is not None else 0.0
         match = predicate if predicate is not None else _default_predicate
-        result = ExplorationResult(
-            program=self.program.name, schedules_run=0, complete=True
-        )
-        self.pruned_runs = 0
-        cache = StateCache() if self.memoize else None
+        if frontier is not None:
+            frontier.check("sleepset", self.program.name, self.memoize)
+            result = _result_from_frontier(frontier, self.program.name)
+            self.pruned_runs = frontier.pruned_runs
+            cache = frontier.restore_cache()
+            stack = [
+                (list(prefix), frozenset(sleep), None)
+                for prefix, sleep in frontier.pending
+            ]
+            attempts = frontier.attempts
+        else:
+            result = ExplorationResult(
+                program=self.program.name, schedules_run=0, complete=True
+            )
+            self.pruned_runs = 0
+            cache = StateCache() if self.memoize else None
+            stack = [([], frozenset(), None)]
+            attempts = 0
         self.cache = cache
-        stack: List[Tuple[List[str], FrozenSet[str], Optional[Any]]] = [
-            ([], frozenset(), None)
-        ]
-        attempts = 0
+        limit = (
+            min(self.max_schedules, attempts + slice_budget)
+            if slice_budget is not None
+            else None
+        )
         while stack:
             if attempts >= self.max_schedules:
                 result.complete = False
                 break
+            if limit is not None and attempts >= limit:
+                break  # slice exhausted; checkpoint the stack below
             prefix, sleep, snapshot = stack.pop()
             attempts += 1
             run, scheduler = self._run_once(prefix, sleep, cache, snapshot)
@@ -354,21 +397,69 @@ class SleepSetExplorer:
                         result.schedules_to_first_finding = result.schedules_run
                     if stop_on_first:
                         result.complete = False
-                        self._finish(result, cache, start)
+                        self._finish(result, cache, start, base_wall)
                         return result
             elif scheduler.pruned:
                 self.pruned_runs += 1
             else:
                 result.cache_hits += 1
             self._push_siblings(stack, scheduler, prefix, run)
-        self._finish(result, cache, start)
+        if sliced and stack and result.complete:
+            # Slice exhausted with pending work: checkpoint and return a
+            # provisional result; metrics wait for the terminal slice.
+            if cache is not None:
+                result.cache_lookups = cache.lookups
+                result.cache_states = len(cache)
+            result.wall_seconds = base_wall + perf_counter() - start
+            result.frontier = self._make_frontier(result, stack, cache)
+            return result
+        self._finish(result, cache, start, base_wall)
         return result
+
+    def _make_frontier(
+        self,
+        result: ExplorationResult,
+        stack: List[Tuple[List[str], FrozenSet[str], Optional[Any]]],
+        cache: Optional[StateCache],
+    ):
+        """Checkpoint a paused sleep-set search (see :mod:`repro.sim.frontier`)."""
+        from repro.sim.frontier import ExplorationFrontier
+
+        return ExplorationFrontier(
+            explorer="sleepset",
+            program=self.program.name,
+            memoize=self.memoize,
+            pending=[
+                (list(prefix), tuple(sorted(sleep)))
+                for prefix, sleep, _ in stack
+            ],
+            attempts=(
+                result.schedules_run + result.cache_hits + self.pruned_runs
+            ),
+            schedules_run=result.schedules_run,
+            statuses=Counter(result.statuses),
+            outcomes=dict(result.outcomes),
+            matching=list(result.matching),
+            match_count=result.match_count,
+            first_match_schedule=(
+                list(result.first_match_schedule)
+                if result.first_match_schedule is not None else None
+            ),
+            schedules_to_first_finding=result.schedules_to_first_finding,
+            cache_hits=result.cache_hits,
+            states_expanded=result.states_expanded,
+            preemptions_spent=result.preemptions_spent,
+            pruned_runs=self.pruned_runs,
+            wall_seconds=result.wall_seconds,
+            cache_state=cache.export_state() if cache is not None else None,
+        )
 
     def _finish(
         self,
         result: ExplorationResult,
         cache: Optional[StateCache],
         start: float,
+        base_wall: float = 0.0,
     ) -> None:
         """Close out one exploration: cache stats, wall-clock, metrics."""
         if cache is not None:
@@ -378,7 +469,7 @@ class SleepSetExplorer:
         _fill_pipeline(result, self.pipeline)
         if result.pipeline_stats is not None:
             _record_pipeline_stats(result.pipeline_stats, self.program.name)
-        result.wall_seconds = perf_counter() - start
+        result.wall_seconds = base_wall + perf_counter() - start
         obs_metrics.inc(
             "explorer.pruned_runs", self.pruned_runs,
             program=self.program.name, explorer="sleepset",

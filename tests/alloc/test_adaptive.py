@@ -1,0 +1,127 @@
+"""Tests for the adaptive strategy race (``repro.alloc.adaptive``)."""
+
+import pytest
+
+from repro.alloc import adaptive_first_finding, derive_horizon
+from repro.alloc.adaptive import _SamplerArm
+from repro.kernels import get_kernel
+from repro.sim import CooperativeScheduler, FixedScheduler, run_program
+from tests import helpers
+
+
+def _fails(run):
+    return run.failed
+
+
+class TestDeriveHorizon:
+    def test_tracks_real_step_count(self):
+        kernel = get_kernel("atomicity_single_var")
+        horizon = derive_horizon(kernel.buggy)
+        coop = run_program(kernel.buggy, CooperativeScheduler())
+        assert horizon >= len(coop.schedule)
+        assert horizon >= 4
+
+    def test_floor_applies_to_degenerate_programs(self):
+        program = helpers.yield_only(steps=1, threads=1)
+        assert derive_horizon(program) == 4
+
+
+class TestAdaptiveRace:
+    def test_finds_kernel_bug_and_names_winner(self):
+        kernel = get_kernel("atomicity_single_var")
+        outcome = adaptive_first_finding(kernel.buggy, kernel.failure)
+        assert outcome.found
+        assert outcome.winner in ("dfs", "sleepset", "random", "pct")
+        assert outcome.schedules >= 1
+        assert outcome.pulls >= 1
+        assert outcome.witness_schedule
+        # The witness replays to an actual failure.
+        replayed = run_program(
+            kernel.buggy, FixedScheduler(outcome.witness_schedule)
+        )
+        assert kernel.failure(replayed)
+        # Per-arm stats cover every registered strategy.
+        assert {row["strategy"] for row in outcome.arms} == {
+            "dfs", "sleepset", "random", "pct"
+        }
+
+    def test_race_is_deterministic(self):
+        kernel = get_kernel("deadlock_abba")
+        a = adaptive_first_finding(kernel.buggy, kernel.failure)
+        b = adaptive_first_finding(kernel.buggy, kernel.failure)
+        assert a.found == b.found
+        assert a.winner == b.winner
+        assert a.schedules == b.schedules
+        assert a.pulls == b.pulls
+        assert a.witness_schedule == b.witness_schedule
+
+    def test_proven_clean_retires_the_whole_race(self):
+        """A complete systematic drain of a bug-free space ends the race
+        long before ``max_total`` — samplers are not left to bleed."""
+        program = helpers.locked_counter()
+        outcome = adaptive_first_finding(program, _fails, max_total=4000)
+        assert not outcome.found
+        assert outcome.winner is None
+        assert outcome.schedules < 4000
+        assert all(row["retired"] for row in outcome.arms)
+
+    def test_strategy_subset_is_honoured(self):
+        kernel = get_kernel("atomicity_single_var")
+        outcome = adaptive_first_finding(
+            kernel.buggy, kernel.failure, strategies=("random",)
+        )
+        assert outcome.found
+        assert outcome.winner == "random"
+        assert [row["strategy"] for row in outcome.arms] == ["random"]
+
+    def test_budget_cap_is_respected(self):
+        program = helpers.racy_counter(threads=3)
+
+        def never(run):
+            return False
+
+        outcome = adaptive_first_finding(
+            program, never, max_total=50, strategies=("random", "pct")
+        )
+        assert not outcome.found
+        assert outcome.schedules <= 50
+
+    def test_argument_validation(self):
+        kernel = get_kernel("atomicity_single_var")
+        with pytest.raises(ValueError, match="max_total"):
+            adaptive_first_finding(kernel.buggy, kernel.failure, max_total=0)
+        with pytest.raises(ValueError, match="probe_budget"):
+            adaptive_first_finding(
+                kernel.buggy, kernel.failure, probe_budget=0
+            )
+        with pytest.raises(ValueError, match="unknown strategies"):
+            adaptive_first_finding(
+                kernel.buggy, kernel.failure, strategies=("dfs", "ouija")
+            )
+
+
+class TestSamplerSeedOffsets:
+    """Randomized arms resume by seed offset: sliced pulls reproduce the
+    uninterrupted seed loop exactly (the sampler analogue of frontier
+    checkpointing)."""
+
+    @pytest.mark.parametrize("strategy", ["random", "pct"])
+    def test_sliced_pulls_match_one_big_pull(self, strategy):
+        program = helpers.racy_counter(threads=3)
+
+        def never(run):
+            return False
+
+        def make():
+            return _SamplerArm(
+                strategy, program, never,
+                max_steps=5000, seed=7, pct_depth=3, horizon=12,
+            )
+
+        sliced_arm = make()
+        sliced = []
+        for budget in (1, 2, 3, 4):
+            sliced.extend(sliced_arm.pull(budget).outcomes)
+        whole = make().pull(10).outcomes
+        assert sliced == whole
+        assert sliced_arm.next_offset == 10

@@ -37,6 +37,7 @@ ARCHITECTURE = DOCS / "architecture.md"
 STATIC_DOC = DOCS / "static.md"
 SIMULATOR_DOC = DOCS / "simulator.md"
 SERVICE_DOC = DOCS / "service.md"
+ALLOC_DOC = DOCS / "allocator.md"
 
 #: The simulator's search layer plus the pluggable memory models:
 #: docs/simulator.md is the subsystem page and must discuss each of these
@@ -44,7 +45,7 @@ SERVICE_DOC = DOCS / "service.md"
 #: are covered by the architecture tour).
 SIM_SEARCH_MODULES = (
     "explorer", "reduction", "dpor", "dpor_parallel", "parallel",
-    "statecache", "memory",
+    "statecache", "memory", "frontier",
 )
 
 #: The real-code pipeline is the static subsystem's outward-facing
@@ -88,6 +89,7 @@ def check_modules(problems: list) -> None:
     for doc, package, label in (
         (STATIC_DOC, "static", "static subsystem page"),
         (SERVICE_DOC, "service", "service handbook"),
+        (ALLOC_DOC, "alloc", "allocator handbook"),
     ):
         if not doc.exists():
             problems.append(f"docs/{doc.name}: missing ({label})")
